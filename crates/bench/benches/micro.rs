@@ -1,0 +1,163 @@
+//! Component micro-benchmarks: the simulator's hot paths and the
+//! analysis primitives.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use simcore::dist::{Dist, Sampler};
+use simcore::queue::EventQueue;
+use simcore::rng::Rng;
+use simcore::time::SimTime;
+use std::hint::black_box;
+use tcpsim::{App, ConnId, DeliveredSpan, End, Marker, Net, NodeId, PathParams, Sim, TcpOptions};
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..10_000u64 {
+                q.schedule_at(SimTime::from_nanos((i * 7919) % 100_000), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, e)) = q.pop() {
+                acc = acc.wrapping_add(e);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_rng_and_dists(c: &mut Criterion) {
+    c.bench_function("rng_next_f64_100k", |b| {
+        let mut rng = Rng::from_seed(1);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..100_000 {
+                acc += rng.next_f64();
+            }
+            black_box(acc)
+        })
+    });
+    c.bench_function("lognormal_sample_100k", |b| {
+        let mut rng = Rng::from_seed(2);
+        let d = Dist::lognormal_median_spread(30.0, 1.4);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..100_000 {
+                acc += d.sample(&mut rng);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+/// A bulk transfer app: B sends `size` bytes to A on connect.
+struct Bulk {
+    size: u64,
+    got: u64,
+}
+impl App for Bulk {
+    fn on_established(&mut self, net: &mut Net, conn: ConnId, end: End) {
+        if end == End::B {
+            net.send(conn, End::B, self.size, Marker::Other, 0);
+        }
+    }
+    fn on_data(&mut self, _net: &mut Net, _conn: ConnId, end: End, spans: &[DeliveredSpan]) {
+        if end == End::A {
+            self.got += spans.iter().map(|s| s.len as u64).sum::<u64>();
+        }
+    }
+}
+
+fn bench_tcp_transfer(c: &mut Criterion) {
+    c.bench_function("tcp_transfer_1mb_50ms_rtt", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(
+                1,
+                Bulk {
+                    size: 1_000_000,
+                    got: 0,
+                },
+            );
+            sim.net().open(
+                NodeId(1),
+                NodeId(2),
+                PathParams::ideal(50.0),
+                TcpOptions::default(),
+                TcpOptions::default(),
+                1,
+            );
+            sim.run();
+            black_box(sim.app().got)
+        })
+    });
+    c.bench_function("tcp_transfer_1mb_lossy", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(
+                2,
+                Bulk {
+                    size: 1_000_000,
+                    got: 0,
+                },
+            );
+            sim.net().open(
+                NodeId(1),
+                NodeId(2),
+                PathParams::lossy(50.0, 0.01),
+                TcpOptions::default(),
+                TcpOptions::default(),
+                1,
+            );
+            sim.run();
+            black_box(sim.app().got)
+        })
+    });
+}
+
+fn bench_stats_primitives(c: &mut Criterion) {
+    let mut rng = Rng::from_seed(3);
+    let xs: Vec<f64> = (0..10_000).map(|_| rng.next_f64() * 100.0).collect();
+    let ys: Vec<f64> = (0..10_000).map(|_| rng.next_f64() * 100.0).collect();
+    c.bench_function("moving_median_w10_10k", |b| {
+        b.iter(|| black_box(stats::moving_median(&xs, 10)))
+    });
+    c.bench_function("ecdf_build_query_10k", |b| {
+        b.iter(|| {
+            let e = stats::Ecdf::new(&xs);
+            black_box(e.fraction_le(50.0))
+        })
+    });
+    c.bench_function("ks_distance_10k", |b| {
+        b.iter(|| black_box(stats::ks_distance(&xs, &ys)))
+    });
+    let small: Vec<f64> = xs.iter().take(400).copied().collect();
+    let small_y: Vec<f64> = ys.iter().take(400).copied().collect();
+    c.bench_function("theil_sen_400", |b| {
+        b.iter(|| black_box(stats::theil_sen(&small, &small_y)))
+    });
+    c.bench_function("ols_10k", |b| {
+        b.iter(|| black_box(stats::ols(&xs, &ys)))
+    });
+}
+
+fn bench_corpus(c: &mut Criterion) {
+    c.bench_function("keyword_corpus_40k", |b| {
+        b.iter(|| {
+            black_box(searchbe::KeywordCorpus::generate(5, 40_000, 0.5).len())
+        })
+    });
+}
+
+fn configured() -> Criterion {
+    Criterion::default().sample_size(10)
+}
+
+criterion_group! {
+    name = micro;
+    config = configured();
+    targets =
+        bench_event_queue,
+        bench_rng_and_dists,
+        bench_tcp_transfer,
+        bench_stats_primitives,
+        bench_corpus,
+}
+criterion_main!(micro);

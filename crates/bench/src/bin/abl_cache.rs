@@ -1,0 +1,116 @@
+//! Ablation — FE static-content cache on vs off.
+//!
+//! The FE's first documented role (Sec. 2) is caching the static portion
+//! and delivering it "immediately upon receiving a user's request".
+//! Turning the cache off forces the static bytes to ride the BE
+//! response, so their delivery inherits the whole fetch time.
+//!
+//! Asserted:
+//! * small-RTT `Tstatic` inflates by roughly the fetch time without the
+//!   cache;
+//! * `Tdelta` collapses to ~0 everywhere (static and dynamic arrive
+//!   together) — the early-page-paint benefit disappears;
+//! * the *final* byte (overall delay) changes much less: the cache's
+//!   value is perceived latency of the page head, not total transfer.
+
+use bench::{check, finish, scenario, seed_from_env, Scale};
+use capture::Classifier;
+use cdnsim::{QuerySpec, ServiceConfig};
+use emulator::output::Tsv;
+use emulator::runner::run_collect;
+use emulator::ProcessedQuery;
+use simcore::time::SimDuration;
+
+fn run_small_rtt(
+    sc: &emulator::Scenario,
+    cfg: ServiceConfig,
+    repeats: u64,
+) -> Vec<ProcessedQuery> {
+    let mut sim = sc.build_sim(cfg);
+    // Clients within 30 ms of their default FE.
+    let close: Vec<usize> = sim.with(|w, _| {
+        (0..w.clients().len())
+            .filter(|&c| w.client_fe_rtt_ms(c, w.default_fe(c)) < 30.0)
+            .collect()
+    });
+    sim.with(|w, net| {
+        for (i, &client) in close.iter().enumerate() {
+            for r in 0..repeats {
+                w.schedule_query(
+                    net,
+                    SimDuration::from_millis(1 + r * 10_000 + i as u64 * 61),
+                    QuerySpec {
+                        client,
+                        keyword: 0,
+                        fixed_fe: None,
+                        instant_followup: false,
+                    },
+                );
+            }
+        }
+    });
+    run_collect(&mut sim, &Classifier::ByMarker)
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let seed = seed_from_env();
+    let sc = scenario(scale, seed);
+    let repeats = match scale {
+        Scale::Quick => 8,
+        Scale::Paper => 40,
+    };
+
+    let cached = run_small_rtt(&sc, ServiceConfig::bing_like(seed), repeats);
+    let uncached = run_small_rtt(
+        &sc,
+        ServiceConfig::bing_like(seed).without_static_cache(),
+        repeats,
+    );
+
+    let med = |v: Vec<f64>| stats::quantile::median(&v).unwrap();
+    let ts_c = med(cached.iter().map(|q| q.params.t_static_ms).collect());
+    let ts_u = med(uncached.iter().map(|q| q.params.t_static_ms).collect());
+    let dl_c = med(cached.iter().map(|q| q.params.t_delta_ms).collect());
+    let dl_u = med(uncached.iter().map(|q| q.params.t_delta_ms).collect());
+    let ov_c = med(cached.iter().map(|q| q.params.overall_ms).collect());
+    let ov_u = med(uncached.iter().map(|q| q.params.overall_ms).collect());
+    let fetch = med(cached.iter().filter_map(|q| q.true_fetch_ms).collect());
+
+    let stdout = std::io::stdout();
+    let mut tsv = Tsv::new(
+        stdout.lock(),
+        &["config", "t_static_ms", "t_delta_ms", "overall_ms"],
+    )
+    .unwrap();
+    tsv.row(&[
+        "static-cache-on".into(),
+        format!("{ts_c:.3}"),
+        format!("{dl_c:.3}"),
+        format!("{ov_c:.3}"),
+    ])
+    .unwrap();
+    tsv.row(&[
+        "static-cache-off".into(),
+        format!("{ts_u:.3}"),
+        format!("{dl_u:.3}"),
+        format!("{ov_u:.3}"),
+    ])
+    .unwrap();
+
+    eprintln!("median fetch time (ground truth): {fetch:.0} ms");
+    eprintln!("Tstatic: cached {ts_c:.1} ms → uncached {ts_u:.1} ms");
+    eprintln!("Tdelta:  cached {dl_c:.1} ms → uncached {dl_u:.1} ms");
+    eprintln!("overall: cached {ov_c:.0} ms → uncached {ov_u:.0} ms");
+    let mut ok = true;
+    ok &= check(
+        "uncached Tstatic inflates by roughly the fetch time",
+        ts_u > ts_c + 0.6 * fetch,
+    );
+    ok &= check("uncached Tdelta collapses to ~0", dl_u < 5.0 && dl_c > 25.0);
+    ok &= check(
+        "overall delay changes far less than Tstatic does",
+        (ov_u - ov_c).abs() < 0.5 * (ts_u - ts_c),
+    );
+    finish(ok);
+}

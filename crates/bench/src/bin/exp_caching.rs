@@ -1,0 +1,81 @@
+//! Sec. 3 — "Do FE Servers Cache Search Results?"
+//!
+//! Two designs against a fixed FE: all vantages repeating the *same*
+//! query vs all-*distinct* (same-class) queries. The paper finds the
+//! `Tdynamic` distributions indistinguishable and concludes FEs do not
+//! cache results.
+//!
+//! Asserted:
+//! * both realistic services yield `NoCaching`;
+//! * a hypothetical FE-result-caching deployment is flagged
+//!   `CachingSuspected` (the detector has power, not just a blind spot).
+
+use bench::{check, finish, scenario, seed_from_env, Scale};
+use cdnsim::ServiceConfig;
+use emulator::caching_probe::CachingProbeRun;
+use emulator::output::Tsv;
+use inference::caching::CachingVerdict;
+
+fn main() {
+    let scale = Scale::from_env();
+    let seed = seed_from_env();
+    let sc = scenario(scale, seed);
+    let probe = CachingProbeRun::against(0);
+
+    let configs = [
+        ("bing-like", ServiceConfig::bing_like(seed), CachingVerdict::NoCaching),
+        (
+            "google-like",
+            ServiceConfig::google_like(seed),
+            CachingVerdict::NoCaching,
+        ),
+        (
+            "google-like+fecache",
+            ServiceConfig::google_like(seed).with_fe_result_cache(),
+            CachingVerdict::CachingSuspected,
+        ),
+    ];
+
+    let stdout = std::io::stdout();
+    let mut tsv = Tsv::new(
+        stdout.lock(),
+        &[
+            "service",
+            "ks_distance",
+            "median_same_ms",
+            "median_distinct_ms",
+            "verdict",
+        ],
+    )
+    .unwrap();
+
+    let mut ok = true;
+    for (name, cfg, expected) in configs {
+        match probe.run(&sc, cfg) {
+            Some(out) => {
+                tsv.row(&[
+                    name.to_string(),
+                    format!("{:.4}", out.probe.ks_distance),
+                    format!("{:.3}", out.probe.median_same_ms),
+                    format!("{:.3}", out.probe.median_distinct_ms),
+                    format!("{:?}", out.probe.verdict),
+                ])
+                .unwrap();
+                ok &= check(
+                    &format!(
+                        "{name}: verdict {:?} (expected {expected:?}; d={:.3}, medians {:.0}/{:.0})",
+                        out.probe.verdict,
+                        out.probe.ks_distance,
+                        out.probe.median_same_ms,
+                        out.probe.median_distinct_ms
+                    ),
+                    out.probe.verdict == expected,
+                );
+            }
+            None => {
+                ok = check(&format!("{name}: probe produced samples"), false) && ok;
+            }
+        }
+    }
+    finish(ok);
+}

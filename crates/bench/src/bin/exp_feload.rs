@@ -1,0 +1,124 @@
+//! Extension — FE load as a mechanistic queueing phenomenon.
+//!
+//! The paper repeatedly names "the load on a FE server" among the
+//! factors behind `Tstatic` (and blames Akamai's shared tenancy for
+//! Bing's variance) but can only observe it indirectly. The simulator's
+//! FE is an 8-slot FIFO queue, so offered load produces waiting time
+//! mechanistically. This harness sweeps the query arrival rate at one
+//! FE and watches `Tstatic` (whose constant term is FE overhead) climb.
+//!
+//! Asserted:
+//! * under light load, `Tstatic` matches the unloaded service baseline;
+//! * `Tstatic` grows monotonically (within tolerance) with offered load;
+//! * saturation inflates the *variance* too — queueing is bursty.
+
+use bench::{check, finish, scenario, seed_from_env, Scale};
+use capture::Classifier;
+use cdnsim::{QuerySpec, ServiceConfig};
+use emulator::output::Tsv;
+use emulator::runner::run_collect;
+use simcore::time::SimDuration;
+
+/// Runs one load level: `clients_per_wave` clients hit the FE together
+/// every `wave_gap_ms`, repeated `waves` times.
+fn run_level(
+    sc: &emulator::Scenario,
+    cfg: ServiceConfig,
+    fe: usize,
+    clients_per_wave: usize,
+    waves: u64,
+) -> (f64, f64) {
+    let mut sim = sc.build_sim(cfg);
+    sim.with(|w, net| {
+        let be = w.be_of_fe(fe);
+        w.prewarm(net, fe, be, 4);
+        let n = w.clients().len();
+        for wave in 0..waves {
+            for k in 0..clients_per_wave {
+                let client = (wave as usize * clients_per_wave + k) % n;
+                w.schedule_query(
+                    net,
+                    SimDuration::from_millis(3_000 + wave * 5_000 + k as u64 / 4),
+                    QuerySpec {
+                        client,
+                        keyword: 0,
+                        fixed_fe: Some(fe),
+                        instant_followup: false,
+                    },
+                );
+            }
+        }
+    });
+    let out = run_collect(&mut sim, &Classifier::ByMarker);
+    // Tstatic minus the vantage's RTT isolates the FE-side constant.
+    let overheads: Vec<f64> = out
+        .iter()
+        .map(|q| (q.params.t_static_ms - q.params.rtt_ms).max(0.0))
+        .collect();
+    (
+        stats::quantile::median(&overheads).unwrap(),
+        stats::quantile::iqr(&overheads).unwrap(),
+    )
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let seed = seed_from_env();
+    let sc = scenario(scale, seed);
+    // Two worker slots and the shared-tenancy service times: the FE
+    // saturates at realistic wave sizes (client RTT spread disperses
+    // arrivals over ~250 ms, so per-wave arrival rate ≈ N/250 req/ms
+    // against a ~0.1 req/ms capacity).
+    let cfg = ServiceConfig::bing_like(seed).with_fe_workers(2);
+    let mut sim = sc.build_sim(cfg.clone());
+    let fe = sim.with(|w, _| w.default_fe(0));
+    drop(sim);
+    let waves = match scale {
+        Scale::Quick => 12,
+        Scale::Paper => 40,
+    };
+
+    let levels = [1usize, 8, 24, 56];
+    let stdout = std::io::stdout();
+    let mut tsv = Tsv::new(
+        stdout.lock(),
+        &["clients_per_wave", "fe_constant_median_ms", "fe_constant_iqr_ms"],
+    )
+    .unwrap();
+    let mut medians = Vec::new();
+    let mut iqrs = Vec::new();
+    for &level in &levels {
+        let (m, i) = run_level(&sc, cfg.clone(), fe, level, waves);
+        eprintln!("load {level:>3} clients/wave: FE constant median {m:>7.2} ms, IQR {i:>6.2} ms");
+        tsv.row_f64(&[level as f64, m, i]).unwrap();
+        medians.push(m);
+        iqrs.push(i);
+    }
+
+    let mut ok = true;
+    ok &= check(
+        &format!("light load is cheap (median {:.1} ms < 40 ms)", medians[0]),
+        medians[0] < 40.0,
+    );
+    ok &= check(
+        &format!(
+            "overhead grows with offered load ({:.1} → {:.1} ms)",
+            medians[0],
+            medians[levels.len() - 1]
+        ),
+        medians[levels.len() - 1] > 2.0 * medians[0],
+    );
+    ok &= check(
+        "growth is monotone across levels (within 20% tolerance)",
+        medians.windows(2).all(|w| w[1] > w[0] * 0.8),
+    );
+    ok &= check(
+        &format!(
+            "saturation inflates variance (IQR {:.1} → {:.1} ms)",
+            iqrs[0],
+            iqrs[levels.len() - 1]
+        ),
+        iqrs[levels.len() - 1] > iqrs[0],
+    );
+    finish(ok);
+}

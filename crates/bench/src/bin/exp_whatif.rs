@@ -1,0 +1,149 @@
+//! Extension — the counterfactual the paper could only speculate about.
+//!
+//! Sec. 4.2 attributes Bing's worse, noisier performance to *two*
+//! confounded causes: the shared Akamai edge (FE tenancy) and the
+//! slower, public-transit-connected back-end. A measurement study cannot
+//! separate them; a simulator can. Four hybrid deployments:
+//!
+//! |                      | google backend | bing backend |
+//! |----------------------|----------------|--------------|
+//! | dedicated sparse FEs | google-like    | hybrid A     |
+//! | shared dense FEs     | hybrid B       | bing-like    |
+//!
+//! Asserted:
+//! * the **back-end axis dominates `Tdynamic`** (swapping backends moves
+//!   medians by hundreds of ms; swapping fleets barely moves them);
+//! * the **fleet axis dominates `Tstatic`'s FE-attributable part**;
+//! * hybrid B (google backend on Akamai's shared edge) still beats
+//!   bing-like — confirming the paper's conclusion that optimizing the
+//!   fetch path, not FE placement, was Bing's real lever.
+
+use bench::{check, dataset_a_repeats, finish, scenario, seed_from_env, Scale};
+use capture::Classifier;
+use cdnsim::ServiceConfig;
+use emulator::dataset_a::{DatasetA, KeywordPolicy};
+use emulator::output::Tsv;
+use emulator::report::CampaignSummary;
+use emulator::ProcessedQuery;
+use simcore::time::SimDuration;
+
+fn hybrid_a(seed: u64) -> ServiceConfig {
+    // Bing's back-end behind Google's dedicated sparse fleet.
+    let g = ServiceConfig::google_like(seed);
+    let b = ServiceConfig::bing_like(seed);
+    ServiceConfig {
+        name: "hybridA-sparse+bingBE".into(),
+        backend: b.backend,
+        composer: b.composer,
+        febe_profile: b.febe_profile,
+        fe_be_tcp: b.fe_be_tcp,
+        be_sites: b.be_sites,
+        ..g
+    }
+}
+
+fn hybrid_b(seed: u64) -> ServiceConfig {
+    // Google's back-end behind Akamai's dense shared fleet.
+    let g = ServiceConfig::google_like(seed);
+    let b = ServiceConfig::bing_like(seed);
+    ServiceConfig {
+        name: "hybridB-dense+googleBE".into(),
+        backend: g.backend,
+        composer: g.composer,
+        febe_profile: g.febe_profile,
+        fe_be_tcp: g.fe_be_tcp,
+        be_sites: g.be_sites,
+        ..b
+    }
+}
+
+fn run(sc: &emulator::Scenario, cfg: ServiceConfig, repeats: u64) -> Vec<ProcessedQuery> {
+    DatasetA {
+        repeats,
+        spacing: SimDuration::from_secs(10),
+        keywords: KeywordPolicy::Fixed(0),
+    }
+    .run(sc, cfg, &Classifier::ByMarker)
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let seed = seed_from_env();
+    let sc = scenario(scale, seed);
+    let repeats = dataset_a_repeats(scale);
+
+    let campaigns = [
+        ("google-like", ServiceConfig::google_like(seed)),
+        ("hybridA (sparse FEs + bing BE)", hybrid_a(seed)),
+        ("hybridB (dense FEs + google BE)", hybrid_b(seed)),
+        ("bing-like", ServiceConfig::bing_like(seed)),
+    ];
+    let mut rows = Vec::new();
+    for (label, cfg) in campaigns {
+        let out = run(&sc, cfg, repeats);
+        // FE-attributable Tstatic constant: Tstatic − RTT.
+        let fe_const: Vec<f64> = out
+            .iter()
+            .map(|q| (q.params.t_static_ms - q.params.rtt_ms).max(0.0))
+            .collect();
+        let summary = CampaignSummary::of(label, &out).unwrap();
+        rows.push((
+            label,
+            summary,
+            stats::quantile::median(&fe_const).unwrap(),
+        ));
+    }
+
+    let stdout = std::io::stdout();
+    let mut tsv = Tsv::new(
+        stdout.lock(),
+        &["deployment", "median_t_dynamic_ms", "median_fe_constant_ms", "median_overall_ms"],
+    )
+    .unwrap();
+    for (label, s, fe_const) in &rows {
+        tsv.row(&[
+            label.to_string(),
+            format!("{:.3}", s.t_dynamic.median),
+            format!("{fe_const:.3}"),
+            format!("{:.3}", s.overall.median),
+        ])
+        .unwrap();
+        eprintln!(
+            "{label:<34} Tdynamic {:>7.1}  FE-const {:>6.1}  overall {:>7.1}",
+            s.t_dynamic.median, fe_const, s.overall.median
+        );
+    }
+
+    let td = |i: usize| rows[i].1.t_dynamic.median;
+    let fc = |i: usize| rows[i].2;
+    let ov = |i: usize| rows[i].1.overall.median;
+    // Indices: 0 google, 1 hybridA, 2 hybridB, 3 bing.
+    let mut ok = true;
+    let be_effect = ((td(1) - td(0)) + (td(3) - td(2))) / 2.0;
+    let fleet_effect = ((td(2) - td(0)) + (td(3) - td(1))) / 2.0;
+    eprintln!("Tdynamic decomposition: backend axis {be_effect:.0} ms, fleet axis {fleet_effect:.0} ms");
+    // The fleet axis is not pure tenancy: a dense edge also *serves
+    // remote metros* whose nearest BE is an ocean away, so geography
+    // leaks into the fetch term. The back-end axis must still clearly
+    // dominate (≥ 2×).
+    ok &= check(
+        "the back-end axis clearly dominates Tdynamic (≥2x the fleet axis)",
+        be_effect > 2.0 * fleet_effect.abs().max(1.0),
+    );
+    let fe_fleet_effect = ((fc(2) - fc(0)) + (fc(3) - fc(1))) / 2.0;
+    let fe_be_effect = ((fc(1) - fc(0)) + (fc(3) - fc(2))) / 2.0;
+    eprintln!("FE-constant decomposition: fleet axis {fe_fleet_effect:.1} ms, backend axis {fe_be_effect:.1} ms");
+    ok &= check(
+        "the fleet axis dominates the FE-side constant",
+        fe_fleet_effect > 3.0 * fe_be_effect.abs().max(0.2),
+    );
+    ok &= check(
+        &format!(
+            "hybridB (fast backend on shared edge) beats bing-like ({:.0} < {:.0} ms overall)",
+            ov(2),
+            ov(3)
+        ),
+        ov(2) < ov(3),
+    );
+    finish(ok);
+}

@@ -1,0 +1,125 @@
+//! Fig. 3 — effect of keyword type on `Tstatic` and `Tdynamic`.
+//!
+//! One vantage submits 4 keywords of different classes (popular /
+//! refined / complex / uncorrelated-mix — the paper's key1..key4), many
+//! samples each, in chronological order; the plotted series are moving
+//! medians with window 10 (exactly the paper's smoothing).
+//!
+//! Shapes asserted:
+//! * `Tdynamic` differs markedly across keyword classes (complex >
+//!   popular);
+//! * `Tstatic` is insensitive to the keyword class.
+
+use bench::{check, fig3_samples, finish, scenario, seed_from_env, Scale};
+use capture::Classifier;
+use cdnsim::{QuerySpec, ServiceConfig};
+use emulator::output::Tsv;
+use emulator::runner::run_collect;
+use searchbe::keywords::KeywordClass;
+use simcore::time::SimDuration;
+use stats::moving_median;
+
+fn main() {
+    let scale = Scale::from_env();
+    let seed = seed_from_env();
+    let sc = scenario(scale, seed);
+    let samples = fig3_samples(scale);
+
+    // The paper runs this against Bing; we use the Bing-like service.
+    let mut sim = sc.build_sim(ServiceConfig::bing_like(seed));
+    let picks: [u64; 4] = sim.with(|w, _| {
+        let p = w.corpus().fig3_picks();
+        [p[0].id, p[1].id, p[2].id, p[3].id]
+    });
+    let client = 0usize;
+    sim.with(|w, net| {
+        let fe = w.default_fe(client);
+        let be = w.be_of_fe(fe);
+        w.prewarm(net, fe, be, 4);
+        for (ki, &kw) in picks.iter().enumerate() {
+            for r in 0..samples {
+                // Interleave the four keywords over time, 2.5 s apart
+                // per keyword (10 s full cycle as in the paper).
+                let at = SimDuration::from_millis(
+                    3_000 + r * 10_000 + ki as u64 * 2_500,
+                );
+                w.schedule_query(
+                    net,
+                    at,
+                    QuerySpec {
+                        client,
+                        keyword: kw,
+                        fixed_fe: Some(fe),
+                        instant_followup: false,
+                    },
+                );
+            }
+        }
+    });
+    let out = run_collect(&mut sim, &Classifier::ByMarker);
+
+    // Series per keyword, in chronological order.
+    let mut per_kw: Vec<(KeywordClass, Vec<f64>, Vec<f64>)> = Vec::new();
+    for &kw in &picks {
+        let mut qs: Vec<_> = out.iter().filter(|q| q.keyword == kw).collect();
+        qs.sort_by(|a, b| a.t_start_ms.partial_cmp(&b.t_start_ms).unwrap());
+        let ts: Vec<f64> = qs.iter().map(|q| q.params.t_static_ms).collect();
+        let td: Vec<f64> = qs.iter().map(|q| q.params.t_dynamic_ms).collect();
+        per_kw.push((qs[0].class, moving_median(&ts, 10), moving_median(&td, 10)));
+    }
+
+    // ---- TSV ----
+    let stdout = std::io::stdout();
+    let mut tsv = Tsv::new(
+        stdout.lock(),
+        &["keyword_class", "sample", "t_static_mm10_ms", "t_dynamic_mm10_ms"],
+    )
+    .unwrap();
+    for (class, ts, td) in &per_kw {
+        for (i, (s, d)) in ts.iter().zip(td).enumerate() {
+            tsv.row(&[
+                class.label().to_string(),
+                i.to_string(),
+                format!("{s:.3}"),
+                format!("{d:.3}"),
+            ])
+            .unwrap();
+        }
+    }
+
+    // ---- shape checks ----
+    let med = |v: &[f64]| stats::quantile::median(v).unwrap();
+    let by_class = |c: KeywordClass| per_kw.iter().find(|(k, _, _)| *k == c).unwrap();
+    let (_, _, td_popular) = by_class(KeywordClass::Popular);
+    let (_, _, td_complex) = by_class(KeywordClass::Complex);
+    let mut ok = true;
+    ok &= check(
+        &format!(
+            "Tdynamic varies with keyword class: complex {:.0} > popular {:.0} + 30",
+            med(td_complex),
+            med(td_popular)
+        ),
+        med(td_complex) > med(td_popular) + 30.0,
+    );
+    let ts_medians: Vec<f64> = per_kw.iter().map(|(_, ts, _)| med(ts)).collect();
+    let ts_spread = ts_medians
+        .iter()
+        .fold(f64::MIN, |a, &b| a.max(b))
+        - ts_medians.iter().fold(f64::MAX, |a, &b| a.min(b));
+    let td_medians: Vec<f64> = per_kw.iter().map(|(_, _, td)| med(td)).collect();
+    let td_spread = td_medians
+        .iter()
+        .fold(f64::MIN, |a, &b| a.max(b))
+        - td_medians.iter().fold(f64::MAX, |a, &b| a.min(b));
+    ok &= check(
+        &format!(
+            "Tstatic insensitive to keyword class (spread {ts_spread:.1} ≪ Tdynamic spread {td_spread:.1})"
+        ),
+        ts_spread < 0.35 * td_spread,
+    );
+    eprintln!(
+        "classes: {:?}",
+        per_kw.iter().map(|(c, _, _)| c.label()).collect::<Vec<_>>()
+    );
+    finish(ok);
+}

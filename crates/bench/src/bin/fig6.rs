@@ -1,0 +1,90 @@
+//! Fig. 6 — CDF of the RTT between each vantage point and its default
+//! (DNS-resolved) FE, for both services.
+//!
+//! Paper numbers: "more than 80% of PlanetLab nodes observe an RTT of
+//! less than 20ms for reaching the Bing FE servers. On the other hand,
+//! only 60% of PlanetLab nodes observe this latency for Google."
+//!
+//! Shapes asserted:
+//! * the Bing-like (dense Akamai-style) CDF dominates the Google-like
+//!   one (closer at every quantile);
+//! * ≥ 80 % of vantages within 20 ms of a Bing-like FE;
+//! * the Google-like fraction is materially lower (paper: ~60 %).
+
+use bench::{check, dataset_a_repeats, finish, scenario, seed_from_env, Scale};
+use capture::Classifier;
+use cdnsim::ServiceConfig;
+use emulator::dataset_a::{DatasetA, KeywordPolicy};
+use emulator::output::Tsv;
+use simcore::time::SimDuration;
+use stats::Ecdf;
+
+fn measured_rtts(
+    sc: &emulator::Scenario,
+    cfg: ServiceConfig,
+    repeats: u64,
+) -> Vec<f64> {
+    // Measured (handshake-estimated) RTTs, one median per vantage, from
+    // a short Dataset A run — exactly what the paper plots.
+    let d = DatasetA {
+        repeats,
+        spacing: SimDuration::from_secs(10),
+        keywords: KeywordPolicy::Fixed(0),
+    };
+    let out = d.run(sc, cfg, &Classifier::ByMarker);
+    let samples: Vec<(u64, inference::QueryParams)> = out
+        .iter()
+        .map(|q| (q.client as u64, q.params))
+        .collect();
+    inference::per_group_medians(&samples)
+        .iter()
+        .map(|g| g.rtt_ms)
+        .collect()
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let seed = seed_from_env();
+    let sc = scenario(scale, seed);
+    let repeats = dataset_a_repeats(scale).min(10);
+
+    let bing = measured_rtts(&sc, ServiceConfig::bing_like(seed), repeats);
+    let google = measured_rtts(&sc, ServiceConfig::google_like(seed), repeats);
+    let bing_cdf = Ecdf::new(&bing);
+    let google_cdf = Ecdf::new(&google);
+
+    // ---- TSV: sampled CDF curves ----
+    let stdout = std::io::stdout();
+    let mut tsv = Tsv::new(stdout.lock(), &["service", "rtt_ms", "cdf"]).unwrap();
+    for (name, cdf) in [("bing-like", &bing_cdf), ("google-like", &google_cdf)] {
+        for (x, y) in cdf.sampled_curve(100) {
+            tsv.row(&[name.to_string(), format!("{x:.3}"), format!("{y:.4}")])
+                .unwrap();
+        }
+    }
+
+    // ---- shape checks ----
+    let b20 = bing_cdf.fraction_le(20.0);
+    let g20 = google_cdf.fraction_le(20.0);
+    eprintln!(
+        "fraction of vantages with RTT < 20 ms: bing-like {:.0}%, google-like {:.0}% (paper: >80% vs ~60%)",
+        b20 * 100.0,
+        g20 * 100.0
+    );
+    let mut ok = true;
+    ok &= check(
+        &format!("bing-like ≥ 80% below 20 ms (got {:.0}%)", b20 * 100.0),
+        b20 >= 0.80,
+    );
+    ok &= check(
+        &format!("google-like materially lower (got {:.0}%, want 45-75%)", g20 * 100.0),
+        (0.45..=0.75).contains(&g20),
+    );
+    ok &= check("bing-like closer than google-like at 20 ms", b20 > g20 + 0.10);
+    // Stochastic dominance at several quantiles.
+    let dominated = [0.25, 0.5, 0.75, 0.9]
+        .iter()
+        .all(|&q| bing_cdf.quantile(q).unwrap() <= google_cdf.quantile(q).unwrap());
+    ok &= check("bing-like CDF dominates google-like CDF", dominated);
+    finish(ok);
+}

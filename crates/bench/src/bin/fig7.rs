@@ -1,0 +1,128 @@
+//! Fig. 7 — `Tstatic` and `Tdynamic` for vantage points using their
+//! *default* FE servers (Dataset A), both services.
+//!
+//! Paper: "although the Bing FE servers are generally closer to the
+//! clients, it has significantly higher value of Tstatic and Tdynamic
+//! than Google ... In addition, Bing exhibits more variable performance."
+//!
+//! Shapes asserted:
+//! * Bing-like default-FE RTTs are smaller (closer FEs), yet
+//! * Bing-like `Tstatic` and `Tdynamic` medians are higher, and
+//! * Bing-like variability (IQR) is larger for both quantities.
+
+use bench::{check, dataset_a_repeats, finish, scenario, seed_from_env, Scale};
+use capture::Classifier;
+use cdnsim::ServiceConfig;
+use emulator::dataset_a::{DatasetA, KeywordPolicy};
+use emulator::output::Tsv;
+use emulator::ProcessedQuery;
+use inference::{per_group_medians, GroupMedians};
+use simcore::time::SimDuration;
+use std::collections::BTreeMap;
+
+fn run(
+    sc: &emulator::Scenario,
+    cfg: ServiceConfig,
+    repeats: u64,
+) -> (Vec<GroupMedians>, Vec<ProcessedQuery>) {
+    let d = DatasetA {
+        repeats,
+        spacing: SimDuration::from_secs(10),
+        keywords: KeywordPolicy::Fixed(0),
+    };
+    let out = d.run(sc, cfg, &Classifier::ByMarker);
+    let samples: Vec<(u64, inference::QueryParams)> = out
+        .iter()
+        .map(|q| (q.client as u64, q.params))
+        .collect();
+    (per_group_medians(&samples), out)
+}
+
+/// Median across vantages of the *within-vantage* IQR — the
+/// FE-attributable variability, independent of where the vantage sits.
+fn within_vantage_iqr(out: &[ProcessedQuery], f: fn(&ProcessedQuery) -> f64) -> f64 {
+    let mut by_client: BTreeMap<usize, Vec<f64>> = BTreeMap::new();
+    for q in out {
+        by_client.entry(q.client).or_default().push(f(q));
+    }
+    let iqrs: Vec<f64> = by_client
+        .values()
+        .filter(|v| v.len() >= 4)
+        .map(|v| stats::quantile::iqr(v).unwrap())
+        .collect();
+    stats::quantile::median(&iqrs).unwrap_or(0.0)
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let seed = seed_from_env();
+    let sc = scenario(scale, seed);
+    let repeats = dataset_a_repeats(scale);
+
+    let (bing, bing_raw) = run(&sc, ServiceConfig::bing_like(seed), repeats);
+    let (google, google_raw) = run(&sc, ServiceConfig::google_like(seed), repeats);
+
+    // ---- TSV: the Fig. 7 scatter, one row per (service, vantage) ----
+    let stdout = std::io::stdout();
+    let mut tsv = Tsv::new(
+        stdout.lock(),
+        &["service", "vantage", "rtt_ms", "t_static_ms", "t_dynamic_ms"],
+    )
+    .unwrap();
+    for (name, groups) in [("bing-like", &bing), ("google-like", &google)] {
+        for g in groups.iter() {
+            tsv.row(&[
+                name.to_string(),
+                g.group.to_string(),
+                format!("{:.3}", g.rtt_ms),
+                format!("{:.3}", g.t_static_ms),
+                format!("{:.3}", g.t_dynamic_ms),
+            ])
+            .unwrap();
+        }
+    }
+
+    // ---- shape checks ----
+    let med = |v: Vec<f64>| stats::quantile::median(&v).unwrap();
+    let col = |g: &[GroupMedians], f: fn(&GroupMedians) -> f64| -> Vec<f64> {
+        g.iter().map(f).collect()
+    };
+    let b_rtt = med(col(&bing, |g| g.rtt_ms));
+    let g_rtt = med(col(&google, |g| g.rtt_ms));
+    let b_ts = med(col(&bing, |g| g.t_static_ms));
+    let g_ts = med(col(&google, |g| g.t_static_ms));
+    let b_td = med(col(&bing, |g| g.t_dynamic_ms));
+    let g_td = med(col(&google, |g| g.t_dynamic_ms));
+    eprintln!("median RTT:      bing-like {b_rtt:.1}  google-like {g_rtt:.1}");
+    eprintln!("median Tstatic:  bing-like {b_ts:.1}  google-like {g_ts:.1}");
+    eprintln!("median Tdynamic: bing-like {b_td:.1}  google-like {g_td:.1}");
+    let mut ok = true;
+    ok &= check("bing-like FEs are closer (smaller median RTT)", b_rtt < g_rtt);
+    ok &= check(
+        &format!("bing-like Tstatic higher ({b_ts:.1} > {g_ts:.1})"),
+        b_ts > g_ts,
+    );
+    ok &= check(
+        &format!("bing-like Tdynamic higher ({b_td:.1} > {g_td:.1})"),
+        b_td > g_td,
+    );
+    // Variability the FE/BE are responsible for: within-vantage IQRs
+    // (RTT is constant per vantage, so geography cancels out).
+    let b_ts_iqr = within_vantage_iqr(&bing_raw, |q| q.params.t_static_ms);
+    let g_ts_iqr = within_vantage_iqr(&google_raw, |q| q.params.t_static_ms);
+    let b_td_iqr = within_vantage_iqr(&bing_raw, |q| q.params.t_dynamic_ms);
+    let g_td_iqr = within_vantage_iqr(&google_raw, |q| q.params.t_dynamic_ms);
+    ok &= check(
+        &format!(
+            "bing-like Tstatic more variable (within-vantage IQR {b_ts_iqr:.1} vs {g_ts_iqr:.1})"
+        ),
+        b_ts_iqr > g_ts_iqr,
+    );
+    ok &= check(
+        &format!(
+            "bing-like Tdynamic more variable (within-vantage IQR {b_td_iqr:.1} vs {g_td_iqr:.1})"
+        ),
+        b_td_iqr > g_td_iqr,
+    );
+    finish(ok);
+}

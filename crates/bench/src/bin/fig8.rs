@@ -1,0 +1,111 @@
+//! Fig. 8 — overall user-perceived delay, per vantage point, as box
+//! plots (Dataset A, default FEs).
+//!
+//! Paper: "users using the Bing search service tend to experience
+//! slightly longer and more variable overall response times."
+//!
+//! Shapes asserted:
+//! * the across-vantage median of per-vantage median overall delay is
+//!   higher for the Bing-like service;
+//! * per-vantage variability (whisker span / IQR) is larger for the
+//!   Bing-like service.
+
+use bench::{check, dataset_a_repeats, finish, scenario, seed_from_env, Scale};
+use capture::Classifier;
+use cdnsim::ServiceConfig;
+use emulator::dataset_a::{DatasetA, KeywordPolicy};
+use emulator::output::Tsv;
+use emulator::ProcessedQuery;
+use simcore::time::SimDuration;
+use stats::BoxSummary;
+use std::collections::BTreeMap;
+
+fn run(sc: &emulator::Scenario, cfg: ServiceConfig, repeats: u64) -> Vec<ProcessedQuery> {
+    DatasetA {
+        repeats,
+        spacing: SimDuration::from_secs(10),
+        keywords: KeywordPolicy::Fixed(0),
+    }
+    .run(sc, cfg, &Classifier::ByMarker)
+}
+
+fn boxes(out: &[ProcessedQuery]) -> BTreeMap<usize, BoxSummary> {
+    let mut by_client: BTreeMap<usize, Vec<f64>> = BTreeMap::new();
+    for q in out {
+        by_client
+            .entry(q.client)
+            .or_default()
+            .push(q.params.overall_ms);
+    }
+    by_client
+        .into_iter()
+        .filter_map(|(c, v)| BoxSummary::of(&v).map(|b| (c, b)))
+        .collect()
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let seed = seed_from_env();
+    let sc = scenario(scale, seed);
+    let repeats = dataset_a_repeats(scale);
+
+    let bing = boxes(&run(&sc, ServiceConfig::bing_like(seed), repeats));
+    let google = boxes(&run(&sc, ServiceConfig::google_like(seed), repeats));
+
+    // ---- TSV: the box plots, one row per (service, vantage) ----
+    let stdout = std::io::stdout();
+    let mut tsv = Tsv::new(
+        stdout.lock(),
+        &[
+            "service", "vantage", "whisker_lo", "q1", "median", "q3", "whisker_hi",
+            "outliers",
+        ],
+    )
+    .unwrap();
+    for (name, bx) in [("google-like", &google), ("bing-like", &bing)] {
+        for (client, b) in bx.iter() {
+            tsv.row(&[
+                name.to_string(),
+                client.to_string(),
+                format!("{:.3}", b.whisker_lo),
+                format!("{:.3}", b.q1),
+                format!("{:.3}", b.median),
+                format!("{:.3}", b.q3),
+                format!("{:.3}", b.whisker_hi),
+                b.outliers.len().to_string(),
+            ])
+            .unwrap();
+        }
+    }
+
+    // ---- shape checks ----
+    let med = |v: &[f64]| stats::quantile::median(v).unwrap();
+    let b_medians: Vec<f64> = bing.values().map(|b| b.median).collect();
+    let g_medians: Vec<f64> = google.values().map(|b| b.median).collect();
+    let b_spans: Vec<f64> = bing.values().map(|b| b.iqr()).collect();
+    let g_spans: Vec<f64> = google.values().map(|b| b.iqr()).collect();
+    eprintln!(
+        "overall delay medians: bing-like {:.0} ms vs google-like {:.0} ms",
+        med(&b_medians),
+        med(&g_medians)
+    );
+    eprintln!(
+        "per-vantage IQRs:      bing-like {:.0} ms vs google-like {:.0} ms",
+        med(&b_spans),
+        med(&g_spans)
+    );
+    let mut ok = true;
+    ok &= check(
+        "bing-like overall delay longer",
+        med(&b_medians) > med(&g_medians),
+    );
+    ok &= check(
+        "bing-like overall delay more variable",
+        med(&b_spans) > med(&g_spans),
+    );
+    ok &= check(
+        "every vantage produced a box",
+        bing.len() == google.len() && !bing.is_empty(),
+    );
+    finish(ok);
+}

@@ -1,0 +1,202 @@
+//! Fig. 9 — correlating `Tdynamic` with the geographical distance
+//! between FE and BE, and factoring the fetch time (Sec. 5).
+//!
+//! Design, following the paper: fix one data center per service (Bing:
+//! Boydton/Virginia; Google: Lenoir/North Carolina), take FE servers at
+//! increasing distances from it that are *served by* that data center,
+//! measure `Tdynamic` from a small-RTT client near each FE (where
+//! `Tdynamic ≈ Tfetch`), and fit a line. The Y-intercept estimates the
+//! back-end computation time `Tproc`; the slope is the network term
+//! `C · rtt_per_mile`.
+//!
+//! Shapes asserted:
+//! * both fits have positive slope (fetch time grows with distance);
+//! * the intercepts are ordered and far apart: Bing-like ≫ Google-like
+//!   (paper: 260 ms vs 34 ms);
+//! * the intercept approximates the true mean `Tproc` (simulator ground
+//!   truth — a validation the paper could not do);
+//! * slopes are the same order of magnitude across services (paper:
+//!   0.08 vs 0.099 ms/mile).
+
+use bench::{check, finish, scenario, seed_from_env, Scale};
+use capture::Classifier;
+use cdnsim::{QuerySpec, ServiceConfig};
+use emulator::output::Tsv;
+use emulator::runner::run_collect;
+use inference::factoring::factor_fetch_time;
+use simcore::time::SimDuration;
+
+struct ServiceFit {
+    points: Vec<(f64, f64)>, // (distance_miles, median Tdynamic ms)
+    factoring: inference::FetchFactoring,
+    true_proc_mean_ms: f64,
+}
+
+fn run_service(
+    sc: &emulator::Scenario,
+    cfg: ServiceConfig,
+    radius_miles: f64,
+    repeats: u64,
+) -> Option<ServiceFit> {
+    let mut sim = sc.build_sim(cfg);
+    // FEs served by BE site 0 (the paper's chosen data center), within
+    // the radius, each paired with its nearest (small-RTT) vantage.
+    let plan: Vec<(usize, usize, f64)> = sim.with(|w, _| {
+        let mut plan = Vec::new();
+        for fe in 0..w.fe_count() {
+            if w.be_of_fe(fe) != 0 {
+                continue;
+            }
+            let dist = w.fe_be_distance_miles(fe, 0);
+            if dist > radius_miles {
+                continue;
+            }
+            // Nearest vantage by RTT.
+            let (client, rtt) = (0..w.clients().len())
+                .map(|c| (c, w.client_fe_rtt_ms(c, fe)))
+                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                .unwrap();
+            if rtt < 25.0 {
+                plan.push((fe, client, dist));
+            }
+        }
+        plan
+    });
+    if plan.len() < 3 {
+        eprintln!("not enough qualifying FEs ({})", plan.len());
+        return None;
+    }
+    sim.with(|w, net| {
+        for (i, &(fe, client, _)) in plan.iter().enumerate() {
+            w.prewarm(net, fe, 0, 2);
+            for r in 0..repeats {
+                w.schedule_query(
+                    net,
+                    SimDuration::from_millis(3_000 + r * 10_000 + i as u64 * 131),
+                    QuerySpec {
+                        client,
+                        keyword: 0,
+                        fixed_fe: Some(fe),
+                        instant_followup: false,
+                    },
+                );
+            }
+        }
+    });
+    let out = run_collect(&mut sim, &Classifier::ByMarker);
+    let mut points = Vec::new();
+    let mut proc_samples = Vec::new();
+    for &(fe, _, dist) in &plan {
+        let td: Vec<f64> = out
+            .iter()
+            .filter(|q| q.fe == Some(fe))
+            .map(|q| q.params.t_dynamic_ms)
+            .collect();
+        if let Some(m) = stats::quantile::median(&td) {
+            points.push((dist, m));
+        }
+    }
+    for q in &out {
+        proc_samples.push(q.proc_ms);
+    }
+    let factoring = factor_fetch_time(&points)?;
+    Some(ServiceFit {
+        points,
+        factoring,
+        true_proc_mean_ms: stats::quantile::mean(&proc_samples).unwrap_or(0.0),
+    })
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let seed = seed_from_env();
+    let sc = scenario(scale, seed);
+    // The Bing-like back-end's Tproc variance (its defining trait) buries
+    // the ~0.07 ms/mile distance signal unless medians are taken over
+    // many repeats — the authors hit the same wall and re-ran Sec. 5
+    // with more measurements for the camera-ready.
+    let (rep_bing, rep_google) = match scale {
+        Scale::Quick => (48, 16),
+        Scale::Paper => (96, 40),
+    };
+
+    let bing = run_service(&sc, ServiceConfig::bing_like(seed), 620.0, rep_bing);
+    let google = run_service(&sc, ServiceConfig::google_like(seed), 700.0, rep_google);
+    let (bing, google) = match (bing, google) {
+        (Some(b), Some(g)) => (b, g),
+        _ => {
+            finish(check("both services produced a fit", false));
+            return;
+        }
+    };
+
+    // ---- TSV: the scatter + fitted lines ----
+    let stdout = std::io::stdout();
+    let mut tsv = Tsv::new(
+        stdout.lock(),
+        &["service", "distance_miles", "t_dynamic_ms", "fit_ms"],
+    )
+    .unwrap();
+    for (name, fit) in [("bing-like", &bing), ("google-like", &google)] {
+        for &(d, td) in &fit.points {
+            tsv.row(&[
+                name.to_string(),
+                format!("{d:.1}"),
+                format!("{td:.3}"),
+                format!("{:.3}", fit.factoring.fit.predict(d)),
+            ])
+            .unwrap();
+        }
+    }
+
+    // ---- shape checks ----
+    let mut ok = true;
+    for (name, fit) in [("bing-like", &bing), ("google-like", &google)] {
+        eprintln!(
+            "{name}: y = {:.4}·x + {:.1}  (R² {:.3}, {} FEs; true mean Tproc {:.1} ms)",
+            fit.factoring.slope_ms_per_mile,
+            fit.factoring.tproc_ms,
+            fit.factoring.fit.r2,
+            fit.points.len(),
+            fit.true_proc_mean_ms,
+        );
+        ok &= check(
+            &format!("{name}: slope positive"),
+            fit.factoring.slope_ms_per_mile > 0.0,
+        );
+        // The intercept estimates Tproc *plus* the distance-independent
+        // terms the client cannot separate (FE overhead, path base
+        // delays, half an access RTT) — so it is biased high by a few
+        // tens of ms by construction. Validate against the ground truth
+        // with that one-sided bias band.
+        let bias = fit.factoring.tproc_ms - fit.true_proc_mean_ms;
+        ok &= check(
+            &format!(
+                "{name}: intercept {:.0} = true mean Tproc {:.0} + bias {:.0} ∈ [-25, 95]",
+                fit.factoring.tproc_ms, fit.true_proc_mean_ms, bias
+            ),
+            (-25.0..=95.0).contains(&bias),
+        );
+    }
+    ok &= check(
+        &format!(
+            "intercepts well separated: bing-like {:.0} ≫ google-like {:.0} (paper: 260 vs 34)",
+            bing.factoring.tproc_ms, google.factoring.tproc_ms
+        ),
+        bing.factoring.tproc_ms > 2.5 * google.factoring.tproc_ms,
+    );
+    let slope_ratio = bing.factoring.slope_ms_per_mile / google.factoring.slope_ms_per_mile;
+    ok &= check(
+        &format!("slopes same order of magnitude (ratio {slope_ratio:.2})"),
+        (0.2..=5.0).contains(&slope_ratio),
+    );
+    // Heuristic factoring of the network term: C = slope / rtt-per-mile.
+    let c_bing = bing.factoring.c_estimate(2.0 * 2.0 * 0.0082);
+    let c_google = google.factoring.c_estimate(2.0 * 1.3 * 0.0082);
+    eprintln!("estimated C (BE window rounds): bing-like {c_bing:.1}, google-like {c_google:.1}");
+    ok &= check(
+        "C estimates in a plausible 0.5-8 round range",
+        (0.5..8.0).contains(&c_bing) && (0.5..8.0).contains(&c_google),
+    );
+    finish(ok);
+}

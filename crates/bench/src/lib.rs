@@ -1,0 +1,128 @@
+//! # bench — figure-regeneration harnesses
+//!
+//! One binary per evaluation artefact of the paper:
+//!
+//! | binary        | paper artefact                                            |
+//! |---------------|-----------------------------------------------------------|
+//! | `fig3`        | Fig. 3 — `Tstatic`/`Tdynamic` per keyword class, moving median |
+//! | `fig4`        | Fig. 4 — packet-event timelines, temporal clusters         |
+//! | `fig5`        | Fig. 5 — `Tstatic`/`Tdynamic`/`Tdelta` vs RTT, fixed FEs   |
+//! | `fig6`        | Fig. 6 — RTT CDF to default FEs                            |
+//! | `fig7`        | Fig. 7 — default-FE `Tstatic`/`Tdynamic` scatter           |
+//! | `fig8`        | Fig. 8 — per-vantage overall-delay box plots               |
+//! | `fig9`        | Fig. 9 — `Tdynamic` vs FE↔BE distance regression           |
+//! | `exp_caching` | Sec. 3 — do FEs cache search results?                      |
+//! | `exp_instant` | Sec. 6 — search-as-you-type                                |
+//! | `exp_loss`    | Sec. 6 — lossy-last-hop placement trade-off                |
+//! | `abl_split`   | ablation — split TCP on/off                                |
+//! | `abl_cache`   | ablation — FE static cache on/off                          |
+//! | `abl_iw`      | ablation — initial-window sweep moves the RTT threshold    |
+//!
+//! Each binary prints TSV (the plotted series) to stdout and a
+//! human-readable summary with the paper-shape checks to stderr. Scale
+//! is controlled by `FECDN_SCALE` (`quick` default, `paper` for
+//! full-size runs) and the seed by `FECDN_SEED`.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+use emulator::Scenario;
+
+/// Run scale for the harness binaries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Reduced vantage/repeat counts: seconds of wall time, same shapes.
+    Quick,
+    /// Paper-scale counts (230 vantages, 720 repeats where applicable).
+    Paper,
+}
+
+impl Scale {
+    /// Reads `FECDN_SCALE` (`quick` | `paper`), defaulting to quick.
+    pub fn from_env() -> Scale {
+        match std::env::var("FECDN_SCALE").as_deref() {
+            Ok("paper") => Scale::Paper,
+            _ => Scale::Quick,
+        }
+    }
+}
+
+/// Reads `FECDN_SEED`, defaulting to 42.
+pub fn seed_from_env() -> u64 {
+    std::env::var("FECDN_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42)
+}
+
+/// Builds the scenario for a scale.
+pub fn scenario(scale: Scale, seed: u64) -> Scenario {
+    match scale {
+        Scale::Quick => Scenario::with_size(seed, 60, 4_000),
+        Scale::Paper => Scenario::paper_scale(seed),
+    }
+}
+
+/// Dataset B repeats for a scale (paper: 720).
+pub fn dataset_b_repeats(scale: Scale) -> u64 {
+    match scale {
+        Scale::Quick => 12,
+        Scale::Paper => 720,
+    }
+}
+
+/// Dataset A repeats for a scale.
+pub fn dataset_a_repeats(scale: Scale) -> u64 {
+    match scale {
+        Scale::Quick => 10,
+        Scale::Paper => 60,
+    }
+}
+
+/// Fig. 3 sample count per keyword (paper: 500).
+pub fn fig3_samples(scale: Scale) -> u64 {
+    match scale {
+        Scale::Quick => 120,
+        Scale::Paper => 500,
+    }
+}
+
+/// A headline-shape check: prints PASS/FAIL to stderr and returns the
+/// outcome so binaries can exit non-zero on violated shapes.
+pub fn check(label: &str, ok: bool) -> bool {
+    eprintln!("  [{}] {}", if ok { "PASS" } else { "FAIL" }, label);
+    ok
+}
+
+/// Exits with status 1 if any check failed.
+pub fn finish(all_ok: bool) {
+    if !all_ok {
+        eprintln!("one or more paper-shape checks FAILED");
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parsing_defaults_quick() {
+        // Not setting the env var in-process: default path.
+        assert_eq!(Scale::from_env(), Scale::Quick);
+    }
+
+    #[test]
+    fn scenario_sizes() {
+        let q = scenario(Scale::Quick, 1);
+        assert_eq!(q.vantage_count(), 60);
+        assert_eq!(dataset_b_repeats(Scale::Paper), 720);
+        assert_eq!(fig3_samples(Scale::Paper), 500);
+    }
+
+    #[test]
+    fn check_reports() {
+        assert!(check("always true", true));
+        assert!(!check("always false", false));
+    }
+}

@@ -1,0 +1,251 @@
+//! Timeline extraction — the measurable quantities of the paper's Fig. 2
+//! model.
+
+use crate::classify::Classifier;
+use crate::session::ClientTrace;
+use simcore::time::SimTime;
+use tcpsim::NodeId;
+use tcpsim::PktEvent;
+
+/// The packet-level landmarks of one query session at the client.
+#[derive(Clone, Copy, Debug)]
+pub struct Timeline {
+    /// First SYN sent.
+    pub tb: SimTime,
+    /// HTTP GET sent.
+    pub t1: SimTime,
+    /// First ACK covering the GET received.
+    pub t2: SimTime,
+    /// First static-content packet received.
+    pub t3: SimTime,
+    /// Last static-content packet received.
+    pub t4: SimTime,
+    /// First dynamic-content packet received.
+    pub t5: SimTime,
+    /// Last payload packet received.
+    pub te: SimTime,
+    /// Handshake RTT estimate in ms.
+    pub rtt_ms: f64,
+    /// Static bytes identified by the classifier.
+    pub static_bytes: u64,
+    /// Total payload bytes received.
+    pub total_bytes: u64,
+}
+
+impl Timeline {
+    /// `Tstatic := t4 − t2` in ms.
+    pub fn t_static_ms(&self) -> f64 {
+        self.t4.saturating_since(self.t2).as_millis_f64()
+    }
+
+    /// `Tdynamic := t5 − t2` in ms.
+    pub fn t_dynamic_ms(&self) -> f64 {
+        self.t5.saturating_since(self.t2).as_millis_f64()
+    }
+
+    /// `Tdelta := t5 − t4` in ms, clamped at 0 (the portions coalesce at
+    /// large RTT — "delivered back-to-back or even coalesce as a single
+    /// packet").
+    pub fn t_delta_ms(&self) -> f64 {
+        self.t5.saturating_since(self.t4).as_millis_f64()
+    }
+
+    /// Overall user-perceived delay `te − tb` in ms.
+    pub fn overall_ms(&self) -> f64 {
+        self.te.saturating_since(self.tb).as_millis_f64()
+    }
+
+    /// Extracts the timeline from one session's events using the given
+    /// classifier. Returns `None` when the session is malformed (no
+    /// handshake, no GET, no response, or no classifiable boundary).
+    pub fn extract(
+        events: &[PktEvent],
+        client: NodeId,
+        classifier: &Classifier,
+    ) -> Option<Timeline> {
+        let trace = ClientTrace::new(events, client)?;
+        Timeline::from_trace(&trace, classifier)
+    }
+
+    /// Extracts the timeline from an already-filtered [`ClientTrace`].
+    pub fn from_trace(trace: &ClientTrace, classifier: &Classifier) -> Option<Timeline> {
+        let tb = trace.tb;
+        let rtt_ms = trace.rtt_ms?;
+        let t1 = trace.t1()?;
+        let t2 = trace.t2()?;
+        let te = trace.te()?;
+        let mut t3: Option<SimTime> = None;
+        let mut t4: Option<SimTime> = None;
+        let mut t5: Option<SimTime> = None;
+        let mut static_bytes = 0u64;
+        let mut total_bytes = 0u64;
+        // ByPush state: are we still inside the first PSH-terminated
+        // chunk?
+        let mut before_first_push_end = true;
+        for ev in &trace.rx_data {
+            total_bytes += ev.len as u64;
+            let class = classifier.classify(ev, before_first_push_end);
+            static_bytes += classifier.static_bytes(ev, before_first_push_end);
+            if class.has_static {
+                if t3.is_none() {
+                    t3 = Some(ev.t);
+                }
+                t4 = Some(ev.t);
+            }
+            if class.has_dynamic && t5.is_none() {
+                t5 = Some(ev.t);
+            }
+            if ev.push {
+                before_first_push_end = false;
+            }
+        }
+        Some(Timeline {
+            tb,
+            t1,
+            t2,
+            t3: t3?,
+            t4: t4?,
+            t5: t5?,
+            te,
+            rtt_ms,
+            static_bytes,
+            total_bytes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::time::SimTime;
+    use tcpsim::{ConnId, Marker, MetaSpan, PktDir, PktKind};
+
+    #[allow(clippy::too_many_arguments)]
+    fn ev(
+        t_ms: u64,
+        dir: PktDir,
+        kind: PktKind,
+        seq: u64,
+        len: u32,
+        ack: u64,
+        push: bool,
+        meta: Vec<MetaSpan>,
+    ) -> PktEvent {
+        PktEvent {
+            t: SimTime::from_millis(t_ms),
+            node: NodeId(1),
+            conn: ConnId(0),
+            session: 1,
+            dir,
+            kind,
+            seq,
+            len,
+            ack,
+            push,
+            meta,
+        }
+    }
+
+    fn span(offset: u64, len: u32, marker: Marker, content: u64) -> MetaSpan {
+        MetaSpan {
+            offset,
+            len,
+            marker,
+            content,
+        }
+    }
+
+    /// A hand-built session: RTT 50ms, static 2 packets (ends 107, PSH),
+    /// dynamic starts 250.
+    fn session() -> Vec<PktEvent> {
+        vec![
+            ev(0, PktDir::Tx, PktKind::Syn, 0, 0, 0, false, vec![]),
+            ev(50, PktDir::Rx, PktKind::SynAck, 0, 0, 0, false, vec![]),
+            ev(50, PktDir::Tx, PktKind::Data, 0, 400, 0, true,
+                vec![span(0, 400, Marker::Request, 900)]),
+            ev(100, PktDir::Rx, PktKind::Ack, 0, 0, 400, false, vec![]),
+            ev(105, PktDir::Rx, PktKind::Data, 0, 1460, 400, false,
+                vec![span(0, 1460, Marker::Static, 1)]),
+            ev(107, PktDir::Rx, PktKind::Data, 1460, 540, 400, true,
+                vec![span(1460, 540, Marker::Static, 1)]),
+            ev(250, PktDir::Rx, PktKind::Data, 2000, 1460, 400, false,
+                vec![span(2000, 1460, Marker::Dynamic, 1001)]),
+            ev(252, PktDir::Rx, PktKind::Data, 3460, 1000, 400, true,
+                vec![span(3460, 1000, Marker::Dynamic, 1001)]),
+        ]
+    }
+
+    #[test]
+    fn marker_extraction_matches_hand_computation() {
+        let tl = Timeline::extract(&session(), NodeId(1), &Classifier::ByMarker).unwrap();
+        assert_eq!(tl.rtt_ms, 50.0);
+        assert_eq!(tl.t1, SimTime::from_millis(50));
+        assert_eq!(tl.t2, SimTime::from_millis(100));
+        assert_eq!(tl.t3, SimTime::from_millis(105));
+        assert_eq!(tl.t4, SimTime::from_millis(107));
+        assert_eq!(tl.t5, SimTime::from_millis(250));
+        assert_eq!(tl.te, SimTime::from_millis(252));
+        assert_eq!(tl.t_static_ms(), 7.0);
+        assert_eq!(tl.t_dynamic_ms(), 150.0);
+        assert_eq!(tl.t_delta_ms(), 143.0);
+        assert_eq!(tl.overall_ms(), 252.0);
+        assert_eq!(tl.static_bytes, 2000);
+        assert_eq!(tl.total_bytes, 4460);
+    }
+
+    #[test]
+    fn content_classifier_agrees_with_markers_here() {
+        let ids = std::collections::HashSet::from([1u64]);
+        let a = Timeline::extract(&session(), NodeId(1), &Classifier::ByMarker).unwrap();
+        let b = Timeline::extract(&session(), NodeId(1), &Classifier::ByContent(ids)).unwrap();
+        assert_eq!(a.t4, b.t4);
+        assert_eq!(a.t5, b.t5);
+        assert_eq!(a.static_bytes, b.static_bytes);
+    }
+
+    #[test]
+    fn push_classifier_agrees_when_no_coalescing() {
+        let tl = Timeline::extract(&session(), NodeId(1), &Classifier::ByPush).unwrap();
+        assert_eq!(tl.t4, SimTime::from_millis(107));
+        assert_eq!(tl.t5, SimTime::from_millis(250));
+    }
+
+    #[test]
+    fn coalesced_boundary_gives_zero_tdelta() {
+        // Static end and dynamic start in one packet.
+        let evs = vec![
+            ev(0, PktDir::Tx, PktKind::Syn, 0, 0, 0, false, vec![]),
+            ev(50, PktDir::Rx, PktKind::SynAck, 0, 0, 0, false, vec![]),
+            ev(50, PktDir::Tx, PktKind::Data, 0, 400, 0, true,
+                vec![span(0, 400, Marker::Request, 900)]),
+            ev(100, PktDir::Rx, PktKind::Ack, 0, 0, 400, false, vec![]),
+            ev(105, PktDir::Rx, PktKind::Data, 0, 1460, 400, true,
+                vec![
+                    span(0, 1000, Marker::Static, 1),
+                    span(1000, 460, Marker::Dynamic, 1001),
+                ]),
+            ev(106, PktDir::Rx, PktKind::Data, 1460, 500, 400, true,
+                vec![span(1460, 500, Marker::Dynamic, 1001)]),
+        ];
+        let tl = Timeline::extract(&evs, NodeId(1), &Classifier::ByMarker).unwrap();
+        assert_eq!(tl.t4, tl.t5);
+        assert_eq!(tl.t_delta_ms(), 0.0);
+    }
+
+    #[test]
+    fn malformed_sessions_yield_none() {
+        // Missing SYN-ACK.
+        let evs = vec![ev(0, PktDir::Tx, PktKind::Syn, 0, 0, 0, false, vec![])];
+        assert!(Timeline::extract(&evs, NodeId(1), &Classifier::ByMarker).is_none());
+        // Response without any dynamic part.
+        let evs2 = vec![
+            ev(0, PktDir::Tx, PktKind::Syn, 0, 0, 0, false, vec![]),
+            ev(50, PktDir::Rx, PktKind::SynAck, 0, 0, 0, false, vec![]),
+            ev(50, PktDir::Tx, PktKind::Data, 0, 400, 0, true,
+                vec![span(0, 400, Marker::Request, 900)]),
+            ev(100, PktDir::Rx, PktKind::Data, 0, 1460, 400, true,
+                vec![span(0, 1460, Marker::Static, 1)]),
+        ];
+        assert!(Timeline::extract(&evs2, NodeId(1), &Classifier::ByMarker).is_none());
+    }
+}

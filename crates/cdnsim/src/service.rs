@@ -1,0 +1,234 @@
+//! Whole-service configuration: everything that distinguishes the two
+//! measured deployments, plus the ablation switches.
+
+use nettopo::path::PathProfile;
+use nettopo::placement::{dense_edge, sparse_pop, FeSite};
+use nettopo::sites::{BeSite, BING_BE_SITES, GOOGLE_BE_SITES};
+use searchbe::proctime::BackendProfile;
+use searchbe::response::PageComposer;
+use simcore::dist::Dist;
+use tcpsim::TcpOptions;
+
+/// Front-end load/service-time profile.
+#[derive(Clone, Debug)]
+pub struct FeLoadProfile {
+    /// Base per-request service time (ms).
+    pub service_ms: Dist,
+    /// Peak multiplicative slowdown − 1 (tenancy-dependent).
+    pub load_amplitude: f64,
+    /// Load-process volatility per request.
+    pub load_volatility: f64,
+}
+
+impl FeLoadProfile {
+    /// Dedicated single-tenant FE (Google-like): fast and stable.
+    pub fn dedicated() -> FeLoadProfile {
+        FeLoadProfile {
+            service_ms: Dist::lognormal_median_spread(4.0, 1.25),
+            load_amplitude: 0.25,
+            load_volatility: 0.05,
+        }
+    }
+
+    /// Shared multi-tenant FE (Akamai-like): slower, heavy-tailed,
+    /// bursty.
+    pub fn shared() -> FeLoadProfile {
+        FeLoadProfile {
+            service_ms: Dist::Mix {
+                p: 0.85,
+                a: Box::new(Dist::lognormal_median_spread(12.0, 1.5)),
+                b: Box::new(Dist::lognormal_median_spread(45.0, 1.6)),
+            },
+            load_amplitude: 1.2,
+            load_volatility: 0.08,
+        }
+    }
+}
+
+/// Full configuration of one dynamic-content service.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Service label ("bing-like", "google-like", or a scenario name).
+    pub name: String,
+    /// Experiment seed (drives every stochastic component).
+    pub seed: u64,
+    /// Front-end fleet.
+    pub fe_fleet: Vec<FeSite>,
+    /// Back-end data-center sites.
+    pub be_sites: Vec<BeSite>,
+    /// Back-end processing profile.
+    pub backend: BackendProfile,
+    /// Page composition (static/dynamic sizes and identities).
+    pub composer: PageComposer,
+    /// FE load profile.
+    pub fe_load: FeLoadProfile,
+    /// FE↔BE path class.
+    pub febe_profile: PathProfile,
+    /// TCP options for client endpoints.
+    pub client_tcp: TcpOptions,
+    /// TCP options for the FE's client-facing endpoints.
+    pub fe_client_tcp: TcpOptions,
+    /// TCP options for the FE side of persistent BE connections. The
+    /// receive window here is the paper's constant `C` knob: it bounds
+    /// how many RTTbe rounds the BE response needs ("C ... depends on the
+    /// TCP window size on the BE data center", Sec. 2).
+    pub fe_be_tcp: TcpOptions,
+    /// TCP options for the BE endpoints.
+    pub be_tcp: TcpOptions,
+    /// FE caches and immediately serves the static portion (true for
+    /// both real services; the `abl_cache` ablation turns it off).
+    pub cache_static: bool,
+    /// Split TCP at the FE (true for both real services; the `abl_split`
+    /// ablation sends clients straight to the BE).
+    pub split_tcp: bool,
+    /// Hypothetical FE result caching (false for both real services —
+    /// the Sec. 3 experiments exist to demonstrate exactly that).
+    pub fe_caches_results: bool,
+    /// When set, every client's access path uses this profile instead of
+    /// its `AccessKind`-derived one — the Sec. 6 loss-sweep knob.
+    pub access_override: Option<PathProfile>,
+    /// Parallel request slots per FE (the FIFO queue's service
+    /// capacity).
+    pub fe_workers: usize,
+}
+
+impl ServiceConfig {
+    /// The Bing-like deployment: dense shared Akamai edge, public-transit
+    /// FE↔BE paths, slow and variable back-end.
+    pub fn bing_like(seed: u64) -> ServiceConfig {
+        ServiceConfig {
+            name: "bing-like".into(),
+            seed,
+            fe_fleet: dense_edge(seed),
+            be_sites: BING_BE_SITES.to_vec(),
+            backend: BackendProfile::bing_like(),
+            composer: PageComposer::bing_like(),
+            fe_load: FeLoadProfile::shared(),
+            febe_profile: PathProfile::public_transit(),
+            client_tcp: TcpOptions::default(),
+            fe_client_tcp: TcpOptions::default(),
+            fe_be_tcp: TcpOptions {
+                rwnd: 16 * 1024,
+                ..TcpOptions::default()
+            },
+            be_tcp: TcpOptions::default(),
+            cache_static: true,
+            split_tcp: true,
+            fe_caches_results: false,
+            access_override: None,
+            fe_workers: 8,
+        }
+    }
+
+    /// The Google-like deployment: sparse dedicated POPs, private WAN,
+    /// fast stable back-end.
+    pub fn google_like(seed: u64) -> ServiceConfig {
+        ServiceConfig {
+            name: "google-like".into(),
+            seed,
+            fe_fleet: sparse_pop(seed, 14),
+            be_sites: GOOGLE_BE_SITES.to_vec(),
+            backend: BackendProfile::google_like(),
+            composer: PageComposer::google_like(),
+            fe_load: FeLoadProfile::dedicated(),
+            febe_profile: PathProfile::private_wan(),
+            client_tcp: TcpOptions::default(),
+            fe_client_tcp: TcpOptions::default(),
+            fe_be_tcp: TcpOptions {
+                rwnd: 8 * 1024,
+                ..TcpOptions::default()
+            },
+            be_tcp: TcpOptions::default(),
+            cache_static: true,
+            split_tcp: true,
+            fe_caches_results: false,
+            access_override: None,
+            fe_workers: 8,
+        }
+    }
+
+    /// Ablation: disable the FE static cache (static bytes must round-trip
+    /// to the BE).
+    pub fn without_static_cache(mut self) -> ServiceConfig {
+        self.cache_static = false;
+        self.name = format!("{}+nocache", self.name);
+        self
+    }
+
+    /// Ablation: disable split TCP (clients connect end-to-end to the
+    /// BE, as in the no-proxy baseline of Pathak et al., PAM'10).
+    pub fn without_split_tcp(mut self) -> ServiceConfig {
+        self.split_tcp = false;
+        self.name = format!("{}+nosplit", self.name);
+        self
+    }
+
+    /// Hypothetical: make FEs cache search results (to validate the
+    /// Sec. 3 caching detector, which must flag this configuration).
+    pub fn with_fe_result_cache(mut self) -> ServiceConfig {
+        self.fe_caches_results = true;
+        self.name = format!("{}+fecache", self.name);
+        self
+    }
+
+    /// Overrides the FE client-facing initial window (IW sweep ablation).
+    pub fn with_fe_initial_window(mut self, segs: u32) -> ServiceConfig {
+        self.fe_client_tcp = self.fe_client_tcp.with_initial_window(segs);
+        self
+    }
+
+    /// Forces every client onto the given access profile (loss sweeps).
+    pub fn with_access_override(mut self, profile: PathProfile) -> ServiceConfig {
+        self.access_override = Some(profile);
+        self
+    }
+
+    /// Sets the per-FE parallel request slots (the load experiment's
+    /// capacity knob).
+    pub fn with_fe_workers(mut self, workers: usize) -> ServiceConfig {
+        assert!(workers > 0);
+        self.fe_workers = workers;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_differ_in_the_documented_ways() {
+        let b = ServiceConfig::bing_like(1);
+        let g = ServiceConfig::google_like(1);
+        assert!(b.fe_fleet.len() > 3 * g.fe_fleet.len());
+        assert!(b.fe_fleet[0].shared_tenancy);
+        assert!(!g.fe_fleet[0].shared_tenancy);
+        assert!(b.backend.nominal_ms() > 3.0 * g.backend.nominal_ms());
+        assert_eq!(b.febe_profile.name, "public-transit");
+        assert_eq!(g.febe_profile.name, "private-wan");
+        assert!(b.cache_static && g.cache_static);
+        assert!(b.split_tcp && g.split_tcp);
+        assert!(!b.fe_caches_results && !g.fe_caches_results);
+    }
+
+    #[test]
+    fn ablation_builders() {
+        let c = ServiceConfig::bing_like(1).without_static_cache();
+        assert!(!c.cache_static);
+        assert!(c.name.contains("nocache"));
+        let c2 = ServiceConfig::google_like(1).without_split_tcp();
+        assert!(!c2.split_tcp);
+        let c3 = ServiceConfig::bing_like(1).with_fe_result_cache();
+        assert!(c3.fe_caches_results);
+        let c4 = ServiceConfig::bing_like(1).with_fe_initial_window(10);
+        assert_eq!(c4.fe_client_tcp.initial_window_segs, 10);
+    }
+
+    #[test]
+    fn be_window_knob_differs() {
+        let b = ServiceConfig::bing_like(1);
+        let g = ServiceConfig::google_like(1);
+        assert_eq!(b.fe_be_tcp.rwnd, 16 * 1024);
+        assert_eq!(g.fe_be_tcp.rwnd, 8 * 1024);
+    }
+}

@@ -1,0 +1,1112 @@
+//! The service world: the `tcpsim::App` that executes query lifecycles.
+//!
+//! A query's life (split-TCP mode, both real services):
+//!
+//! 1. the client opens a TCP connection to an FE (its DNS-default FE in
+//!    Dataset A, a fixed FE in Dataset B) and sends the GET;
+//! 2. when the GET has fully arrived, the FE spends a sampled service
+//!    time (tenancy-dependent load), then *simultaneously* (a) bursts the
+//!    cached static portion down the client connection and (b) forwards
+//!    the query up a persistent, pre-warmed FE↔BE connection;
+//! 3. the BE processes for `Tproc` (keyword-class- and load-dependent),
+//!    then streams the dynamic portion back to the FE;
+//! 4. once the FE holds the full dynamic portion (store-and-forward,
+//!    matching the paper's definition of `Tfetch` as the time to
+//!    "deliver it to the FE server"), it sends the dynamic portion after
+//!    the static bytes and closes;
+//! 5. the client sees the FIN — query complete; its packet trace is
+//!    harvested into a [`CompletedQuery`] carrying simulator ground truth
+//!    (true `Tproc`, true fetch interval, true FE overhead) against which
+//!    the inference pipeline is validated.
+//!
+//! Ablations reroute this flow: `split_tcp = false` connects clients
+//! straight to the BE; `cache_static = false` makes the static bytes ride
+//! the BE response; `fe_caches_results = true` lets FEs answer repeated
+//! keywords without any BE fetch.
+
+use crate::dns::DnsMap;
+use crate::fe::FeServer;
+use crate::service::ServiceConfig;
+use httpsim::{RecvProgress, RequestSpec, ResponsePlan};
+use nettopo::geo::GeoPoint;
+use nettopo::path::{PathModel, PathProfile};
+use nettopo::sites::BeSite;
+use nettopo::vantage::{AccessKind, Vantage};
+use searchbe::datacenter::BeDataCenter;
+use searchbe::keywords::{KeywordClass, KeywordCorpus};
+use simcore::time::{SimDuration, SimTime};
+use tcpsim::{App, ConnId, DeliveredSpan, End, Marker, Net, NodeId, PathParams, PktEvent};
+use std::collections::HashMap;
+
+/// Node-id base for front-end servers.
+pub const FE_NODE_BASE: u32 = 1_000_000;
+/// Node-id base for back-end data centers.
+pub const BE_NODE_BASE: u32 = 2_000_000;
+
+const WARMUP_REQ_BYTES: u64 = 2_000;
+const WARMUP_RESP_BYTES: u64 = 160_000;
+
+/// A query to execute.
+#[derive(Clone, Debug)]
+pub struct QuerySpec {
+    /// Index of the issuing client (into the vantage list).
+    pub client: usize,
+    /// Keyword id (into the corpus).
+    pub keyword: u64,
+    /// Fixed FE override (Dataset B); `None` uses the DNS default.
+    pub fixed_fe: Option<usize>,
+    /// Marks a correlated follow-up in a search-as-you-type session.
+    pub instant_followup: bool,
+}
+
+/// A finished query with measurement trace and simulator ground truth.
+#[derive(Clone, Debug)]
+pub struct CompletedQuery {
+    /// Query id (= trace session id).
+    pub qid: u64,
+    /// Issuing client.
+    pub client: usize,
+    /// Serving FE (`None` in the no-split-TCP ablation).
+    pub fe: Option<usize>,
+    /// Serving BE.
+    pub be: usize,
+    /// Keyword id.
+    pub keyword: u64,
+    /// Keyword class.
+    pub class: KeywordClass,
+    /// Time the client's SYN left.
+    pub t_start: SimTime,
+    /// Time the client consumed the server FIN (response complete).
+    pub t_done: SimTime,
+    /// The response layout.
+    pub plan: ResponsePlan,
+    /// Ground truth: BE processing time in ms (0 on FE cache hits).
+    pub proc_ms: f64,
+    /// Ground truth: FE request-handling overhead in ms.
+    pub fe_overhead_ms: f64,
+    /// Ground truth: when the FE queued the BE-bound query.
+    pub fetch_start: Option<SimTime>,
+    /// Ground truth: when the full BE response arrived at the FE.
+    pub fetch_done: Option<SimTime>,
+    /// Nominal client↔FE RTT in ms (client↔BE when split TCP is off).
+    pub rtt_client_fe_ms: f64,
+    /// Nominal FE↔BE RTT in ms (0 when split TCP is off).
+    pub rtt_fe_be_ms: f64,
+    /// FE↔BE great-circle distance in miles.
+    pub dist_fe_be_miles: f64,
+    /// All packet events of this query's session (client, FE and BE
+    /// observations; filter by node for the client-side view).
+    pub trace: Vec<PktEvent>,
+}
+
+impl CompletedQuery {
+    /// Ground-truth fetch time in ms (BE query forwarded → full response
+    /// at FE), when a BE fetch happened.
+    pub fn true_fetch_ms(&self) -> Option<f64> {
+        match (self.fetch_start, self.fetch_done) {
+            (Some(s), Some(d)) => Some(d.saturating_since(s).as_millis_f64()),
+            _ => None,
+        }
+    }
+
+    /// Overall user-perceived delay in ms (SYN → response complete).
+    pub fn overall_ms(&self) -> f64 {
+        self.t_done.saturating_since(self.t_start).as_millis_f64()
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Leg {
+    Client,
+    Be,
+    Warmup { fe: usize, be: usize },
+}
+
+#[derive(Clone, Copy, Debug)]
+struct ConnInfo {
+    qid: u64,
+    leg: Leg,
+}
+
+#[derive(Clone, Debug)]
+enum Action {
+    Start(QuerySpec),
+    FeServe { qid: u64 },
+    BeReply { qid: u64 },
+    BeDirectReply { qid: u64 },
+}
+
+struct QueryState {
+    client: usize,
+    fe: Option<usize>,
+    be: usize,
+    keyword: u64,
+    class: KeywordClass,
+    instant_followup: bool,
+    t_start: SimTime,
+    client_conn: ConnId,
+    be_conn: Option<ConnId>,
+    req: RequestSpec,
+    plan: Option<ResponsePlan>,
+    proc_ms: f64,
+    fe_overhead_ms: f64,
+    fetch_start: Option<SimTime>,
+    fetch_done: Option<SimTime>,
+    rtt_client_fe_ms: f64,
+    rtt_fe_be_ms: f64,
+    dist_fe_be_miles: f64,
+    srv_progress: RecvProgress,
+    resp_progress: RecvProgress,
+    request_handled: bool,
+    be_handled: bool,
+    resp_handled: bool,
+}
+
+/// The world: clients, FEs, BEs, pools, in-flight queries.
+pub struct ServiceWorld {
+    /// The service configuration in force.
+    pub cfg: ServiceConfig,
+    clients: Vec<Vantage>,
+    fes: Vec<FeServer>,
+    bes: Vec<(BeSite, BeDataCenter)>,
+    corpus: KeywordCorpus,
+    dns: DnsMap,
+    be_of_fe: Vec<usize>,
+    free_pool: HashMap<(usize, usize), Vec<ConnId>>,
+    conn_info: HashMap<ConnId, ConnInfo>,
+    warmup_progress: HashMap<ConnId, (u64, u64)>,
+    queries: HashMap<u64, QueryState>,
+    actions: Vec<Action>,
+    completed: Vec<CompletedQuery>,
+    next_qid: u64,
+}
+
+impl ServiceWorld {
+    /// Builds the world: places clients against the configured fleet,
+    /// computes DNS defaults and FE→nearest-BE assignments, instantiates
+    /// FE and BE servers.
+    pub fn new(cfg: ServiceConfig, clients: Vec<Vantage>, corpus: KeywordCorpus) -> ServiceWorld {
+        assert!(!cfg.fe_fleet.is_empty() && !cfg.be_sites.is_empty());
+        let pts: Vec<GeoPoint> = clients.iter().map(|c| c.pt).collect();
+        let dns = DnsMap::nearest(&pts, &cfg.fe_fleet);
+        let be_of_fe: Vec<usize> = cfg
+            .fe_fleet
+            .iter()
+            .map(|fe| {
+                nettopo::geo::nearest(&fe.pt, &cfg.be_sites, |s| s.pt)
+                    .unwrap()
+                    .0
+            })
+            .collect();
+        let fes: Vec<FeServer> = cfg
+            .fe_fleet
+            .iter()
+            .map(|site| {
+                let mut fe = FeServer::new(
+                    cfg.seed,
+                    site.clone(),
+                    cfg.fe_load.service_ms.clone(),
+                    cfg.fe_load.load_amplitude,
+                    cfg.fe_load.load_volatility,
+                    cfg.fe_caches_results,
+                );
+                fe.set_workers(cfg.fe_workers);
+                fe
+            })
+            .collect();
+        let bes: Vec<(BeSite, BeDataCenter)> = cfg
+            .be_sites
+            .iter()
+            .enumerate()
+            .map(|(k, site)| {
+                let mut composer = cfg.composer.clone();
+                composer.offset_ids(k as u64 * 100_000_000);
+                let dc = BeDataCenter::new(
+                    cfg.seed,
+                    site.name,
+                    cfg.backend.clone(),
+                    composer,
+                );
+                (*site, dc)
+            })
+            .collect();
+        ServiceWorld {
+            cfg,
+            clients,
+            fes,
+            bes,
+            corpus,
+            dns,
+            be_of_fe,
+            free_pool: HashMap::new(),
+            conn_info: HashMap::new(),
+            warmup_progress: HashMap::new(),
+            queries: HashMap::new(),
+            actions: Vec::new(),
+            completed: Vec::new(),
+            next_qid: 1,
+        }
+    }
+
+    /// Node id of a client.
+    pub fn client_node(client: usize) -> NodeId {
+        NodeId(client as u32)
+    }
+
+    /// Node id of an FE.
+    pub fn fe_node(fe: usize) -> NodeId {
+        NodeId(FE_NODE_BASE + fe as u32)
+    }
+
+    /// Node id of a BE.
+    pub fn be_node(be: usize) -> NodeId {
+        NodeId(BE_NODE_BASE + be as u32)
+    }
+
+    /// The client vantage list.
+    pub fn clients(&self) -> &[Vantage] {
+        &self.clients
+    }
+
+    /// The keyword corpus.
+    pub fn corpus(&self) -> &KeywordCorpus {
+        &self.corpus
+    }
+
+    /// The DNS-default FE of a client.
+    pub fn default_fe(&self, client: usize) -> usize {
+        self.dns.fe_of(client)
+    }
+
+    /// The nearest BE of an FE.
+    pub fn be_of_fe(&self, fe: usize) -> usize {
+        self.be_of_fe[fe]
+    }
+
+    /// Number of FEs in the fleet.
+    pub fn fe_count(&self) -> usize {
+        self.fes.len()
+    }
+
+    /// Nominal client↔FE RTT in ms under the client's access profile.
+    pub fn client_fe_rtt_ms(&self, client: usize, fe: usize) -> f64 {
+        self.client_path(client, &self.fes[fe].site.pt.clone())
+            .nominal_rtt_ms()
+    }
+
+    /// Nominal client↔BE RTT in ms under the client's access profile —
+    /// what an ICMP ping to the data-center prefix would measure (used
+    /// by the network-coordinate harness to place BEs in the embedding).
+    pub fn client_be_rtt_ms(&self, client: usize, be: usize) -> f64 {
+        self.client_path(client, &self.bes[be].0.pt.clone())
+            .nominal_rtt_ms()
+    }
+
+    /// Nominal FE↔BE RTT in ms.
+    pub fn fe_be_rtt_ms(&self, fe: usize, be: usize) -> f64 {
+        PathModel::between(
+            &self.fes[fe].site.pt,
+            &self.bes[be].0.pt,
+            &self.cfg.febe_profile,
+        )
+        .nominal_rtt_ms()
+    }
+
+    /// FE↔BE great-circle distance in miles.
+    pub fn fe_be_distance_miles(&self, fe: usize, be: usize) -> f64 {
+        self.fes[fe].site.pt.distance_miles(&self.bes[be].0.pt)
+    }
+
+    fn access_profile(&self, access: AccessKind) -> PathProfile {
+        if let Some(p) = &self.cfg.access_override {
+            return p.clone();
+        }
+        match access {
+            AccessKind::Campus => PathProfile::campus_access(),
+            AccessKind::Residential => PathProfile::residential_access(),
+            AccessKind::Wireless => PathProfile::wireless_access(),
+        }
+    }
+
+    fn client_path(&self, client: usize, to: &GeoPoint) -> PathModel {
+        let v = &self.clients[client];
+        PathModel::between(&v.pt, to, &self.access_profile(v.access))
+    }
+
+    fn to_params(m: &PathModel) -> PathParams {
+        PathParams {
+            base_owd_ms: m.base_owd_ms,
+            jitter_ms: m.jitter_ms.clone(),
+            loss: m.loss,
+            bw_mbps: m.bw_mbps,
+        }
+    }
+
+    fn push_action(&mut self, net: &mut Net, delay: SimDuration, action: Action) {
+        let token = self.actions.len() as u64;
+        self.actions.push(action);
+        net.set_timer(delay, token);
+    }
+
+    /// Schedules a query to start `delay` from now.
+    pub fn schedule_query(&mut self, net: &mut Net, delay: SimDuration, spec: QuerySpec) {
+        self.push_action(net, delay, Action::Start(spec));
+    }
+
+    /// Drains the completed-query records accumulated so far.
+    pub fn drain_completed(&mut self) -> Vec<CompletedQuery> {
+        std::mem::take(&mut self.completed)
+    }
+
+    /// Number of queries still in flight.
+    pub fn in_flight(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Pre-warms `n` persistent FE↔BE connections for a pair: opens them
+    /// and runs a filler exchange so their congestion windows are grown
+    /// before the first measured query (split TCP's warm-connection
+    /// premise).
+    pub fn prewarm(&mut self, net: &mut Net, fe: usize, be: usize, n: usize) {
+        for _ in 0..n {
+            let conn = self.open_be_conn(net, fe, be, 0);
+            self.conn_info.insert(
+                conn,
+                ConnInfo {
+                    qid: 0,
+                    leg: Leg::Warmup { fe, be },
+                },
+            );
+            self.warmup_progress.insert(conn, (0, 0));
+            net.send(conn, End::A, WARMUP_REQ_BYTES, Marker::Other, 0);
+        }
+    }
+
+    fn open_be_conn(&mut self, net: &mut Net, fe: usize, be: usize, session: u64) -> ConnId {
+        let path = PathModel::between(
+            &self.fes[fe].site.pt,
+            &self.bes[be].0.pt,
+            &self.cfg.febe_profile,
+        );
+        net.open(
+            Self::fe_node(fe),
+            Self::be_node(be),
+            Self::to_params(&path),
+            self.cfg.fe_be_tcp.clone().persistent(),
+            self.cfg.be_tcp.clone().persistent(),
+            session,
+        )
+    }
+
+    fn checkout_be_conn(&mut self, net: &mut Net, fe: usize, be: usize, qid: u64) -> ConnId {
+        let conn = self
+            .free_pool
+            .get_mut(&(fe, be))
+            .and_then(|v| v.pop());
+        let conn = match conn {
+            Some(c) => {
+                net.set_session(c, qid);
+                c
+            }
+            None => self.open_be_conn(net, fe, be, qid),
+        };
+        self.conn_info.insert(conn, ConnInfo { qid, leg: Leg::Be });
+        conn
+    }
+
+    fn return_be_conn(&mut self, conn: ConnId, fe: usize, be: usize) {
+        self.conn_info.remove(&conn);
+        self.free_pool.entry((fe, be)).or_default().push(conn);
+    }
+
+    fn start_query(&mut self, net: &mut Net, spec: QuerySpec) {
+        let qid = self.next_qid;
+        self.next_qid += 1;
+        let kw = self.corpus.get(spec.keyword).clone();
+        let req = RequestSpec::for_query_len(kw.chars(), 500_000_000_000 + qid);
+        let (fe, be, server_pt, rtt_fe_be_ms, dist_fe_be): (
+            Option<usize>,
+            usize,
+            GeoPoint,
+            f64,
+            f64,
+        ) = if self.cfg.split_tcp {
+            let fe = spec.fixed_fe.unwrap_or_else(|| self.dns.fe_of(spec.client));
+            let be = self.be_of_fe[fe];
+            (
+                Some(fe),
+                be,
+                self.fes[fe].site.pt,
+                self.fe_be_rtt_ms(fe, be),
+                self.fe_be_distance_miles(fe, be),
+            )
+        } else {
+            // No split TCP: straight to the nearest BE.
+            let be = nettopo::geo::nearest(
+                &self.clients[spec.client].pt,
+                &self.cfg.be_sites,
+                |s| s.pt,
+            )
+            .unwrap()
+            .0;
+            (None, be, self.bes[be].0.pt, 0.0, 0.0)
+        };
+        let path = self.client_path(spec.client, &server_pt);
+        let rtt_client = path.nominal_rtt_ms();
+        let conn = net.open(
+            Self::client_node(spec.client),
+            match fe {
+                Some(f) => Self::fe_node(f),
+                None => Self::be_node(be),
+            },
+            Self::to_params(&path),
+            self.cfg.client_tcp.clone(),
+            self.cfg.fe_client_tcp.clone(),
+            qid,
+        );
+        self.conn_info.insert(
+            conn,
+            ConnInfo {
+                qid,
+                leg: Leg::Client,
+            },
+        );
+        self.queries.insert(
+            qid,
+            QueryState {
+                client: spec.client,
+                fe,
+                be,
+                keyword: spec.keyword,
+                class: kw.class,
+                instant_followup: spec.instant_followup,
+                t_start: net.now(),
+                client_conn: conn,
+                be_conn: None,
+                req,
+                plan: None,
+                proc_ms: 0.0,
+                fe_overhead_ms: 0.0,
+                fetch_start: None,
+                fetch_done: None,
+                rtt_client_fe_ms: rtt_client,
+                rtt_fe_be_ms,
+                dist_fe_be_miles: dist_fe_be,
+                srv_progress: RecvProgress::new(),
+                resp_progress: RecvProgress::new(),
+                request_handled: false,
+                be_handled: false,
+                resp_handled: false,
+            },
+        );
+    }
+
+    fn handle_request_arrived(&mut self, net: &mut Net, qid: u64) {
+        let (split, fe, be, kw_id, followup) = {
+            let q = &self.queries[&qid];
+            (
+                self.cfg.split_tcp,
+                q.fe,
+                q.be,
+                q.keyword,
+                q.instant_followup,
+            )
+        };
+        if split {
+            let fe = fe.expect("split mode has an FE");
+            let overhead = self.fes[fe].request_overhead_at(net.now());
+            self.queries.get_mut(&qid).unwrap().fe_overhead_ms =
+                overhead.as_millis_f64();
+            self.push_action(net, overhead, Action::FeServe { qid });
+        } else {
+            let kw = self.corpus.get(kw_id).clone();
+            let region = Some(self.clients[self.queries[&qid].client].region);
+            let result = self.bes[be].1.handle_query(&kw, followup, region);
+            {
+                let q = self.queries.get_mut(&qid).unwrap();
+                q.proc_ms = result.proc_time.as_millis_f64();
+                q.plan = Some(result.plan);
+            }
+            self.push_action(net, result.proc_time, Action::BeDirectReply { qid });
+        }
+    }
+
+    fn act_fe_serve(&mut self, net: &mut Net, qid: u64) {
+        let (fe, be, client_conn, kw_id) = {
+            let q = &self.queries[&qid];
+            (q.fe.unwrap(), q.be, q.client_conn, q.keyword)
+        };
+        // (a) Burst the cached static portion.
+        if self.cfg.cache_static {
+            net.send(
+                client_conn,
+                End::B,
+                self.cfg.composer.static_bytes,
+                Marker::Static,
+                self.cfg.composer.static_content,
+            );
+        }
+        // Hypothetical FE result cache.
+        if let Some(plan) = self.fes[fe].cached_result(kw_id).cloned() {
+            if !self.cfg.cache_static {
+                plan.send_static(net, client_conn, End::B);
+            }
+            plan.send_dynamic(net, client_conn, End::B);
+            net.close(client_conn, End::B);
+            let q = self.queries.get_mut(&qid).unwrap();
+            q.plan = Some(plan);
+            q.proc_ms = 0.0;
+            return;
+        }
+        // (b) Forward the query over a persistent BE connection.
+        let be_conn = self.checkout_be_conn(net, fe, be, qid);
+        {
+            let q = self.queries.get_mut(&qid).unwrap();
+            q.be_conn = Some(be_conn);
+            q.fetch_start = Some(net.now());
+        }
+        let req = self.queries[&qid].req.clone();
+        req.send_as_be_query(net, be_conn, End::A);
+    }
+
+    fn act_be_reply(&mut self, net: &mut Net, qid: u64) {
+        let (be_conn, plan, send_static_too) = {
+            let q = &self.queries[&qid];
+            (
+                q.be_conn.expect("BE reply without BE conn"),
+                q.plan.clone().expect("BE reply without plan"),
+                !self.cfg.cache_static,
+            )
+        };
+        if send_static_too {
+            net.send(
+                be_conn,
+                End::B,
+                plan.static_bytes,
+                Marker::BeResponse,
+                plan.static_content,
+            );
+        }
+        plan.send_as_be_response(net, be_conn, End::B);
+    }
+
+    fn act_be_direct_reply(&mut self, net: &mut Net, qid: u64) {
+        let (conn, plan) = {
+            let q = &self.queries[&qid];
+            (q.client_conn, q.plan.clone().expect("direct reply plan"))
+        };
+        plan.send_static(net, conn, End::B);
+        plan.send_dynamic(net, conn, End::B);
+        net.close(conn, End::B);
+    }
+
+    fn handle_be_response_complete(&mut self, net: &mut Net, qid: u64) {
+        let (fe, be, be_conn, client_conn, plan, kw_id) = {
+            let q = self.queries.get_mut(&qid).unwrap();
+            q.fetch_done = Some(net.now());
+            (
+                q.fe.unwrap(),
+                q.be,
+                q.be_conn.take().unwrap(),
+                q.client_conn,
+                q.plan.clone().unwrap(),
+                q.keyword,
+            )
+        };
+        self.return_be_conn(be_conn, fe, be);
+        if !self.cfg.cache_static {
+            plan.send_static(net, client_conn, End::B);
+        }
+        plan.send_dynamic(net, client_conn, End::B);
+        net.close(client_conn, End::B);
+        if self.cfg.fe_caches_results {
+            self.fes[fe].store_result(kw_id, plan);
+        }
+    }
+
+    fn finish_query(&mut self, net: &mut Net, qid: u64) {
+        let q = match self.queries.remove(&qid) {
+            Some(q) => q,
+            None => return,
+        };
+        self.conn_info.remove(&q.client_conn);
+        // Orderly close from the client side too.
+        net.close(q.client_conn, End::A);
+        let trace = net.trace_mut().take_session(qid);
+        self.completed.push(CompletedQuery {
+            qid,
+            client: q.client,
+            fe: q.fe,
+            be: q.be,
+            keyword: q.keyword,
+            class: q.class,
+            t_start: q.t_start,
+            t_done: net.now(),
+            plan: q.plan.unwrap_or_else(|| {
+                // Should not happen: a FIN implies a served response.
+                ResponsePlan::new(1, 0, 1, httpsim::CONTENT_ID_STATIC_BASE)
+            }),
+            proc_ms: q.proc_ms,
+            fe_overhead_ms: q.fe_overhead_ms,
+            fetch_start: q.fetch_start,
+            fetch_done: q.fetch_done,
+            rtt_client_fe_ms: q.rtt_client_fe_ms,
+            rtt_fe_be_ms: q.rtt_fe_be_ms,
+            dist_fe_be_miles: q.dist_fe_be_miles,
+            trace,
+        });
+    }
+}
+
+impl App for ServiceWorld {
+    fn on_established(&mut self, net: &mut Net, conn: ConnId, end: End) {
+        let info = match self.conn_info.get(&conn) {
+            Some(i) => *i,
+            None => return,
+        };
+        if info.leg == Leg::Client && end == End::A {
+            if let Some(q) = self.queries.get(&info.qid) {
+                let req = q.req.clone();
+                req.send(net, conn, End::A);
+            }
+        }
+    }
+
+    fn on_data(&mut self, net: &mut Net, conn: ConnId, end: End, spans: &[DeliveredSpan]) {
+        let info = match self.conn_info.get(&conn) {
+            Some(i) => *i,
+            None => return,
+        };
+        match info.leg {
+            Leg::Warmup { fe, be } => {
+                let entry = self.warmup_progress.entry(conn).or_insert((0, 0));
+                let bytes: u64 = spans.iter().map(|s| s.len as u64).sum();
+                match end {
+                    End::B => {
+                        entry.0 += bytes;
+                        if entry.0 >= WARMUP_REQ_BYTES {
+                            net.send(conn, End::B, WARMUP_RESP_BYTES, Marker::Other, 0);
+                        }
+                    }
+                    End::A => {
+                        entry.1 += bytes;
+                        if entry.1 >= WARMUP_RESP_BYTES {
+                            self.warmup_progress.remove(&conn);
+                            self.return_be_conn(conn, fe, be);
+                        }
+                    }
+                }
+            }
+            Leg::Client => {
+                let qid = info.qid;
+                match end {
+                    End::B => {
+                        // Server side of the client leg (FE, or BE when
+                        // split TCP is off): request bytes.
+                        let ready = {
+                            let q = match self.queries.get_mut(&qid) {
+                                Some(q) => q,
+                                None => return,
+                            };
+                            q.srv_progress.absorb(spans);
+                            let done = q
+                                .srv_progress
+                                .complete(Marker::Request, q.req.bytes);
+                            if done && !q.request_handled {
+                                q.request_handled = true;
+                                true
+                            } else {
+                                false
+                            }
+                        };
+                        if ready {
+                            self.handle_request_arrived(net, qid);
+                        }
+                    }
+                    End::A => {
+                        // Client receiving the response; completion is
+                        // signalled by the FIN.
+                        if let Some(q) = self.queries.get_mut(&qid) {
+                            q.resp_progress.absorb(spans);
+                        }
+                    }
+                }
+            }
+            Leg::Be => {
+                let qid = info.qid;
+                match end {
+                    End::B => {
+                        // BE receiving the forwarded query.
+                        let ready = {
+                            let q = match self.queries.get_mut(&qid) {
+                                Some(q) => q,
+                                None => return,
+                            };
+                            q.srv_progress.absorb(spans);
+                            let done = q
+                                .srv_progress
+                                .complete(Marker::BeQuery, q.req.bytes);
+                            if done && !q.be_handled {
+                                q.be_handled = true;
+                                true
+                            } else {
+                                false
+                            }
+                        };
+                        if ready {
+                            let (be, kw_id, followup) = {
+                                let q = &self.queries[&qid];
+                                (q.be, q.keyword, q.instant_followup)
+                            };
+                            let kw = self.corpus.get(kw_id).clone();
+                            let region =
+                                Some(self.clients[self.queries[&qid].client].region);
+                            let result =
+                                self.bes[be].1.handle_query(&kw, followup, region);
+                            let proc = result.proc_time;
+                            {
+                                let q = self.queries.get_mut(&qid).unwrap();
+                                q.proc_ms = proc.as_millis_f64();
+                                q.plan = Some(result.plan);
+                            }
+                            self.push_action(net, proc, Action::BeReply { qid });
+                        }
+                    }
+                    End::A => {
+                        // FE receiving the BE response.
+                        let ready = {
+                            let q = match self.queries.get_mut(&qid) {
+                                Some(q) => q,
+                                None => return,
+                            };
+                            q.resp_progress.absorb(spans);
+                            let expected = match &q.plan {
+                                Some(p) => {
+                                    p.dynamic_bytes
+                                        + if self.cfg.cache_static {
+                                            0
+                                        } else {
+                                            p.static_bytes
+                                        }
+                                }
+                                None => u64::MAX,
+                            };
+                            let done = q
+                                .resp_progress
+                                .complete(Marker::BeResponse, expected);
+                            if done && !q.resp_handled {
+                                q.resp_handled = true;
+                                true
+                            } else {
+                                false
+                            }
+                        };
+                        if ready {
+                            self.handle_be_response_complete(net, qid);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_fin(&mut self, net: &mut Net, conn: ConnId, end: End) {
+        let info = match self.conn_info.get(&conn) {
+            Some(i) => *i,
+            None => return,
+        };
+        if info.leg == Leg::Client && end == End::A {
+            self.finish_query(net, info.qid);
+        }
+    }
+
+    fn on_timer(&mut self, net: &mut Net, token: u64) {
+        let action = self.actions[token as usize].clone();
+        match action {
+            Action::Start(spec) => self.start_query(net, spec),
+            Action::FeServe { qid } => self.act_fe_serve(net, qid),
+            Action::BeReply { qid } => self.act_be_reply(net, qid),
+            Action::BeDirectReply { qid } => self.act_be_direct_reply(net, qid),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nettopo::vantage::{planetlab_like, VantageConfig};
+    use tcpsim::Sim;
+
+    fn small_world(cfg: ServiceConfig) -> Sim<ServiceWorld> {
+        let vantages = planetlab_like(cfg.seed, &VantageConfig {
+            count: 20,
+            ..VantageConfig::default()
+        });
+        let corpus = KeywordCorpus::generate(cfg.seed, 200, 0.5);
+        let world = ServiceWorld::new(cfg, vantages, corpus);
+        let mut sim = Sim::new(7, world);
+        sim.net().trace_mut().set_enabled(true);
+        sim
+    }
+
+    fn run_one_query(cfg: ServiceConfig) -> CompletedQuery {
+        let mut sim = small_world(cfg);
+        sim.with(|w, net| {
+            w.schedule_query(
+                net,
+                SimDuration::from_millis(1),
+                QuerySpec {
+                    client: 0,
+                    keyword: 3,
+                    fixed_fe: None,
+                    instant_followup: false,
+                },
+            );
+        });
+        sim.run();
+        let mut done = sim.with(|w, _| w.drain_completed());
+        assert_eq!(done.len(), 1);
+        done.pop().unwrap()
+    }
+
+    #[test]
+    fn google_like_query_completes_with_ground_truth() {
+        let cq = run_one_query(ServiceConfig::google_like(1));
+        assert!(cq.fe.is_some());
+        assert!(cq.proc_ms > 1.0, "proc {}", cq.proc_ms);
+        assert!(cq.fe_overhead_ms > 0.0);
+        assert!(cq.true_fetch_ms().unwrap() > cq.proc_ms);
+        assert!(cq.overall_ms() > 0.0);
+        assert!(!cq.trace.is_empty());
+        assert_eq!(cq.plan.static_content, 1);
+    }
+
+    #[test]
+    fn bing_like_query_completes() {
+        let cq = run_one_query(ServiceConfig::bing_like(1));
+        assert!(cq.proc_ms > 10.0);
+        assert_eq!(cq.plan.static_content, 2);
+        // Store-and-forward: fetch includes the response transfer.
+        let fetch = cq.true_fetch_ms().unwrap();
+        assert!(fetch >= cq.proc_ms + cq.rtt_fe_be_ms);
+    }
+
+    #[test]
+    fn client_receives_exactly_the_planned_bytes() {
+        let cq = run_one_query(ServiceConfig::google_like(2));
+        // Client-side received data bytes from the trace.
+        let client_node = ServiceWorld::client_node(0);
+        let mut stat = 0u64;
+        let mut dynamic = 0u64;
+        for ev in &cq.trace {
+            if ev.node == client_node && ev.dir == tcpsim::PktDir::Rx {
+                for m in &ev.meta {
+                    match m.marker {
+                        Marker::Static => stat += m.len as u64,
+                        Marker::Dynamic => dynamic += m.len as u64,
+                        _ => {}
+                    }
+                }
+            }
+        }
+        assert_eq!(stat, cq.plan.static_bytes);
+        assert_eq!(dynamic, cq.plan.dynamic_bytes);
+    }
+
+    #[test]
+    fn pool_reuses_connections_across_queries() {
+        let mut sim = small_world(ServiceConfig::google_like(3));
+        let fe = sim.with(|w, _| w.default_fe(0));
+        for i in 0..3 {
+            sim.with(|w, net| {
+                w.schedule_query(
+                    net,
+                    SimDuration::from_millis(1 + i * 2_000),
+                    QuerySpec {
+                        client: 0,
+                        keyword: i,
+                        fixed_fe: Some(fe),
+                        instant_followup: false,
+                    },
+                );
+            });
+        }
+        sim.run();
+        let done = sim.with(|w, _| w.drain_completed());
+        assert_eq!(done.len(), 3);
+        // Sequential queries through one FE must reuse the pooled conn:
+        // the BE leg of queries 2 and 3 must carry no SYN.
+        for cq in &done[1..] {
+            let fe_node = ServiceWorld::fe_node(cq.fe.unwrap());
+            let syn_on_be_leg = cq.trace.iter().any(|e| {
+                e.node == fe_node
+                    && e.kind == tcpsim::PktKind::Syn
+                    && e.dir == tcpsim::PktDir::Tx
+            });
+            assert!(!syn_on_be_leg, "query {} reopened the BE conn", cq.qid);
+        }
+    }
+
+    #[test]
+    fn prewarm_grows_the_pool() {
+        let mut sim = small_world(ServiceConfig::google_like(4));
+        let fe = sim.with(|w, _| w.default_fe(0));
+        let be = sim.with(|w, _| w.be_of_fe(fe));
+        sim.with(|w, net| w.prewarm(net, fe, be, 2));
+        sim.run();
+        let pooled = sim.with(|w, _| {
+            w.free_pool.get(&(fe, be)).map(|v| v.len()).unwrap_or(0)
+        });
+        assert_eq!(pooled, 2);
+        // A subsequent query uses a warm conn (no SYN on the BE leg).
+        sim.with(|w, net| {
+            w.schedule_query(
+                net,
+                SimDuration::from_millis(1),
+                QuerySpec {
+                    client: 0,
+                    keyword: 1,
+                    fixed_fe: Some(fe),
+                    instant_followup: false,
+                },
+            );
+        });
+        sim.run();
+        let done = sim.with(|w, _| w.drain_completed());
+        let cq = &done[0];
+        let fe_node = ServiceWorld::fe_node(fe);
+        assert!(!cq.trace.iter().any(|e| e.node == fe_node
+            && e.kind == tcpsim::PktKind::Syn
+            && e.dir == tcpsim::PktDir::Tx));
+    }
+
+    #[test]
+    fn no_split_tcp_goes_straight_to_the_be() {
+        let cq = run_one_query(ServiceConfig::google_like(5).without_split_tcp());
+        assert!(cq.fe.is_none());
+        assert!(cq.fetch_start.is_none());
+        assert!(cq.proc_ms > 0.0);
+        // The client's peer is a BE node.
+        let be_node = ServiceWorld::be_node(cq.be);
+        assert!(cq.trace.iter().any(|e| e.node == be_node));
+    }
+
+    #[test]
+    fn static_cache_off_delays_static_delivery() {
+        // With the cache on, static bytes reach the client well before
+        // dynamic ones at small RTT; with it off they arrive only after
+        // the fetch — compare first-static-arrival times.
+        let first_static_ms = |cfg: ServiceConfig| -> f64 {
+            let mut sim = small_world(cfg);
+            sim.with(|w, net| {
+                w.schedule_query(
+                    net,
+                    SimDuration::from_millis(1),
+                    QuerySpec {
+                        client: 0,
+                        keyword: 3,
+                        fixed_fe: None,
+                        instant_followup: false,
+                    },
+                );
+            });
+            sim.run();
+            let done = sim.with(|w, _| w.drain_completed());
+            let cq = &done[0];
+            let client_node = ServiceWorld::client_node(0);
+            let t0 = cq.t_start;
+            cq.trace
+                .iter()
+                .find(|e| {
+                    e.node == client_node
+                        && e.dir == tcpsim::PktDir::Rx
+                        && e.meta.iter().any(|m| m.marker == Marker::Static)
+                })
+                .map(|e| e.t.saturating_since(t0).as_millis_f64())
+                .unwrap()
+        };
+        let with_cache = first_static_ms(ServiceConfig::bing_like(6));
+        let without = first_static_ms(ServiceConfig::bing_like(6).without_static_cache());
+        assert!(
+            without > with_cache + 50.0,
+            "cache on: {with_cache}ms, off: {without}ms"
+        );
+    }
+
+    #[test]
+    fn fe_result_cache_skips_the_fetch_on_repeat() {
+        let mut sim = small_world(ServiceConfig::google_like(8).with_fe_result_cache());
+        let fe = sim.with(|w, _| w.default_fe(0));
+        for i in 0..2 {
+            sim.with(|w, net| {
+                w.schedule_query(
+                    net,
+                    SimDuration::from_millis(1 + i * 3_000),
+                    QuerySpec {
+                        client: 0,
+                        keyword: 5, // same keyword twice
+                        fixed_fe: Some(fe),
+                        instant_followup: false,
+                    },
+                );
+            });
+        }
+        sim.run();
+        let done = sim.with(|w, _| w.drain_completed());
+        assert_eq!(done.len(), 2);
+        assert!(done[0].true_fetch_ms().is_some(), "first query fetches");
+        assert!(
+            done[1].true_fetch_ms().is_none(),
+            "second query must hit the FE cache"
+        );
+        assert_eq!(done[1].proc_ms, 0.0);
+    }
+
+    #[test]
+    fn dataset_b_fixed_fe_overrides_dns() {
+        let mut sim = small_world(ServiceConfig::google_like(9));
+        let far_fe = sim.with(|w, _| {
+            // Pick an FE that is NOT client 0's default.
+            let def = w.default_fe(0);
+            (0..w.fe_count()).find(|&f| f != def).unwrap()
+        });
+        sim.with(|w, net| {
+            w.schedule_query(
+                net,
+                SimDuration::from_millis(1),
+                QuerySpec {
+                    client: 0,
+                    keyword: 1,
+                    fixed_fe: Some(far_fe),
+                    instant_followup: false,
+                },
+            );
+        });
+        sim.run();
+        let done = sim.with(|w, _| w.drain_completed());
+        assert_eq!(done[0].fe, Some(far_fe));
+    }
+
+    #[test]
+    fn many_concurrent_clients_all_complete() {
+        let mut sim = small_world(ServiceConfig::bing_like(10));
+        for c in 0..20 {
+            sim.with(|w, net| {
+                w.schedule_query(
+                    net,
+                    SimDuration::from_millis(1 + (c as u64 * 13) % 500),
+                    QuerySpec {
+                        client: c,
+                        keyword: c as u64,
+                        fixed_fe: None,
+                        instant_followup: false,
+                    },
+                );
+            });
+        }
+        sim.run();
+        let done = sim.with(|w, _| w.drain_completed());
+        assert_eq!(done.len(), 20);
+        assert_eq!(sim.with(|w, _| w.in_flight()), 0);
+    }
+}

@@ -1,0 +1,140 @@
+//! Per-group (per-vantage, per-FE) aggregation.
+//!
+//! Every point in the paper's Figs. 5 and 7 is a *median over the
+//! repeated queries of one PlanetLab node*; the medians suppress
+//! short-term fluctuation ("as the performance is susceptible to
+//! short-term fluctuations"). [`per_group_medians`] reproduces that
+//! reduction.
+
+use crate::params::QueryParams;
+use stats::quantile::{median, Summary};
+use std::collections::BTreeMap;
+
+/// The per-group medians of all measurement quantities.
+#[derive(Clone, Debug)]
+pub struct GroupMedians {
+    /// Group key (vantage id, FE id — caller-defined).
+    pub group: u64,
+    /// Number of samples in the group.
+    pub n: usize,
+    /// Median handshake RTT (ms).
+    pub rtt_ms: f64,
+    /// Median `Tstatic` (ms).
+    pub t_static_ms: f64,
+    /// Median `Tdynamic` (ms).
+    pub t_dynamic_ms: f64,
+    /// Median `Tdelta` (ms).
+    pub t_delta_ms: f64,
+    /// Median overall delay (ms).
+    pub overall_ms: f64,
+    /// Full distribution summary of the overall delay (for the Fig. 8
+    /// box plots).
+    pub overall_summary: Summary,
+}
+
+/// Groups samples by a key and reduces each group to its medians.
+/// Groups are returned in ascending key order (deterministic output for
+/// the figure harnesses).
+pub fn per_group_medians(samples: &[(u64, QueryParams)]) -> Vec<GroupMedians> {
+    let mut groups: BTreeMap<u64, Vec<&QueryParams>> = BTreeMap::new();
+    for (key, p) in samples {
+        groups.entry(*key).or_default().push(p);
+    }
+    groups
+        .into_iter()
+        .map(|(group, ps)| {
+            let col = |f: fn(&QueryParams) -> f64| -> Vec<f64> {
+                ps.iter().map(|p| f(p)).collect()
+            };
+            let rtt = col(|p| p.rtt_ms);
+            let ts = col(|p| p.t_static_ms);
+            let td = col(|p| p.t_dynamic_ms);
+            let dl = col(|p| p.t_delta_ms);
+            let ov = col(|p| p.overall_ms);
+            GroupMedians {
+                group,
+                n: ps.len(),
+                rtt_ms: median(&rtt).unwrap(),
+                t_static_ms: median(&ts).unwrap(),
+                t_dynamic_ms: median(&td).unwrap(),
+                t_delta_ms: median(&dl).unwrap(),
+                overall_ms: median(&ov).unwrap(),
+                overall_summary: Summary::of(&ov).unwrap(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(rtt: f64, ts: f64, td: f64, overall: f64) -> QueryParams {
+        QueryParams {
+            rtt_ms: rtt,
+            t_static_ms: ts,
+            t_dynamic_ms: td,
+            t_delta_ms: (td - ts).max(0.0),
+            overall_ms: overall,
+            static_bytes: 9000,
+            total_bytes: 30000,
+        }
+    }
+
+    #[test]
+    fn groups_and_medians() {
+        let samples = vec![
+            (1, p(10.0, 20.0, 100.0, 300.0)),
+            (1, p(10.0, 22.0, 110.0, 320.0)),
+            (1, p(10.0, 24.0, 90.0, 310.0)),
+            (2, p(50.0, 60.0, 200.0, 500.0)),
+        ];
+        let groups = per_group_medians(&samples);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].group, 1);
+        assert_eq!(groups[0].n, 3);
+        assert_eq!(groups[0].t_static_ms, 22.0);
+        assert_eq!(groups[0].t_dynamic_ms, 100.0);
+        assert_eq!(groups[0].overall_ms, 310.0);
+        assert_eq!(groups[1].group, 2);
+        assert_eq!(groups[1].n, 1);
+        assert_eq!(groups[1].rtt_ms, 50.0);
+    }
+
+    #[test]
+    fn median_is_robust_to_one_outlier() {
+        let mut samples: Vec<(u64, QueryParams)> = (0..9)
+            .map(|_| (1, p(10.0, 20.0, 100.0, 300.0)))
+            .collect();
+        samples.push((1, p(10.0, 20.0, 100_000.0, 300.0)));
+        let groups = per_group_medians(&samples);
+        assert_eq!(groups[0].t_dynamic_ms, 100.0);
+    }
+
+    #[test]
+    fn output_sorted_by_group_key() {
+        let samples = vec![
+            (9, p(1.0, 2.0, 3.0, 4.0)),
+            (3, p(1.0, 2.0, 3.0, 4.0)),
+            (7, p(1.0, 2.0, 3.0, 4.0)),
+        ];
+        let groups = per_group_medians(&samples);
+        let keys: Vec<u64> = groups.iter().map(|g| g.group).collect();
+        assert_eq!(keys, vec![3, 7, 9]);
+    }
+
+    #[test]
+    fn empty_input_gives_empty_output() {
+        assert!(per_group_medians(&[]).is_empty());
+    }
+
+    #[test]
+    fn summary_attached_for_boxplots() {
+        let samples: Vec<(u64, QueryParams)> = (0..100)
+            .map(|i| (1, p(10.0, 20.0, 100.0, 200.0 + i as f64)))
+            .collect();
+        let g = &per_group_medians(&samples)[0];
+        assert_eq!(g.overall_summary.n, 100);
+        assert!(g.overall_summary.p25 < g.overall_summary.p75);
+    }
+}

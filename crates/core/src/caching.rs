@@ -1,0 +1,109 @@
+//! The "do FE servers cache search results?" detector (Sec. 3).
+//!
+//! The paper's probe: submit (a) the *same* query repeatedly and (b)
+//! all-*distinct* queries to a fixed FE, and compare the `Tdynamic`
+//! distributions. If the FE cached results, repeated queries would skip
+//! the BE fetch entirely and their `Tdynamic` would collapse toward the
+//! static-delivery timescale — the two distributions would separate
+//! sharply. The paper finds them indistinguishable and concludes FEs do
+//! not cache ("most search engines attempt to personalize search results
+//! for individual users").
+
+use stats::ks::{ks_test, KsVerdict};
+
+/// The detector's verdict.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CachingVerdict {
+    /// Repeated-query and distinct-query `Tdynamic` distributions are
+    /// statistically indistinguishable: no FE result caching.
+    NoCaching,
+    /// Repeated queries are significantly *faster*: FE result caching
+    /// (or an equivalent shortcut) detected.
+    CachingSuspected,
+    /// Distributions differ but repeats are not faster — something else
+    /// (load drift, path change) is going on; no caching conclusion.
+    Inconclusive,
+}
+
+/// Result of the caching probe comparison.
+#[derive(Clone, Copy, Debug)]
+pub struct CachingProbe {
+    /// KS distance between the two samples.
+    pub ks_distance: f64,
+    /// Median `Tdynamic` of repeated-query samples, ms.
+    pub median_same_ms: f64,
+    /// Median `Tdynamic` of distinct-query samples, ms.
+    pub median_distinct_ms: f64,
+    /// The verdict.
+    pub verdict: CachingVerdict,
+}
+
+/// Compares `Tdynamic` samples of repeated-identical queries against
+/// all-distinct queries to the same FE. Returns `None` if either sample
+/// is empty.
+pub fn caching_verdict(same_query_ms: &[f64], distinct_query_ms: &[f64]) -> Option<CachingProbe> {
+    let (d, ks) = ks_test(same_query_ms, distinct_query_ms)?;
+    let median_same = stats::quantile::median(same_query_ms)?;
+    let median_distinct = stats::quantile::median(distinct_query_ms)?;
+    let verdict = match ks {
+        KsVerdict::Indistinguishable => CachingVerdict::NoCaching,
+        KsVerdict::Distinct => {
+            // Caching manifests as repeats being *much faster* — require
+            // a material gap, not just statistical distinctness.
+            if median_same < 0.7 * median_distinct {
+                CachingVerdict::CachingSuspected
+            } else {
+                CachingVerdict::Inconclusive
+            }
+        }
+    };
+    Some(CachingProbe {
+        ks_distance: d,
+        median_same_ms: median_same,
+        median_distinct_ms: median_distinct,
+        verdict,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn around(center: f64, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| center + ((i * 7919) % 100) as f64 / 10.0 - 5.0)
+            .collect()
+    }
+
+    #[test]
+    fn similar_distributions_mean_no_caching() {
+        let same = around(180.0, 300);
+        let distinct = around(181.0, 300);
+        let probe = caching_verdict(&same, &distinct).unwrap();
+        assert_eq!(probe.verdict, CachingVerdict::NoCaching);
+        assert!(probe.ks_distance < 0.2);
+    }
+
+    #[test]
+    fn collapsed_repeats_mean_caching() {
+        let same = around(30.0, 300); // cache hits: no fetch
+        let distinct = around(180.0, 300);
+        let probe = caching_verdict(&same, &distinct).unwrap();
+        assert_eq!(probe.verdict, CachingVerdict::CachingSuspected);
+        assert!(probe.median_same_ms < probe.median_distinct_ms);
+    }
+
+    #[test]
+    fn slower_repeats_are_inconclusive_not_caching() {
+        let same = around(300.0, 300); // repeats slower — load drift
+        let distinct = around(180.0, 300);
+        let probe = caching_verdict(&same, &distinct).unwrap();
+        assert_eq!(probe.verdict, CachingVerdict::Inconclusive);
+    }
+
+    #[test]
+    fn empty_samples_yield_none() {
+        assert!(caching_verdict(&[], &[1.0]).is_none());
+        assert!(caching_verdict(&[1.0], &[]).is_none());
+    }
+}

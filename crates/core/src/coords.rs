@@ -1,0 +1,254 @@
+//! Network coordinates — the reviewer-suggested extension.
+//!
+//! Review #3 of the paper proposed: "use a virtual coordinates system to
+//! estimate the RTT between FE and BE servers and then take this and
+//! Tstatic+RTT out from Tdynamic in order to say something about Tproc
+//! at the datacenter". This module implements that idea with a
+//! Vivaldi-style embedding (Dabek et al., SIGCOMM 2004): 2-D Euclidean
+//! coordinates plus a non-negative *height* (access-link penalty),
+//! trained from pairwise RTT samples.
+//!
+//! The intended pipeline: clients measure handshake RTTs to many FEs
+//! (Dataset B sweeps) and ping the data-center prefixes directly; the
+//! embedding then predicts the *unmeasured* FE↔BE RTTs, which the
+//! factoring heuristic subtracts from `Tdynamic` to isolate `Tproc`
+//! without any distance/regression step.
+
+use simcore::rng::Rng;
+
+/// A Vivaldi coordinate: 2-D position plus height.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Coord {
+    /// X component (ms).
+    pub x: f64,
+    /// Y component (ms).
+    pub y: f64,
+    /// Height component (ms, ≥ 0) — models the access-link detour that
+    /// every path through this node pays.
+    pub h: f64,
+}
+
+impl Coord {
+    /// Predicted RTT between two coordinates.
+    pub fn rtt_to(&self, other: &Coord) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt() + self.h + other.h
+    }
+}
+
+/// One RTT observation between two nodes.
+#[derive(Clone, Copy, Debug)]
+pub struct RttSample {
+    /// First node id.
+    pub a: usize,
+    /// Second node id.
+    pub b: usize,
+    /// Measured RTT in ms.
+    pub rtt_ms: f64,
+}
+
+/// A Vivaldi embedding over `n` nodes.
+#[derive(Clone, Debug)]
+pub struct Vivaldi {
+    coords: Vec<Coord>,
+    errors: Vec<f64>,
+}
+
+const CE: f64 = 0.25;
+const CC: f64 = 0.25;
+
+impl Vivaldi {
+    /// Initialises `n` nodes at small random positions (identical
+    /// positions would make force directions degenerate).
+    pub fn new(n: usize, seed: u64) -> Vivaldi {
+        let mut rng = Rng::from_seed_and_name(seed, "inference/vivaldi");
+        let coords = (0..n)
+            .map(|_| Coord {
+                x: rng.range_f64(-1.0, 1.0),
+                y: rng.range_f64(-1.0, 1.0),
+                h: 0.1,
+            })
+            .collect();
+        Vivaldi {
+            coords,
+            errors: vec![1.0; n],
+        }
+    }
+
+    /// Number of embedded nodes.
+    pub fn len(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.coords.is_empty()
+    }
+
+    /// The coordinate of a node.
+    pub fn coord(&self, i: usize) -> Coord {
+        self.coords[i]
+    }
+
+    /// Applies one Vivaldi update for a sample (adjusts node `a` toward
+    /// or away from node `b`).
+    pub fn update(&mut self, s: &RttSample) {
+        assert!(s.a != s.b && s.rtt_ms > 0.0);
+        let (ca, cb) = (self.coords[s.a], self.coords[s.b]);
+        let dist = ca.rtt_to(&cb);
+        let w = self.errors[s.a] / (self.errors[s.a] + self.errors[s.b]).max(1e-9);
+        let es = (dist - s.rtt_ms).abs() / s.rtt_ms;
+        self.errors[s.a] =
+            (es * CE * w + self.errors[s.a] * (1.0 - CE * w)).clamp(0.02, 2.0);
+        let delta = CC * w;
+        let dx = ca.x - cb.x;
+        let dy = ca.y - cb.y;
+        let planar = (dx * dx + dy * dy).sqrt().max(1e-9);
+        let force = s.rtt_ms - dist;
+        let c = &mut self.coords[s.a];
+        c.x += delta * force * (dx / planar);
+        c.y += delta * force * (dy / planar);
+        c.h = (c.h + delta * force * (c.h / dist.max(1e-9))).max(0.05);
+    }
+
+    /// Trains on a sample set for `passes` passes, updating both
+    /// endpoints of every sample (shuffled per pass for stability).
+    pub fn train(&mut self, samples: &[RttSample], passes: usize, seed: u64) {
+        let mut rng = Rng::from_seed_and_name(seed, "inference/vivaldi/train");
+        let mut order: Vec<usize> = (0..samples.len()).collect();
+        for _ in 0..passes {
+            rng.shuffle(&mut order);
+            for &i in &order {
+                let s = samples[i];
+                self.update(&s);
+                self.update(&RttSample {
+                    a: s.b,
+                    b: s.a,
+                    rtt_ms: s.rtt_ms,
+                });
+            }
+        }
+    }
+
+    /// Predicted RTT between two nodes.
+    pub fn predict(&self, a: usize, b: usize) -> f64 {
+        self.coords[a].rtt_to(&self.coords[b])
+    }
+
+    /// Median relative prediction error over a sample set.
+    pub fn median_rel_error(&self, samples: &[RttSample]) -> f64 {
+        let errs: Vec<f64> = samples
+            .iter()
+            .map(|s| (self.predict(s.a, s.b) - s.rtt_ms).abs() / s.rtt_ms)
+            .collect();
+        stats::quantile::median(&errs).unwrap_or(f64::NAN)
+    }
+}
+
+/// The reviewer's `Tproc` heuristic: subtract the coordinate-estimated
+/// network term from the small-RTT `Tdynamic`.
+///
+/// `t_dynamic_ms` should be a small-RTT median (where `Tdynamic ≈
+/// Tfetch`), `rtt_be_est_ms` the embedding's FE↔BE estimate, `c_rounds`
+/// the assumed number of BE window rounds (the paper's constant `C`),
+/// and `fe_overhead_ms` the FE service allowance.
+pub fn tproc_via_coords(
+    t_dynamic_ms: f64,
+    rtt_be_est_ms: f64,
+    c_rounds: f64,
+    fe_overhead_ms: f64,
+) -> f64 {
+    (t_dynamic_ms - c_rounds * rtt_be_est_ms - fe_overhead_ms).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic ground truth: nodes on a plane, RTT = Euclidean + per-
+    /// node access penalty.
+    fn synthetic(n: usize, seed: u64) -> (Vec<(f64, f64, f64)>, Vec<RttSample>) {
+        let mut rng = Rng::from_seed(seed);
+        let nodes: Vec<(f64, f64, f64)> = (0..n)
+            .map(|_| {
+                (
+                    rng.range_f64(0.0, 100.0),
+                    rng.range_f64(0.0, 100.0),
+                    rng.range_f64(1.0, 4.0),
+                )
+            })
+            .collect();
+        let mut samples = Vec::new();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let dx = nodes[a].0 - nodes[b].0;
+                let dy = nodes[a].1 - nodes[b].1;
+                let rtt = (dx * dx + dy * dy).sqrt() + nodes[a].2 + nodes[b].2;
+                samples.push(RttSample { a, b, rtt_ms: rtt });
+            }
+        }
+        (nodes, samples)
+    }
+
+    #[test]
+    fn embeds_a_euclidean_world_accurately() {
+        let (_, samples) = synthetic(25, 1);
+        let mut v = Vivaldi::new(25, 1);
+        v.train(&samples, 60, 1);
+        let err = v.median_rel_error(&samples);
+        assert!(err < 0.10, "median relative error {err:.3}");
+    }
+
+    #[test]
+    fn predicts_held_out_pairs() {
+        let (_, samples) = synthetic(30, 2);
+        // Hold out every 7th pair.
+        let train: Vec<RttSample> = samples
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % 7 != 0)
+            .map(|(_, s)| *s)
+            .collect();
+        let held: Vec<RttSample> = samples
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % 7 == 0)
+            .map(|(_, s)| *s)
+            .collect();
+        let mut v = Vivaldi::new(30, 2);
+        v.train(&train, 60, 2);
+        let err = v.median_rel_error(&held);
+        assert!(err < 0.15, "held-out median relative error {err:.3}");
+    }
+
+    #[test]
+    fn heights_stay_non_negative_and_symmetry_holds() {
+        let (_, samples) = synthetic(15, 3);
+        let mut v = Vivaldi::new(15, 3);
+        v.train(&samples, 30, 3);
+        for i in 0..v.len() {
+            assert!(v.coord(i).h >= 0.0);
+        }
+        assert!((v.predict(2, 9) - v.predict(9, 2)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tproc_heuristic_arithmetic() {
+        // Tdynamic 180, RTTbe est 40, C = 2, overhead 10 → Tproc ≈ 90.
+        assert_eq!(tproc_via_coords(180.0, 40.0, 2.0, 10.0), 90.0);
+        // Never negative.
+        assert_eq!(tproc_via_coords(50.0, 40.0, 2.0, 10.0), 0.0);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let (_, samples) = synthetic(12, 4);
+        let run = || {
+            let mut v = Vivaldi::new(12, 4);
+            v.train(&samples, 20, 4);
+            v.predict(0, 11)
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,146 @@
+//! Factoring the fetch time — Eq. (2) and Sec. 5 of the paper.
+//!
+//! `Tfetch = Tproc + C·RTTbe`. Neither term is observable at the client,
+//! but `RTTbe` grows with the FE↔BE distance while `Tproc` does not.
+//! The paper therefore takes, for each data center, nearby FEs at varying
+//! distances, measures `Tdynamic` from *small-RTT* clients (where
+//! `Tdynamic ≈ Tfetch`), and regresses against distance:
+//!
+//! * **Y-intercept** → the back-end computation time `Tproc`
+//!   (paper: ≈ 260 ms for Bing, ≈ 34 ms for Google);
+//! * **slope** → the network contribution per mile, `C · rtt_per_mile`.
+//!
+//! [`factor_fetch_time`] runs that regression (OLS plus a Theil–Sen
+//! cross-check) and optionally converts the slope into an estimate of
+//! `C` given an assumed per-mile RTT.
+
+use stats::regress::{ols, theil_sen, Fit};
+
+/// The result of factoring `Tfetch` into processing and network terms.
+#[derive(Clone, Copy, Debug)]
+pub struct FetchFactoring {
+    /// OLS fit of `Tdynamic` (ms) against distance (miles).
+    pub fit: Fit,
+    /// Theil–Sen robust cross-check.
+    pub robust: Fit,
+    /// Estimated back-end processing time (the OLS intercept), ms.
+    pub tproc_ms: f64,
+    /// Estimated network contribution per mile (the OLS slope), ms/mile.
+    pub slope_ms_per_mile: f64,
+}
+
+impl FetchFactoring {
+    /// Converts the slope into the paper's constant `C` under an assumed
+    /// per-mile RTT (ms RTT per great-circle mile, path inflation
+    /// included).
+    pub fn c_estimate(&self, rtt_ms_per_mile: f64) -> f64 {
+        assert!(rtt_ms_per_mile > 0.0);
+        self.slope_ms_per_mile / rtt_ms_per_mile
+    }
+
+    /// True when the OLS and Theil–Sen answers agree within the given
+    /// relative tolerance — a robustness check on the fit.
+    pub fn is_robust(&self, rel_tol: f64) -> bool {
+        let s_ok = if self.fit.slope.abs() < 1e-12 {
+            self.robust.slope.abs() < 1e-12
+        } else {
+            ((self.fit.slope - self.robust.slope) / self.fit.slope).abs() <= rel_tol
+        };
+        let i_ok = if self.fit.intercept.abs() < 1e-9 {
+            true
+        } else {
+            ((self.fit.intercept - self.robust.intercept) / self.fit.intercept).abs()
+                <= rel_tol
+        };
+        s_ok && i_ok
+    }
+}
+
+/// Factors the fetch time from `(distance_miles, tdynamic_ms)` points.
+/// The caller is responsible for restricting to small-RTT clients (where
+/// `Tdynamic ≈ Tfetch`). Returns `None` for fewer than 3 points or
+/// degenerate geometry.
+pub fn factor_fetch_time(points: &[(f64, f64)]) -> Option<FetchFactoring> {
+    if points.len() < 3 {
+        return None;
+    }
+    let xs: Vec<f64> = points.iter().map(|p| p.0).collect();
+    let ys: Vec<f64> = points.iter().map(|p| p.1).collect();
+    let fit = ols(&xs, &ys)?;
+    let robust = theil_sen(&xs, &ys)?;
+    Some(FetchFactoring {
+        fit,
+        robust,
+        tproc_ms: fit.intercept,
+        slope_ms_per_mile: fit.slope,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Fig. 9(a) numbers: y = 0.08·x + 250 (Bing).
+    #[test]
+    fn recovers_paper_bing_line() {
+        let points: Vec<(f64, f64)> = (0..40)
+            .map(|i| {
+                let d = i as f64 * 10.0;
+                (d, 0.08 * d + 250.0)
+            })
+            .collect();
+        let f = factor_fetch_time(&points).unwrap();
+        assert!((f.tproc_ms - 250.0).abs() < 1.0);
+        assert!((f.slope_ms_per_mile - 0.08).abs() < 1e-6);
+        assert!(f.is_robust(0.01));
+    }
+
+    /// Fig. 9(b): y = 0.099·x + 34 (Google).
+    #[test]
+    fn recovers_paper_google_line() {
+        let points: Vec<(f64, f64)> = (0..50)
+            .map(|i| {
+                let d = i as f64 * 10.0;
+                (d, 0.099 * d + 34.0)
+            })
+            .collect();
+        let f = factor_fetch_time(&points).unwrap();
+        assert!((f.tproc_ms - 34.0).abs() < 0.5);
+        assert!((f.slope_ms_per_mile - 0.099).abs() < 1e-6);
+    }
+
+    #[test]
+    fn c_estimate_inverts_slope() {
+        let points: Vec<(f64, f64)> = (0..20)
+            .map(|i| (i as f64 * 20.0, 0.066 * i as f64 * 20.0 + 100.0))
+            .collect();
+        let f = factor_fetch_time(&points).unwrap();
+        // slope 0.066 at rtt 0.033 ms/mile → C = 2.
+        let c = f.c_estimate(0.033);
+        assert!((c - 2.0).abs() < 0.05, "C {c}");
+    }
+
+    #[test]
+    fn outliers_break_plain_ols_but_not_the_robust_check() {
+        let mut points: Vec<(f64, f64)> = (0..30)
+            .map(|i| (i as f64 * 15.0, 0.08 * i as f64 * 15.0 + 200.0))
+            .collect();
+        points[5].1 = 5_000.0; // one overloaded-FE outlier
+        let f = factor_fetch_time(&points).unwrap();
+        // The robust estimate stays near truth:
+        assert!((f.robust.intercept - 200.0).abs() < 30.0);
+        // ... while OLS drifts — and the robustness check flags it.
+        assert!(!f.is_robust(0.10));
+    }
+
+    #[test]
+    fn too_few_points_is_none() {
+        assert!(factor_fetch_time(&[(0.0, 1.0), (1.0, 2.0)]).is_none());
+    }
+
+    #[test]
+    fn vertical_geometry_is_none() {
+        let pts = vec![(5.0, 1.0), (5.0, 2.0), (5.0, 3.0)];
+        assert!(factor_fetch_time(&pts).is_none());
+    }
+}

@@ -1,0 +1,50 @@
+//! # inference — the paper's model-based inference framework
+//!
+//! The primary contribution of *Characterizing Roles of Front-end Servers
+//! in End-to-End Performance of Dynamic Content Distribution* (IMC 2011)
+//! is not a measurement dataset but a **method**: from client-side packet
+//! timelines alone, quantify the directly unobservable FE↔BE fetch time
+//! and factor it into back-end processing and network delivery. This
+//! crate is that method as a reusable library:
+//!
+//! * [`params`] — the measurable quantities: `Tstatic := t4 − t2`,
+//!   `Tdynamic := t5 − t2`, `Tdelta := t5 − t4`;
+//! * [`bounds`] — the fetch-time bracket of Eq. (1):
+//!   `Tdelta ≤ Tfetch ≤ Tdynamic`;
+//! * [`aggregate`] — per-vantage/per-FE medians (every Fig. 5/7 point is
+//!   a per-node median over repeats);
+//! * [`threshold`] — the RTT threshold beyond which `Tdelta = 0` and
+//!   further FE proximity buys nothing (the paper's placement/fetch-time
+//!   trade-off);
+//! * [`factoring`] — Eq. (2), `Tfetch = Tproc + C·RTTbe`: regression of
+//!   `Tdynamic` against FE↔BE distance whose intercept estimates `Tproc`
+//!   and whose slope captures the network term (Fig. 9);
+//! * [`caching`] — the Sec. 3 detector: do FEs cache search results?
+//!   (two-sample comparison of repeated-query vs distinct-query
+//!   `Tdynamic` distributions);
+//! * [`coords`] — the reviewer-suggested extension: a Vivaldi network-
+//!   coordinate embedding that estimates the FE↔BE RTT directly, giving
+//!   a regression-free `Tproc` heuristic;
+//! * [`model`] — the abstract model itself, as executable predictions
+//!   that the simulation-driven tests verify.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod aggregate;
+pub mod bounds;
+pub mod caching;
+pub mod coords;
+pub mod factoring;
+pub mod model;
+pub mod params;
+pub mod threshold;
+
+pub use aggregate::{per_group_medians, GroupMedians};
+pub use bounds::FetchBounds;
+pub use coords::{tproc_via_coords, RttSample, Vivaldi};
+pub use caching::{caching_verdict, CachingVerdict};
+pub use factoring::{factor_fetch_time, FetchFactoring};
+pub use model::ModelPrediction;
+pub use params::QueryParams;
+pub use threshold::estimate_rtt_threshold;

@@ -1,0 +1,167 @@
+//! The abstract model of Sec. 2, as executable predictions.
+//!
+//! The paper's model reduces the client-observed dynamics to three
+//! parameters: the client↔FE RTT, the (per-FE constant) fetch time
+//! `Tfetch`, and the FE-side static service/serialization time `c`.
+//! Its predictions:
+//!
+//! ```text
+//! Tstatic(RTT)  ≈ c + k·RTT          (k = number of extra ACK-clocked
+//!                                     window rounds the static burst
+//!                                     needs beyond the initial window)
+//! Tdynamic(RTT) ≈ max(Tfetch, Tstatic(RTT))
+//! Tdelta(RTT)   ≈ max(0, Tfetch − Tstatic(RTT))
+//! threshold RTT*: Tstatic(RTT*) = Tfetch  ⇔  RTT* = (Tfetch − c) / k
+//! ```
+//!
+//! These functions exist so the simulation-driven tests can check the
+//! *measured* curves against the *predicted* ones — the paper's own
+//! validation methodology ("the observations therefore match the
+//! prediction by our simple abstract model").
+
+/// The model's free parameters for one (FE, service) pair.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ModelPrediction {
+    /// FE-side constant of the static delivery (service time +
+    /// serialization), ms.
+    pub c_ms: f64,
+    /// Extra ACK-clocked rounds the static burst needs beyond the
+    /// initial window (1 for the default static size / IW combination).
+    pub k_rounds: f64,
+    /// The FE↔BE fetch time, ms.
+    pub t_fetch_ms: f64,
+}
+
+impl ModelPrediction {
+    /// Predicted `Tstatic` at a given client↔FE RTT.
+    pub fn t_static_ms(&self, rtt_ms: f64) -> f64 {
+        self.c_ms + self.k_rounds * rtt_ms
+    }
+
+    /// Predicted `Tdynamic` at a given RTT: fetch-limited at small RTT,
+    /// window-pacing-limited at large RTT.
+    pub fn t_dynamic_ms(&self, rtt_ms: f64) -> f64 {
+        self.t_fetch_ms.max(self.t_static_ms(rtt_ms))
+    }
+
+    /// Predicted `Tdelta` at a given RTT.
+    pub fn t_delta_ms(&self, rtt_ms: f64) -> f64 {
+        (self.t_fetch_ms - self.t_static_ms(rtt_ms)).max(0.0)
+    }
+
+    /// The RTT threshold beyond which `Tdelta = 0` and FE proximity no
+    /// longer helps. `None` when the static constant alone exceeds the
+    /// fetch time (always merged) or `k = 0` (static never paces).
+    pub fn rtt_threshold_ms(&self) -> Option<f64> {
+        if self.k_rounds <= 0.0 {
+            return None;
+        }
+        let t = (self.t_fetch_ms - self.c_ms) / self.k_rounds;
+        if t > 0.0 {
+            Some(t)
+        } else {
+            None
+        }
+    }
+
+    /// The model identity `Tdynamic = Tstatic + Tdelta` (holds exactly in
+    /// the un-merged regime, and as `Tdynamic = Tstatic` when merged).
+    pub fn identity_holds(&self, rtt_ms: f64, tol: f64) -> bool {
+        let lhs = self.t_dynamic_ms(rtt_ms);
+        let rhs = if self.t_delta_ms(rtt_ms) > 0.0 {
+            self.t_static_ms(rtt_ms) + self.t_delta_ms(rtt_ms)
+        } else {
+            self.t_static_ms(rtt_ms)
+        };
+        (lhs - rhs).abs() <= tol
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn google_ish() -> ModelPrediction {
+        ModelPrediction {
+            c_ms: 8.0,
+            k_rounds: 1.0,
+            t_fetch_ms: 80.0,
+        }
+    }
+
+    fn bing_ish() -> ModelPrediction {
+        ModelPrediction {
+            c_ms: 20.0,
+            k_rounds: 1.0,
+            t_fetch_ms: 190.0,
+        }
+    }
+
+    #[test]
+    fn small_rtt_regime_is_fetch_limited() {
+        let m = google_ish();
+        assert_eq!(m.t_dynamic_ms(10.0), 80.0);
+        assert_eq!(m.t_dynamic_ms(30.0), 80.0);
+        assert!(m.t_delta_ms(10.0) > m.t_delta_ms(30.0));
+    }
+
+    #[test]
+    fn large_rtt_regime_is_pacing_limited() {
+        let m = google_ish();
+        assert_eq!(m.t_delta_ms(200.0), 0.0);
+        assert_eq!(m.t_dynamic_ms(200.0), 208.0);
+        // Linear growth with slope k.
+        assert_eq!(m.t_dynamic_ms(250.0) - m.t_dynamic_ms(200.0), 50.0);
+    }
+
+    #[test]
+    fn thresholds_match_paper_ordering() {
+        let g = google_ish().rtt_threshold_ms().unwrap();
+        let b = bing_ish().rtt_threshold_ms().unwrap();
+        assert!((g - 72.0).abs() < 1e-9);
+        assert!((b - 170.0).abs() < 1e-9);
+        // Paper: Google's threshold (50–100 ms) is below Bing's
+        // (100–200 ms) because Google's fetch time is smaller.
+        assert!(g < b);
+        assert!((50.0..=100.0).contains(&g));
+        assert!((100.0..=200.0).contains(&b));
+    }
+
+    #[test]
+    fn tdelta_slope_is_minus_k() {
+        let m = google_ish();
+        let slope = (m.t_delta_ms(40.0) - m.t_delta_ms(20.0)) / 20.0;
+        assert_eq!(slope, -1.0);
+    }
+
+    #[test]
+    fn identity_everywhere() {
+        let m = bing_ish();
+        for rtt in [0.0, 25.0, 100.0, 170.0, 200.0, 400.0] {
+            assert!(m.identity_holds(rtt, 1e-9), "rtt {rtt}");
+        }
+    }
+
+    #[test]
+    fn no_threshold_when_fetch_below_constant() {
+        let m = ModelPrediction {
+            c_ms: 50.0,
+            k_rounds: 1.0,
+            t_fetch_ms: 40.0,
+        };
+        assert_eq!(m.rtt_threshold_ms(), None);
+        assert_eq!(m.t_delta_ms(0.0), 0.0);
+    }
+
+    #[test]
+    fn zero_k_never_thresholds() {
+        let m = ModelPrediction {
+            c_ms: 5.0,
+            k_rounds: 0.0,
+            t_fetch_ms: 100.0,
+        };
+        assert_eq!(m.rtt_threshold_ms(), None);
+        // Tdelta constant in RTT.
+        assert_eq!(m.t_delta_ms(10.0), m.t_delta_ms(300.0));
+    }
+}

@@ -1,0 +1,104 @@
+//! The measurable per-query quantities.
+
+use capture::Timeline;
+
+/// The paper's per-query measurement vector, extracted from one
+/// [`Timeline`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct QueryParams {
+    /// Handshake RTT estimate between client and FE, in ms.
+    pub rtt_ms: f64,
+    /// `Tstatic := t4 − t2` — bounds the FE-side processing and delivery
+    /// of the static portion.
+    pub t_static_ms: f64,
+    /// `Tdynamic := t5 − t2` — upper-bounds the fetch time.
+    pub t_dynamic_ms: f64,
+    /// `Tdelta := t5 − t4` — lower-bounds the fetch time (0 when the
+    /// portions coalesce).
+    pub t_delta_ms: f64,
+    /// Overall user-perceived delay `te − tb`.
+    pub overall_ms: f64,
+    /// Static bytes identified by the classifier (sanity signal: should
+    /// be stable across queries to one service).
+    pub static_bytes: u64,
+    /// Total response payload bytes.
+    pub total_bytes: u64,
+}
+
+impl QueryParams {
+    /// Derives the parameters from an extracted timeline.
+    pub fn from_timeline(tl: &Timeline) -> QueryParams {
+        QueryParams {
+            rtt_ms: tl.rtt_ms,
+            t_static_ms: tl.t_static_ms(),
+            t_dynamic_ms: tl.t_dynamic_ms(),
+            t_delta_ms: tl.t_delta_ms(),
+            overall_ms: tl.overall_ms(),
+            static_bytes: tl.static_bytes,
+            total_bytes: tl.total_bytes,
+        }
+    }
+
+    /// Internal consistency: `Tdynamic = Tstatic + Tdelta` (identity of
+    /// the definitions, up to the zero-clamp on `Tdelta`).
+    pub fn is_consistent(&self, tol_ms: f64) -> bool {
+        if self.t_delta_ms > 0.0 {
+            (self.t_dynamic_ms - (self.t_static_ms + self.t_delta_ms)).abs() <= tol_ms
+        } else {
+            // Coalesced: t5 ≤ t4, so Tdynamic ≤ Tstatic.
+            self.t_dynamic_ms <= self.t_static_ms + tol_ms
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(rtt: f64, ts: f64, td: f64) -> QueryParams {
+        QueryParams {
+            rtt_ms: rtt,
+            t_static_ms: ts,
+            t_dynamic_ms: td,
+            t_delta_ms: (td - ts).max(0.0),
+            overall_ms: td + 100.0,
+            static_bytes: 9000,
+            total_bytes: 30000,
+        }
+    }
+
+    #[test]
+    fn identity_holds_in_separated_regime() {
+        let p = params(20.0, 30.0, 180.0);
+        assert!(p.is_consistent(1e-9));
+        assert_eq!(p.t_delta_ms, 150.0);
+    }
+
+    #[test]
+    fn identity_holds_in_coalesced_regime() {
+        let p = QueryParams {
+            rtt_ms: 200.0,
+            t_static_ms: 210.0,
+            t_dynamic_ms: 208.0, // first dynamic slightly before last static
+            t_delta_ms: 0.0,
+            overall_ms: 600.0,
+            static_bytes: 9000,
+            total_bytes: 30000,
+        };
+        assert!(p.is_consistent(1e-9));
+    }
+
+    #[test]
+    fn inconsistency_detected() {
+        let p = QueryParams {
+            rtt_ms: 20.0,
+            t_static_ms: 30.0,
+            t_dynamic_ms: 500.0,
+            t_delta_ms: 10.0, // should be 470
+            overall_ms: 700.0,
+            static_bytes: 9000,
+            total_bytes: 30000,
+        };
+        assert!(!p.is_consistent(1.0));
+    }
+}

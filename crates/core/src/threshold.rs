@@ -1,0 +1,160 @@
+//! The RTT threshold estimator — the paper's placement trade-off made
+//! quantitative.
+//!
+//! Fig. 5(c): `Tdelta` decreases linearly with RTT and "becomes zero when
+//! RTT is beyond a certain threshold (for Google, this threshold is
+//! around 50 ms to 100 ms, for Bing, around 100 ms to 200 ms)". Below
+//! the threshold, end-to-end performance is pinned by `Tfetch`; moving
+//! FEs closer than that buys nothing. The estimator recovers the
+//! threshold from `(RTT, Tdelta)` points in two independent ways:
+//!
+//! 1. **linear x-intercept** — fit the strictly positive `Tdelta` points
+//!    (the paper's "decreases linearly with RTT" regime) and intersect
+//!    with zero;
+//! 2. **binned first-zero** — bin by RTT and find the first bin whose
+//!    median `Tdelta` is ~0, never to rise again.
+//!
+//! Agreement between the two is a model check in itself.
+
+use stats::quantile::median;
+use stats::regress::ols;
+
+/// A threshold estimate with both methods' answers.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RttThreshold {
+    /// X-intercept of the linear fit to the positive-`Tdelta` regime.
+    pub linear_intercept_ms: Option<f64>,
+    /// First RTT bin whose median `Tdelta` is (and stays) ≈ 0.
+    pub binned_first_zero_ms: Option<f64>,
+    /// Slope of the positive-regime fit (the model predicts ≈ −1).
+    pub linear_slope: Option<f64>,
+}
+
+/// Estimates the `Tdelta → 0` RTT threshold from `(rtt_ms, tdelta_ms)`
+/// points (typically per-vantage medians).
+///
+/// `eps_ms` defines "zero" (measurement noise floor); `bin_ms` the bin
+/// width of the second method.
+pub fn estimate_rtt_threshold(
+    points: &[(f64, f64)],
+    eps_ms: f64,
+    bin_ms: f64,
+) -> RttThreshold {
+    assert!(bin_ms > 0.0 && eps_ms >= 0.0);
+    // ---- method 1: linear fit on the positive regime ----
+    let positive: (Vec<f64>, Vec<f64>) = points
+        .iter()
+        .filter(|(_, d)| *d > eps_ms)
+        .map(|&(r, d)| (r, d))
+        .unzip();
+    let fit = ols(&positive.0, &positive.1);
+    let (linear_intercept_ms, linear_slope) = match fit {
+        Some(f) if f.slope < 0.0 => (Some(-f.intercept / f.slope), Some(f.slope)),
+        Some(f) => (None, Some(f.slope)),
+        None => (None, None),
+    };
+    // ---- method 2: binned first persistent zero ----
+    let binned_first_zero_ms = binned_first_zero(points, eps_ms, bin_ms);
+    RttThreshold {
+        linear_intercept_ms,
+        binned_first_zero_ms,
+        linear_slope,
+    }
+}
+
+fn binned_first_zero(points: &[(f64, f64)], eps_ms: f64, bin_ms: f64) -> Option<f64> {
+    if points.is_empty() {
+        return None;
+    }
+    let max_rtt = points.iter().map(|p| p.0).fold(0.0_f64, f64::max);
+    let nbins = (max_rtt / bin_ms).ceil() as usize + 1;
+    let mut bins: Vec<Vec<f64>> = vec![Vec::new(); nbins];
+    for &(r, d) in points {
+        let idx = ((r / bin_ms) as usize).min(nbins - 1);
+        bins[idx].push(d);
+    }
+    let medians: Vec<Option<f64>> = bins.iter().map(|b| median(b)).collect();
+    // First non-empty bin whose median ≤ eps and all later non-empty
+    // bins stay ≤ eps.
+    for (i, m) in medians.iter().enumerate() {
+        if let Some(v) = m {
+            if *v <= eps_ms {
+                let later_ok = medians[i + 1..]
+                    .iter()
+                    .flatten()
+                    .all(|&later| later <= eps_ms);
+                if later_ok {
+                    return Some((i as f64 + 0.5) * bin_ms);
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic Fig. 5(c): Tdelta = max(0, 120 − rtt).
+    fn synthetic(noise: f64) -> Vec<(f64, f64)> {
+        (0..60)
+            .map(|i| {
+                let rtt = i as f64 * 4.0;
+                let jitter = if i % 2 == 0 { noise } else { -noise };
+                ((rtt), (120.0 - rtt + jitter).max(0.0))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn recovers_known_threshold_both_ways() {
+        let est = estimate_rtt_threshold(&synthetic(0.0), 1.0, 20.0);
+        let lin = est.linear_intercept_ms.unwrap();
+        assert!((lin - 120.0).abs() < 5.0, "linear {lin}");
+        let bin = est.binned_first_zero_ms.unwrap();
+        assert!((bin - 130.0).abs() <= 20.0, "binned {bin}");
+        let slope = est.linear_slope.unwrap();
+        assert!((slope + 1.0).abs() < 0.05, "slope {slope}");
+    }
+
+    #[test]
+    fn robust_to_noise() {
+        let est = estimate_rtt_threshold(&synthetic(5.0), 6.0, 20.0);
+        let lin = est.linear_intercept_ms.unwrap();
+        assert!((lin - 120.0).abs() < 15.0, "linear {lin}");
+    }
+
+    #[test]
+    fn no_threshold_when_tdelta_never_reaches_zero() {
+        // Fetch so slow that even the largest RTT leaves Tdelta > 0.
+        let points: Vec<(f64, f64)> =
+            (0..30).map(|i| (i as f64 * 5.0, 400.0 - i as f64 * 5.0)).collect();
+        let est = estimate_rtt_threshold(&points, 1.0, 20.0);
+        assert!(est.binned_first_zero_ms.is_none());
+        // The linear method extrapolates (that is its value: it predicts
+        // the threshold even when not reached).
+        let lin = est.linear_intercept_ms.unwrap();
+        assert!((lin - 400.0).abs() < 10.0);
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        let est = estimate_rtt_threshold(&[], 1.0, 20.0);
+        assert!(est.linear_intercept_ms.is_none());
+        assert!(est.binned_first_zero_ms.is_none());
+        // All-zero Tdelta (every vantage beyond threshold).
+        let zeros: Vec<(f64, f64)> = (0..10).map(|i| (i as f64 * 10.0, 0.0)).collect();
+        let est2 = estimate_rtt_threshold(&zeros, 1.0, 20.0);
+        assert!(est2.linear_intercept_ms.is_none());
+        assert_eq!(est2.binned_first_zero_ms, Some(10.0));
+    }
+
+    #[test]
+    fn positive_slope_yields_no_intercept() {
+        let points: Vec<(f64, f64)> = (0..20).map(|i| (i as f64, 10.0 + i as f64)).collect();
+        let est = estimate_rtt_threshold(&points, 0.5, 10.0);
+        assert!(est.linear_intercept_ms.is_none());
+        assert!(est.linear_slope.unwrap() > 0.0);
+    }
+}

@@ -1,0 +1,40 @@
+//! # emulator — the search-query emulator and experiment harness
+//!
+//! The paper's measurement apparatus: "an in-house user search query
+//! emulator, which performs exactly the same functionality as the
+//! web-based search box", deployed on 200–250 PlanetLab nodes, running
+//! two experiment designs:
+//!
+//! * **Dataset A** ([`dataset_a`]) — every node queries its *default*
+//!   (DNS-resolved) FE every 10 seconds;
+//! * **Dataset B** ([`dataset_b`]) — one *fixed* FE at a time, queried
+//!   from all nodes;
+//!
+//! plus the Sec. 3 caching probes ([`caching_probe`]: same-query vs
+//! distinct-query designs over a 40,000-keyword corpus) and the Sec. 6
+//! search-as-you-type sessions ([`instant_run`]).
+//!
+//! [`runner`] owns the mechanics: build a [`tcpsim::Sim`] around a
+//! [`cdnsim::ServiceWorld`], drive it in time chunks, harvest completed
+//! queries, extract each query's [`capture::Timeline`], and reduce to
+//! [`ProcessedQuery`] records (raw packet traces are dropped as soon as
+//! a timeline is extracted, so arbitrarily long campaigns run in bounded
+//! memory).
+//!
+//! [`ProcessedQuery`]: runner::ProcessedQuery
+//! [`instant_run`]: instant::InstantRun::run
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod caching_probe;
+pub mod dataset_a;
+pub mod dataset_b;
+pub mod instant;
+pub mod output;
+pub mod report;
+pub mod runner;
+pub mod scenarios;
+
+pub use runner::{run_collect, ProcessedQuery};
+pub use scenarios::Scenario;

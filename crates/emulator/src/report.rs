@@ -1,0 +1,187 @@
+//! Campaign summary reports.
+//!
+//! Turns processed-query sets into the compact comparison tables the
+//! figure harnesses and examples print: per-service medians and
+//! variability of every paper quantity, rendered as aligned text or
+//! GitHub-flavoured markdown.
+
+use crate::runner::ProcessedQuery;
+use stats::quantile::Summary;
+
+/// The summary statistics of one campaign (one service / configuration).
+#[derive(Clone, Debug)]
+pub struct CampaignSummary {
+    /// Campaign label.
+    pub label: String,
+    /// Number of queries.
+    pub n: usize,
+    /// Distribution of measured handshake RTTs (ms).
+    pub rtt: Summary,
+    /// Distribution of `Tstatic` (ms).
+    pub t_static: Summary,
+    /// Distribution of `Tdynamic` (ms).
+    pub t_dynamic: Summary,
+    /// Distribution of `Tdelta` (ms).
+    pub t_delta: Summary,
+    /// Distribution of the overall delay (ms).
+    pub overall: Summary,
+    /// Distribution of ground-truth `Tproc` (ms), when available.
+    pub true_proc: Option<Summary>,
+}
+
+impl CampaignSummary {
+    /// Summarises a campaign. Returns `None` for empty input.
+    pub fn of(label: impl Into<String>, queries: &[ProcessedQuery]) -> Option<CampaignSummary> {
+        if queries.is_empty() {
+            return None;
+        }
+        let col = |f: fn(&ProcessedQuery) -> f64| -> Vec<f64> {
+            queries.iter().map(f).collect()
+        };
+        let procs: Vec<f64> = queries
+            .iter()
+            .filter(|q| q.proc_ms > 0.0)
+            .map(|q| q.proc_ms)
+            .collect();
+        Some(CampaignSummary {
+            label: label.into(),
+            n: queries.len(),
+            rtt: Summary::of(&col(|q| q.params.rtt_ms))?,
+            t_static: Summary::of(&col(|q| q.params.t_static_ms))?,
+            t_dynamic: Summary::of(&col(|q| q.params.t_dynamic_ms))?,
+            t_delta: Summary::of(&col(|q| q.params.t_delta_ms))?,
+            overall: Summary::of(&col(|q| q.params.overall_ms))?,
+            true_proc: Summary::of(&procs),
+        })
+    }
+}
+
+/// Renders campaign summaries as a GitHub-flavoured markdown table
+/// (medians, with IQR in parentheses).
+pub fn markdown_table(summaries: &[CampaignSummary]) -> String {
+    let mut out = String::from(
+        "| campaign | n | RTT (ms) | Tstatic | Tdynamic | Tdelta | overall | true Tproc |\n\
+         |---|---|---|---|---|---|---|---|\n",
+    );
+    for s in summaries {
+        let cell = |x: &Summary| format!("{:.1} ({:.1})", x.median, x.p75 - x.p25);
+        out.push_str(&format!(
+            "| {} | {} | {} | {} | {} | {} | {} | {} |\n",
+            s.label,
+            s.n,
+            cell(&s.rtt),
+            cell(&s.t_static),
+            cell(&s.t_dynamic),
+            cell(&s.t_delta),
+            cell(&s.overall),
+            match &s.true_proc {
+                Some(p) => cell(p),
+                None => "—".into(),
+            },
+        ));
+    }
+    out
+}
+
+/// Renders the same data as an aligned plain-text table for terminals.
+pub fn text_table(summaries: &[CampaignSummary]) -> String {
+    let mut out = format!(
+        "{:<24} {:>6} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+        "campaign", "n", "rtt", "Tstatic", "Tdynamic", "Tdelta", "overall"
+    );
+    for s in summaries {
+        out.push_str(&format!(
+            "{:<24} {:>6} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>10.1}\n",
+            s.label,
+            s.n,
+            s.rtt.median,
+            s.t_static.median,
+            s.t_dynamic.median,
+            s.t_delta.median,
+            s.overall.median,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inference::QueryParams;
+    use searchbe::keywords::KeywordClass;
+
+    fn q(rtt: f64, td: f64, proc: f64) -> ProcessedQuery {
+        ProcessedQuery {
+            qid: 1,
+            client: 0,
+            fe: Some(0),
+            be: 0,
+            keyword: 0,
+            class: KeywordClass::Popular,
+            t_start_ms: 0.0,
+            params: QueryParams {
+                rtt_ms: rtt,
+                t_static_ms: rtt + 10.0,
+                t_dynamic_ms: td,
+                t_delta_ms: (td - rtt - 10.0).max(0.0),
+                overall_ms: td + 100.0,
+                static_bytes: 9000,
+                total_bytes: 30000,
+            },
+            rtt_nominal_ms: rtt,
+            rtt_fe_be_ms: 20.0,
+            dist_fe_be_miles: 300.0,
+            proc_ms: proc,
+            fe_overhead_ms: 5.0,
+            true_fetch_ms: Some(td - 5.0),
+        }
+    }
+
+    #[test]
+    fn summary_medians_correct() {
+        let queries = vec![q(10.0, 100.0, 30.0), q(20.0, 200.0, 40.0), q(30.0, 300.0, 50.0)];
+        let s = CampaignSummary::of("test", &queries).unwrap();
+        assert_eq!(s.n, 3);
+        assert_eq!(s.rtt.median, 20.0);
+        assert_eq!(s.t_dynamic.median, 200.0);
+        assert_eq!(s.true_proc.as_ref().unwrap().median, 40.0);
+    }
+
+    #[test]
+    fn empty_is_none() {
+        assert!(CampaignSummary::of("x", &[]).is_none());
+    }
+
+    #[test]
+    fn zero_proc_excluded_from_truth() {
+        // FE cache hits report proc 0 and must not drag the Tproc column.
+        let queries = vec![q(10.0, 100.0, 0.0), q(10.0, 100.0, 40.0)];
+        let s = CampaignSummary::of("x", &queries).unwrap();
+        assert_eq!(s.true_proc.as_ref().unwrap().n, 1);
+        assert_eq!(s.true_proc.as_ref().unwrap().median, 40.0);
+    }
+
+    #[test]
+    fn markdown_table_shape() {
+        let queries = vec![q(10.0, 100.0, 30.0)];
+        let s = CampaignSummary::of("svc-a", &queries).unwrap();
+        let md = markdown_table(&[s]);
+        let lines: Vec<&str> = md.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("| campaign |"));
+        assert!(lines[2].contains("svc-a"));
+        assert_eq!(lines[2].matches('|').count(), 9);
+    }
+
+    #[test]
+    fn text_table_alignment() {
+        let queries = vec![q(10.0, 100.0, 30.0)];
+        let a = CampaignSummary::of("short", &queries).unwrap();
+        let b = CampaignSummary::of("a-much-longer-label", &queries).unwrap();
+        let txt = text_table(&[a, b]);
+        let lines: Vec<&str> = txt.lines().collect();
+        assert_eq!(lines.len(), 3);
+        // Columns line up: the numeric fields start at the same offsets.
+        assert_eq!(lines[1].len(), lines[2].len());
+    }
+}

@@ -1,0 +1,26 @@
+//! # httpsim — HTTP/1.1 message modeling over `tcpsim`
+//!
+//! The measurement study operates on HTTP exchanges: a GET with a query
+//! string goes up; a response whose body splits into a *static portion*
+//! (HTTP header, HTML head, CSS, static menu bar — cached at the FE) and
+//! a *dynamic portion* (results, ads — generated at the BE) comes down.
+//!
+//! The simulator does not shuttle literal bytes; it accounts for their
+//! *sizes* and *identities*. This crate provides that accounting:
+//!
+//! * [`RequestSpec`] — wire size of a search GET for a given query
+//!   string;
+//! * [`ResponsePlan`] — the two-part response layout with content
+//!   identities (equal ids ⇔ byte-identical content, which is how the
+//!   capture pipeline detects the cross-query-static part);
+//! * [`RecvProgress`] — receive-side reassembly bookkeeping: how many
+//!   bytes of each part have arrived, and whether a message is complete.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod msg;
+pub mod progress;
+
+pub use msg::{RequestSpec, ResponsePlan, CONTENT_ID_STATIC_BASE};
+pub use progress::RecvProgress;

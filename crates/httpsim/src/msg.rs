@@ -1,0 +1,161 @@
+//! Request and response size/identity modeling.
+
+use tcpsim::{ConnId, End, Marker, Net};
+
+/// Content ids below this value are reserved for static content (one per
+/// service); dynamic content ids are allocated above it.
+pub const CONTENT_ID_STATIC_BASE: u64 = 1_000;
+
+/// Wire-size model of a search GET request.
+///
+/// `GET /search?q=<query> HTTP/1.1` plus Host, User-Agent, Accept*,
+/// Cookie headers — around 300 bytes of boilerplate plus the
+/// percent-encoded query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RequestSpec {
+    /// Total request size in bytes.
+    pub bytes: u64,
+    /// Content identity of the request (per query, so FE→BE relays are
+    /// attributable in traces).
+    pub content: u64,
+}
+
+impl RequestSpec {
+    /// Builds the spec for a query string of `query_chars` characters
+    /// (percent-encoding inflates by ~1.2×) with content id `content`.
+    pub fn for_query_len(query_chars: usize, content: u64) -> RequestSpec {
+        let encoded = (query_chars as f64 * 1.2).ceil() as u64;
+        RequestSpec {
+            bytes: 310 + encoded,
+            content,
+        }
+    }
+
+    /// Sends this request on a connection (from `end`).
+    pub fn send(&self, net: &mut Net, conn: ConnId, end: End) {
+        net.send(conn, end, self.bytes, Marker::Request, self.content);
+    }
+
+    /// Sends this request re-marked as a BE-leg query (FE → BE).
+    pub fn send_as_be_query(&self, net: &mut Net, conn: ConnId, end: End) {
+        net.send(conn, end, self.bytes, Marker::BeQuery, self.content);
+    }
+}
+
+/// The two-part response layout.
+///
+/// `static_content` is the *same id* for every response from a given
+/// service — the HTTP header, HTML head, CSS and static menu bar do not
+/// depend on the query. `dynamic_content` is unique per query (search
+/// engines personalise; the paper's Sec. 3 experiments confirm FEs do not
+/// cache results).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ResponsePlan {
+    /// Bytes of the static portion.
+    pub static_bytes: u64,
+    /// Content identity of the static portion (shared across queries).
+    pub static_content: u64,
+    /// Bytes of the dynamic portion.
+    pub dynamic_bytes: u64,
+    /// Content identity of the dynamic portion (per query).
+    pub dynamic_content: u64,
+}
+
+impl ResponsePlan {
+    /// Creates a plan; static content ids must be below
+    /// [`CONTENT_ID_STATIC_BASE`], dynamic ids at or above it.
+    pub fn new(
+        static_bytes: u64,
+        static_content: u64,
+        dynamic_bytes: u64,
+        dynamic_content: u64,
+    ) -> ResponsePlan {
+        assert!(
+            static_content < CONTENT_ID_STATIC_BASE,
+            "static content id must be < {CONTENT_ID_STATIC_BASE}"
+        );
+        assert!(
+            dynamic_content >= CONTENT_ID_STATIC_BASE,
+            "dynamic content id must be >= {CONTENT_ID_STATIC_BASE}"
+        );
+        assert!(static_bytes > 0 && dynamic_bytes > 0);
+        ResponsePlan {
+            static_bytes,
+            static_content,
+            dynamic_bytes,
+            dynamic_content,
+        }
+    }
+
+    /// Total response size.
+    pub fn total_bytes(&self) -> u64 {
+        self.static_bytes + self.dynamic_bytes
+    }
+
+    /// Sends the static portion (FE cache hit: delivered immediately on
+    /// request arrival).
+    pub fn send_static(&self, net: &mut Net, conn: ConnId, end: End) {
+        net.send(
+            conn,
+            end,
+            self.static_bytes,
+            Marker::Static,
+            self.static_content,
+        );
+    }
+
+    /// Sends the dynamic portion (after the FE↔BE fetch completes).
+    pub fn send_dynamic(&self, net: &mut Net, conn: ConnId, end: End) {
+        net.send(
+            conn,
+            end,
+            self.dynamic_bytes,
+            Marker::Dynamic,
+            self.dynamic_content,
+        );
+    }
+
+    /// Sends the dynamic portion re-marked as a BE-leg response
+    /// (BE → FE on the split connection).
+    pub fn send_as_be_response(&self, net: &mut Net, conn: ConnId, end: End) {
+        net.send(
+            conn,
+            end,
+            self.dynamic_bytes,
+            Marker::BeResponse,
+            self.dynamic_content,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_size_scales_with_query() {
+        let short = RequestSpec::for_query_len(5, 2000);
+        let long = RequestSpec::for_query_len(80, 2001);
+        assert!(short.bytes >= 310);
+        assert!(long.bytes > short.bytes + 80);
+        assert_eq!(short.content, 2000);
+    }
+
+    #[test]
+    fn plan_totals() {
+        let p = ResponsePlan::new(8_000, 1, 25_000, 5_000);
+        assert_eq!(p.total_bytes(), 33_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "static content id")]
+    fn static_id_range_enforced() {
+        ResponsePlan::new(8_000, 5_000, 25_000, 5_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "dynamic content id")]
+    fn dynamic_id_range_enforced() {
+        ResponsePlan::new(8_000, 1, 25_000, 2);
+    }
+}

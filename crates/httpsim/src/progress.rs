@@ -1,0 +1,121 @@
+//! Receive-side progress tracking.
+//!
+//! Front-ends need to know when a request has fully arrived; clients need
+//! to know when the response (static + dynamic) is complete; the FE needs
+//! to know when the BE's response has streamed in. [`RecvProgress`]
+//! accumulates the delivered spans reported by `tcpsim` and answers those
+//! questions per content class.
+
+use tcpsim::{DeliveredSpan, Marker};
+
+/// Per-marker byte accumulator for one connection direction.
+#[derive(Clone, Debug, Default)]
+pub struct RecvProgress {
+    request: u64,
+    stat: u64,
+    dynamic: u64,
+    be_query: u64,
+    be_response: u64,
+    other: u64,
+}
+
+impl RecvProgress {
+    /// Creates an empty tracker.
+    pub fn new() -> RecvProgress {
+        RecvProgress::default()
+    }
+
+    /// Accounts for newly delivered spans.
+    pub fn absorb(&mut self, spans: &[DeliveredSpan]) {
+        for s in spans {
+            let b = s.len as u64;
+            match s.marker {
+                Marker::Request => self.request += b,
+                Marker::Static => self.stat += b,
+                Marker::Dynamic => self.dynamic += b,
+                Marker::BeQuery => self.be_query += b,
+                Marker::BeResponse => self.be_response += b,
+                Marker::Other => self.other += b,
+            }
+        }
+    }
+
+    /// Bytes received for a marker class.
+    pub fn bytes(&self, marker: Marker) -> u64 {
+        match marker {
+            Marker::Request => self.request,
+            Marker::Static => self.stat,
+            Marker::Dynamic => self.dynamic,
+            Marker::BeQuery => self.be_query,
+            Marker::BeResponse => self.be_response,
+            Marker::Other => self.other,
+        }
+    }
+
+    /// Total bytes received across all classes.
+    pub fn total(&self) -> u64 {
+        self.request + self.stat + self.dynamic + self.be_query + self.be_response + self.other
+    }
+
+    /// True once at least `expected` bytes of `marker` have arrived.
+    pub fn complete(&self, marker: Marker, expected: u64) -> bool {
+        self.bytes(marker) >= expected
+    }
+
+    /// Resets all counters (connection reuse between queries).
+    pub fn reset(&mut self) {
+        *self = RecvProgress::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(len: u32, marker: Marker) -> DeliveredSpan {
+        DeliveredSpan {
+            offset: 0,
+            len,
+            marker,
+            content: 0,
+        }
+    }
+
+    #[test]
+    fn accumulates_per_marker() {
+        let mut p = RecvProgress::new();
+        p.absorb(&[span(100, Marker::Request), span(200, Marker::Static)]);
+        p.absorb(&[span(300, Marker::Static), span(50, Marker::Dynamic)]);
+        assert_eq!(p.bytes(Marker::Request), 100);
+        assert_eq!(p.bytes(Marker::Static), 500);
+        assert_eq!(p.bytes(Marker::Dynamic), 50);
+        assert_eq!(p.total(), 650);
+    }
+
+    #[test]
+    fn completion_check() {
+        let mut p = RecvProgress::new();
+        assert!(!p.complete(Marker::Request, 1));
+        assert!(p.complete(Marker::Request, 0));
+        p.absorb(&[span(400, Marker::Request)]);
+        assert!(p.complete(Marker::Request, 400));
+        assert!(!p.complete(Marker::Request, 401));
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut p = RecvProgress::new();
+        p.absorb(&[span(10, Marker::BeQuery), span(20, Marker::BeResponse)]);
+        assert_eq!(p.total(), 30);
+        p.reset();
+        assert_eq!(p.total(), 0);
+        assert_eq!(p.bytes(Marker::BeQuery), 0);
+    }
+
+    #[test]
+    fn other_marker_tracked() {
+        let mut p = RecvProgress::new();
+        p.absorb(&[span(7, Marker::Other)]);
+        assert_eq!(p.bytes(Marker::Other), 7);
+    }
+}

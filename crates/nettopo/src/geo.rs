@@ -1,0 +1,141 @@
+//! Geographic coordinates and great-circle distances.
+//!
+//! Fig. 9 of the paper plots `Tdynamic` against the *geographical distance
+//! in miles* between FE and BE sites, so miles are the crate's native
+//! distance unit.
+
+/// Mean Earth radius in miles.
+pub const EARTH_RADIUS_MILES: f64 = 3958.7613;
+
+/// A point on the Earth's surface.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GeoPoint {
+    /// Latitude in degrees, positive north.
+    pub lat_deg: f64,
+    /// Longitude in degrees, positive east.
+    pub lon_deg: f64,
+}
+
+impl GeoPoint {
+    /// Constructs a point, normalising longitude into `(−180, 180]` and
+    /// clamping latitude into `[−90, 90]`.
+    pub fn new(lat_deg: f64, lon_deg: f64) -> GeoPoint {
+        let lat = lat_deg.clamp(-90.0, 90.0);
+        let mut lon = lon_deg % 360.0;
+        if lon > 180.0 {
+            lon -= 360.0;
+        } else if lon <= -180.0 {
+            lon += 360.0;
+        }
+        GeoPoint {
+            lat_deg: lat,
+            lon_deg: lon,
+        }
+    }
+
+    /// Great-circle distance to `other` in miles (haversine formula).
+    pub fn distance_miles(&self, other: &GeoPoint) -> f64 {
+        let lat1 = self.lat_deg.to_radians();
+        let lat2 = other.lat_deg.to_radians();
+        let dlat = (other.lat_deg - self.lat_deg).to_radians();
+        let dlon = (other.lon_deg - self.lon_deg).to_radians();
+        let a = (dlat / 2.0).sin().powi(2)
+            + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        let c = 2.0 * a.sqrt().asin();
+        EARTH_RADIUS_MILES * c
+    }
+
+    /// A point offset by approximately `miles_north` / `miles_east` miles
+    /// — used to scatter synthetic hosts around a metro center. Accurate
+    /// for the small (< 100 mile) offsets it is used with.
+    pub fn offset_miles(&self, miles_north: f64, miles_east: f64) -> GeoPoint {
+        let dlat = miles_north / EARTH_RADIUS_MILES * (180.0 / std::f64::consts::PI);
+        let coslat = self.lat_deg.to_radians().cos().max(0.01);
+        let dlon = miles_east / (EARTH_RADIUS_MILES * coslat)
+            * (180.0 / std::f64::consts::PI);
+        GeoPoint::new(self.lat_deg + dlat, self.lon_deg + dlon)
+    }
+}
+
+/// Index of the nearest point in `candidates` to `from`, plus the
+/// distance in miles. `None` for an empty candidate list.
+pub fn nearest<T>(
+    from: &GeoPoint,
+    candidates: &[T],
+    loc: impl Fn(&T) -> GeoPoint,
+) -> Option<(usize, f64)> {
+    candidates
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (i, from.distance_miles(&loc(c))))
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("NaN distance"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MSP: GeoPoint = GeoPoint {
+        lat_deg: 44.9778,
+        lon_deg: -93.2650,
+    }; // Minneapolis (the authors' vantage)
+    const NYC: GeoPoint = GeoPoint {
+        lat_deg: 40.7128,
+        lon_deg: -74.0060,
+    };
+
+    #[test]
+    fn zero_distance_to_self() {
+        assert_eq!(MSP.distance_miles(&MSP), 0.0);
+    }
+
+    #[test]
+    fn known_city_pair_distance() {
+        // Minneapolis–New York ≈ 1,020 miles great-circle.
+        let d = MSP.distance_miles(&NYC);
+        assert!((d - 1020.0).abs() < 30.0, "distance {d}");
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        assert!((MSP.distance_miles(&NYC) - NYC.distance_miles(&MSP)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn antipodal_distance_is_half_circumference() {
+        let a = GeoPoint::new(0.0, 0.0);
+        let b = GeoPoint::new(0.0, 180.0);
+        let d = a.distance_miles(&b);
+        assert!((d - std::f64::consts::PI * EARTH_RADIUS_MILES).abs() < 1.0);
+    }
+
+    #[test]
+    fn normalisation() {
+        let p = GeoPoint::new(95.0, 270.0);
+        assert_eq!(p.lat_deg, 90.0);
+        assert_eq!(p.lon_deg, -90.0);
+        let q = GeoPoint::new(-10.0, -190.0);
+        assert_eq!(q.lon_deg, 170.0);
+    }
+
+    #[test]
+    fn offset_approximates_distance() {
+        let p = MSP.offset_miles(30.0, 0.0);
+        let d = MSP.distance_miles(&p);
+        assert!((d - 30.0).abs() < 0.5, "offset north gave {d}");
+        let q = MSP.offset_miles(0.0, 30.0);
+        let dq = MSP.distance_miles(&q);
+        assert!((dq - 30.0).abs() < 0.5, "offset east gave {dq}");
+    }
+
+    #[test]
+    fn nearest_finds_closest() {
+        let sites = [NYC, MSP, GeoPoint::new(51.5, -0.12)];
+        let from = GeoPoint::new(44.0, -92.0); // near Minneapolis
+        let (idx, d) = nearest(&from, &sites, |p| *p).unwrap();
+        assert_eq!(idx, 1);
+        assert!(d < 120.0);
+        let empty: [GeoPoint; 0] = [];
+        assert!(nearest(&from, &empty, |p| *p).is_none());
+    }
+}

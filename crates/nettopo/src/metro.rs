@@ -1,0 +1,204 @@
+//! A catalogue of world metro areas used to site vantage points, FE
+//! servers and data centers.
+//!
+//! The weights approximate the PlanetLab footprint of 2011: heavily North
+//! American and European (university-hosted nodes), with a meaningful
+//! Asian and smaller South American / Oceanian presence. The catalogue is
+//! deliberately static data — experiments must not depend on external
+//! files.
+
+use crate::geo::GeoPoint;
+
+/// Continental region of a metro.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Region {
+    /// United States and Canada.
+    NorthAmerica,
+    /// Europe.
+    Europe,
+    /// Asia.
+    Asia,
+    /// Central and South America.
+    SouthAmerica,
+    /// Australia and New Zealand.
+    Oceania,
+}
+
+/// A metro area: a population/deployment anchor on the map.
+#[derive(Clone, Copy, Debug)]
+pub struct Metro {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Location of the metro center.
+    pub pt: GeoPoint,
+    /// Continental region.
+    pub region: Region,
+    /// Relative weight for vantage-point generation (PlanetLab-era
+    /// university density) — higher means more vantage points nearby.
+    pub weight: f64,
+    /// True if the metro hosts major research universities (PlanetLab
+    /// sites cluster there, and Akamai placed caches inside those campus
+    /// networks — a bias the paper's Sec. 6 explicitly discusses).
+    pub university_hub: bool,
+}
+
+const fn m(
+    name: &'static str,
+    lat: f64,
+    lon: f64,
+    region: Region,
+    weight: f64,
+    university_hub: bool,
+) -> Metro {
+    Metro {
+        name,
+        pt: GeoPoint {
+            lat_deg: lat,
+            lon_deg: lon,
+        },
+        region,
+        weight,
+        university_hub,
+    }
+}
+
+/// The embedded metro catalogue (61 metros).
+pub const WORLD_METROS: &[Metro] = &[
+    // --- North America (PlanetLab-dense) ---
+    m("Boston", 42.3601, -71.0589, Region::NorthAmerica, 3.0, true),
+    m("New York", 40.7128, -74.0060, Region::NorthAmerica, 2.5, true),
+    m("Philadelphia", 39.9526, -75.1652, Region::NorthAmerica, 1.5, true),
+    m("Washington DC", 38.9072, -77.0369, Region::NorthAmerica, 2.0, true),
+    m("Pittsburgh", 40.4406, -79.9959, Region::NorthAmerica, 1.5, true),
+    m("Atlanta", 33.7490, -84.3880, Region::NorthAmerica, 1.2, true),
+    m("Miami", 25.7617, -80.1918, Region::NorthAmerica, 0.8, false),
+    m("Chicago", 41.8781, -87.6298, Region::NorthAmerica, 2.2, true),
+    m("Minneapolis", 44.9778, -93.2650, Region::NorthAmerica, 1.5, true),
+    m("St. Louis", 38.6270, -90.1994, Region::NorthAmerica, 0.8, true),
+    m("Houston", 29.7604, -95.3698, Region::NorthAmerica, 1.0, true),
+    m("Dallas", 32.7767, -96.7970, Region::NorthAmerica, 1.0, false),
+    m("Denver", 39.7392, -104.9903, Region::NorthAmerica, 0.9, true),
+    m("Salt Lake City", 40.7608, -111.8910, Region::NorthAmerica, 0.7, true),
+    m("Phoenix", 33.4484, -112.0740, Region::NorthAmerica, 0.6, false),
+    m("Seattle", 47.6062, -122.3321, Region::NorthAmerica, 1.8, true),
+    m("Portland", 45.5152, -122.6784, Region::NorthAmerica, 0.8, false),
+    m("San Francisco", 37.7749, -122.4194, Region::NorthAmerica, 2.5, true),
+    m("Los Angeles", 34.0522, -118.2437, Region::NorthAmerica, 1.8, true),
+    m("San Diego", 32.7157, -117.1611, Region::NorthAmerica, 1.0, true),
+    m("Toronto", 43.6532, -79.3832, Region::NorthAmerica, 1.5, true),
+    m("Montreal", 45.5019, -73.5674, Region::NorthAmerica, 1.0, true),
+    m("Vancouver", 49.2827, -123.1207, Region::NorthAmerica, 0.9, true),
+    // --- Europe ---
+    m("London", 51.5074, -0.1278, Region::Europe, 2.2, true),
+    m("Cambridge UK", 52.2053, 0.1218, Region::Europe, 1.2, true),
+    m("Paris", 48.8566, 2.3522, Region::Europe, 1.8, true),
+    m("Amsterdam", 52.3676, 4.9041, Region::Europe, 1.5, true),
+    m("Brussels", 50.8503, 4.3517, Region::Europe, 0.8, true),
+    m("Frankfurt", 50.1109, 8.6821, Region::Europe, 1.5, false),
+    m("Berlin", 52.5200, 13.4050, Region::Europe, 1.4, true),
+    m("Munich", 48.1351, 11.5820, Region::Europe, 1.0, true),
+    m("Zurich", 47.3769, 8.5417, Region::Europe, 1.2, true),
+    m("Milan", 45.4642, 9.1900, Region::Europe, 0.9, true),
+    m("Rome", 41.9028, 12.4964, Region::Europe, 0.7, true),
+    m("Madrid", 40.4168, -3.7038, Region::Europe, 0.9, true),
+    m("Barcelona", 41.3874, 2.1686, Region::Europe, 0.8, true),
+    m("Lisbon", 38.7223, -9.1393, Region::Europe, 0.5, true),
+    m("Dublin", 53.3498, -6.2603, Region::Europe, 0.6, true),
+    m("Stockholm", 59.3293, 18.0686, Region::Europe, 1.0, true),
+    m("Oslo", 59.9139, 10.7522, Region::Europe, 0.5, true),
+    m("Copenhagen", 55.6761, 12.5683, Region::Europe, 0.7, true),
+    m("Helsinki", 60.1699, 24.9384, Region::Europe, 0.7, true),
+    m("Warsaw", 52.2297, 21.0122, Region::Europe, 0.7, true),
+    m("Prague", 50.0755, 14.4378, Region::Europe, 0.6, true),
+    m("Vienna", 48.2082, 16.3738, Region::Europe, 0.6, true),
+    m("Athens", 37.9838, 23.7275, Region::Europe, 0.5, true),
+    // --- Asia ---
+    m("Tokyo", 35.6762, 139.6503, Region::Asia, 1.8, true),
+    m("Osaka", 34.6937, 135.5023, Region::Asia, 0.8, true),
+    m("Seoul", 37.5665, 126.9780, Region::Asia, 1.2, true),
+    m("Beijing", 39.9042, 116.4074, Region::Asia, 1.2, true),
+    m("Shanghai", 31.2304, 121.4737, Region::Asia, 0.9, true),
+    m("Hong Kong", 22.3193, 114.1694, Region::Asia, 0.9, true),
+    m("Taipei", 25.0330, 121.5654, Region::Asia, 0.8, true),
+    m("Singapore", 1.3521, 103.8198, Region::Asia, 1.0, true),
+    m("Bangalore", 12.9716, 77.5946, Region::Asia, 0.6, true),
+    m("Tel Aviv", 32.0853, 34.7818, Region::Asia, 0.6, true),
+    // --- South America ---
+    m("Sao Paulo", -23.5505, -46.6333, Region::SouthAmerica, 0.7, true),
+    m("Buenos Aires", -34.6037, -58.3816, Region::SouthAmerica, 0.4, true),
+    m("Santiago", -33.4489, -70.6693, Region::SouthAmerica, 0.3, true),
+    // --- Oceania ---
+    m("Sydney", -33.8688, 151.2093, Region::Oceania, 0.7, true),
+    m("Melbourne", -37.8136, 144.9631, Region::Oceania, 0.5, true),
+];
+
+/// Metros filtered to those hosting major research universities.
+pub fn university_metros() -> Vec<&'static Metro> {
+    WORLD_METROS.iter().filter(|m| m.university_hub).collect()
+}
+
+/// The `n` highest-weight metros ("major POPs") — used for sparse
+/// Google-like FE placement.
+pub fn top_metros(n: usize) -> Vec<&'static Metro> {
+    let mut v: Vec<&Metro> = WORLD_METROS.iter().collect();
+    v.sort_by(|a, b| b.weight.partial_cmp(&a.weight).expect("NaN weight"));
+    v.truncate(n);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogue_has_sixty_one_metros() {
+        assert_eq!(WORLD_METROS.len(), 61);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = WORLD_METROS.iter().map(|m| m.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), WORLD_METROS.len());
+    }
+
+    #[test]
+    fn coordinates_are_valid() {
+        for m in WORLD_METROS {
+            assert!((-90.0..=90.0).contains(&m.pt.lat_deg), "{}", m.name);
+            assert!((-180.0..=180.0).contains(&m.pt.lon_deg), "{}", m.name);
+            assert!(m.weight > 0.0, "{}", m.name);
+        }
+    }
+
+    #[test]
+    fn footprint_is_planetlab_like() {
+        let na: f64 = WORLD_METROS
+            .iter()
+            .filter(|m| m.region == Region::NorthAmerica)
+            .map(|m| m.weight)
+            .sum();
+        let total: f64 = WORLD_METROS.iter().map(|m| m.weight).sum();
+        // North America holds roughly 40-55% of the PlanetLab weight.
+        let share = na / total;
+        assert!((0.35..0.60).contains(&share), "NA share {share}");
+    }
+
+    #[test]
+    fn top_metros_sorted_by_weight() {
+        let top = top_metros(5);
+        assert_eq!(top.len(), 5);
+        for w in top.windows(2) {
+            assert!(w[0].weight >= w[1].weight);
+        }
+        assert_eq!(top[0].name, "Boston");
+    }
+
+    #[test]
+    fn university_metros_subset() {
+        let uni = university_metros();
+        assert!(uni.len() > 40);
+        assert!(uni.iter().all(|m| m.university_hub));
+    }
+}

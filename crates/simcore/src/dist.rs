@@ -1,0 +1,395 @@
+//! Probability distributions for the latency, loss, load and
+//! processing-time models.
+//!
+//! Implemented in-tree (rather than via `rand_distr`) to keep the exact
+//! draw sequences pinned by this repository. Each distribution documents
+//! the sampling algorithm it uses. [`Dist`] is the enum used in model
+//! configuration (serialisable as plain data), [`Sampler`] the common
+//! sampling interface.
+
+use crate::rng::Rng;
+
+/// Common interface: draw one `f64` sample.
+pub trait Sampler {
+    /// Draws one sample using the supplied generator.
+    fn sample(&self, rng: &mut Rng) -> f64;
+
+    /// The distribution's mean, if finite and known in closed form.
+    fn mean(&self) -> Option<f64>;
+}
+
+/// A configurable distribution over `f64`.
+///
+/// Negative-valued samples are meaningful for some uses (e.g. symmetric
+/// jitter); users that need a non-negative quantity should wrap in
+/// [`Dist::TruncatedBelow`] or clamp at the call site.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Dist {
+    /// Always the same value.
+    Constant(f64),
+    /// Uniform on `[lo, hi)`.
+    Uniform {
+        /// Lower bound (inclusive).
+        lo: f64,
+        /// Upper bound (exclusive).
+        hi: f64,
+    },
+    /// Exponential with the given mean (inverse-CDF sampling).
+    Exponential {
+        /// Mean (= 1/λ).
+        mean: f64,
+    },
+    /// Normal via the Box–Muller transform.
+    Normal {
+        /// Mean.
+        mean: f64,
+        /// Standard deviation.
+        std: f64,
+    },
+    /// Log-normal: `exp(N(mu, sigma))` where `mu`/`sigma` are the
+    /// parameters of the underlying normal (i.e. of `ln X`).
+    LogNormal {
+        /// Mean of `ln X`.
+        mu: f64,
+        /// Standard deviation of `ln X`.
+        sigma: f64,
+    },
+    /// Pareto (Lomax-style tail) with scale `xmin > 0` and shape
+    /// `alpha > 0`: heavy-tailed service/load bursts.
+    Pareto {
+        /// Minimum value (scale).
+        xmin: f64,
+        /// Tail index (shape); means exist for `alpha > 1`.
+        alpha: f64,
+    },
+    /// Weibull with scale `lambda` and shape `k` (inverse-CDF sampling).
+    Weibull {
+        /// Scale parameter.
+        lambda: f64,
+        /// Shape parameter.
+        k: f64,
+    },
+    /// Mixture of two components: with probability `p` draw from `a`,
+    /// otherwise from `b`. Captures bimodal server-load regimes
+    /// (quiescent vs busy multi-tenant FE).
+    Mix {
+        /// Probability of drawing from `a`.
+        p: f64,
+        /// First component.
+        a: Box<Dist>,
+        /// Second component.
+        b: Box<Dist>,
+    },
+    /// Shifts another distribution by a constant offset.
+    Shifted {
+        /// Offset added to every sample.
+        offset: f64,
+        /// Underlying distribution.
+        inner: Box<Dist>,
+    },
+    /// Rejection-free lower truncation: samples below `lo` are clamped.
+    TruncatedBelow {
+        /// Floor applied to every sample.
+        lo: f64,
+        /// Underlying distribution.
+        inner: Box<Dist>,
+    },
+    /// Resampling from recorded values (workload replay): each draw
+    /// picks a stored sample uniformly. Panics on empty data at sample
+    /// time.
+    Empirical(Vec<f64>),
+}
+
+impl Dist {
+    /// Convenience constructor for a log-normal specified by its *linear*
+    /// median and a multiplicative spread factor `s` (the ratio of the
+    /// ~84th percentile to the median). `median > 0`, `s > 1`.
+    ///
+    /// This parameterisation reads naturally in latency models: "median
+    /// 15 ms, spread 1.6×".
+    pub fn lognormal_median_spread(median: f64, s: f64) -> Dist {
+        assert!(median > 0.0 && s > 1.0, "bad lognormal parameters");
+        Dist::LogNormal {
+            mu: median.ln(),
+            sigma: s.ln(),
+        }
+    }
+
+    /// Convenience: a non-negative normal (clamped at zero).
+    pub fn normal_nonneg(mean: f64, std: f64) -> Dist {
+        Dist::TruncatedBelow {
+            lo: 0.0,
+            inner: Box::new(Dist::Normal { mean, std }),
+        }
+    }
+}
+
+impl Sampler for Dist {
+    fn sample(&self, rng: &mut Rng) -> f64 {
+        match self {
+            Dist::Constant(v) => *v,
+            Dist::Uniform { lo, hi } => rng.range_f64(*lo, *hi),
+            Dist::Exponential { mean } => -mean * rng.next_f64_open().ln(),
+            Dist::Normal { mean, std } => {
+                // Box–Muller; one draw discarded for statelessness.
+                let u1 = rng.next_f64_open();
+                let u2 = rng.next_f64();
+                let z = (-2.0 * u1.ln()).sqrt()
+                    * (2.0 * std::f64::consts::PI * u2).cos();
+                mean + std * z
+            }
+            Dist::LogNormal { mu, sigma } => {
+                let n = Dist::Normal {
+                    mean: *mu,
+                    std: *sigma,
+                };
+                n.sample(rng).exp()
+            }
+            Dist::Pareto { xmin, alpha } => {
+                xmin / rng.next_f64_open().powf(1.0 / alpha)
+            }
+            Dist::Weibull { lambda, k } => {
+                lambda * (-rng.next_f64_open().ln()).powf(1.0 / k)
+            }
+            Dist::Mix { p, a, b } => {
+                if rng.chance(*p) {
+                    a.sample(rng)
+                } else {
+                    b.sample(rng)
+                }
+            }
+            Dist::Shifted { offset, inner } => offset + inner.sample(rng),
+            Dist::TruncatedBelow { lo, inner } => inner.sample(rng).max(*lo),
+            Dist::Empirical(data) => *rng.choose(data),
+        }
+    }
+
+    fn mean(&self) -> Option<f64> {
+        match self {
+            Dist::Constant(v) => Some(*v),
+            Dist::Uniform { lo, hi } => Some(0.5 * (lo + hi)),
+            Dist::Exponential { mean } => Some(*mean),
+            Dist::Normal { mean, .. } => Some(*mean),
+            Dist::LogNormal { mu, sigma } => Some((mu + 0.5 * sigma * sigma).exp()),
+            Dist::Pareto { xmin, alpha } => {
+                if *alpha > 1.0 {
+                    Some(alpha * xmin / (alpha - 1.0))
+                } else {
+                    None
+                }
+            }
+            Dist::Weibull { .. } => None, // needs the gamma function
+            Dist::Mix { p, a, b } => Some(p * a.mean()? + (1.0 - p) * b.mean()?),
+            Dist::Shifted { offset, inner } => Some(offset + inner.mean()?),
+            Dist::TruncatedBelow { .. } => None,
+            Dist::Empirical(data) => {
+                if data.is_empty() {
+                    None
+                } else {
+                    Some(data.iter().sum::<f64>() / data.len() as f64)
+                }
+            }
+        }
+    }
+}
+
+/// Draws from a Zipf distribution over ranks `1..=n` with exponent `s`,
+/// by inverse-CDF on a precomputed table. Used for keyword popularity.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the rank table for `n` items with exponent `s >= 0`.
+    pub fn new(n: usize, s: f64) -> Zipf {
+        assert!(n > 0, "Zipf over zero items");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True if the table is empty (never: `new` requires `n > 0`).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws a 0-based rank (0 = most popular).
+    pub fn sample_rank(&self, rng: &mut Rng) -> usize {
+        let u = rng.next_f64();
+        match self
+            .cdf
+            .binary_search_by(|probe| probe.partial_cmp(&u).unwrap())
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> Rng {
+        Rng::from_seed(12345)
+    }
+
+    fn empirical_mean(d: &Dist, n: usize) -> f64 {
+        let mut r = rng();
+        (0..n).map(|_| d.sample(&mut r)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let d = Dist::Constant(4.2);
+        let mut r = rng();
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut r), 4.2);
+        }
+        assert_eq!(d.mean(), Some(4.2));
+    }
+
+    #[test]
+    fn uniform_bounds_and_mean() {
+        let d = Dist::Uniform { lo: 2.0, hi: 6.0 };
+        let mut r = rng();
+        for _ in 0..10_000 {
+            let x = d.sample(&mut r);
+            assert!((2.0..6.0).contains(&x));
+        }
+        assert!((empirical_mean(&d, 50_000) - 4.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn exponential_mean_matches() {
+        let d = Dist::Exponential { mean: 3.0 };
+        assert!((empirical_mean(&d, 200_000) - 3.0).abs() < 0.05);
+        let mut r = rng();
+        for _ in 0..1000 {
+            assert!(d.sample(&mut r) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn normal_mean_and_spread() {
+        let d = Dist::Normal { mean: 10.0, std: 2.0 };
+        assert!((empirical_mean(&d, 200_000) - 10.0).abs() < 0.05);
+        let mut r = rng();
+        let within: usize = (0..100_000)
+            .filter(|_| (d.sample(&mut r) - 10.0).abs() < 2.0)
+            .count();
+        // ~68.3% within one sigma
+        assert!((66_000..71_000).contains(&within), "within {within}");
+    }
+
+    #[test]
+    fn lognormal_median_spread_parameterisation() {
+        let d = Dist::lognormal_median_spread(15.0, 1.6);
+        let mut r = rng();
+        let mut samples: Vec<f64> = (0..100_001).map(|_| d.sample(&mut r)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[50_000];
+        assert!((median - 15.0).abs() < 0.5, "median {median}");
+        let p84 = samples[84_134];
+        assert!((p84 / median - 1.6).abs() < 0.1, "p84/median {}", p84 / median);
+    }
+
+    #[test]
+    fn pareto_is_heavy_tailed_and_bounded_below() {
+        let d = Dist::Pareto { xmin: 1.0, alpha: 2.0 };
+        let mut r = rng();
+        for _ in 0..10_000 {
+            assert!(d.sample(&mut r) >= 1.0);
+        }
+        assert!((empirical_mean(&d, 500_000) - 2.0).abs() < 0.15);
+        assert_eq!(d.mean(), Some(2.0));
+        assert_eq!(Dist::Pareto { xmin: 1.0, alpha: 0.9 }.mean(), None);
+    }
+
+    #[test]
+    fn weibull_shape_one_is_exponential() {
+        let d = Dist::Weibull { lambda: 2.0, k: 1.0 };
+        assert!((empirical_mean(&d, 200_000) - 2.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn mix_interpolates_means() {
+        let d = Dist::Mix {
+            p: 0.75,
+            a: Box::new(Dist::Constant(0.0)),
+            b: Box::new(Dist::Constant(8.0)),
+        };
+        assert_eq!(d.mean(), Some(2.0));
+        assert!((empirical_mean(&d, 100_000) - 2.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn shifted_and_truncated() {
+        let d = Dist::Shifted {
+            offset: 5.0,
+            inner: Box::new(Dist::Constant(1.0)),
+        };
+        assert_eq!(d.mean(), Some(6.0));
+        let t = Dist::normal_nonneg(0.0, 1.0);
+        let mut r = rng();
+        for _ in 0..10_000 {
+            assert!(t.sample(&mut r) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn empirical_resamples_recorded_values() {
+        let data = vec![1.0, 2.0, 4.0, 8.0];
+        let d = Dist::Empirical(data.clone());
+        let mut r = rng();
+        for _ in 0..1000 {
+            assert!(data.contains(&d.sample(&mut r)));
+        }
+        assert_eq!(d.mean(), Some(3.75));
+        assert!((empirical_mean(&d, 100_000) - 3.75).abs() < 0.05);
+        assert_eq!(Dist::Empirical(vec![]).mean(), None);
+    }
+
+    #[test]
+    fn zipf_is_monotone_decreasing_in_rank() {
+        let z = Zipf::new(100, 1.0);
+        let mut r = rng();
+        let mut counts = vec![0u32; 100];
+        for _ in 0..200_000 {
+            counts[z.sample_rank(&mut r)] += 1;
+        }
+        assert!(counts[0] > counts[9]);
+        assert!(counts[9] > counts[49]);
+        // rank-1 frequency for s=1, n=100: 1/H(100) ≈ 0.1928
+        let f0 = counts[0] as f64 / 200_000.0;
+        assert!((f0 - 0.1928).abs() < 0.01, "f0 {f0}");
+        assert_eq!(z.len(), 100);
+    }
+
+    #[test]
+    fn zipf_uniform_when_s_zero() {
+        let z = Zipf::new(10, 0.0);
+        let mut r = rng();
+        let mut counts = vec![0u32; 10];
+        for _ in 0..100_000 {
+            counts[z.sample_rank(&mut r)] += 1;
+        }
+        for &c in &counts {
+            assert!((8_500..11_500).contains(&c), "count {c}");
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! # simcore — deterministic discrete-event simulation core
+//!
+//! Foundation for the `fecdn` packet-level network simulator. Provides:
+//!
+//! * [`SimTime`] / [`SimDuration`] — integer-nanosecond virtual time. All
+//!   simulation state advances only through the event queue, never through
+//!   wall-clock reads, so every run is exactly reproducible.
+//! * [`EventQueue`] — a binary-heap event queue with stable FIFO ordering
+//!   for simultaneous events (ties are broken by insertion sequence, never
+//!   by payload contents).
+//! * [`rng`] — a small, self-contained xoshiro256++ PRNG with *named
+//!   streams*: every stochastic component derives its own independent
+//!   stream from the experiment seed, so adding a component never perturbs
+//!   the draws seen by any other component.
+//! * [`dist`] — the probability distributions used by the latency, loss,
+//!   load and processing-time models (uniform, exponential, normal,
+//!   log-normal, Pareto, Weibull, Bernoulli, empirical).
+//!
+//! The crate is `std`-only, dependency-free and single-threaded by design:
+//! reproducibility of packet traces is a core requirement of the
+//! measurement-reproduction study this workspace implements.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod dist;
+pub mod queue;
+pub mod rng;
+pub mod time;
+
+pub use dist::{Dist, Sampler};
+pub use queue::EventQueue;
+pub use rng::Rng;
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,226 @@
+//! The event queue driving the discrete-event simulation.
+//!
+//! A thin wrapper around `BinaryHeap` that (a) orders events by virtual
+//! time, and (b) breaks ties between simultaneous events by insertion
+//! order. The FIFO tie-break matters: without it, two packets enqueued for
+//! the same instant would pop in an order depending on heap internals,
+//! and simulation runs would not be bit-reproducible across refactorings.
+
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An entry in the queue: the scheduled instant, a monotone sequence
+/// number, and the payload.
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest-first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A time-ordered event queue with stable FIFO ordering of simultaneous
+/// events.
+///
+/// The queue also tracks the current virtual time: [`EventQueue::pop`]
+/// advances the clock to the popped event's timestamp. Scheduling into the
+/// past is a logic error and panics in debug builds (it is clamped to
+/// "now" in release builds, which keeps long batch runs alive while still
+/// surfacing the bug under test).
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    now: SimTime,
+    next_seq: u64,
+    popped: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            next_seq: 0,
+            popped: 0,
+        }
+    }
+
+    /// Current virtual time (the timestamp of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events waiting in the queue.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events remain.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events popped so far (a cheap progress metric for
+    /// harnesses and runaway-simulation guards).
+    pub fn events_processed(&self) -> u64 {
+        self.popped
+    }
+
+    /// Schedules `payload` at the absolute instant `at`.
+    ///
+    /// Debug-panics if `at` is in the past; clamps to `now` in release.
+    pub fn schedule_at(&mut self, at: SimTime, payload: E) {
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past: {at:?} < {:?}",
+            self.now
+        );
+        let at = if at < self.now { self.now } else { at };
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, payload });
+    }
+
+    /// Schedules `payload` after a relative delay from the current time.
+    pub fn schedule_in(&mut self, delay: SimDuration, payload: E) {
+        self.schedule_at(self.now + delay, payload);
+    }
+
+    /// Timestamp of the next event without popping it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Pops the earliest event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.at >= self.now, "event queue time went backwards");
+        self.now = entry.at;
+        self.popped += 1;
+        Some((entry.at, entry.payload))
+    }
+
+    /// Drops all pending events, keeping the clock where it is.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_millis(30), "c");
+        q.schedule_at(SimTime::from_millis(10), "a");
+        q.schedule_at(SimTime::from_millis(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn simultaneous_events_are_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(5);
+        for i in 0..100 {
+            q.schedule_at(t, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_on_pop() {
+        let mut q = EventQueue::new();
+        q.schedule_in(SimDuration::from_millis(7), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, SimTime::from_millis(7));
+        assert_eq!(q.now(), SimTime::from_millis(7));
+        assert_eq!(q.events_processed(), 1);
+    }
+
+    #[test]
+    fn schedule_in_is_relative_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule_in(SimDuration::from_millis(10), 1u8);
+        q.pop();
+        q.schedule_in(SimDuration::from_millis(10), 2u8);
+        let (t, e) = q.pop().unwrap();
+        assert_eq!(e, 2);
+        assert_eq!(t, SimTime::from_millis(20));
+    }
+
+    #[test]
+    fn peek_does_not_advance() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_millis(3), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(3)));
+        assert_eq!(q.now(), SimTime::ZERO);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn clear_keeps_clock() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_millis(3), ());
+        q.pop();
+        q.schedule_at(SimTime::from_millis(9), ());
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.now(), SimTime::from_millis(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    fn scheduling_into_past_panics_in_debug() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_millis(5), ());
+        q.pop();
+        q.schedule_at(SimTime::from_millis(1), ());
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop_stays_sorted() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_millis(1), 1);
+        q.schedule_at(SimTime::from_millis(100), 100);
+        let (_, first) = q.pop().unwrap();
+        assert_eq!(first, 1);
+        q.schedule_at(SimTime::from_millis(50), 50);
+        let (_, second) = q.pop().unwrap();
+        assert_eq!(second, 50);
+        let (_, third) = q.pop().unwrap();
+        assert_eq!(third, 100);
+    }
+}

@@ -1,0 +1,376 @@
+//! Virtual time for the discrete-event simulator.
+//!
+//! Time is an unsigned integer count of **nanoseconds** since the start of
+//! the simulation. Nanosecond resolution comfortably resolves packet
+//! serialisation times on 10 Gb/s links (a 1500-byte frame is 1.2 µs) while
+//! a `u64` still spans ~584 years of virtual time, far beyond any
+//! experiment in this workspace.
+//!
+//! Two types are provided, mirroring `std::time`:
+//! [`SimTime`] is an absolute instant, [`SimDuration`] a span. Mixing them
+//! up is a unit error the type system should catch, which is the entire
+//! reason these are not bare `u64`s.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An absolute instant of virtual time, in nanoseconds since simulation
+/// start.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A span of virtual time, in nanoseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The beginning of the simulation.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable instant (used as an "infinitely far"
+    /// sentinel for disabled timers).
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Constructs an instant from raw nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Constructs an instant from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// Constructs an instant from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Constructs an instant from seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000_000)
+    }
+
+    /// Raw nanosecond count.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// This instant expressed in (fractional) milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1.0e6
+    }
+
+    /// This instant expressed in (fractional) seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1.0e9
+    }
+
+    /// The span from `earlier` to `self`, saturating to zero if `earlier`
+    /// is in fact later (which can happen when comparing jittered
+    /// timestamps from different observers).
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// The span from `earlier` to `self`; panics in debug builds on
+    /// negative spans.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        debug_assert!(
+            self.0 >= earlier.0,
+            "SimTime::since: {self:?} earlier than {earlier:?}"
+        );
+        SimDuration(self.0 - earlier.0)
+    }
+
+    /// Checked addition of a duration.
+    pub fn checked_add(self, d: SimDuration) -> Option<SimTime> {
+        self.0.checked_add(d.0).map(SimTime)
+    }
+}
+
+impl SimDuration {
+    /// Zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0);
+    /// Largest representable span (sentinel for "never").
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
+
+    /// Constructs a span from raw nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimDuration(ns)
+    }
+
+    /// Constructs a span from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us * 1_000)
+    }
+
+    /// Constructs a span from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000_000)
+    }
+
+    /// Constructs a span from seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000_000)
+    }
+
+    /// Constructs a span from fractional milliseconds, rounding to the
+    /// nearest nanosecond and saturating at zero for negative inputs.
+    ///
+    /// This is the bridge from the floating-point latency/processing
+    /// models (which work in milliseconds) into integer virtual time.
+    pub fn from_millis_f64(ms: f64) -> Self {
+        if !ms.is_finite() || ms <= 0.0 {
+            return SimDuration::ZERO;
+        }
+        let ns = (ms * 1.0e6).round();
+        if ns >= u64::MAX as f64 {
+            SimDuration::MAX
+        } else {
+            SimDuration(ns as u64)
+        }
+    }
+
+    /// Constructs a span from fractional seconds (same conventions as
+    /// [`SimDuration::from_millis_f64`]).
+    pub fn from_secs_f64(s: f64) -> Self {
+        SimDuration::from_millis_f64(s * 1.0e3)
+    }
+
+    /// Raw nanosecond count.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// This span in (fractional) milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1.0e6
+    }
+
+    /// This span in (fractional) seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1.0e9
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+
+    /// Multiplies the span by an integer factor, saturating on overflow.
+    pub fn saturating_mul(self, k: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(k))
+    }
+
+    /// Scales the span by a non-negative float factor (used by RTO backoff
+    /// and jitter models), saturating at the representable range.
+    pub fn mul_f64(self, k: f64) -> SimDuration {
+        debug_assert!(k >= 0.0, "SimDuration::mul_f64: negative factor {k}");
+        let ns = self.0 as f64 * k;
+        if !ns.is_finite() || ns >= u64::MAX as f64 {
+            SimDuration::MAX
+        } else {
+            SimDuration(ns.max(0.0) as u64)
+        }
+    }
+
+    /// True for the zero-length span.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The larger of two spans.
+    pub fn max(self, other: SimDuration) -> SimDuration {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The smaller of two spans.
+    pub fn min(self, other: SimDuration) -> SimDuration {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0 + d.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, d: SimDuration) {
+        self.0 += d.0;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, d: SimDuration) -> SimTime {
+        SimTime(self.0 - d.0)
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, other: SimTime) -> SimDuration {
+        self.since(other)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0 + other.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, other: SimDuration) {
+        self.0 += other.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, other: SimDuration) -> SimDuration {
+        debug_assert!(self.0 >= other.0, "SimDuration underflow");
+        SimDuration(self.0 - other.0)
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, other: SimDuration) {
+        debug_assert!(self.0 >= other.0, "SimDuration underflow");
+        self.0 -= other.0;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, k: u64) -> SimDuration {
+        SimDuration(self.0 * k)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, k: u64) -> SimDuration {
+        SimDuration(self.0 / k)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T+{:.3}ms", self.as_millis_f64())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}", self.as_millis_f64())
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_millis_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}", self.as_millis_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_round_trips() {
+        assert_eq!(SimTime::from_millis(5).as_nanos(), 5_000_000);
+        assert_eq!(SimTime::from_micros(5).as_nanos(), 5_000);
+        assert_eq!(SimTime::from_secs(2).as_millis_f64(), 2000.0);
+        assert_eq!(SimDuration::from_millis(1).as_millis_f64(), 1.0);
+        assert_eq!(SimDuration::from_secs(1).as_secs_f64(), 1.0);
+    }
+
+    #[test]
+    fn arithmetic_works() {
+        let t = SimTime::from_millis(10) + SimDuration::from_millis(5);
+        assert_eq!(t, SimTime::from_millis(15));
+        assert_eq!(t - SimTime::from_millis(10), SimDuration::from_millis(5));
+        assert_eq!(
+            SimDuration::from_millis(4) * 3,
+            SimDuration::from_millis(12)
+        );
+        assert_eq!(
+            SimDuration::from_millis(12) / 4,
+            SimDuration::from_millis(3)
+        );
+    }
+
+    #[test]
+    fn float_bridges() {
+        assert_eq!(
+            SimDuration::from_millis_f64(1.5).as_nanos(),
+            1_500_000
+        );
+        assert_eq!(SimDuration::from_millis_f64(-3.0), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_millis_f64(f64::NAN), SimDuration::ZERO);
+        assert_eq!(
+            SimDuration::from_millis_f64(f64::INFINITY),
+            SimDuration::ZERO
+        );
+        assert_eq!(SimDuration::from_secs_f64(0.001).as_nanos(), 1_000_000);
+    }
+
+    #[test]
+    fn mul_f64_saturates() {
+        assert_eq!(SimDuration::MAX.mul_f64(2.0), SimDuration::MAX);
+        assert_eq!(
+            SimDuration::from_millis(10).mul_f64(1.5),
+            SimDuration::from_millis(15)
+        );
+        assert_eq!(SimDuration::from_millis(10).mul_f64(0.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn saturating_since_clamps() {
+        let a = SimTime::from_millis(5);
+        let b = SimTime::from_millis(9);
+        assert_eq!(a.saturating_since(b), SimDuration::ZERO);
+        assert_eq!(b.saturating_since(a), SimDuration::from_millis(4));
+    }
+
+    #[test]
+    fn min_max_helpers() {
+        let a = SimDuration::from_millis(3);
+        let b = SimDuration::from_millis(7);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert!(SimDuration::ZERO.is_zero());
+        assert!(!a.is_zero());
+    }
+
+    #[test]
+    fn ordering_is_chronological() {
+        assert!(SimTime::from_millis(1) < SimTime::from_millis(2));
+        assert!(SimTime::ZERO < SimTime::MAX);
+    }
+
+    #[test]
+    fn display_formats_in_millis() {
+        assert_eq!(format!("{}", SimTime::from_micros(1500)), "1.500");
+        assert_eq!(format!("{:?}", SimDuration::from_micros(250)), "0.250ms");
+    }
+}

@@ -1,0 +1,202 @@
+//! One-dimensional temporal clustering.
+//!
+//! Sec. 4.1 of the paper identifies, in each query's packet timeline,
+//! "temporal clusters of packet events": the TCP handshake, the static
+//! burst, and the dynamic burst. At small RTT the three clusters are
+//! clearly separated; as RTT grows the static and dynamic clusters merge —
+//! exactly the model's prediction.
+//!
+//! [`gap_clusters`] implements the classifier: a new cluster starts
+//! whenever the gap to the previous event exceeds a threshold.
+//! [`adaptive_gap_threshold`] picks that threshold from the data itself
+//! (largest-gap heuristic), which is what the capture pipeline uses so no
+//! magic constant leaks into the analysis.
+
+/// A contiguous run of events forming one temporal cluster.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Cluster {
+    /// Index of the first event in the cluster (into the input slice).
+    pub start_idx: usize,
+    /// Index one past the last event.
+    pub end_idx: usize,
+    /// Timestamp of the first event.
+    pub t_first: f64,
+    /// Timestamp of the last event.
+    pub t_last: f64,
+}
+
+impl Cluster {
+    /// Number of events in the cluster.
+    pub fn len(&self) -> usize {
+        self.end_idx - self.start_idx
+    }
+
+    /// True when the cluster contains no events (never produced by
+    /// [`gap_clusters`]).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Temporal extent of the cluster.
+    pub fn span(&self) -> f64 {
+        self.t_last - self.t_first
+    }
+}
+
+/// Splits a **sorted** sequence of event timestamps into clusters wherever
+/// consecutive events are separated by more than `gap`.
+///
+/// Panics in debug builds if the input is unsorted.
+pub fn gap_clusters(times: &[f64], gap: f64) -> Vec<Cluster> {
+    debug_assert!(
+        times.windows(2).all(|w| w[0] <= w[1]),
+        "gap_clusters: input not sorted"
+    );
+    let mut out = Vec::new();
+    if times.is_empty() {
+        return out;
+    }
+    let mut start = 0usize;
+    for i in 1..times.len() {
+        if times[i] - times[i - 1] > gap {
+            out.push(Cluster {
+                start_idx: start,
+                end_idx: i,
+                t_first: times[start],
+                t_last: times[i - 1],
+            });
+            start = i;
+        }
+    }
+    out.push(Cluster {
+        start_idx: start,
+        end_idx: times.len(),
+        t_first: times[start],
+        t_last: times[times.len() - 1],
+    });
+    out
+}
+
+/// Chooses a gap threshold adaptively: the threshold is placed just below
+/// the `k`-th largest inter-event gap, so the sequence splits into at most
+/// `k + 1` clusters at its most prominent gaps — but only where those gaps
+/// are "prominent" (at least `min_ratio` times the median gap; gaps below
+/// that are considered within-burst pacing, not cluster boundaries).
+///
+/// Returns `None` when the input has fewer than 2 events or no prominent
+/// gap exists (a single merged cluster — the paper's large-RTT regime).
+pub fn adaptive_gap_threshold(times: &[f64], k: usize, min_ratio: f64) -> Option<f64> {
+    if times.len() < 2 || k == 0 {
+        return None;
+    }
+    let mut gaps: Vec<f64> = times.windows(2).map(|w| w[1] - w[0]).collect();
+    gaps.sort_by(|a, b| a.partial_cmp(b).expect("NaN gap"));
+    let median_gap = crate::quantile::quantile_sorted(&gaps, 0.5);
+    let floor = if median_gap > 0.0 {
+        median_gap * min_ratio
+    } else {
+        0.0
+    };
+    // Find the k largest gaps that clear the prominence floor.
+    let prominent: Vec<f64> = gaps
+        .iter()
+        .rev()
+        .take(k)
+        .copied()
+        .filter(|&g| g > floor && g > 0.0)
+        .collect();
+    let smallest_prominent = *prominent.last()?;
+    // Threshold strictly below the smallest prominent gap, above all
+    // smaller (within-burst) gaps.
+    let below = gaps
+        .iter()
+        .rev()
+        .find(|&&g| g < smallest_prominent)
+        .copied()
+        .unwrap_or(0.0);
+    Some((smallest_prominent + below) / 2.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_three_obvious_bursts() {
+        // handshake @ ~0, static @ ~100, dynamic @ ~300
+        let times = [0.0, 0.1, 100.0, 100.2, 100.4, 300.0, 300.1, 300.2, 300.3];
+        let clusters = gap_clusters(&times, 10.0);
+        assert_eq!(clusters.len(), 3);
+        assert_eq!(clusters[0].len(), 2);
+        assert_eq!(clusters[1].len(), 3);
+        assert_eq!(clusters[2].len(), 4);
+        assert_eq!(clusters[1].t_first, 100.0);
+        assert!((clusters[2].span() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_event_single_cluster() {
+        let clusters = gap_clusters(&[5.0], 1.0);
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].len(), 1);
+        assert_eq!(clusters[0].span(), 0.0);
+        assert!(!clusters[0].is_empty());
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(gap_clusters(&[], 1.0).is_empty());
+    }
+
+    #[test]
+    fn merged_when_gap_large() {
+        let times = [0.0, 1.0, 2.0, 3.0];
+        let clusters = gap_clusters(&times, 10.0);
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].len(), 4);
+    }
+
+    #[test]
+    fn cluster_indices_partition_input() {
+        let times = [0.0, 0.5, 20.0, 20.5, 40.0];
+        let clusters = gap_clusters(&times, 5.0);
+        let mut covered = 0;
+        for c in &clusters {
+            assert_eq!(c.start_idx, covered);
+            covered = c.end_idx;
+        }
+        assert_eq!(covered, times.len());
+    }
+
+    #[test]
+    fn adaptive_threshold_finds_two_boundaries() {
+        let times = [0.0, 0.2, 0.4, 50.0, 50.2, 50.4, 120.0, 120.2];
+        let thr = adaptive_gap_threshold(&times, 2, 3.0).unwrap();
+        let clusters = gap_clusters(&times, thr);
+        assert_eq!(clusters.len(), 3);
+    }
+
+    #[test]
+    fn adaptive_threshold_none_when_uniform() {
+        // Evenly spaced events: no gap is ≥ 3× the median gap.
+        let times: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        assert_eq!(adaptive_gap_threshold(&times, 2, 3.0), None);
+    }
+
+    #[test]
+    fn adaptive_threshold_handles_merged_tail() {
+        // Static and dynamic back-to-back (large-RTT regime): only the
+        // handshake gap is prominent → 2 clusters, not 3.
+        let times = [0.0, 0.1, 80.0, 80.1, 80.2, 80.3, 80.4, 80.5];
+        let thr = adaptive_gap_threshold(&times, 2, 5.0).unwrap();
+        let clusters = gap_clusters(&times, thr);
+        assert_eq!(clusters.len(), 2);
+    }
+
+    #[test]
+    fn adaptive_threshold_degenerate_inputs() {
+        assert_eq!(adaptive_gap_threshold(&[], 2, 3.0), None);
+        assert_eq!(adaptive_gap_threshold(&[1.0], 2, 3.0), None);
+        assert_eq!(adaptive_gap_threshold(&[1.0, 2.0], 0, 3.0), None);
+    }
+}

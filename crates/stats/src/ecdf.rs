@@ -1,0 +1,148 @@
+//! Empirical cumulative distribution functions.
+//!
+//! Fig. 6 of the paper compares the RTT distributions of the two services
+//! as CDFs and reads off "fraction of vantage points with RTT below
+//! 20 ms". [`Ecdf`] supports exactly those queries plus sampling the curve
+//! for plotting.
+
+/// An empirical CDF over a set of samples.
+#[derive(Clone, Debug)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds the ECDF (copies and sorts the samples). NaN samples are
+    /// rejected with a panic — they indicate an upstream bug.
+    pub fn new(samples: &[f64]) -> Ecdf {
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample in Ecdf"));
+        Ecdf { sorted }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when built from no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `F(x)` — the fraction of samples `≤ x`. Returns 0 for an empty
+    /// ECDF.
+    pub fn fraction_le(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        // partition_point: first index whose sample is > x.
+        let idx = self.sorted.partition_point(|&s| s <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// Inverse CDF: the smallest sample `x` with `F(x) ≥ q`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.sorted.is_empty() || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let n = self.sorted.len();
+        let idx = ((q * n as f64).ceil() as usize).clamp(1, n) - 1;
+        Some(self.sorted[idx])
+    }
+
+    /// The full step curve as `(x, F(x))` pairs, one per distinct sample —
+    /// what a plotting harness writes out.
+    pub fn curve(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted.len();
+        let mut out: Vec<(f64, f64)> = Vec::new();
+        for (i, &x) in self.sorted.iter().enumerate() {
+            let y = (i + 1) as f64 / n as f64;
+            match out.last_mut() {
+                Some(last) if last.0 == x => last.1 = y,
+                _ => out.push((x, y)),
+            }
+        }
+        out
+    }
+
+    /// Samples the curve at `k + 1` evenly spaced x positions spanning the
+    /// data range — convenient fixed-size series for TSV output.
+    pub fn sampled_curve(&self, k: usize) -> Vec<(f64, f64)> {
+        if self.sorted.is_empty() || k == 0 {
+            return Vec::new();
+        }
+        let lo = self.sorted[0];
+        let hi = *self.sorted.last().unwrap();
+        (0..=k)
+            .map(|i| {
+                let x = lo + (hi - lo) * i as f64 / k as f64;
+                (x, self.fraction_le(x))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fraction_le_basics() {
+        let e = Ecdf::new(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(e.fraction_le(0.5), 0.0);
+        assert_eq!(e.fraction_le(1.0), 0.25);
+        assert_eq!(e.fraction_le(2.5), 0.5);
+        assert_eq!(e.fraction_le(10.0), 1.0);
+    }
+
+    #[test]
+    fn handles_duplicates() {
+        let e = Ecdf::new(&[5.0, 5.0, 5.0, 9.0]);
+        assert_eq!(e.fraction_le(5.0), 0.75);
+        assert_eq!(e.fraction_le(4.9), 0.0);
+        let curve = e.curve();
+        assert_eq!(curve, vec![(5.0, 0.75), (9.0, 1.0)]);
+    }
+
+    #[test]
+    fn quantile_inverts() {
+        let e = Ecdf::new(&[10.0, 20.0, 30.0, 40.0, 50.0]);
+        assert_eq!(e.quantile(0.2), Some(10.0));
+        assert_eq!(e.quantile(0.5), Some(30.0));
+        assert_eq!(e.quantile(1.0), Some(50.0));
+        assert_eq!(e.quantile(1.2), None);
+    }
+
+    #[test]
+    fn empty_is_graceful() {
+        let e = Ecdf::new(&[]);
+        assert!(e.is_empty());
+        assert_eq!(e.fraction_le(1.0), 0.0);
+        assert_eq!(e.quantile(0.5), None);
+        assert!(e.curve().is_empty());
+        assert!(e.sampled_curve(10).is_empty());
+    }
+
+    #[test]
+    fn sampled_curve_is_monotone() {
+        let xs: Vec<f64> = (0..200).map(|i| (i * 7 % 97) as f64).collect();
+        let e = Ecdf::new(&xs);
+        let c = e.sampled_curve(50);
+        assert_eq!(c.len(), 51);
+        for w in c.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+            assert!(w[1].0 >= w[0].0);
+        }
+        assert_eq!(c.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn paper_style_query() {
+        // "more than 80% of PlanetLab nodes observe an RTT of less than
+        // 20ms" is a fraction_le query.
+        let rtts = [5.0, 8.0, 11.0, 15.0, 19.0, 19.5, 22.0, 30.0, 12.0, 9.0];
+        let e = Ecdf::new(&rtts);
+        assert_eq!(e.fraction_le(20.0), 0.8);
+    }
+}

@@ -1,0 +1,132 @@
+//! Fixed-width histograms for report output.
+
+/// A histogram over `[lo, hi)` with equal-width bins. Samples outside the
+/// range are counted in saturating edge bins so no data is silently lost.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    below: u64,
+    above: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins over `[lo, hi)`.
+    /// Panics if `bins == 0` or the range is empty/invalid.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Histogram {
+        assert!(bins > 0, "Histogram: zero bins");
+        assert!(hi > lo && lo.is_finite() && hi.is_finite(), "Histogram: bad range");
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            below: 0,
+            above: 0,
+            total: 0,
+        }
+    }
+
+    /// Adds one sample.
+    pub fn add(&mut self, x: f64) {
+        self.total += 1;
+        if x < self.lo {
+            self.below += 1;
+        } else if x >= self.hi {
+            self.above += 1;
+        } else {
+            let width = (self.hi - self.lo) / self.counts.len() as f64;
+            let idx = ((x - self.lo) / width) as usize;
+            let idx = idx.min(self.counts.len() - 1);
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Adds every sample in a slice.
+    pub fn extend(&mut self, xs: &[f64]) {
+        for &x in xs {
+            self.add(x);
+        }
+    }
+
+    /// Total number of samples seen (including out-of-range).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Out-of-range counts `(below_lo, at_or_above_hi)`.
+    pub fn overflow(&self) -> (u64, u64) {
+        (self.below, self.above)
+    }
+
+    /// The bins as `(bin_center, count)` pairs.
+    pub fn bins(&self) -> Vec<(f64, u64)> {
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (self.lo + width * (i as f64 + 0.5), c))
+            .collect()
+    }
+
+    /// The index of the fullest bin, or `None` if all bins are empty.
+    pub fn mode_bin(&self) -> Option<usize> {
+        let (idx, &max) = self
+            .counts
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, c)| *c)?;
+        if max == 0 {
+            None
+        } else {
+            Some(idx)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_land_in_correct_bins() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.extend(&[0.5, 1.5, 1.6, 9.99]);
+        let bins = h.bins();
+        assert_eq!(bins[0].1, 1);
+        assert_eq!(bins[1].1, 2);
+        assert_eq!(bins[9].1, 1);
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.overflow(), (0, 0));
+    }
+
+    #[test]
+    fn out_of_range_tracked() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.extend(&[-5.0, 0.5, 2.0, 1.0]);
+        assert_eq!(h.overflow(), (1, 2)); // 1.0 is at hi → above
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn bin_centers() {
+        let h = Histogram::new(0.0, 10.0, 5);
+        let centers: Vec<f64> = h.bins().iter().map(|b| b.0).collect();
+        assert_eq!(centers, vec![1.0, 3.0, 5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn mode_bin() {
+        let mut h = Histogram::new(0.0, 3.0, 3);
+        assert_eq!(h.mode_bin(), None);
+        h.extend(&[0.1, 1.1, 1.2, 2.5]);
+        assert_eq!(h.mode_bin(), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "bad range")]
+    fn invalid_range_panics() {
+        Histogram::new(5.0, 5.0, 3);
+    }
+}

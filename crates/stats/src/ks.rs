@@ -1,0 +1,113 @@
+//! Two-sample Kolmogorov–Smirnov statistics.
+//!
+//! The Sec. 3 "do FE servers cache search results?" experiment compares
+//! the `Tdynamic` distribution of *repeated identical* queries against
+//! that of *all-distinct* queries to the same FE. If the FE cached
+//! results, the repeated-query distribution would collapse toward
+//! `Tstatic`-like values and the two distributions would separate sharply.
+//! The KS distance is the natural two-sample test for that comparison.
+
+use crate::ecdf::Ecdf;
+
+/// The two-sample KS distance `sup_x |F_a(x) − F_b(x)|`.
+///
+/// Returns `None` if either sample is empty.
+pub fn ks_distance(a: &[f64], b: &[f64]) -> Option<f64> {
+    if a.is_empty() || b.is_empty() {
+        return None;
+    }
+    let fa = Ecdf::new(a);
+    let fb = Ecdf::new(b);
+    let mut xs: Vec<f64> = a.iter().chain(b.iter()).copied().collect();
+    xs.sort_by(|p, q| p.partial_cmp(q).expect("NaN in ks_distance"));
+    let mut d: f64 = 0.0;
+    for &x in &xs {
+        d = d.max((fa.fraction_le(x) - fb.fraction_le(x)).abs());
+    }
+    Some(d)
+}
+
+/// The critical KS distance at significance level α ≈ 0.05 for samples of
+/// sizes `n` and `m` (asymptotic formula `c(α)·sqrt((n+m)/(n·m))` with
+/// `c(0.05) = 1.358`).
+pub fn ks_critical_005(n: usize, m: usize) -> f64 {
+    assert!(n > 0 && m > 0);
+    1.358 * (((n + m) as f64) / ((n * m) as f64)).sqrt()
+}
+
+/// Outcome of the same-vs-distinct-query comparison.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KsVerdict {
+    /// Distributions are statistically indistinguishable at α = 0.05.
+    Indistinguishable,
+    /// Distributions differ significantly.
+    Distinct,
+}
+
+/// Convenience wrapper: compares two samples and issues a verdict.
+/// Returns `None` if either sample is empty.
+pub fn ks_test(a: &[f64], b: &[f64]) -> Option<(f64, KsVerdict)> {
+    let d = ks_distance(a, b)?;
+    let crit = ks_critical_005(a.len(), b.len());
+    let verdict = if d > crit {
+        KsVerdict::Distinct
+    } else {
+        KsVerdict::Indistinguishable
+    };
+    Some((d, verdict))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_samples_distance_zero() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(ks_distance(&a, &a), Some(0.0));
+    }
+
+    #[test]
+    fn disjoint_samples_distance_one() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [10.0, 20.0, 30.0];
+        assert_eq!(ks_distance(&a, &b), Some(1.0));
+    }
+
+    #[test]
+    fn empty_input_is_none() {
+        assert_eq!(ks_distance(&[], &[1.0]), None);
+        assert_eq!(ks_distance(&[1.0], &[]), None);
+        assert!(ks_test(&[], &[1.0]).is_none());
+    }
+
+    #[test]
+    fn shifted_distributions_partial_overlap() {
+        let a: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let b: Vec<f64> = (50..150).map(|i| i as f64).collect();
+        let d = ks_distance(&a, &b).unwrap();
+        assert!((d - 0.5).abs() < 0.02, "d {d}");
+    }
+
+    #[test]
+    fn critical_value_shrinks_with_sample_size() {
+        assert!(ks_critical_005(1000, 1000) < ks_critical_005(10, 10));
+        // Known value: c·sqrt(2/n) for equal sizes.
+        let crit = ks_critical_005(100, 100);
+        assert!((crit - 1.358 * (0.02f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn verdicts() {
+        // Same uniform grid, slightly jittered: indistinguishable.
+        let a: Vec<f64> = (0..200).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..200).map(|i| i as f64 + 0.1).collect();
+        let (_, v) = ks_test(&a, &b).unwrap();
+        assert_eq!(v, KsVerdict::Indistinguishable);
+
+        // Strongly separated: distinct.
+        let c: Vec<f64> = (1000..1200).map(|i| i as f64).collect();
+        let (_, v2) = ks_test(&a, &c).unwrap();
+        assert_eq!(v2, KsVerdict::Distinct);
+    }
+}

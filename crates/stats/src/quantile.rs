@@ -1,0 +1,194 @@
+//! Quantiles, medians and moment summaries.
+//!
+//! Quantiles use linear interpolation between order statistics (type 7 in
+//! the Hyndman–Fan taxonomy, the R/NumPy default), which is what the
+//! paper's MATLAB-era analysis would have used for its medians.
+
+/// Arithmetic mean; `None` for an empty slice.
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    Some(xs.iter().sum::<f64>() / xs.len() as f64)
+}
+
+/// Population variance; `None` for an empty slice.
+pub fn variance(xs: &[f64]) -> Option<f64> {
+    let m = mean(xs)?;
+    Some(xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64)
+}
+
+/// Sample standard deviation (n−1 denominator); `None` for fewer than two
+/// samples.
+pub fn sample_std(xs: &[f64]) -> Option<f64> {
+    if xs.len() < 2 {
+        return None;
+    }
+    let m = mean(xs)?;
+    let ss: f64 = xs.iter().map(|x| (x - m) * (x - m)).sum();
+    Some((ss / (xs.len() - 1) as f64).sqrt())
+}
+
+/// Quantile `q ∈ [0, 1]` of an **unsorted** slice (copies and sorts).
+/// `None` for an empty slice or out-of-range `q`.
+pub fn quantile(xs: &[f64], q: f64) -> Option<f64> {
+    if xs.is_empty() || !(0.0..=1.0).contains(&q) {
+        return None;
+    }
+    let mut v: Vec<f64> = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    Some(quantile_sorted(&v, q))
+}
+
+/// Quantile of an already-sorted slice (no allocation). Panics on empty
+/// input in debug builds; returns the single element for length-1 input.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    debug_assert!((0.0..=1.0).contains(&q));
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let h = q * (sorted.len() - 1) as f64;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = h - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Median of an unsorted slice.
+pub fn median(xs: &[f64]) -> Option<f64> {
+    quantile(xs, 0.5)
+}
+
+/// Interquartile range.
+pub fn iqr(xs: &[f64]) -> Option<f64> {
+    Some(quantile(xs, 0.75)? - quantile(xs, 0.25)?)
+}
+
+/// A compact distribution summary used throughout the experiment reports.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (0 when n < 2).
+    pub std: f64,
+    /// Minimum.
+    pub min: f64,
+    /// 25th percentile.
+    pub p25: f64,
+    /// Median.
+    pub median: f64,
+    /// 75th percentile.
+    pub p75: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes the summary; `None` for empty input.
+    pub fn of(xs: &[f64]) -> Option<Summary> {
+        if xs.is_empty() {
+            return None;
+        }
+        let mut v = xs.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in Summary input"));
+        Some(Summary {
+            n: v.len(),
+            mean: mean(&v).unwrap(),
+            std: sample_std(&v).unwrap_or(0.0),
+            min: v[0],
+            p25: quantile_sorted(&v, 0.25),
+            median: quantile_sorted(&v, 0.5),
+            p75: quantile_sorted(&v, 0.75),
+            p95: quantile_sorted(&v, 0.95),
+            max: *v.last().unwrap(),
+        })
+    }
+
+    /// Coefficient of variation (std/mean); `None` when the mean is ~0.
+    pub fn cv(&self) -> Option<f64> {
+        if self.mean.abs() < 1e-12 {
+            None
+        } else {
+            Some(self.std / self.mean)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(mean(&[2.0, 4.0]), Some(3.0));
+        assert_eq!(variance(&[1.0, 1.0, 1.0]), Some(0.0));
+        assert!((variance(&[1.0, 3.0]).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_std_needs_two() {
+        assert_eq!(sample_std(&[1.0]), None);
+        assert!((sample_std(&[2.0, 4.0]).unwrap() - std::f64::consts::SQRT_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_odd_and_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), Some(2.5));
+        assert_eq!(median(&[]), None);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let xs = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(quantile(&xs, 0.0), Some(10.0));
+        assert_eq!(quantile(&xs, 1.0), Some(40.0));
+        assert!((quantile(&xs, 0.25).unwrap() - 17.5).abs() < 1e-12);
+        assert_eq!(quantile(&xs, 1.5), None);
+    }
+
+    #[test]
+    fn quantile_single_element() {
+        assert_eq!(quantile(&[7.0], 0.3), Some(7.0));
+    }
+
+    #[test]
+    fn iqr_of_uniform_grid() {
+        let xs: Vec<f64> = (0..101).map(|i| i as f64).collect();
+        assert!((iqr(&xs).unwrap() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_fields_consistent() {
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = Summary::of(&xs).unwrap();
+        assert_eq!(s.n, 100);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert!((s.mean - 50.5).abs() < 1e-9);
+        assert!((s.median - 50.5).abs() < 1e-9);
+        assert!(s.p25 < s.median && s.median < s.p75 && s.p75 < s.p95);
+        assert!(s.cv().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn summary_empty_is_none() {
+        assert!(Summary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn cv_none_for_zero_mean() {
+        let s = Summary::of(&[-1.0, 1.0]).unwrap();
+        assert!(s.cv().is_none());
+    }
+}

@@ -1,0 +1,229 @@
+//! Linear regression.
+//!
+//! Sec. 5 of the paper fits `Tdynamic` against the FE↔BE geographical
+//! distance with ordinary least squares and reads the Y-intercept as the
+//! back-end processing time `Tproc` and the slope as the network
+//! contribution per mile. [`ols`] reproduces that fit (with R²);
+//! [`theil_sen`] is the robust median-of-pairwise-slopes estimator used
+//! as a cross-check, since a handful of overloaded-FE outliers can drag an
+//! OLS intercept badly.
+
+/// A fitted line `y = slope·x + intercept`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Fit {
+    /// Slope of the fitted line.
+    pub slope: f64,
+    /// Y-intercept of the fitted line.
+    pub intercept: f64,
+    /// Coefficient of determination (R²); 1.0 for a perfect fit. For
+    /// Theil–Sen this is the R² of the robust line, computed the same way.
+    pub r2: f64,
+    /// Number of points used.
+    pub n: usize,
+}
+
+impl Fit {
+    /// Predicted `y` at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+}
+
+fn r_squared(xs: &[f64], ys: &[f64], slope: f64, intercept: f64) -> f64 {
+    let my = ys.iter().sum::<f64>() / ys.len() as f64;
+    let ss_tot: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
+    let ss_res: f64 = xs
+        .iter()
+        .zip(ys)
+        .map(|(&x, &y)| {
+            let e = y - (slope * x + intercept);
+            e * e
+        })
+        .sum();
+    if ss_tot <= 0.0 {
+        if ss_res <= 1e-18 {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+/// Ordinary least squares fit of `y` on `x`.
+///
+/// Returns `None` when fewer than two points are supplied or all `x`
+/// coincide (vertical line).
+pub fn ols(xs: &[f64], ys: &[f64]) -> Option<Fit> {
+    assert_eq!(xs.len(), ys.len(), "ols: length mismatch");
+    let n = xs.len();
+    if n < 2 {
+        return None;
+    }
+    let nf = n as f64;
+    let mx = xs.iter().sum::<f64>() / nf;
+    let my = ys.iter().sum::<f64>() / nf;
+    let sxx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+    if sxx <= 0.0 {
+        return None;
+    }
+    let sxy: f64 = xs.iter().zip(ys).map(|(&x, &y)| (x - mx) * (y - my)).sum();
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    Some(Fit {
+        slope,
+        intercept,
+        r2: r_squared(xs, ys, slope, intercept),
+        n,
+    })
+}
+
+/// Pearson correlation coefficient; `None` for fewer than two points or
+/// zero variance in either variable.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    assert_eq!(xs.len(), ys.len(), "pearson: length mismatch");
+    let n = xs.len();
+    if n < 2 {
+        return None;
+    }
+    let nf = n as f64;
+    let mx = xs.iter().sum::<f64>() / nf;
+    let my = ys.iter().sum::<f64>() / nf;
+    let sxx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+    let syy: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
+    if sxx <= 0.0 || syy <= 0.0 {
+        return None;
+    }
+    let sxy: f64 = xs.iter().zip(ys).map(|(&x, &y)| (x - mx) * (y - my)).sum();
+    Some(sxy / (sxx * syy).sqrt())
+}
+
+/// Theil–Sen robust regression: slope is the median of all pairwise
+/// slopes, intercept the median of `y − slope·x`.
+///
+/// O(n²) pairwise slopes — fine for the few hundred points per figure in
+/// this study. Returns `None` for fewer than two points or when all `x`
+/// coincide.
+pub fn theil_sen(xs: &[f64], ys: &[f64]) -> Option<Fit> {
+    assert_eq!(xs.len(), ys.len(), "theil_sen: length mismatch");
+    let n = xs.len();
+    if n < 2 {
+        return None;
+    }
+    let mut slopes = Vec::with_capacity(n * (n - 1) / 2);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dx = xs[j] - xs[i];
+            if dx.abs() > 1e-12 {
+                slopes.push((ys[j] - ys[i]) / dx);
+            }
+        }
+    }
+    if slopes.is_empty() {
+        return None;
+    }
+    slopes.sort_by(|a, b| a.partial_cmp(b).expect("NaN slope"));
+    let slope = crate::quantile::quantile_sorted(&slopes, 0.5);
+    let mut residuals: Vec<f64> = xs
+        .iter()
+        .zip(ys)
+        .map(|(&x, &y)| y - slope * x)
+        .collect();
+    residuals.sort_by(|a, b| a.partial_cmp(b).expect("NaN residual"));
+    let intercept = crate::quantile::quantile_sorted(&residuals, 0.5);
+    Some(Fit {
+        slope,
+        intercept,
+        r2: r_squared(xs, ys, slope, intercept),
+        n,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ols_recovers_exact_line() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 0.08 * x + 250.0).collect();
+        let f = ols(&xs, &ys).unwrap();
+        assert!((f.slope - 0.08).abs() < 1e-12);
+        assert!((f.intercept - 250.0).abs() < 1e-9);
+        assert!((f.r2 - 1.0).abs() < 1e-12);
+        assert_eq!(f.n, 50);
+        assert!((f.predict(100.0) - 258.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ols_with_symmetric_noise_keeps_slope() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| 2.0 * x + 10.0 + if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        let f = ols(&xs, &ys).unwrap();
+        assert!((f.slope - 2.0).abs() < 0.01);
+        assert!(f.r2 > 0.999);
+    }
+
+    #[test]
+    fn ols_degenerate_inputs() {
+        assert!(ols(&[1.0], &[2.0]).is_none());
+        assert!(ols(&[3.0, 3.0, 3.0], &[1.0, 2.0, 3.0]).is_none());
+        assert!(ols(&[], &[]).is_none());
+    }
+
+    #[test]
+    fn theil_sen_ignores_outliers() {
+        let xs: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        let mut ys: Vec<f64> = xs.iter().map(|x| 3.0 * x + 5.0).collect();
+        ys[7] = 1e6; // gross outlier
+        ys[23] = -1e6;
+        let robust = theil_sen(&xs, &ys).unwrap();
+        assert!((robust.slope - 3.0).abs() < 0.2, "slope {}", robust.slope);
+        assert!((robust.intercept - 5.0).abs() < 3.0);
+        let naive = ols(&xs, &ys).unwrap();
+        assert!((naive.slope - 3.0).abs() > 1.0, "OLS should be dragged");
+    }
+
+    #[test]
+    fn theil_sen_matches_ols_on_clean_data() {
+        let xs: Vec<f64> = (0..20).map(|i| i as f64 * 10.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 0.099 * x + 34.0).collect();
+        let a = ols(&xs, &ys).unwrap();
+        let b = theil_sen(&xs, &ys).unwrap();
+        assert!((a.slope - b.slope).abs() < 1e-9);
+        assert!((a.intercept - b.intercept).abs() < 1e-6);
+    }
+
+    #[test]
+    fn r2_zero_for_flat_y_with_residuals() {
+        // All y equal but the line has nonzero slope → ss_tot = 0, residuals > 0.
+        let r2 = r_squared(&[0.0, 1.0], &[5.0, 5.0], 1.0, 0.0);
+        assert_eq!(r2, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = ols(&[1.0, 2.0], &[1.0]);
+    }
+
+    #[test]
+    fn pearson_known_values() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x + 1.0).collect();
+        assert!((pearson(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = xs.iter().map(|x| -x).collect();
+        assert!((pearson(&xs, &neg).unwrap() + 1.0).abs() < 1e-12);
+        // Orthogonal alternating signal: correlation ≈ 0.
+        let alt: Vec<f64> = (0..50).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        assert!(pearson(&xs, &alt).unwrap().abs() < 0.1);
+        // Degenerate inputs.
+        assert!(pearson(&[1.0], &[2.0]).is_none());
+        assert!(pearson(&[1.0, 1.0], &[2.0, 3.0]).is_none());
+    }
+}

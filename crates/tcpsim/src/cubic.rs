@@ -1,0 +1,177 @@
+//! CUBIC congestion avoidance (Ha, Rhee & Xu, 2008) — the Linux default
+//! the 2011 measurement hosts actually ran.
+//!
+//! Pure window math, kept separate from the endpoint so it is
+//! unit-testable without an event loop. Windows are in **segments**
+//! here; the endpoint converts to bytes.
+//!
+//! After a loss at window `W_max`, the window is cut to `β·W_max`
+//! (β = 0.7) and then grows along
+//!
+//! ```text
+//! W(t) = C·(t − K)³ + W_max,   K = ∛(W_max·(1 − β)/C)
+//! ```
+//!
+//! concave up to `W_max` (fast recovery of the old operating point) and
+//! convex beyond it (probing). A TCP-friendly lower envelope ensures
+//! CUBIC is never slower than Reno at small windows/RTTs.
+
+use simcore::time::SimTime;
+
+/// CUBIC's scaling constant (segments/s³).
+pub const CUBIC_C: f64 = 0.4;
+/// CUBIC's multiplicative-decrease factor.
+pub const CUBIC_BETA: f64 = 0.7;
+
+/// Per-connection CUBIC state.
+#[derive(Clone, Debug)]
+pub struct CubicState {
+    /// Window (segments) just before the last reduction.
+    pub w_max_segs: f64,
+    /// Start of the current growth epoch (first CA ACK after a loss).
+    pub epoch_start: Option<SimTime>,
+    /// Plateau offset `K`, seconds.
+    pub k_secs: f64,
+}
+
+impl Default for CubicState {
+    fn default() -> Self {
+        CubicState {
+            w_max_segs: 0.0,
+            epoch_start: None,
+            k_secs: 0.0,
+        }
+    }
+}
+
+impl CubicState {
+    /// Records a loss event at the given window.
+    pub fn on_loss(&mut self, cwnd_segs: f64) {
+        self.w_max_segs = cwnd_segs.max(2.0);
+        self.epoch_start = None;
+    }
+
+    /// The CUBIC target window (segments) at time `now`, lazily starting
+    /// the epoch. `srtt_s` feeds the TCP-friendly envelope.
+    pub fn target(&mut self, now: SimTime, cwnd_segs: f64, srtt_s: f64) -> f64 {
+        let epoch = *self.epoch_start.get_or_insert_with(|| {
+            // New epoch: if we never lost, treat the current window as
+            // the plateau so growth starts in the convex (probing) part.
+            if self.w_max_segs < cwnd_segs {
+                self.w_max_segs = cwnd_segs;
+            }
+            self.k_secs =
+                ((self.w_max_segs * (1.0 - CUBIC_BETA)) / CUBIC_C).cbrt();
+            now
+        });
+        let t = now.saturating_since(epoch).as_secs_f64();
+        let dt = t - self.k_secs;
+        let cubic = CUBIC_C * dt * dt * dt + self.w_max_segs;
+        // TCP-friendly region (RFC 8312 §4.2).
+        let srtt = srtt_s.max(1e-3);
+        let w_est = self.w_max_segs * CUBIC_BETA
+            + 3.0 * (1.0 - CUBIC_BETA) / (1.0 + CUBIC_BETA) * (t / srtt);
+        cubic.max(w_est).max(2.0)
+    }
+
+    /// Per-ACK window increment in segments toward the target (standard
+    /// CUBIC pacing: close the gap over one window's worth of ACKs),
+    /// clamped to at most half a segment per ACK.
+    pub fn per_ack_increment(target_segs: f64, cwnd_segs: f64) -> f64 {
+        if target_segs <= cwnd_segs {
+            // Minimal probing when at/above target.
+            0.01 / cwnd_segs.max(1.0)
+        } else {
+            ((target_segs - cwnd_segs) / cwnd_segs.max(1.0)).min(0.5)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::time::SimDuration;
+
+    #[test]
+    fn k_places_the_plateau_at_w_max() {
+        let mut s = CubicState::default();
+        s.on_loss(100.0);
+        let t0 = SimTime::from_secs(10);
+        // Long RTT (500 ms): the cubic curve, not the TCP-friendly
+        // envelope, governs — at t = K the cubic term vanishes and the
+        // target returns to w_max.
+        let _ = s.target(t0, 70.0, 0.5);
+        let at_k = t0 + SimDuration::from_secs_f64(s.k_secs);
+        let w = s.target(at_k, 70.0, 0.5);
+        assert!((w - 100.0).abs() < 6.0, "target at K: {w}");
+    }
+
+    #[test]
+    fn tcp_friendly_envelope_governs_at_small_rtt() {
+        // At a 50 ms RTT, Reno's +1 seg/RTT rate outruns the cubic curve
+        // near its plateau — CUBIC must not be slower than Reno there
+        // (RFC 8312 §4.2).
+        let mut s = CubicState::default();
+        s.on_loss(100.0);
+        let t0 = SimTime::from_secs(10);
+        let _ = s.target(t0, 70.0, 0.05);
+        let at_k = t0 + SimDuration::from_secs_f64(s.k_secs);
+        let w = s.target(at_k, 70.0, 0.05);
+        let w_est = 100.0 * CUBIC_BETA
+            + 3.0 * (1.0 - CUBIC_BETA) / (1.0 + CUBIC_BETA) * (s.k_secs / 0.05);
+        assert!((w - w_est).abs() < 1.0, "target {w} vs envelope {w_est}");
+        assert!(w > 100.0, "envelope exceeds the plateau here");
+    }
+
+    #[test]
+    fn concave_then_convex() {
+        let mut s = CubicState::default();
+        s.on_loss(100.0);
+        let t0 = SimTime::from_secs(1);
+        let _ = s.target(t0, 70.0, 0.05);
+        let k = s.k_secs;
+        let before = s.target(t0 + SimDuration::from_secs_f64(k * 0.5), 70.0, 0.05);
+        let at = s.target(t0 + SimDuration::from_secs_f64(k), 70.0, 0.05);
+        let after = s.target(t0 + SimDuration::from_secs_f64(k * 1.5), 70.0, 0.05);
+        assert!(before < at && at < after);
+        // Concave approach: the first half covers most of the gap.
+        assert!(at - before < before - 70.0 + 35.0);
+    }
+
+    #[test]
+    fn tcp_friendly_floor_dominates_at_tiny_windows() {
+        let mut s = CubicState::default();
+        s.on_loss(4.0);
+        let t0 = SimTime::from_secs(1);
+        let _ = s.target(t0, 3.0, 0.01); // starts the epoch
+        // Two seconds later at a 10 ms RTT the Reno-rate envelope has
+        // grown far past the tiny cubic plateau.
+        let w = s.target(t0 + SimDuration::from_secs(2), 3.0, 0.01);
+        let reno_est = 4.0 * CUBIC_BETA + 3.0 * 0.3 / 1.7 * (2.0 / 0.01);
+        assert!(
+            (w - reno_est).abs() < 2.0,
+            "target {w} vs envelope {reno_est}"
+        );
+    }
+
+    #[test]
+    fn per_ack_increment_closes_gap_and_is_bounded() {
+        assert!(CubicState::per_ack_increment(20.0, 10.0) <= 0.5);
+        assert!(CubicState::per_ack_increment(11.0, 10.0) > 0.0);
+        let idle = CubicState::per_ack_increment(5.0, 10.0);
+        assert!(idle > 0.0 && idle < 0.01);
+    }
+
+    #[test]
+    fn fresh_connection_probes_convexly() {
+        // No loss yet: epoch starts at the current window, K collapses
+        // toward ∛(w(1-β)/C) and growth is convex from the start.
+        let mut s = CubicState::default();
+        let t0 = SimTime::from_secs(5);
+        let w0 = s.target(t0, 10.0, 0.05);
+        let w1 = s.target(t0 + SimDuration::from_secs(1), 10.0, 0.05);
+        let w2 = s.target(t0 + SimDuration::from_secs(2), 10.0, 0.05);
+        assert!(w0 <= w1 && w1 <= w2);
+        assert!(w2 - w1 >= w1 - w0 - 1e-9, "convex probing");
+    }
+}

@@ -1,0 +1,1267 @@
+//! The network: connections, links, the event loop, and the application
+//! interface.
+//!
+//! [`Sim`] couples a [`Net`] (all TCP/link state) with a user [`App`] (the
+//! protocol-above-TCP state machine — in this workspace, clients,
+//! front-end proxies and back-end data centers). Events are processed one
+//! at a time; each may queue application callbacks, which are delivered
+//! with `&mut Net` so handlers can immediately send data, open
+//! connections, close, or arm timers.
+
+use crate::endpoint::{AckPolicy, AckReaction, Endpoint, TcpState};
+use crate::opts::TcpOptions;
+use crate::segment::{Marker, MetaSpan, PktKind, Segment};
+use crate::trace::{PktDir, TraceLog};
+use simcore::dist::{Dist, Sampler};
+use simcore::queue::EventQueue;
+use simcore::rng::Rng;
+use simcore::time::{SimDuration, SimTime};
+use std::collections::VecDeque;
+
+/// Identifier of a simulated host (assigned by the application).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+/// Identifier of a connection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConnId(pub u32);
+
+/// Which side of a connection; `A` is the initiator (client side).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum End {
+    /// The initiator.
+    A,
+    /// The acceptor.
+    B,
+}
+
+impl End {
+    /// Array index for this end.
+    pub fn idx(self) -> usize {
+        match self {
+            End::A => 0,
+            End::B => 1,
+        }
+    }
+
+    /// The opposite end.
+    pub fn other(self) -> End {
+        match self {
+            End::A => End::B,
+            End::B => End::A,
+        }
+    }
+}
+
+/// A span of bytes delivered in order to the application (re-export of
+/// [`MetaSpan`] under the name the `App` trait uses).
+pub type DeliveredSpan = MetaSpan;
+
+/// Path parameters between the two endpoints of a connection.
+#[derive(Clone, Debug)]
+pub struct PathParams {
+    /// Fixed one-way delay in ms (propagation + base).
+    pub base_owd_ms: f64,
+    /// Per-packet one-way jitter in ms (non-negative distribution).
+    pub jitter_ms: Dist,
+    /// Per-packet, per-direction loss probability.
+    pub loss: f64,
+    /// Bottleneck bandwidth, Mbit/s.
+    pub bw_mbps: f64,
+}
+
+impl PathParams {
+    /// An ideal loss-free path with the given RTT and ample bandwidth —
+    /// the workhorse of unit tests.
+    pub fn ideal(rtt_ms: f64) -> PathParams {
+        PathParams {
+            base_owd_ms: rtt_ms / 2.0,
+            jitter_ms: Dist::Constant(0.0),
+            loss: 0.0,
+            bw_mbps: 10_000.0,
+        }
+    }
+
+    /// Same as [`PathParams::ideal`] but with a loss rate.
+    pub fn lossy(rtt_ms: f64, loss: f64) -> PathParams {
+        PathParams {
+            loss,
+            ..PathParams::ideal(rtt_ms)
+        }
+    }
+
+    /// One-way serialization delay of a packet of `bytes`.
+    pub fn serialization(&self, bytes: u32) -> SimDuration {
+        SimDuration::from_millis_f64((bytes as f64 * 8.0) / (self.bw_mbps * 1000.0))
+    }
+}
+
+/// The application protocol driven by the simulator.
+///
+/// All callbacks receive `&mut Net` and may call [`Net::open`],
+/// [`Net::send`], [`Net::close`], [`Net::set_timer`] freely.
+pub trait App {
+    /// The connection completed its handshake at `end`.
+    fn on_established(&mut self, net: &mut Net, conn: ConnId, end: End);
+    /// In-order data arrived at `end`.
+    fn on_data(&mut self, net: &mut Net, conn: ConnId, end: End, spans: &[DeliveredSpan]);
+    /// The peer's FIN was consumed at `end` (stream fully received).
+    fn on_fin(&mut self, net: &mut Net, conn: ConnId, end: End) {
+        let _ = (net, conn, end);
+    }
+    /// An application timer armed with [`Net::set_timer`] fired.
+    fn on_timer(&mut self, net: &mut Net, token: u64) {
+        let _ = (net, token);
+    }
+}
+
+enum Ev {
+    Deliver { conn: ConnId, to: End, seg: Segment },
+    Rto { conn: ConnId, end: End, gen: u64 },
+    DelAck { conn: ConnId, end: End, gen: u64 },
+    AppTimer { token: u64 },
+}
+
+enum Cb {
+    Established { conn: ConnId, end: End },
+    Data { conn: ConnId, end: End, spans: Vec<MetaSpan> },
+    Fin { conn: ConnId, end: End },
+    Timer { token: u64 },
+}
+
+struct Conn {
+    nodes: [NodeId; 2],
+    session: u64,
+    path: PathParams,
+    rng: Rng,
+    busy_until: [SimTime; 2],
+    // Highest arrival time scheduled per direction: a single path is a
+    // FIFO queue, so jitter may stretch gaps but never reorder packets.
+    last_arrival: [SimTime; 2],
+    ep: [Endpoint; 2],
+    syn_time: SimTime,
+    handshake_retx: bool,
+    fin_cb_fired: [bool; 2],
+}
+
+/// All network state: connections, event queue, traces.
+pub struct Net {
+    q: EventQueue<Ev>,
+    conns: Vec<Conn>,
+    trace: TraceLog,
+    cbs: VecDeque<Cb>,
+    app_rng: Rng,
+    seed: u64,
+    max_events: u64,
+}
+
+impl Net {
+    fn new(seed: u64) -> Net {
+        Net {
+            q: EventQueue::new(),
+            conns: Vec::new(),
+            trace: TraceLog::new(),
+            cbs: VecDeque::new(),
+            app_rng: Rng::from_seed_and_name(seed, "tcpsim/app"),
+            seed,
+            max_events: 2_000_000_000,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.q.now()
+    }
+
+    /// A generator for application-level randomness (its own stream).
+    pub fn rng(&mut self) -> &mut Rng {
+        &mut self.app_rng
+    }
+
+    /// The packet trace store.
+    pub fn trace(&self) -> &TraceLog {
+        &self.trace
+    }
+
+    /// Mutable access to the packet trace store (enable/take sessions).
+    pub fn trace_mut(&mut self) -> &mut TraceLog {
+        &mut self.trace
+    }
+
+    /// Caps the number of processed events (runaway guard).
+    pub fn set_max_events(&mut self, max: u64) {
+        self.max_events = max;
+    }
+
+    /// Number of events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.q.events_processed()
+    }
+
+    /// Number of events still waiting in the queue (0 ⇔ the simulation
+    /// has quiesced).
+    pub fn pending_events(&self) -> usize {
+        self.q.len()
+    }
+
+    /// Opens a connection from node `a` to node `b` over `path`; the SYN
+    /// leaves immediately. `session` tags all trace events of this
+    /// connection (the query id in the measurement harness).
+    pub fn open(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        path: PathParams,
+        opts_a: TcpOptions,
+        opts_b: TcpOptions,
+        session: u64,
+    ) -> ConnId {
+        let cid = ConnId(self.conns.len() as u32);
+        let rng = Rng::from_seed_and_name(
+            self.seed,
+            &format!("tcpsim/conn/{}/{}", cid.0, session),
+        );
+        let mut conn = Conn {
+            nodes: [a, b],
+            session,
+            path,
+            rng,
+            busy_until: [SimTime::ZERO; 2],
+            last_arrival: [SimTime::ZERO; 2],
+            ep: [Endpoint::new(opts_a), Endpoint::new(opts_b)],
+            syn_time: self.now(),
+            handshake_retx: false,
+            fin_cb_fired: [false, false],
+        };
+        conn.ep[0].state = TcpState::SynSent;
+        conn.ep[0].syn_sent_count = 1;
+        self.conns.push(conn);
+        let syn = self.make_ctl(cid, End::A, PktKind::Syn);
+        self.transmit(cid, End::A, syn);
+        self.arm_rto(cid, End::A);
+        cid
+    }
+
+    /// Appends `len` application bytes tagged `(marker, content)` to the
+    /// `end` side's send stream and transmits as the window allows.
+    pub fn send(&mut self, conn: ConnId, end: End, len: u64, marker: Marker, content: u64) {
+        self.conns[conn.0 as usize].ep[end.idx()].push_chunk(len, marker, content);
+        self.pump(conn, end);
+    }
+
+    /// Requests an orderly close from `end` (FIN after all queued data).
+    pub fn close(&mut self, conn: ConnId, end: End) {
+        self.conns[conn.0 as usize].ep[end.idx()].fin_pending = true;
+        self.pump(conn, end);
+    }
+
+    /// Arms an application timer; `token` is returned in
+    /// [`App::on_timer`].
+    pub fn set_timer(&mut self, delay: SimDuration, token: u64) {
+        self.q.schedule_in(delay, Ev::AppTimer { token });
+    }
+
+    /// TCP state of one side.
+    pub fn state(&self, conn: ConnId, end: End) -> TcpState {
+        self.conns[conn.0 as usize].ep[end.idx()].state
+    }
+
+    /// Congestion window (bytes) of one side — exposed for tests and the
+    /// split-TCP ablation instrumentation.
+    pub fn cwnd(&self, conn: ConnId, end: End) -> f64 {
+        self.conns[conn.0 as usize].ep[end.idx()].cwnd
+    }
+
+    /// Smoothed RTT estimate of one side, in ms.
+    pub fn srtt_ms(&self, conn: ConnId, end: End) -> Option<f64> {
+        self.conns[conn.0 as usize].ep[end.idx()].srtt_ms
+    }
+
+    /// Bytes delivered in order to the application at `end`.
+    pub fn delivered_bytes(&self, conn: ConnId, end: End) -> u64 {
+        self.conns[conn.0 as usize].ep[end.idx()].rcv_nxt
+    }
+
+    /// Loss-recovery counters of one side.
+    pub fn conn_stats(&self, conn: ConnId, end: End) -> crate::endpoint::ConnStats {
+        self.conns[conn.0 as usize].ep[end.idx()].stats
+    }
+
+    /// The session tag a connection was opened with.
+    pub fn session_of(&self, conn: ConnId) -> u64 {
+        self.conns[conn.0 as usize].session
+    }
+
+    /// Re-tags a connection's future trace events with a new session id.
+    /// Persistent (pooled) connections carry many queries over their
+    /// lifetime; the split-TCP proxy re-tags at every checkout so each
+    /// query's packets land in its own trace bucket.
+    pub fn set_session(&mut self, conn: ConnId, session: u64) {
+        self.conns[conn.0 as usize].session = session;
+    }
+
+    // ---- internals ----
+
+    fn make_ctl(&mut self, cid: ConnId, from: End, kind: PktKind) -> Segment {
+        let c = &self.conns[cid.0 as usize];
+        let ep = &c.ep[from.idx()];
+        Segment {
+            kind,
+            seq: ep.snd_nxt,
+            len: 0,
+            ack: ep.rcv_nxt,
+            push: false,
+            wnd: ep.opts.rwnd,
+            meta: Vec::new(),
+        }
+    }
+
+    fn transmit(&mut self, cid: ConnId, from: End, seg: Segment) {
+        let now = self.now();
+        let c = &mut self.conns[cid.0 as usize];
+        let node = c.nodes[from.idx()];
+        self.trace
+            .record(now, node, cid, c.session, PktDir::Tx, &seg);
+        c.ep[from.idx()].last_send = now;
+        // Serialization at the bottleneck (per direction).
+        let ser = c.path.serialization(seg.wire_bytes());
+        let dep_start = if c.busy_until[from.idx()] > now {
+            c.busy_until[from.idx()]
+        } else {
+            now
+        };
+        let dep_end = dep_start + ser;
+        c.busy_until[from.idx()] = dep_end;
+        // Loss coin (after consuming the wire).
+        if c.rng.chance(c.path.loss) {
+            self.trace
+                .record(now, node, cid, c.session, PktDir::Drop, &seg);
+            return;
+        }
+        let jitter = c.path.jitter_ms.sample(&mut c.rng).max(0.0);
+        let mut arrival =
+            dep_end + SimDuration::from_millis_f64(c.path.base_owd_ms + jitter);
+        // FIFO per direction: never deliver before an earlier packet.
+        let floor = c.last_arrival[from.idx()] + SimDuration::from_nanos(1);
+        if arrival < floor {
+            arrival = floor;
+        }
+        c.last_arrival[from.idx()] = arrival;
+        self.q.schedule_at(
+            arrival,
+            Ev::Deliver {
+                conn: cid,
+                to: from.other(),
+                seg,
+            },
+        );
+    }
+
+    fn arm_rto(&mut self, cid: ConnId, end: End) {
+        let c = &mut self.conns[cid.0 as usize];
+        let ep = &mut c.ep[end.idx()];
+        ep.rto_gen += 1;
+        ep.rto_armed = true;
+        let gen = ep.rto_gen;
+        let rto = ep.rto;
+        self.q.schedule_in(rto, Ev::Rto { conn: cid, end, gen });
+    }
+
+    fn cancel_rto(&mut self, cid: ConnId, end: End) {
+        let ep = &mut self.conns[cid.0 as usize].ep[end.idx()];
+        ep.rto_gen += 1;
+        ep.rto_armed = false;
+    }
+
+    /// Sends fresh data as the window allows; returns true if anything
+    /// payload-bearing (or FIN) left.
+    fn pump(&mut self, cid: ConnId, end: End) -> bool {
+        let now = self.now();
+        let mut sent_any = false;
+        loop {
+            let c = &mut self.conns[cid.0 as usize];
+            let ep = &mut c.ep[end.idx()];
+            if ep.state != TcpState::Established {
+                break;
+            }
+            ep.maybe_idle_reset(now);
+            let usable = ep.usable_window();
+            if ep.snd_nxt < ep.stream_len {
+                let remaining = ep.stream_len - ep.snd_nxt;
+                let len = (ep.opts.mss as u64).min(remaining) as u32;
+                if (len as u64) > usable {
+                    break;
+                }
+                // Nagle: hold a sub-MSS tail while older data is in
+                // flight (it will ride out on the next ACK).
+                if ep.opts.nagle && (len as u64) < ep.opts.mss as u64 && ep.in_flight() > 0
+                {
+                    break;
+                }
+                let seq = ep.snd_nxt;
+                let meta = ep.meta_for_range(seq, len);
+                let push = ep.range_ends_chunk(seq, len);
+                if ep.rtt_probe.is_none() {
+                    ep.rtt_probe = Some((seq + len as u64, now));
+                }
+                ep.snd_nxt += len as u64;
+                let seg = Segment {
+                    kind: PktKind::Data,
+                    seq,
+                    len,
+                    ack: ep.rcv_nxt,
+                    push,
+                    wnd: ep.opts.rwnd,
+                    meta,
+                };
+                // A data segment carries the ACK: cancel any pending
+                // delayed ACK.
+                ep.delack_armed = false;
+                ep.delack_gen += 1;
+                let need_arm = !ep.rto_armed;
+                self.transmit(cid, end, seg);
+                if need_arm {
+                    self.arm_rto(cid, end);
+                }
+                sent_any = true;
+            } else if ep.fin_pending && !ep.fin_sent && usable > 0 {
+                ep.fin_sent = true;
+                ep.snd_nxt += 1;
+                let seg = Segment {
+                    kind: PktKind::Fin,
+                    seq: ep.stream_len,
+                    len: 0,
+                    ack: ep.rcv_nxt,
+                    push: true,
+                    wnd: ep.opts.rwnd,
+                    meta: Vec::new(),
+                };
+                ep.delack_armed = false;
+                ep.delack_gen += 1;
+                let need_arm = !ep.rto_armed;
+                self.transmit(cid, end, seg);
+                if need_arm {
+                    self.arm_rto(cid, end);
+                }
+                sent_any = true;
+            } else {
+                break;
+            }
+        }
+        sent_any
+    }
+
+    fn retransmit_una(&mut self, cid: ConnId, end: End) {
+        let c = &mut self.conns[cid.0 as usize];
+        let ep = &mut c.ep[end.idx()];
+        if ep.in_flight() == 0 {
+            return;
+        }
+        let seq = ep.snd_una;
+        let seg = if seq >= ep.stream_len {
+            // The unacked byte is the FIN.
+            Segment {
+                kind: PktKind::Fin,
+                seq: ep.stream_len,
+                len: 0,
+                ack: ep.rcv_nxt,
+                push: true,
+                wnd: ep.opts.rwnd,
+                meta: Vec::new(),
+            }
+        } else {
+            let len = (ep.opts.mss as u64)
+                .min(ep.stream_len - seq)
+                .min(ep.snd_nxt - seq) as u32;
+            let meta = ep.meta_for_range(seq, len);
+            let push = ep.range_ends_chunk(seq, len);
+            Segment {
+                kind: PktKind::Data,
+                seq,
+                len,
+                ack: ep.rcv_nxt,
+                push,
+                wnd: ep.opts.rwnd,
+                meta,
+            }
+        };
+        ep.rtt_probe = None; // Karn: no sample across retransmission
+        ep.stats.retransmitted_segs += 1;
+        self.transmit(cid, end, seg);
+        self.arm_rto(cid, end);
+    }
+
+    fn send_ack_now(&mut self, cid: ConnId, end: End) {
+        {
+            let ep = &mut self.conns[cid.0 as usize].ep[end.idx()];
+            ep.delack_armed = false;
+            ep.delack_gen += 1;
+        }
+        let ack = self.make_ctl(cid, end, PktKind::Ack);
+        self.transmit(cid, end, ack);
+    }
+
+    fn arm_delack(&mut self, cid: ConnId, end: End) {
+        let c = &mut self.conns[cid.0 as usize];
+        let ep = &mut c.ep[end.idx()];
+        if ep.delack_armed {
+            return;
+        }
+        ep.delack_armed = true;
+        ep.delack_gen += 1;
+        let gen = ep.delack_gen;
+        let dt = ep.opts.delack_timeout;
+        self.q.schedule_in(dt, Ev::DelAck { conn: cid, end, gen });
+    }
+
+    fn establish(&mut self, cid: ConnId, end: End) {
+        let c = &mut self.conns[cid.0 as usize];
+        let ep = &mut c.ep[end.idx()];
+        if ep.state == TcpState::Established {
+            return;
+        }
+        ep.state = TcpState::Established;
+        self.cancel_rto(cid, end);
+        // Handshake RTT sample (Karn: only if never retransmitted).
+        let c = &mut self.conns[cid.0 as usize];
+        if end == End::A && !c.handshake_retx {
+            let sample = self.q.now().saturating_since(c.syn_time);
+            c.ep[end.idx()].rtt_sample(sample);
+        }
+        self.cbs.push_back(Cb::Established { conn: cid, end });
+    }
+
+    fn handle_deliver(&mut self, cid: ConnId, to: End, seg: Segment) {
+        let now = self.now();
+        {
+            let c = &self.conns[cid.0 as usize];
+            let node = c.nodes[to.idx()];
+            self.trace
+                .record(now, node, cid, c.session, PktDir::Rx, &seg);
+        }
+        match seg.kind {
+            PktKind::Syn => {
+                let state = self.conns[cid.0 as usize].ep[to.idx()].state;
+                match state {
+                    TcpState::Closed => {
+                        self.conns[cid.0 as usize].ep[to.idx()].state = TcpState::SynRcvd;
+                        let sa = self.make_ctl(cid, to, PktKind::SynAck);
+                        self.transmit(cid, to, sa);
+                        self.arm_rto(cid, to);
+                    }
+                    TcpState::SynRcvd => {
+                        // Duplicate SYN: resend SYN-ACK.
+                        let sa = self.make_ctl(cid, to, PktKind::SynAck);
+                        self.transmit(cid, to, sa);
+                    }
+                    _ => {}
+                }
+            }
+            PktKind::SynAck => {
+                let state = self.conns[cid.0 as usize].ep[to.idx()].state;
+                if state == TcpState::SynSent {
+                    self.establish(cid, to);
+                    let ack = self.make_ctl(cid, to, PktKind::Ack);
+                    self.transmit(cid, to, ack);
+                    // Data queued before the handshake completed can
+                    // leave now.
+                    self.pump(cid, to);
+                } else if state == TcpState::Established {
+                    // Our handshake ACK was lost; re-ack.
+                    let ack = self.make_ctl(cid, to, PktKind::Ack);
+                    self.transmit(cid, to, ack);
+                }
+            }
+            PktKind::Ack | PktKind::Data | PktKind::Fin => {
+                if self.conns[cid.0 as usize].ep[to.idx()].state == TcpState::SynRcvd {
+                    self.establish(cid, to);
+                    self.pump(cid, to);
+                }
+                // --- sender-side: process the cumulative ACK ---
+                let reaction = {
+                    let ep = &mut self.conns[cid.0 as usize].ep[to.idx()];
+                    ep.on_ack(seg.ack, seg.wnd, now, seg.has_payload())
+                };
+                match reaction {
+                    AckReaction::FastRetransmit | AckReaction::PartialRetransmit => {
+                        self.retransmit_una(cid, to);
+                    }
+                    _ => {}
+                }
+                {
+                    let ep = &self.conns[cid.0 as usize].ep[to.idx()];
+                    let flight = ep.in_flight();
+                    let advanced = matches!(
+                        reaction,
+                        AckReaction::Advance | AckReaction::PartialRetransmit
+                    );
+                    if flight == 0 {
+                        if ep.rto_armed {
+                            self.cancel_rto(cid, to);
+                        }
+                    } else if advanced {
+                        self.arm_rto(cid, to);
+                    }
+                }
+                self.pump(cid, to);
+                // --- receiver-side: payload / FIN ---
+                if seg.kind == PktKind::Data || seg.kind == PktKind::Fin {
+                    let fin = seg.kind == PktKind::Fin;
+                    let (spans, policy) = {
+                        let ep = &mut self.conns[cid.0 as usize].ep[to.idx()];
+                        ep.accept(seg.seq, seg.len, seg.push, fin, seg.meta)
+                    };
+                    if !spans.is_empty() {
+                        self.cbs.push_back(Cb::Data {
+                            conn: cid,
+                            end: to,
+                            spans,
+                        });
+                    }
+                    {
+                        let c = &mut self.conns[cid.0 as usize];
+                        if c.ep[to.idx()].peer_fin_rcvd && !c.fin_cb_fired[to.idx()] {
+                            c.fin_cb_fired[to.idx()] = true;
+                            self.cbs.push_back(Cb::Fin { conn: cid, end: to });
+                        }
+                    }
+                    match policy {
+                        AckPolicy::Immediate => self.send_ack_now(cid, to),
+                        AckPolicy::Delayed => self.arm_delack(cid, to),
+                    }
+                }
+                // --- lifecycle: both sides done? ---
+                let c = &mut self.conns[cid.0 as usize];
+                for i in 0..2 {
+                    let done = c.ep[i].fin_sent
+                        && c.ep[i].all_acked()
+                        && c.ep[i].peer_fin_rcvd;
+                    if done {
+                        c.ep[i].state = TcpState::Done;
+                    }
+                }
+            }
+        }
+    }
+
+    fn handle_rto(&mut self, cid: ConnId, end: End, gen: u64) {
+        let (stale, state) = {
+            let ep = &self.conns[cid.0 as usize].ep[end.idx()];
+            (ep.rto_gen != gen || !ep.rto_armed, ep.state)
+        };
+        if stale {
+            return;
+        }
+        match state {
+            TcpState::SynSent => {
+                {
+                    let c = &mut self.conns[cid.0 as usize];
+                    c.handshake_retx = true;
+                    let ep = &mut c.ep[end.idx()];
+                    ep.rto = ep.rto.saturating_mul(2).min(ep.opts.max_rto);
+                    ep.syn_sent_count += 1;
+                }
+                let syn = self.make_ctl(cid, end, PktKind::Syn);
+                self.transmit(cid, end, syn);
+                self.arm_rto(cid, end);
+            }
+            TcpState::SynRcvd => {
+                {
+                    let c = &mut self.conns[cid.0 as usize];
+                    c.handshake_retx = true;
+                    let ep = &mut c.ep[end.idx()];
+                    ep.rto = ep.rto.saturating_mul(2).min(ep.opts.max_rto);
+                }
+                let sa = self.make_ctl(cid, end, PktKind::SynAck);
+                self.transmit(cid, end, sa);
+                self.arm_rto(cid, end);
+            }
+            TcpState::Established | TcpState::Done => {
+                let flight = self.conns[cid.0 as usize].ep[end.idx()].in_flight();
+                if flight == 0 {
+                    self.conns[cid.0 as usize].ep[end.idx()].rto_armed = false;
+                    return;
+                }
+                self.conns[cid.0 as usize].ep[end.idx()].on_rto_fire();
+                self.retransmit_una(cid, end);
+            }
+            TcpState::Closed => {}
+        }
+    }
+
+    fn handle_delack(&mut self, cid: ConnId, end: End, gen: u64) {
+        let fire = {
+            let ep = &self.conns[cid.0 as usize].ep[end.idx()];
+            ep.delack_armed && ep.delack_gen == gen
+        };
+        if fire {
+            self.send_ack_now(cid, end);
+        }
+    }
+}
+
+/// The simulator: a [`Net`] plus the user's [`App`].
+pub struct Sim<A: App> {
+    net: Net,
+    app: A,
+}
+
+impl<A: App> Sim<A> {
+    /// Creates a simulator with the given experiment seed.
+    pub fn new(seed: u64, app: A) -> Sim<A> {
+        Sim {
+            net: Net::new(seed),
+            app,
+        }
+    }
+
+    /// The network handle (open connections, set timers, read traces).
+    pub fn net(&mut self) -> &mut Net {
+        &mut self.net
+    }
+
+    /// Read-only application access.
+    pub fn app(&self) -> &A {
+        &self.app
+    }
+
+    /// Mutable application access.
+    pub fn app_mut(&mut self) -> &mut A {
+        &mut self.app
+    }
+
+    /// Consumes the simulator, returning the application.
+    pub fn into_app(self) -> A {
+        self.app
+    }
+
+    /// Grants simultaneous mutable access to the application and the
+    /// network — needed when scenario code wants to schedule work through
+    /// app state (e.g. `world.schedule_query(net, ...)`).
+    pub fn with<R>(&mut self, f: impl FnOnce(&mut A, &mut Net) -> R) -> R {
+        f(&mut self.app, &mut self.net)
+    }
+
+    fn drain_callbacks(&mut self) {
+        while let Some(cb) = self.net.cbs.pop_front() {
+            match cb {
+                Cb::Established { conn, end } => {
+                    self.app.on_established(&mut self.net, conn, end)
+                }
+                Cb::Data { conn, end, spans } => {
+                    self.app.on_data(&mut self.net, conn, end, &spans)
+                }
+                Cb::Fin { conn, end } => self.app.on_fin(&mut self.net, conn, end),
+                Cb::Timer { token } => self.app.on_timer(&mut self.net, token),
+            }
+        }
+    }
+
+    /// Runs until the event queue is empty. Panics if the event budget is
+    /// exceeded (runaway-simulation guard).
+    pub fn run(&mut self) {
+        self.run_until(SimTime::MAX);
+    }
+
+    /// Runs until the queue is empty or the next event is later than
+    /// `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        loop {
+            match self.net.q.peek_time() {
+                Some(t) if t <= deadline => {}
+                _ => break,
+            }
+            assert!(
+                self.net.q.events_processed() < self.net.max_events,
+                "event budget exceeded: simulation did not quiesce"
+            );
+            let (_, ev) = self.net.q.pop().unwrap();
+            match ev {
+                Ev::Deliver { conn, to, seg } => self.net.handle_deliver(conn, to, seg),
+                Ev::Rto { conn, end, gen } => self.net.handle_rto(conn, end, gen),
+                Ev::DelAck { conn, end, gen } => self.net.handle_delack(conn, end, gen),
+                Ev::AppTimer { token } => self.net.cbs.push_back(Cb::Timer { token }),
+            }
+            self.drain_callbacks();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A simple client/server app: A sends a request; B replies with a
+    /// fixed-size response and closes. Used to exercise the whole stack.
+    struct Echoish {
+        request: u64,
+        response: u64,
+        established_at: Vec<(End, SimTime)>,
+        data_events: Vec<(End, SimTime, u64)>,
+        fins: Vec<(End, SimTime)>,
+        request_done_at: Option<SimTime>,
+        response_done_at: Option<SimTime>,
+        got: u64,
+        req_got: u64,
+        timer_fired: Vec<u64>,
+    }
+
+    impl Echoish {
+        fn new(request: u64, response: u64) -> Echoish {
+            Echoish {
+                request,
+                response,
+                established_at: Vec::new(),
+                data_events: Vec::new(),
+                fins: Vec::new(),
+                request_done_at: None,
+                response_done_at: None,
+                got: 0,
+                req_got: 0,
+                timer_fired: Vec::new(),
+            }
+        }
+    }
+
+    impl App for Echoish {
+        fn on_established(&mut self, net: &mut Net, conn: ConnId, end: End) {
+            self.established_at.push((end, net.now()));
+            if end == End::A {
+                net.send(conn, End::A, self.request, Marker::Request, 1);
+            }
+        }
+
+        fn on_data(&mut self, net: &mut Net, conn: ConnId, end: End, spans: &[DeliveredSpan]) {
+            let bytes: u64 = spans.iter().map(|s| s.len as u64).sum();
+            self.data_events.push((end, net.now(), bytes));
+            match end {
+                End::B => {
+                    self.req_got += bytes;
+                    if self.req_got == self.request {
+                        self.request_done_at = Some(net.now());
+                        net.send(conn, End::B, self.response, Marker::Static, 2);
+                        net.close(conn, End::B);
+                    }
+                }
+                End::A => {
+                    self.got += bytes;
+                    if self.got == self.response {
+                        self.response_done_at = Some(net.now());
+                        net.close(conn, End::A);
+                    }
+                }
+            }
+        }
+
+        fn on_fin(&mut self, net: &mut Net, _conn: ConnId, end: End) {
+            self.fins.push((end, net.now()));
+        }
+
+        fn on_timer(&mut self, _net: &mut Net, token: u64) {
+            self.timer_fired.push(token);
+        }
+    }
+
+    fn run_transfer(rtt_ms: f64, request: u64, response: u64, loss: f64) -> Echoish {
+        let mut sim = Sim::new(42, Echoish::new(request, response));
+        let path = PathParams::lossy(rtt_ms, loss);
+        sim.net().open(
+            NodeId(1),
+            NodeId(2),
+            path,
+            TcpOptions::default(),
+            TcpOptions::default(),
+            1,
+        );
+        sim.run();
+        sim.into_app()
+    }
+
+    #[test]
+    fn handshake_takes_one_rtt() {
+        let app = run_transfer(100.0, 400, 1000, 0.0);
+        // A establishes after one RTT (SYN + SYN-ACK).
+        let (_, t_a) = app
+            .established_at
+            .iter()
+            .find(|(e, _)| *e == End::A)
+            .unwrap();
+        let ms = t_a.as_millis_f64();
+        assert!((ms - 100.0).abs() < 2.0, "established at {ms}ms");
+    }
+
+    #[test]
+    fn request_arrives_half_rtt_after_established() {
+        let app = run_transfer(100.0, 400, 1000, 0.0);
+        let req_at = app.request_done_at.unwrap().as_millis_f64();
+        // SYN(50) SYNACK(100) GET leaves ~100, arrives ~150.
+        assert!((req_at - 150.0).abs() < 3.0, "request done at {req_at}ms");
+    }
+
+    #[test]
+    fn response_completes_and_fin_handshake_closes_both() {
+        let app = run_transfer(80.0, 400, 30_000, 0.0);
+        assert_eq!(app.got, 30_000);
+        assert!(app.response_done_at.is_some());
+        assert_eq!(app.fins.len(), 2, "both sides saw a FIN");
+    }
+
+    #[test]
+    fn transfer_is_deterministic() {
+        let a = run_transfer(60.0, 400, 20_000, 0.0);
+        let b = run_transfer(60.0, 400, 20_000, 0.0);
+        assert_eq!(
+            a.response_done_at.unwrap(),
+            b.response_done_at.unwrap()
+        );
+        assert_eq!(a.data_events.len(), b.data_events.len());
+    }
+
+    #[test]
+    fn multi_window_response_paced_by_rtt() {
+        // 30 KB at IW4, MSS 1460: rounds of ~4,6,9,... segments — at
+        // least 3 RTT-spaced delivery rounds.
+        let rtt = 100.0;
+        let app = run_transfer(rtt, 400, 30_000, 0.0);
+        let resp_done = app.response_done_at.unwrap().as_millis_f64();
+        let req_done = app.request_done_at.unwrap().as_millis_f64();
+        let delivery = resp_done - req_done;
+        assert!(
+            delivery > 2.0 * rtt,
+            "30KB should need >2 window rounds, took {delivery}ms"
+        );
+        assert!(
+            delivery < 6.0 * rtt,
+            "delivery suspiciously slow: {delivery}ms"
+        );
+    }
+
+    #[test]
+    fn bigger_initial_window_speeds_up_delivery() {
+        let run_with_iw = |iw: u32| {
+            let mut sim = Sim::new(42, Echoish::new(400, 30_000));
+            sim.net().open(
+                NodeId(1),
+                NodeId(2),
+                PathParams::ideal(100.0),
+                TcpOptions::default(),
+                TcpOptions::default().with_initial_window(iw),
+                1,
+            );
+            sim.run();
+            sim.into_app().response_done_at.unwrap()
+        };
+        let t_iw4 = run_with_iw(4);
+        let t_iw10 = run_with_iw(10);
+        assert!(
+            t_iw10 < t_iw4,
+            "IW10 {t_iw10:?} should beat IW4 {t_iw4:?}"
+        );
+    }
+
+    #[test]
+    fn loss_free_run_has_no_drops_and_lossy_run_recovers() {
+        let clean = run_transfer(40.0, 400, 50_000, 0.0);
+        assert_eq!(clean.got, 50_000);
+        // 5% loss: the transfer still completes, just slower.
+        let lossy = run_transfer(40.0, 400, 50_000, 0.05);
+        assert_eq!(lossy.got, 50_000, "all bytes must arrive despite loss");
+        assert!(
+            lossy.response_done_at.unwrap() > clean.response_done_at.unwrap(),
+            "loss must cost time"
+        );
+    }
+
+    #[test]
+    fn heavy_loss_still_completes() {
+        let app = run_transfer(30.0, 400, 20_000, 0.15);
+        assert_eq!(app.got, 20_000);
+    }
+
+    #[test]
+    fn syn_loss_retries_after_initial_rto() {
+        // Deterministically lose the first packet: loss = 1 would lose
+        // everything, so instead use a path with 30% loss and a seed
+        // known to drop the SYN... too brittle. Instead verify the RTO
+        // path directly: a 3s-long run with 50% loss must still
+        // establish eventually.
+        let mut sim = Sim::new(7, Echoish::new(400, 1000));
+        sim.net().open(
+            NodeId(1),
+            NodeId(2),
+            PathParams::lossy(20.0, 0.5),
+            TcpOptions::default(),
+            TcpOptions::default(),
+            1,
+        );
+        sim.run_until(SimTime::from_secs(120));
+        let app = sim.into_app();
+        assert!(
+            app.established_at.iter().any(|(e, _)| *e == End::A),
+            "connection must establish under 50% loss given retries"
+        );
+    }
+
+    #[test]
+    fn app_timers_fire_in_order() {
+        struct TimerApp {
+            fired: Vec<(u64, SimTime)>,
+        }
+        impl App for TimerApp {
+            fn on_established(&mut self, _: &mut Net, _: ConnId, _: End) {}
+            fn on_data(&mut self, _: &mut Net, _: ConnId, _: End, _: &[DeliveredSpan]) {}
+            fn on_timer(&mut self, net: &mut Net, token: u64) {
+                self.fired.push((token, net.now()));
+                if token == 1 {
+                    net.set_timer(SimDuration::from_millis(5), 3);
+                }
+            }
+        }
+        let mut sim = Sim::new(1, TimerApp { fired: Vec::new() });
+        sim.net().set_timer(SimDuration::from_millis(10), 1);
+        sim.net().set_timer(SimDuration::from_millis(20), 2);
+        sim.run();
+        let app = sim.into_app();
+        assert_eq!(
+            app.fired.iter().map(|(t, _)| *t).collect::<Vec<_>>(),
+            vec![1, 3, 2]
+        );
+        assert_eq!(app.fired[0].1, SimTime::from_millis(10));
+        assert_eq!(app.fired[1].1, SimTime::from_millis(15));
+    }
+
+    #[test]
+    fn srtt_converges_to_path_rtt() {
+        let mut sim = Sim::new(42, Echoish::new(400, 100_000));
+        let cid = sim.net().open(
+            NodeId(1),
+            NodeId(2),
+            PathParams::ideal(80.0),
+            TcpOptions::default(),
+            TcpOptions::default(),
+            1,
+        );
+        sim.run();
+        let srtt = sim.net().srtt_ms(cid, End::B).unwrap();
+        assert!((srtt - 80.0).abs() < 8.0, "B srtt {srtt}");
+    }
+
+    #[test]
+    fn cwnd_grows_during_bulk_transfer() {
+        let mut sim = Sim::new(42, Echoish::new(400, 200_000));
+        let cid = sim.net().open(
+            NodeId(1),
+            NodeId(2),
+            PathParams::ideal(50.0),
+            TcpOptions::default(),
+            TcpOptions::default(),
+            1,
+        );
+        sim.run();
+        let cwnd = sim.net().cwnd(cid, End::B);
+        assert!(
+            cwnd > 10.0 * 1460.0,
+            "200KB clean transfer should grow cwnd well past IW, got {cwnd}"
+        );
+    }
+
+    #[test]
+    fn trace_captures_handshake_and_data() {
+        let mut sim = Sim::new(42, Echoish::new(400, 5000));
+        sim.net().trace_mut().set_enabled(true);
+        sim.net().open(
+            NodeId(1),
+            NodeId(2),
+            PathParams::ideal(50.0),
+            TcpOptions::default(),
+            TcpOptions::default(),
+            77,
+        );
+        sim.run();
+        let events = sim.net().trace_mut().take_session(77);
+        assert!(!events.is_empty());
+        // Client (node 1) must have sent a SYN and received a SYN-ACK.
+        assert!(events
+            .iter()
+            .any(|e| e.node == NodeId(1) && e.dir == PktDir::Tx && e.kind == PktKind::Syn));
+        assert!(events
+            .iter()
+            .any(|e| e.node == NodeId(1) && e.dir == PktDir::Rx && e.kind == PktKind::SynAck));
+        // Data flowed to the client with Static markers.
+        assert!(events.iter().any(|e| e.node == NodeId(1)
+            && e.dir == PktDir::Rx
+            && e.kind == PktKind::Data
+            && e.meta.iter().any(|m| m.marker == Marker::Static)));
+        // Timestamps are non-decreasing.
+        for w in events.windows(2) {
+            assert!(w[0].t <= w[1].t);
+        }
+    }
+
+    #[test]
+    fn serialization_delay_is_visible_on_slow_links() {
+        // 1 Mbps: a 1500-byte packet takes 12ms to serialize; 10 KB
+        // response (7 segments) costs ≥ 84ms of pure serialization.
+        let mut sim = Sim::new(42, Echoish::new(400, 10_000));
+        let path = PathParams {
+            base_owd_ms: 1.0,
+            jitter_ms: Dist::Constant(0.0),
+            loss: 0.0,
+            bw_mbps: 1.0,
+        };
+        sim.net().open(
+            NodeId(1),
+            NodeId(2),
+            path,
+            TcpOptions::default(),
+            TcpOptions::default(),
+            1,
+        );
+        sim.run();
+        let app = sim.into_app();
+        let done = app.response_done_at.unwrap().as_millis_f64();
+        assert!(done > 84.0, "completion {done}ms too fast for 1 Mbps");
+    }
+
+    #[test]
+    fn nagle_plus_delayed_ack_costs_rtt_plus_delack() {
+        // 5,000-byte response = 3 full segments + a 620-byte tail. With
+        // TCP_NODELAY (default) all four leave in the initial window.
+        // With Nagle, the tail waits for all in-flight data to be
+        // acknowledged — and the receiver delays the ACK of the odd
+        // third segment, so the tail pays RTT + the delayed-ACK timeout:
+        // the infamous Nagle × delayed-ACK interaction, emerging from
+        // the mechanics rather than being scripted.
+        let run = |nagle: bool| {
+            let opts_b = if nagle {
+                TcpOptions::default().with_nagle()
+            } else {
+                TcpOptions::default()
+            };
+            let mut sim = Sim::new(21, Echoish::new(400, 5_000));
+            sim.net().open(
+                NodeId(1),
+                NodeId(2),
+                PathParams::ideal(100.0),
+                TcpOptions::default(),
+                opts_b,
+                1,
+            );
+            sim.run();
+            sim.into_app().response_done_at.unwrap()
+        };
+        let nodelay = run(false);
+        let nagle = run(true);
+        let extra = nagle.saturating_since(nodelay).as_millis_f64();
+        // RTT (100 ms) + delayed-ACK timeout (40 ms).
+        assert!(
+            (extra - 140.0).abs() < 10.0,
+            "Nagle × delack should cost RTT + 40ms, cost {extra}ms"
+        );
+    }
+
+    #[test]
+    fn cubic_backs_off_less_and_finishes_lossy_bulk_sooner() {
+        use crate::opts::CongAlgo;
+        let run = |cong: CongAlgo| {
+            let mut sim = Sim::new(11, Echoish::new(400, 2_000_000));
+            sim.net().open(
+                NodeId(1),
+                NodeId(2),
+                PathParams::lossy(80.0, 0.004),
+                TcpOptions::default(),
+                TcpOptions::default().with_cong(cong),
+                1,
+            );
+            sim.run();
+            let app = sim.into_app();
+            assert_eq!(app.got, 2_000_000);
+            app.response_done_at.unwrap()
+        };
+        let reno = run(CongAlgo::Reno);
+        let cubic = run(CongAlgo::Cubic);
+        // Same seed, same loss pattern: CUBIC's gentler back-off (β=0.7)
+        // and faster re-growth should not be slower, and typically wins
+        // on a long lossy transfer.
+        assert!(
+            cubic <= reno,
+            "cubic {cubic:?} should finish no later than reno {reno:?}"
+        );
+    }
+
+    #[test]
+    fn conn_stats_count_recovery_events() {
+        let mut sim = Sim::new(5, Echoish::new(400, 300_000));
+        let cid = sim.net().open(
+            NodeId(1),
+            NodeId(2),
+            PathParams::lossy(40.0, 0.03),
+            TcpOptions::default(),
+            TcpOptions::default(),
+            1,
+        );
+        sim.run();
+        let stats = sim.net().conn_stats(cid, End::B);
+        assert!(
+            stats.retransmitted_segs > 0,
+            "3% loss on a 300KB transfer must retransmit"
+        );
+        assert!(stats.fast_retransmits + stats.timeouts > 0);
+        // Clean path: zero recovery events.
+        let mut clean = Sim::new(5, Echoish::new(400, 300_000));
+        let c2 = clean.net().open(
+            NodeId(1),
+            NodeId(2),
+            PathParams::ideal(40.0),
+            TcpOptions::default(),
+            TcpOptions::default(),
+            1,
+        );
+        clean.run();
+        assert_eq!(clean.net().conn_stats(c2, End::B), crate::endpoint::ConnStats::default());
+    }
+
+    #[test]
+    fn two_connections_are_independent() {
+        struct TwoConn {
+            done: Vec<(ConnId, SimTime)>,
+        }
+        impl App for TwoConn {
+            fn on_established(&mut self, net: &mut Net, conn: ConnId, end: End) {
+                if end == End::A {
+                    net.send(conn, End::A, 400, Marker::Request, 1);
+                }
+            }
+            fn on_data(&mut self, net: &mut Net, conn: ConnId, end: End, _s: &[DeliveredSpan]) {
+                if end == End::B {
+                    net.send(conn, End::B, 1000, Marker::Static, 2);
+                } else {
+                    self.done.push((conn, net.now()));
+                }
+            }
+        }
+        let mut sim = Sim::new(42, TwoConn { done: Vec::new() });
+        let c1 = sim.net().open(
+            NodeId(1),
+            NodeId(2),
+            PathParams::ideal(20.0),
+            TcpOptions::default(),
+            TcpOptions::default(),
+            1,
+        );
+        let c2 = sim.net().open(
+            NodeId(3),
+            NodeId(4),
+            PathParams::ideal(200.0),
+            TcpOptions::default(),
+            TcpOptions::default(),
+            2,
+        );
+        sim.run();
+        let app = sim.into_app();
+        assert_eq!(app.done.len(), 2);
+        let t1 = app.done.iter().find(|(c, _)| *c == c1).unwrap().1;
+        let t2 = app.done.iter().find(|(c, _)| *c == c2).unwrap().1;
+        assert!(t1 < t2, "short-RTT conn must finish first");
+    }
+}

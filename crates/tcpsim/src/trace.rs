@@ -1,0 +1,216 @@
+//! Packet tracing — the simulator's tcpdump.
+//!
+//! Every transmitted, received and dropped packet can be recorded as a
+//! [`PktEvent`] tagged with the observing node, the connection, and the
+//! application-assigned *session* id (`user`). The capture/analysis
+//! pipeline consumes traces **per session** via [`TraceLog::take_session`]
+//! so long experiment runs do not accumulate gigabytes of events: the
+//! harness extracts each query's timeline as soon as the query completes
+//! and drops the raw packets.
+
+use crate::net::{ConnId, NodeId};
+use crate::segment::{MetaSpan, PktKind, Segment};
+use simcore::time::SimTime;
+use std::collections::HashMap;
+
+/// Direction of a packet event relative to the observing node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PktDir {
+    /// The node transmitted this packet.
+    Tx,
+    /// The node received this packet.
+    Rx,
+    /// The packet was transmitted by this node but lost on the path.
+    Drop,
+}
+
+/// One observed packet event.
+#[derive(Clone, Debug)]
+pub struct PktEvent {
+    /// Virtual time of the observation.
+    pub t: SimTime,
+    /// Observing node.
+    pub node: NodeId,
+    /// Connection the packet belongs to.
+    pub conn: ConnId,
+    /// Application-assigned session id.
+    pub session: u64,
+    /// Direction.
+    pub dir: PktDir,
+    /// Packet kind.
+    pub kind: PktKind,
+    /// Sequence number.
+    pub seq: u64,
+    /// Payload length.
+    pub len: u32,
+    /// Acknowledgement number.
+    pub ack: u64,
+    /// PSH flag.
+    pub push: bool,
+    /// Content spans (payload labelling).
+    pub meta: Vec<MetaSpan>,
+}
+
+/// A per-session packet trace store.
+#[derive(Debug, Default)]
+pub struct TraceLog {
+    enabled: bool,
+    by_session: HashMap<u64, Vec<PktEvent>>,
+    recorded: u64,
+}
+
+impl TraceLog {
+    /// Creates a trace log; recording starts disabled.
+    pub fn new() -> TraceLog {
+        TraceLog::default()
+    }
+
+    /// Enables or disables recording (throughput benches disable it).
+    pub fn set_enabled(&mut self, on: bool) {
+        self.enabled = on;
+    }
+
+    /// True when recording.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Total events recorded since creation (including taken ones).
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Records a packet observation.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record(
+        &mut self,
+        t: SimTime,
+        node: NodeId,
+        conn: ConnId,
+        session: u64,
+        dir: PktDir,
+        seg: &Segment,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        self.recorded += 1;
+        self.by_session.entry(session).or_default().push(PktEvent {
+            t,
+            node,
+            conn,
+            session,
+            dir,
+            kind: seg.kind,
+            seq: seg.seq,
+            len: seg.len,
+            ack: seg.ack,
+            push: seg.push,
+            meta: seg.meta.clone(),
+        });
+    }
+
+    /// Removes and returns all events of one session (ordered by time,
+    /// which is the recording order). Returns an empty vec for unknown
+    /// sessions.
+    pub fn take_session(&mut self, session: u64) -> Vec<PktEvent> {
+        self.by_session.remove(&session).unwrap_or_default()
+    }
+
+    /// Read-only view of a session's events so far.
+    pub fn peek_session(&self, session: u64) -> &[PktEvent] {
+        self.by_session
+            .get(&session)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Number of sessions currently buffered.
+    pub fn buffered_sessions(&self) -> usize {
+        self.by_session.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::segment::Marker;
+
+    fn seg() -> Segment {
+        Segment {
+            kind: PktKind::Data,
+            seq: 0,
+            len: 100,
+            ack: 5,
+            push: true,
+            wnd: 1000,
+            meta: vec![MetaSpan {
+                offset: 0,
+                len: 100,
+                marker: Marker::Request,
+                content: 1,
+            }],
+        }
+    }
+
+    #[test]
+    fn disabled_by_default() {
+        let mut log = TraceLog::new();
+        log.record(
+            SimTime::ZERO,
+            NodeId(1),
+            ConnId(0),
+            7,
+            PktDir::Tx,
+            &seg(),
+        );
+        assert_eq!(log.recorded(), 0);
+        assert!(log.take_session(7).is_empty());
+    }
+
+    #[test]
+    fn records_and_takes_by_session() {
+        let mut log = TraceLog::new();
+        log.set_enabled(true);
+        for session in [7u64, 7, 9] {
+            log.record(
+                SimTime::from_millis(session),
+                NodeId(1),
+                ConnId(0),
+                session,
+                PktDir::Rx,
+                &seg(),
+            );
+        }
+        assert_eq!(log.recorded(), 3);
+        assert_eq!(log.buffered_sessions(), 2);
+        assert_eq!(log.peek_session(7).len(), 2);
+        let s7 = log.take_session(7);
+        assert_eq!(s7.len(), 2);
+        assert_eq!(s7[0].session, 7);
+        assert_eq!(log.buffered_sessions(), 1);
+        assert!(log.take_session(7).is_empty());
+        assert_eq!(log.recorded(), 3, "taking does not erase the counter");
+    }
+
+    #[test]
+    fn event_fields_copied_from_segment() {
+        let mut log = TraceLog::new();
+        log.set_enabled(true);
+        log.record(
+            SimTime::from_millis(3),
+            NodeId(4),
+            ConnId(2),
+            1,
+            PktDir::Drop,
+            &seg(),
+        );
+        let ev = &log.take_session(1)[0];
+        assert_eq!(ev.dir, PktDir::Drop);
+        assert_eq!(ev.kind, PktKind::Data);
+        assert_eq!(ev.len, 100);
+        assert_eq!(ev.ack, 5);
+        assert!(ev.push);
+        assert_eq!(ev.meta.len(), 1);
+    }
+}

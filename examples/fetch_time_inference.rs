@@ -1,0 +1,107 @@
+//! The core contribution, demonstrated end to end: infer the
+//! unobservable FE↔BE fetch time from client-side packet timelines, and
+//! validate every step against simulator ground truth.
+//!
+//! Steps (all from Sec. 2–5 of the paper):
+//!  1. Dataset B against one fixed FE;
+//!  2. per-query fetch-time brackets (Eq. 1), intersected per vantage;
+//!  3. the RTT threshold where `Tdelta` hits zero — the placement limit;
+//!  4. distance regression (Eq. 2): the intercept recovers `Tproc`.
+//!
+//! ```sh
+//! cargo run --release --example fetch_time_inference
+//! ```
+
+use capture::Classifier;
+use emulator::dataset_b::DatasetB;
+use fecdn::prelude::*;
+
+fn main() {
+    let scenario = Scenario::with_size(42, 50, 500);
+    let cfg = ServiceConfig::google_like(scenario.seed);
+
+    // ---- step 1: Dataset B ----
+    let mut sim = scenario.build_sim(cfg.clone());
+    let fe = sim.with(|w, _| w.default_fe(0));
+    drop(sim);
+    let out = DatasetB::against(fe)
+        .with_repeats(10)
+        .run(&scenario, cfg, &Classifier::ByMarker);
+    println!("Dataset B: {} queries against fixed FE {fe}", out.len());
+
+    // ---- step 2: fetch-time brackets, intersected per vantage ----
+    let mut per_client: std::collections::BTreeMap<usize, Vec<FetchBounds>> =
+        Default::default();
+    let mut truths: std::collections::BTreeMap<usize, Vec<f64>> = Default::default();
+    for q in &out {
+        per_client
+            .entry(q.client)
+            .or_default()
+            .push(FetchBounds::from_params(&q.params));
+        if let Some(t) = q.true_fetch_ms {
+            truths.entry(q.client).or_default().push(t);
+        }
+    }
+    let mut contained = 0usize;
+    let mut total = 0usize;
+    let mut width_single = Vec::new();
+    let mut width_joint = Vec::new();
+    for (client, bounds) in &per_client {
+        // Per-client median single-query width vs the intersected width.
+        let singles: Vec<f64> = bounds.iter().map(|b| b.width_ms()).collect();
+        width_single.push(stats::quantile::median(&singles).unwrap());
+        if let Some(joint) = FetchBounds::intersect_all(bounds) {
+            width_joint.push(joint.width_ms());
+            if let Some(ts) = truths.get(client) {
+                let mean_truth = ts.iter().sum::<f64>() / ts.len() as f64;
+                total += 1;
+                if joint.contains(mean_truth, 25.0) {
+                    contained += 1;
+                }
+            }
+        }
+    }
+    let med = |v: &[f64]| stats::quantile::median(v).unwrap();
+    println!(
+        "bracket widths: single query {:.0} ms → intersected per vantage {:.0} ms",
+        med(&width_single),
+        med(&width_joint)
+    );
+    println!(
+        "intersected brackets containing the mean true fetch time: {contained}/{total}"
+    );
+
+    // ---- step 3: the RTT threshold ----
+    let samples: Vec<(u64, QueryParams)> =
+        out.iter().map(|q| (q.client as u64, q.params)).collect();
+    let groups = per_group_medians(&samples);
+    let points: Vec<(f64, f64)> = groups.iter().map(|g| (g.rtt_ms, g.t_delta_ms)).collect();
+    let thr = estimate_rtt_threshold(&points, 3.0, 25.0);
+    println!(
+        "RTT threshold (Tdelta→0): linear x-intercept {:?} ms, binned {:?} ms",
+        thr.linear_intercept_ms.map(|t| t.round()),
+        thr.binned_first_zero_ms.map(|t| t.round()),
+    );
+    println!("below that RTT, moving the FE closer cannot improve Tdynamic —");
+    println!("performance is pinned by the fetch time (the paper's trade-off).");
+
+    // ---- step 4: factoring (distance regression) ----
+    let fit_points: Vec<(f64, f64)> = groups
+        .iter()
+        .filter(|g| g.rtt_ms < 30.0)
+        .map(|_| ())
+        .zip(out.iter().filter(|q| q.params.rtt_ms < 30.0))
+        .map(|(_, q)| (q.dist_fe_be_miles, q.params.t_dynamic_ms))
+        .collect();
+    if let Some(f) = factor_fetch_time(&fit_points) {
+        println!(
+            "distance regression (one FE, small-RTT clients): intercept {:.0} ms ≈ Tproc",
+            f.tproc_ms
+        );
+        let true_proc: Vec<f64> = out.iter().map(|q| q.proc_ms).collect();
+        println!(
+            "true mean Tproc from the simulator: {:.0} ms",
+            stats::quantile::mean(&true_proc).unwrap()
+        );
+    }
+}

@@ -1,0 +1,161 @@
+//! Integration: the paper's abstract model (Sec. 2) against the full
+//! simulation — the reproduction's analogue of "the correctness of the
+//! model is validated in later sections".
+
+use capture::Classifier;
+use emulator::dataset_b::DatasetB;
+use fecdn::prelude::*;
+
+/// One shared Dataset B run against a fixed Google-like FE.
+fn dataset_b(seed: u64) -> Vec<ProcessedQuery> {
+    let scenario = Scenario::with_size(seed, 40, 300);
+    let cfg = ServiceConfig::google_like(seed);
+    let mut sim = scenario.build_sim(cfg.clone());
+    let fe = sim.with(|w, _| w.default_fe(0));
+    drop(sim);
+    DatasetB::against(fe)
+        .with_repeats(6)
+        .run(&scenario, cfg, &Classifier::ByMarker)
+}
+
+#[test]
+fn every_timeline_is_internally_consistent() {
+    let out = dataset_b(1);
+    assert!(out.len() > 200);
+    for q in &out {
+        assert!(
+            q.params.is_consistent(0.5),
+            "inconsistent params: {:?}",
+            q.params
+        );
+        assert!(q.params.t_static_ms >= 0.0);
+        assert!(q.params.t_dynamic_ms >= 0.0);
+        assert!(q.params.overall_ms >= q.params.t_dynamic_ms);
+    }
+}
+
+#[test]
+fn fetch_bracket_contains_ground_truth_for_every_query() {
+    let out = dataset_b(2);
+    let mut checked = 0;
+    for q in &out {
+        if let Some(truth) = q.true_fetch_ms {
+            let b = FetchBounds::from_params(&q.params);
+            assert!(
+                b.contains(truth, 15.0),
+                "bracket [{:.1}, {:.1}] missed truth {:.1} (rtt {:.1})",
+                b.lower_ms,
+                b.upper_ms,
+                truth,
+                q.params.rtt_ms
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked > 200, "only {checked} queries had ground truth");
+}
+
+#[test]
+fn tstatic_tracks_rtt_with_unit_slope() {
+    // The static burst needs exactly one extra ACK-clocked round beyond
+    // the initial window, so Tstatic ≈ c + 1·RTT across vantages.
+    let out = dataset_b(3);
+    let samples: Vec<(u64, QueryParams)> =
+        out.iter().map(|q| (q.client as u64, q.params)).collect();
+    let groups = per_group_medians(&samples);
+    let xs: Vec<f64> = groups.iter().map(|g| g.rtt_ms).collect();
+    let ys: Vec<f64> = groups.iter().map(|g| g.t_static_ms).collect();
+    let fit = stats::ols(&xs, &ys).unwrap();
+    assert!(
+        (fit.slope - 1.0).abs() < 0.15,
+        "Tstatic slope {} should be ≈ 1",
+        fit.slope
+    );
+    assert!(fit.r2 > 0.95, "Tstatic should hug its RTT trend, R² {}", fit.r2);
+    assert!(fit.intercept > 0.0, "positive FE-side constant");
+}
+
+#[test]
+fn tdynamic_is_max_of_fetch_and_pacing() {
+    let out = dataset_b(4);
+    let samples: Vec<(u64, QueryParams)> =
+        out.iter().map(|q| (q.client as u64, q.params)).collect();
+    let groups = per_group_medians(&samples);
+    // Fit the model from the data.
+    let small: Vec<&inference::GroupMedians> =
+        groups.iter().filter(|g| g.rtt_ms < 30.0).collect();
+    assert!(small.len() >= 3);
+    let tfetch = stats::quantile::median(
+        &small.iter().map(|g| g.t_dynamic_ms).collect::<Vec<_>>(),
+    )
+    .unwrap();
+    let c = stats::quantile::median(
+        &small
+            .iter()
+            .map(|g| g.t_static_ms - g.rtt_ms)
+            .collect::<Vec<_>>(),
+    )
+    .unwrap();
+    let model = ModelPrediction {
+        c_ms: c,
+        k_rounds: 1.0,
+        t_fetch_ms: tfetch,
+    };
+    // Every vantage's Tdynamic must match the model within tolerance
+    // (fetch jitter + load wander).
+    let mut err_sum = 0.0;
+    for g in &groups {
+        let predicted = model.t_dynamic_ms(g.rtt_ms);
+        let err = (g.t_dynamic_ms - predicted).abs();
+        err_sum += err;
+        assert!(
+            err < 0.35 * predicted + 25.0,
+            "vantage {} rtt {:.1}: measured {:.1} vs predicted {:.1}",
+            g.group,
+            g.rtt_ms,
+            g.t_dynamic_ms,
+            predicted
+        );
+    }
+    let mean_err = err_sum / groups.len() as f64;
+    assert!(mean_err < 20.0, "mean model error {mean_err:.1} ms");
+}
+
+#[test]
+fn threshold_estimators_agree_with_the_model() {
+    let out = dataset_b(5);
+    let samples: Vec<(u64, QueryParams)> =
+        out.iter().map(|q| (q.client as u64, q.params)).collect();
+    let groups = per_group_medians(&samples);
+    let points: Vec<(f64, f64)> = groups.iter().map(|g| (g.rtt_ms, g.t_delta_ms)).collect();
+    let est = inference::estimate_rtt_threshold(&points, 5.0, 25.0);
+    let lin = est.linear_intercept_ms.expect("linear threshold");
+    let bin = est.binned_first_zero_ms.expect("binned threshold");
+    // The two independent estimators must roughly agree (the binned one
+    // is quantised to its 25 ms bins and reads high on sparse data)...
+    assert!(
+        (lin - bin).abs() < 80.0,
+        "estimators disagree: linear {lin:.0} vs binned {bin:.0}"
+    );
+    // ...and sit in the Google band of Fig. 5 (50–100 ms, widened for
+    // simulator calibration and estimator quantisation).
+    assert!((30.0..=140.0).contains(&lin), "threshold {lin:.0}");
+    // Slope of the falling regime ≈ −1 (one extra window round).
+    let slope = est.linear_slope.unwrap();
+    assert!((-1.3..=-0.7).contains(&slope), "slope {slope}");
+}
+
+#[test]
+fn fixed_fe_fetch_time_is_roughly_constant() {
+    // The model's standing assumption: "fixing a FE server, Tfetch
+    // should be a constant". Verify on ground truth: the coefficient of
+    // variation of true fetch times against one FE is modest.
+    let out = dataset_b(6);
+    let fetches: Vec<f64> = out.iter().filter_map(|q| q.true_fetch_ms).collect();
+    let s = stats::quantile::Summary::of(&fetches).unwrap();
+    let cv = s.cv().unwrap();
+    assert!(
+        cv < 0.30,
+        "google-like fetch time should be stable, cv {cv:.2}"
+    );
+}

@@ -1,0 +1,362 @@
+//! Property-based tests on the simulator core and the analysis
+//! primitives.
+
+use proptest::prelude::*;
+use simcore::rng::Rng;
+use stats::quantile::{median, quantile, Summary};
+use stats::{gap_clusters, moving_median, BoxSummary, Ecdf};
+use tcpsim::{App, ConnId, DeliveredSpan, End, Marker, Net, NodeId, PathParams, Sim, TcpOptions};
+
+// ---------- TCP transfer properties ----------
+
+struct Transfer {
+    request: u64,
+    response: u64,
+    client_got: u64,
+    server_got: u64,
+    spans_seen: Vec<(u64, u32)>,
+    done: bool,
+}
+
+impl App for Transfer {
+    fn on_established(&mut self, net: &mut Net, conn: ConnId, end: End) {
+        if end == End::A {
+            net.send(conn, End::A, self.request, Marker::Request, 1);
+        }
+    }
+    fn on_data(&mut self, net: &mut Net, conn: ConnId, end: End, spans: &[DeliveredSpan]) {
+        let bytes: u64 = spans.iter().map(|s| s.len as u64).sum();
+        match end {
+            End::B => {
+                self.server_got += bytes;
+                if self.server_got == self.request {
+                    net.send(conn, End::B, self.response, Marker::Static, 2);
+                    net.close(conn, End::B);
+                }
+            }
+            End::A => {
+                for s in spans {
+                    self.spans_seen.push((s.offset, s.len));
+                }
+                self.client_got += bytes;
+            }
+        }
+    }
+    fn on_fin(&mut self, net: &mut Net, conn: ConnId, end: End) {
+        if end == End::A {
+            self.done = true;
+            net.close(conn, End::A);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every byte of every transfer arrives exactly once, in order, for
+    /// any RTT, loss rate, transfer size and initial window.
+    #[test]
+    fn tcp_delivers_every_byte_exactly_once(
+        seed in 0u64..5_000,
+        rtt_ms in 1.0f64..300.0,
+        loss in 0.0f64..0.12,
+        request in 100u64..3_000,
+        response in 1_000u64..120_000,
+        iw in 1u32..12,
+    ) {
+        let app = Transfer {
+            request,
+            response,
+            client_got: 0,
+            server_got: 0,
+            spans_seen: Vec::new(),
+            done: false,
+        };
+        let mut sim = Sim::new(seed, app);
+        sim.net().open(
+            NodeId(1),
+            NodeId(2),
+            PathParams::lossy(rtt_ms, loss),
+            TcpOptions::default(),
+            TcpOptions::default().with_initial_window(iw),
+            1,
+        );
+        sim.run();
+        let app = sim.into_app();
+        prop_assert_eq!(app.server_got, request);
+        prop_assert_eq!(app.client_got, response);
+        prop_assert!(app.done, "client must see the FIN");
+        // In-order, gapless, exactly-once delivery.
+        let mut expected = 0u64;
+        for (off, len) in &app.spans_seen {
+            prop_assert_eq!(*off, expected, "delivery gap or overlap");
+            expected += *len as u64;
+        }
+        prop_assert_eq!(expected, response);
+    }
+
+    /// Links are FIFO: despite per-packet jitter, arrivals at each node
+    /// never reorder (timestamps per (node, Rx) stream are
+    /// non-decreasing, and data seq numbers of first-transmissions
+    /// arrive in order on clean paths).
+    #[test]
+    fn links_deliver_fifo_under_jitter(
+        seed in 0u64..2_000,
+        rtt_ms in 1.0f64..150.0,
+        response in 5_000u64..80_000,
+    ) {
+        use simcore::dist::Dist;
+        let mut sim = Sim::new(seed, Transfer {
+            request: 400,
+            response,
+            client_got: 0,
+            server_got: 0,
+            spans_seen: Vec::new(),
+            done: false,
+        });
+        sim.net().trace_mut().set_enabled(true);
+        let path = PathParams {
+            base_owd_ms: rtt_ms / 2.0,
+            // Heavy jitter relative to serialization gaps.
+            jitter_ms: Dist::TruncatedBelow {
+                lo: 0.0,
+                inner: Box::new(Dist::Exponential { mean: 1.0 }),
+            },
+            loss: 0.0,
+            bw_mbps: 1_000.0,
+        };
+        sim.net().open(
+            NodeId(1),
+            NodeId(2),
+            path,
+            TcpOptions::default(),
+            TcpOptions::default(),
+            1,
+        );
+        sim.run();
+        let trace = sim.net().trace_mut().take_session(1);
+        // Per-node Rx timestamps non-decreasing.
+        for node in [NodeId(1), NodeId(2)] {
+            let mut last = None;
+            for ev in trace.iter().filter(|e| e.node == node && e.dir == tcpsim::PktDir::Rx) {
+                if let Some(prev) = last {
+                    prop_assert!(ev.t >= prev, "Rx reordered at {node:?}");
+                }
+                last = Some(ev.t);
+            }
+        }
+        // Clean path ⇒ no retransmissions ⇒ client-received data seqs
+        // strictly increase.
+        let mut prev_seq = None;
+        for ev in trace.iter().filter(|e| {
+            e.node == NodeId(1) && e.dir == tcpsim::PktDir::Rx && e.kind == tcpsim::PktKind::Data
+        }) {
+            if let Some(p) = prev_seq {
+                prop_assert!(ev.seq > p, "data seq went backwards: {} after {p}", ev.seq);
+            }
+            prev_seq = Some(ev.seq);
+        }
+    }
+
+    /// The simulation is replay-deterministic for any parameters.
+    #[test]
+    fn tcp_transfer_is_deterministic(
+        seed in 0u64..1_000,
+        rtt_ms in 1.0f64..200.0,
+        loss in 0.0f64..0.08,
+        response in 1_000u64..50_000,
+    ) {
+        let run = || {
+            let mut sim = Sim::new(seed, Transfer {
+                request: 500,
+                response,
+                client_got: 0,
+                server_got: 0,
+                spans_seen: Vec::new(),
+                done: false,
+            });
+            sim.net().open(
+                NodeId(1),
+                NodeId(2),
+                PathParams::lossy(rtt_ms, loss),
+                TcpOptions::default(),
+                TcpOptions::default(),
+                1,
+            );
+            sim.run();
+            sim.net().now()
+        };
+        prop_assert_eq!(run(), run());
+    }
+}
+
+// ---------- statistics properties ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Quantiles are monotone in q and bounded by the data range.
+    #[test]
+    fn quantiles_monotone_and_bounded(
+        mut xs in prop::collection::vec(-1e6f64..1e6, 1..200),
+        q1 in 0.0f64..1.0,
+        q2 in 0.0f64..1.0,
+    ) {
+        let (lo_q, hi_q) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let a = quantile(&xs, lo_q).unwrap();
+        let b = quantile(&xs, hi_q).unwrap();
+        prop_assert!(a <= b + 1e-9);
+        xs.sort_by(|p, q| p.partial_cmp(q).unwrap());
+        prop_assert!(a >= xs[0] - 1e-9);
+        prop_assert!(b <= xs[xs.len() - 1] + 1e-9);
+    }
+
+    /// The moving median stays within the window's min/max.
+    #[test]
+    fn moving_median_bounded_by_window(
+        xs in prop::collection::vec(-1e3f64..1e3, 1..100),
+        window in 1usize..20,
+    ) {
+        let mm = moving_median(&xs, window);
+        prop_assert_eq!(mm.len(), xs.len());
+        for (i, &v) in mm.iter().enumerate() {
+            let start = i.saturating_sub(window - 1);
+            let w = &xs[start..=i];
+            let lo = w.iter().cloned().fold(f64::MAX, f64::min);
+            let hi = w.iter().cloned().fold(f64::MIN, f64::max);
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+        }
+    }
+
+    /// ECDF is a valid CDF: monotone, 0 below min, 1 at max.
+    #[test]
+    fn ecdf_is_a_cdf(xs in prop::collection::vec(-1e4f64..1e4, 1..300)) {
+        let e = Ecdf::new(&xs);
+        let lo = xs.iter().cloned().fold(f64::MAX, f64::min);
+        let hi = xs.iter().cloned().fold(f64::MIN, f64::max);
+        prop_assert_eq!(e.fraction_le(lo - 1.0), 0.0);
+        prop_assert_eq!(e.fraction_le(hi), 1.0);
+        let mut prev = 0.0;
+        for i in 0..=20 {
+            let x = lo + (hi - lo) * i as f64 / 20.0;
+            let f = e.fraction_le(x);
+            prop_assert!(f >= prev - 1e-12);
+            prev = f;
+        }
+    }
+
+    /// Box summaries order their landmarks and classify outliers
+    /// consistently.
+    #[test]
+    fn box_summary_invariants(xs in prop::collection::vec(-1e4f64..1e4, 1..200)) {
+        let b = BoxSummary::of(&xs).unwrap();
+        prop_assert!(b.whisker_lo <= b.q1 + 1e-9);
+        prop_assert!(b.q1 <= b.median + 1e-9);
+        prop_assert!(b.median <= b.q3 + 1e-9);
+        prop_assert!(b.q3 <= b.whisker_hi + 1e-9);
+        prop_assert_eq!(
+            b.outliers.len() + xs.iter().filter(|&&x| x >= b.whisker_lo && x <= b.whisker_hi).count(),
+            xs.len()
+        );
+    }
+
+    /// Gap clustering partitions the input and respects the gap.
+    #[test]
+    fn gap_clusters_partition(
+        mut ts in prop::collection::vec(0.0f64..1e4, 1..200),
+        gap in 0.1f64..500.0,
+    ) {
+        ts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let clusters = gap_clusters(&ts, gap);
+        // Partition property.
+        let mut covered = 0usize;
+        for c in &clusters {
+            prop_assert_eq!(c.start_idx, covered);
+            covered = c.end_idx;
+            // Within a cluster, consecutive gaps ≤ gap.
+            for w in ts[c.start_idx..c.end_idx].windows(2) {
+                prop_assert!(w[1] - w[0] <= gap + 1e-9);
+            }
+        }
+        prop_assert_eq!(covered, ts.len());
+        // Between clusters, the gap is exceeded.
+        for pair in clusters.windows(2) {
+            prop_assert!(pair[1].t_first - pair[0].t_last > gap);
+        }
+    }
+
+    /// Summary and median agree.
+    #[test]
+    fn summary_median_consistent(xs in prop::collection::vec(-1e4f64..1e4, 1..200)) {
+        let s = Summary::of(&xs).unwrap();
+        prop_assert_eq!(s.median, median(&xs).unwrap());
+        prop_assert!(s.min <= s.median && s.median <= s.max);
+    }
+
+    /// PRNG streams: same name = same stream, different names diverge.
+    #[test]
+    fn rng_streams_stable(seed in 0u64..u64::MAX, name in "[a-z]{1,12}") {
+        let mut a = Rng::from_seed_and_name(seed, &name);
+        let mut b = Rng::from_seed_and_name(seed, &name);
+        for _ in 0..16 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng::from_seed_and_name(seed, &format!("{name}x"));
+        let mut a2 = Rng::from_seed_and_name(seed, &name);
+        let same = (0..16).filter(|_| a2.next_u64() == c.next_u64()).count();
+        prop_assert!(same < 4);
+    }
+}
+
+// ---------- inference properties ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The model identity and threshold behaviour hold for any
+    /// parameters.
+    #[test]
+    fn model_prediction_invariants(
+        c in 0.0f64..100.0,
+        k in 0.1f64..4.0,
+        fetch in 1.0f64..1_000.0,
+        rtt in 0.0f64..500.0,
+    ) {
+        let m = fecdn::prelude::ModelPrediction {
+            c_ms: c,
+            k_rounds: k,
+            t_fetch_ms: fetch,
+        };
+        // Tdynamic = max of the two regimes.
+        prop_assert!(m.t_dynamic_ms(rtt) >= m.t_static_ms(rtt) - 1e-9);
+        prop_assert!(m.t_dynamic_ms(rtt) >= fetch - 1e-9);
+        prop_assert!(m.identity_holds(rtt, 1e-6));
+        // Beyond the threshold, Tdelta is zero.
+        if let Some(thr) = m.rtt_threshold_ms() {
+            prop_assert!(m.t_delta_ms(thr + 1.0) == 0.0);
+            prop_assert!(m.t_delta_ms((thr - 1.0).max(0.0)) >= 0.0);
+        }
+    }
+
+    /// Fetch bounds: lower ≤ upper always; intersection is contained in
+    /// every input bracket.
+    #[test]
+    fn fetch_bounds_intersection_contained(
+        brackets in prop::collection::vec((0.0f64..500.0, 0.0f64..500.0), 1..20),
+    ) {
+        let bs: Vec<fecdn::prelude::FetchBounds> = brackets
+            .iter()
+            .map(|&(a, b)| fecdn::prelude::FetchBounds {
+                lower_ms: a.min(b),
+                upper_ms: a.max(b),
+            })
+            .collect();
+        if let Some(joint) = fecdn::prelude::FetchBounds::intersect_all(&bs) {
+            prop_assert!(joint.lower_ms <= joint.upper_ms);
+            for b in &bs {
+                prop_assert!(joint.lower_ms >= b.lower_ms - 1e-9);
+                prop_assert!(joint.upper_ms <= b.upper_ms + 1e-9);
+            }
+        }
+    }
+}
