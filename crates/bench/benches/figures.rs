@@ -73,18 +73,12 @@ fn bench_fig4_timelines(c: &mut Criterion) {
                 }
             });
             let mut views = 0usize;
-            let _ = emulator::runner::run_collect_with(
-                &mut sim,
-                &Classifier::ByMarker,
-                |cq| {
-                    let node = cdnsim::ServiceWorld::client_node(cq.client);
-                    if capture::cluster_view::TimelineView::build(&cq.trace, node)
-                        .is_some()
-                    {
-                        views += 1;
-                    }
-                },
-            );
+            let _ = emulator::runner::run_collect_with(&mut sim, &Classifier::ByMarker, |cq| {
+                let node = cdnsim::ServiceWorld::client_node(cq.client);
+                if capture::cluster_view::TimelineView::build(&cq.trace, node).is_ok() {
+                    views += 1;
+                }
+            });
             black_box(views)
         })
     });
@@ -231,9 +225,18 @@ fn bench_ablations(c: &mut Criterion) {
     let sc = tiny_scenario();
     let mut group = c.benchmark_group("ablations");
     for (name, cfg) in [
-        ("abl_split_tcp", ServiceConfig::google_like(7).without_split_tcp()),
-        ("abl_static_cache", ServiceConfig::bing_like(7).without_static_cache()),
-        ("abl_iw_sweep", ServiceConfig::google_like(7).with_fe_initial_window(10)),
+        (
+            "abl_split_tcp",
+            ServiceConfig::google_like(7).without_split_tcp(),
+        ),
+        (
+            "abl_static_cache",
+            ServiceConfig::bing_like(7).without_static_cache(),
+        ),
+        (
+            "abl_iw_sweep",
+            ServiceConfig::google_like(7).with_fe_initial_window(10),
+        ),
         ("abl_fe_load", ServiceConfig::bing_like(7)),
     ] {
         group.bench_function(name, |b| {

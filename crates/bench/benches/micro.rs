@@ -133,16 +133,12 @@ fn bench_stats_primitives(c: &mut Criterion) {
     c.bench_function("theil_sen_400", |b| {
         b.iter(|| black_box(stats::theil_sen(&small, &small_y)))
     });
-    c.bench_function("ols_10k", |b| {
-        b.iter(|| black_box(stats::ols(&xs, &ys)))
-    });
+    c.bench_function("ols_10k", |b| b.iter(|| black_box(stats::ols(&xs, &ys))));
 }
 
 fn bench_corpus(c: &mut Criterion) {
     c.bench_function("keyword_corpus_40k", |b| {
-        b.iter(|| {
-            black_box(searchbe::KeywordCorpus::generate(5, 40_000, 0.5).len())
-        })
+        b.iter(|| black_box(searchbe::KeywordCorpus::generate(5, 40_000, 0.5).len()))
     });
 }
 

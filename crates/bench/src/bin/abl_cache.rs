@@ -21,11 +21,7 @@ use emulator::runner::run_collect;
 use emulator::ProcessedQuery;
 use simcore::time::SimDuration;
 
-fn run_small_rtt(
-    sc: &emulator::Scenario,
-    cfg: ServiceConfig,
-    repeats: u64,
-) -> Vec<ProcessedQuery> {
+fn run_small_rtt(sc: &emulator::Scenario, cfg: ServiceConfig, repeats: u64) -> Vec<ProcessedQuery> {
     let mut sim = sc.build_sim(cfg);
     // Clients within 30 ms of their default FE.
     let close: Vec<usize> = sim.with(|w, _| {

@@ -29,11 +29,7 @@ fn with_cong(mut cfg: ServiceConfig, cong: CongAlgo) -> ServiceConfig {
     cfg
 }
 
-fn run(
-    sc: &emulator::Scenario,
-    cfg: ServiceConfig,
-    repeats: u64,
-) -> Vec<ProcessedQuery> {
+fn run(sc: &emulator::Scenario, cfg: ServiceConfig, repeats: u64) -> Vec<ProcessedQuery> {
     let mut sim = sc.build_sim(cfg);
     sim.with(|w, net| {
         for c in 0..w.clients().len().min(12) {
@@ -64,13 +60,19 @@ fn main() {
     };
 
     // ---- clean paths ----
-    let clean_reno = run(&sc, with_cong(ServiceConfig::google_like(seed), CongAlgo::Reno), repeats);
-    let clean_cubic = run(&sc, with_cong(ServiceConfig::google_like(seed), CongAlgo::Cubic), repeats);
-    let td = |v: &[ProcessedQuery]| -> Vec<f64> {
-        v.iter().map(|q| q.params.t_dynamic_ms).collect()
-    };
-    let (ks, verdict) =
-        stats::ks::ks_test(&td(&clean_reno), &td(&clean_cubic)).unwrap();
+    let clean_reno = run(
+        &sc,
+        with_cong(ServiceConfig::google_like(seed), CongAlgo::Reno),
+        repeats,
+    );
+    let clean_cubic = run(
+        &sc,
+        with_cong(ServiceConfig::google_like(seed), CongAlgo::Cubic),
+        repeats,
+    );
+    let td =
+        |v: &[ProcessedQuery]| -> Vec<f64> { v.iter().map(|q| q.params.t_dynamic_ms).collect() };
+    let (ks, verdict) = stats::ks::ks_test(&td(&clean_reno), &td(&clean_cubic)).unwrap();
 
     // ---- lossy paths ----
     let mut lossy = PathProfile::wireless_access();
@@ -83,13 +85,11 @@ fn main() {
     );
     let lossy_cubic = run(
         &sc,
-        with_cong(ServiceConfig::google_like(seed), CongAlgo::Cubic)
-            .with_access_override(lossy),
+        with_cong(ServiceConfig::google_like(seed), CongAlgo::Cubic).with_access_override(lossy),
         repeats,
     );
     let med_overall = |v: &[ProcessedQuery]| {
-        stats::quantile::median(&v.iter().map(|q| q.params.overall_ms).collect::<Vec<_>>())
-            .unwrap()
+        stats::quantile::median(&v.iter().map(|q| q.params.overall_ms).collect::<Vec<_>>()).unwrap()
     };
     let mr = med_overall(&lossy_reno);
     let mc = med_overall(&lossy_cubic);
@@ -97,7 +97,12 @@ fn main() {
     let stdout = std::io::stdout();
     let mut tsv = Tsv::new(
         stdout.lock(),
-        &["condition", "algo", "median_t_dynamic_ms", "median_overall_ms"],
+        &[
+            "condition",
+            "algo",
+            "median_t_dynamic_ms",
+            "median_overall_ms",
+        ],
     )
     .unwrap();
     let med_td = |v: &[ProcessedQuery]| stats::quantile::median(&td(v)).unwrap();
@@ -123,9 +128,6 @@ fn main() {
         verdict == stats::ks::KsVerdict::Indistinguishable,
     );
     eprintln!("lossy overall: reno {mr:.0} ms vs cubic {mc:.0} ms");
-    ok &= check(
-        "lossy paths: CUBIC no worse than Reno",
-        mc <= mr * 1.10,
-    );
+    ok &= check("lossy paths: CUBIC no worse than Reno", mc <= mr * 1.10);
     finish(ok);
 }

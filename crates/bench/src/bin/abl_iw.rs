@@ -36,11 +36,7 @@ fn main() {
     let repeats = dataset_b_repeats(scale).min(24);
 
     let stdout = std::io::stdout();
-    let mut tsv = Tsv::new(
-        stdout.lock(),
-        &["iw_segs", "tdelta_slope", "threshold_ms"],
-    )
-    .unwrap();
+    let mut tsv = Tsv::new(stdout.lock(), &["iw_segs", "tdelta_slope", "threshold_ms"]).unwrap();
 
     let mut rows = Vec::new();
     for iw in [2u32, 4, 10] {
@@ -51,15 +47,10 @@ fn main() {
         let out = DatasetB::against(fe)
             .with_repeats(repeats)
             .run(&sc, cfg, &Classifier::ByMarker);
-        let samples: Vec<(u64, inference::QueryParams)> = out
-            .iter()
-            .map(|q| (q.client as u64, q.params))
-            .collect();
+        let samples: Vec<(u64, inference::QueryParams)> =
+            out.iter().map(|q| (q.client as u64, q.params)).collect();
         let groups = per_group_medians(&samples);
-        let points: Vec<(f64, f64)> = groups
-            .iter()
-            .map(|g| (g.rtt_ms, g.t_delta_ms))
-            .collect();
+        let points: Vec<(f64, f64)> = groups.iter().map(|g| (g.rtt_ms, g.t_delta_ms)).collect();
         let est = estimate_rtt_threshold(&points, 3.0, 25.0);
         let threshold = est.linear_intercept_ms.or(est.binned_first_zero_ms);
         eprintln!(

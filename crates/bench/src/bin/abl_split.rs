@@ -74,11 +74,9 @@ fn main() {
     )
     .unwrap();
     for (&c, &ov_s) in &ov_with {
-        if let (Some(&ov_n), Some(&ts_s), Some(&ts_n)) = (
-            ov_without.get(&c),
-            ts_with.get(&c),
-            ts_without.get(&c),
-        ) {
+        if let (Some(&ov_n), Some(&ts_s), Some(&ts_n)) =
+            (ov_without.get(&c), ts_with.get(&c), ts_without.get(&c))
+        {
             tsv.row_f64(&[c as f64, ov_s, ov_n, ts_s, ts_n]).unwrap();
         }
     }

@@ -37,10 +37,8 @@ fn rtts(scenario: &Scenario, cfg: ServiceConfig) -> Ecdf {
         keywords: KeywordPolicy::Fixed(0),
     };
     let out = d.run(scenario, cfg, &Classifier::ByMarker);
-    let samples: Vec<(u64, inference::QueryParams)> = out
-        .iter()
-        .map(|q| (q.client as u64, q.params))
-        .collect();
+    let samples: Vec<(u64, inference::QueryParams)> =
+        out.iter().map(|q| (q.client as u64, q.params)).collect();
     let per_node: Vec<f64> = inference::per_group_medians(&samples)
         .iter()
         .map(|g| g.rtt_ms)
@@ -84,7 +82,12 @@ fn main() {
             ("google-like", ServiceConfig::google_like(seed)),
         ] {
             let e = rtts(sc, cfg);
-            rows.push((pop_name, svc_name, e.fraction_le(20.0), e.quantile(0.5).unwrap()));
+            rows.push((
+                pop_name,
+                svc_name,
+                e.fraction_le(20.0),
+                e.quantile(0.5).unwrap(),
+            ));
         }
     }
 
@@ -102,7 +105,10 @@ fn main() {
             format!("{med:.2}"),
         ])
         .unwrap();
-        eprintln!("{pop:<12} {svc:<12} {:>5.0}% below 20 ms, median {med:>6.1} ms", frac * 100.0);
+        eprintln!(
+            "{pop:<12} {svc:<12} {:>5.0}% below 20 ms, median {med:>6.1} ms",
+            frac * 100.0
+        );
     }
 
     let get = |pop: &str, svc: &str| {
@@ -118,13 +124,19 @@ fn main() {
 
     let mut ok = true;
     ok &= check(
-        &format!("PlanetLab population reproduces the paper ({:.0}% vs {:.0}%)",
-            pl_bing * 100.0, pl_google * 100.0),
+        &format!(
+            "PlanetLab population reproduces the paper ({:.0}% vs {:.0}%)",
+            pl_bing * 100.0,
+            pl_google * 100.0
+        ),
         pl_bing >= 0.8 && pl_bing > pl_google + 0.1,
     );
     ok &= check(
-        &format!("residential within-20ms fraction collapses ({:.0}%, {:.0}%)",
-            res_bing * 100.0, res_google * 100.0),
+        &format!(
+            "residential within-20ms fraction collapses ({:.0}%, {:.0}%)",
+            res_bing * 100.0,
+            res_google * 100.0
+        ),
         res_bing < 0.35 && res_google < 0.35,
     );
     ok &= check(

@@ -23,7 +23,11 @@ fn main() {
     let probe = CachingProbeRun::against(0);
 
     let configs = [
-        ("bing-like", ServiceConfig::bing_like(seed), CachingVerdict::NoCaching),
+        (
+            "bing-like",
+            ServiceConfig::bing_like(seed),
+            CachingVerdict::NoCaching,
+        ),
         (
             "google-like",
             ServiceConfig::google_like(seed),

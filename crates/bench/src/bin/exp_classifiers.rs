@@ -75,9 +75,7 @@ fn main() {
     let mut merged_idx = Vec::new();
     let mut separated_idx = Vec::new();
     for (i, cq) in raw.iter().enumerate() {
-        if let Some(tl) =
-            capture::Timeline::extract(&cq.trace, clients[i], &Classifier::ByMarker)
-        {
+        if let Ok(tl) = capture::Timeline::extract(&cq.trace, clients[i], &Classifier::ByMarker) {
             if tl.t_delta_ms() < 1.0 {
                 merged_idx.push(i);
             } else {
@@ -141,8 +139,14 @@ fn main() {
             .unwrap()
     };
     let mut ok = true;
-    ok &= check("a meaningful merged population exists", merged_idx.len() >= 10);
-    ok &= check("a meaningful separated population exists", separated_idx.len() >= 10);
+    ok &= check(
+        "a meaningful merged population exists",
+        merged_idx.len() >= 10,
+    );
+    ok &= check(
+        "a meaningful separated population exists",
+        separated_idx.len() >= 10,
+    );
     ok &= check(
         "content analysis: ≥ 99% boundary accuracy overall",
         get("by-content", "all").boundary_accuracy() >= 0.99,

@@ -37,9 +37,8 @@ fn main() {
     let cfg = ServiceConfig::google_like(seed);
 
     let mut sim = sc.build_sim(cfg.clone());
-    let (n_clients, n_fes, n_bes) = sim.with(|w, _| {
-        (w.clients().len(), w.fe_count(), cfg.be_sites.len())
-    });
+    let (n_clients, n_fes, n_bes) =
+        sim.with(|w, _| (w.clients().len(), w.fe_count(), cfg.be_sites.len()));
     // Node universe: clients, then FEs, then BEs.
     let fe_node = |fe: usize| n_clients + fe;
     let be_node = |be: usize| n_clients + n_fes + be;
@@ -160,11 +159,7 @@ fn main() {
         med(&tproc_errs),
         med(&naive_errs)
     );
-    let over = est
-        .iter()
-        .zip(&truth)
-        .filter(|(e, t)| *e > *t)
-        .count();
+    let over = est.iter().zip(&truth).filter(|(e, t)| *e > *t).count();
     eprintln!(
         "private-WAN bias: {over}/{} FE↔BE estimates above the true RTT",
         est.len()
@@ -174,7 +169,10 @@ fn main() {
         &format!("embedding reconstructs measured RTTs (err {fit_err:.2})"),
         fit_err < 0.25,
     );
-    ok &= check(&format!("FE↔BE correlation strong (r {corr:.2})"), corr > 0.7);
+    ok &= check(
+        &format!("FE↔BE correlation strong (r {corr:.2})"),
+        corr > 0.7,
+    );
     ok &= check(
         "coordinate heuristic beats naive Tdynamic as a Tproc estimate",
         med(&tproc_errs) < med(&naive_errs),

@@ -82,7 +82,11 @@ fn main() {
     let stdout = std::io::stdout();
     let mut tsv = Tsv::new(
         stdout.lock(),
-        &["clients_per_wave", "fe_constant_median_ms", "fe_constant_iqr_ms"],
+        &[
+            "clients_per_wave",
+            "fe_constant_median_ms",
+            "fe_constant_iqr_ms",
+        ],
     )
     .unwrap();
     let mut medians = Vec::new();

@@ -66,8 +66,7 @@ fn main() {
             .unwrap();
             all_consistent &= q.params.is_consistent(0.5);
             if let Some(truth) = q.true_fetch_ms {
-                all_bracketed &=
-                    FetchBounds::from_params(&q.params).contains(truth, 12.0);
+                all_bracketed &= FetchBounds::from_params(&q.params).contains(truth, 12.0);
             }
             if i == 0 {
                 first_proc.push(q.proc_ms);
@@ -76,8 +75,10 @@ fn main() {
             }
         }
     }
-    ok &= check("every session produced sub-queries", !sessions.is_empty()
-        && sessions.iter().all(|s| s.subqueries.len() >= 2));
+    ok &= check(
+        "every session produced sub-queries",
+        !sessions.is_empty() && sessions.iter().all(|s| s.subqueries.len() >= 2),
+    );
     ok &= check(
         "every sub-query fits the basic model (consistent timeline)",
         all_consistent,

@@ -85,8 +85,12 @@ fn main() {
             .unwrap();
         (client, near, far)
     });
-    let (near_rtt, far_rtt) =
-        sim.with(|w, _| (w.client_fe_rtt_ms(0, near_fe), w.client_fe_rtt_ms(0, far_fe)));
+    let (near_rtt, far_rtt) = sim.with(|w, _| {
+        (
+            w.client_fe_rtt_ms(0, near_fe),
+            w.client_fe_rtt_ms(0, far_fe),
+        )
+    });
     drop(sim);
     eprintln!(
         "client 0: near FE {near_fe} (rtt {near_rtt:.1} ms), far FE {far_fe} (rtt {far_rtt:.1} ms)"

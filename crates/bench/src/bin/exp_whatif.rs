@@ -87,17 +87,18 @@ fn main() {
             .map(|q| (q.params.t_static_ms - q.params.rtt_ms).max(0.0))
             .collect();
         let summary = CampaignSummary::of(label, &out).unwrap();
-        rows.push((
-            label,
-            summary,
-            stats::quantile::median(&fe_const).unwrap(),
-        ));
+        rows.push((label, summary, stats::quantile::median(&fe_const).unwrap()));
     }
 
     let stdout = std::io::stdout();
     let mut tsv = Tsv::new(
         stdout.lock(),
-        &["deployment", "median_t_dynamic_ms", "median_fe_constant_ms", "median_overall_ms"],
+        &[
+            "deployment",
+            "median_t_dynamic_ms",
+            "median_fe_constant_ms",
+            "median_overall_ms",
+        ],
     )
     .unwrap();
     for (label, s, fe_const) in &rows {
@@ -121,7 +122,9 @@ fn main() {
     let mut ok = true;
     let be_effect = ((td(1) - td(0)) + (td(3) - td(2))) / 2.0;
     let fleet_effect = ((td(2) - td(0)) + (td(3) - td(1))) / 2.0;
-    eprintln!("Tdynamic decomposition: backend axis {be_effect:.0} ms, fleet axis {fleet_effect:.0} ms");
+    eprintln!(
+        "Tdynamic decomposition: backend axis {be_effect:.0} ms, fleet axis {fleet_effect:.0} ms"
+    );
     // The fleet axis is not pure tenancy: a dense edge also *serves
     // remote metros* whose nearest BE is an ocean away, so geography
     // leaks into the fetch term. The back-end axis must still clearly

@@ -40,9 +40,7 @@ fn main() {
             for r in 0..samples {
                 // Interleave the four keywords over time, 2.5 s apart
                 // per keyword (10 s full cycle as in the paper).
-                let at = SimDuration::from_millis(
-                    3_000 + r * 10_000 + ki as u64 * 2_500,
-                );
+                let at = SimDuration::from_millis(3_000 + r * 10_000 + ki as u64 * 2_500);
                 w.schedule_query(
                     net,
                     at,
@@ -72,7 +70,12 @@ fn main() {
     let stdout = std::io::stdout();
     let mut tsv = Tsv::new(
         stdout.lock(),
-        &["keyword_class", "sample", "t_static_mm10_ms", "t_dynamic_mm10_ms"],
+        &[
+            "keyword_class",
+            "sample",
+            "t_static_mm10_ms",
+            "t_dynamic_mm10_ms",
+        ],
     )
     .unwrap();
     for (class, ts, td) in &per_kw {
@@ -102,14 +105,10 @@ fn main() {
         med(td_complex) > med(td_popular) + 30.0,
     );
     let ts_medians: Vec<f64> = per_kw.iter().map(|(_, ts, _)| med(ts)).collect();
-    let ts_spread = ts_medians
-        .iter()
-        .fold(f64::MIN, |a, &b| a.max(b))
+    let ts_spread = ts_medians.iter().fold(f64::MIN, |a, &b| a.max(b))
         - ts_medians.iter().fold(f64::MAX, |a, &b| a.min(b));
     let td_medians: Vec<f64> = per_kw.iter().map(|(_, _, td)| med(td)).collect();
-    let td_spread = td_medians
-        .iter()
-        .fold(f64::MIN, |a, &b| a.max(b))
+    let td_spread = td_medians.iter().fold(f64::MIN, |a, &b| a.max(b))
         - td_medians.iter().fold(f64::MAX, |a, &b| a.min(b));
     ok &= check(
         &format!(

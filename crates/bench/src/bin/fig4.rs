@@ -82,7 +82,7 @@ fn main() {
         let node = ServiceWorld::client_node(cq.client);
         let view = TimelineView::build(&cq.trace, node);
         let tl = Timeline::extract(&cq.trace, node, &Classifier::ByMarker);
-        if let (Some(v), Some(t)) = (view, tl) {
+        if let (Ok(v), Ok(t)) = (view, tl) {
             runs.push((cq.client, v, t));
         }
     });
@@ -95,9 +95,7 @@ fn main() {
             if mine.is_empty() {
                 return None;
             }
-            mine.sort_by(|a, b| {
-                a.2.t_delta_ms().partial_cmp(&b.2.t_delta_ms()).unwrap()
-            });
+            mine.sort_by(|a, b| a.2.t_delta_ms().partial_cmp(&b.2.t_delta_ms()).unwrap());
             Some(mine[mine.len() / 2].clone())
         })
         .collect();
@@ -159,15 +157,12 @@ fn main() {
                 .rx_clusters
                 .iter()
                 .any(|c| (c.t_first - t5).abs() < eps && c.t_first > t4 + eps);
-            let same_cluster = v
-                .rx_clusters
-                .iter()
-                .any(|c| {
-                    c.t_first <= t4 + eps
-                        && t4 <= c.t_last + eps
-                        && c.t_first <= t5 + eps
-                        && t5 <= c.t_last + eps
-                });
+            let same_cluster = v.rx_clusters.iter().any(|c| {
+                c.t_first <= t4 + eps
+                    && t4 <= c.t_last + eps
+                    && c.t_first <= t5 + eps
+                    && t5 <= c.t_last + eps
+            });
             (starts_own, same_cluster)
         };
         let (own_small, _) = boundary_merged(&views[0].1, &views[0].2);
@@ -197,8 +192,7 @@ fn main() {
         let tdeltas: Vec<f64> = views.iter().map(|(_, _, tl)| tl.t_delta_ms()).collect();
         ok &= check(
             &format!("Tdelta shrinks with RTT: {tdeltas:?}"),
-            tdeltas.windows(2).all(|w| w[1] <= w[0] + 20.0)
-                && tdeltas[0] > tdeltas[4] + 50.0,
+            tdeltas.windows(2).all(|w| w[1] <= w[0] + 20.0) && tdeltas[0] > tdeltas[4] + 50.0,
         );
         ok &= check(
             &format!("largest-RTT row Tdelta ≈ 0 (got {:.1})", tdeltas[4]),

@@ -33,15 +33,10 @@ fn run_service(
     drop(sim);
     let d = DatasetB::against(fe).with_repeats(repeats);
     let out: Vec<ProcessedQuery> = d.run(sc, cfg, &Classifier::ByMarker);
-    let samples: Vec<(u64, inference::QueryParams)> = out
-        .iter()
-        .map(|q| (q.client as u64, q.params))
-        .collect();
+    let samples: Vec<(u64, inference::QueryParams)> =
+        out.iter().map(|q| (q.client as u64, q.params)).collect();
     let groups = per_group_medians(&samples);
-    let points: Vec<(f64, f64)> = groups
-        .iter()
-        .map(|g| (g.rtt_ms, g.t_delta_ms))
-        .collect();
+    let points: Vec<(f64, f64)> = groups.iter().map(|g| (g.rtt_ms, g.t_delta_ms)).collect();
     let thr = estimate_rtt_threshold(&points, 3.0, 25.0);
     eprintln!(
         "{name}: fixed FE {fe}, {} vantages, {} samples",
@@ -58,10 +53,7 @@ fn spread_around_trend(points: &[(f64, f64)]) -> f64 {
     let ys: Vec<f64> = points.iter().map(|p| p.1).collect();
     match stats::regress::ols(&xs, &ys) {
         Some(f) => {
-            let resid: Vec<f64> = points
-                .iter()
-                .map(|&(x, y)| y - f.predict(x))
-                .collect();
+            let resid: Vec<f64> = points.iter().map(|&(x, y)| y - f.predict(x)).collect();
             stats::quantile::sample_std(&resid).unwrap_or(0.0)
         }
         None => 0.0,
@@ -75,8 +67,12 @@ fn main() {
     let repeats = dataset_b_repeats(scale);
 
     let (bing, bing_thr) = run_service("bing-like", ServiceConfig::bing_like(seed), &sc, repeats);
-    let (google, google_thr) =
-        run_service("google-like", ServiceConfig::google_like(seed), &sc, repeats);
+    let (google, google_thr) = run_service(
+        "google-like",
+        ServiceConfig::google_like(seed),
+        &sc,
+        repeats,
+    );
 
     // ---- TSV: one row per (service, vantage) ----
     let stdout = std::io::stdout();
@@ -119,8 +115,7 @@ fn main() {
             .linear_intercept_ms
             .or(thr.binned_first_zero_ms)
             .unwrap_or(150.0);
-        let small: Vec<&GroupMedians> =
-            groups.iter().filter(|g| g.rtt_ms < 30.0).collect();
+        let small: Vec<&GroupMedians> = groups.iter().filter(|g| g.rtt_ms < 30.0).collect();
         let large: Vec<&GroupMedians> = groups
             .iter()
             .filter(|g| g.rtt_ms > thr_est + 30.0)
@@ -152,10 +147,8 @@ fn main() {
             );
         }
         // Tstatic hugs its RTT trend much tighter than Tdynamic.
-        let ts_pts: Vec<(f64, f64)> =
-            groups.iter().map(|g| (g.rtt_ms, g.t_static_ms)).collect();
-        let td_pts: Vec<(f64, f64)> =
-            groups.iter().map(|g| (g.rtt_ms, g.t_dynamic_ms)).collect();
+        let ts_pts: Vec<(f64, f64)> = groups.iter().map(|g| (g.rtt_ms, g.t_static_ms)).collect();
+        let td_pts: Vec<(f64, f64)> = groups.iter().map(|g| (g.rtt_ms, g.t_dynamic_ms)).collect();
         let s_ts = spread_around_trend(&ts_pts);
         let s_td = spread_around_trend(&td_pts);
         ok &= check(

@@ -19,11 +19,7 @@ use emulator::output::Tsv;
 use simcore::time::SimDuration;
 use stats::Ecdf;
 
-fn measured_rtts(
-    sc: &emulator::Scenario,
-    cfg: ServiceConfig,
-    repeats: u64,
-) -> Vec<f64> {
+fn measured_rtts(sc: &emulator::Scenario, cfg: ServiceConfig, repeats: u64) -> Vec<f64> {
     // Measured (handshake-estimated) RTTs, one median per vantage, from
     // a short Dataset A run — exactly what the paper plots.
     let d = DatasetA {
@@ -32,10 +28,8 @@ fn measured_rtts(
         keywords: KeywordPolicy::Fixed(0),
     };
     let out = d.run(sc, cfg, &Classifier::ByMarker);
-    let samples: Vec<(u64, inference::QueryParams)> = out
-        .iter()
-        .map(|q| (q.client as u64, q.params))
-        .collect();
+    let samples: Vec<(u64, inference::QueryParams)> =
+        out.iter().map(|q| (q.client as u64, q.params)).collect();
     inference::per_group_medians(&samples)
         .iter()
         .map(|g| g.rtt_ms)
@@ -77,10 +71,16 @@ fn main() {
         b20 >= 0.80,
     );
     ok &= check(
-        &format!("google-like materially lower (got {:.0}%, want 45-75%)", g20 * 100.0),
+        &format!(
+            "google-like materially lower (got {:.0}%, want 45-75%)",
+            g20 * 100.0
+        ),
         (0.45..=0.75).contains(&g20),
     );
-    ok &= check("bing-like closer than google-like at 20 ms", b20 > g20 + 0.10);
+    ok &= check(
+        "bing-like closer than google-like at 20 ms",
+        b20 > g20 + 0.10,
+    );
     // Stochastic dominance at several quantiles.
     let dominated = [0.25, 0.5, 0.75, 0.9]
         .iter()

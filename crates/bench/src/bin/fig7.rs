@@ -31,10 +31,8 @@ fn run(
         keywords: KeywordPolicy::Fixed(0),
     };
     let out = d.run(sc, cfg, &Classifier::ByMarker);
-    let samples: Vec<(u64, inference::QueryParams)> = out
-        .iter()
-        .map(|q| (q.client as u64, q.params))
-        .collect();
+    let samples: Vec<(u64, inference::QueryParams)> =
+        out.iter().map(|q| (q.client as u64, q.params)).collect();
     (per_group_medians(&samples), out)
 }
 
@@ -66,7 +64,13 @@ fn main() {
     let stdout = std::io::stdout();
     let mut tsv = Tsv::new(
         stdout.lock(),
-        &["service", "vantage", "rtt_ms", "t_static_ms", "t_dynamic_ms"],
+        &[
+            "service",
+            "vantage",
+            "rtt_ms",
+            "t_static_ms",
+            "t_dynamic_ms",
+        ],
     )
     .unwrap();
     for (name, groups) in [("bing-like", &bing), ("google-like", &google)] {
@@ -84,9 +88,8 @@ fn main() {
 
     // ---- shape checks ----
     let med = |v: Vec<f64>| stats::quantile::median(&v).unwrap();
-    let col = |g: &[GroupMedians], f: fn(&GroupMedians) -> f64| -> Vec<f64> {
-        g.iter().map(f).collect()
-    };
+    let col =
+        |g: &[GroupMedians], f: fn(&GroupMedians) -> f64| -> Vec<f64> { g.iter().map(f).collect() };
     let b_rtt = med(col(&bing, |g| g.rtt_ms));
     let g_rtt = med(col(&google, |g| g.rtt_ms));
     let b_ts = med(col(&bing, |g| g.t_static_ms));
@@ -97,7 +100,10 @@ fn main() {
     eprintln!("median Tstatic:  bing-like {b_ts:.1}  google-like {g_ts:.1}");
     eprintln!("median Tdynamic: bing-like {b_td:.1}  google-like {g_td:.1}");
     let mut ok = true;
-    ok &= check("bing-like FEs are closer (smaller median RTT)", b_rtt < g_rtt);
+    ok &= check(
+        "bing-like FEs are closer (smaller median RTT)",
+        b_rtt < g_rtt,
+    );
     ok &= check(
         &format!("bing-like Tstatic higher ({b_ts:.1} > {g_ts:.1})"),
         b_ts > g_ts,

@@ -57,7 +57,13 @@ fn main() {
     let mut tsv = Tsv::new(
         stdout.lock(),
         &[
-            "service", "vantage", "whisker_lo", "q1", "median", "q3", "whisker_hi",
+            "service",
+            "vantage",
+            "whisker_lo",
+            "q1",
+            "median",
+            "q3",
+            "whisker_hi",
             "outliers",
         ],
     )

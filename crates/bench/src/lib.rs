@@ -12,6 +12,7 @@
 //! | `fig8`        | Fig. 8 — per-vantage overall-delay box plots               |
 //! | `fig9`        | Fig. 9 — `Tdynamic` vs FE↔BE distance regression           |
 //! | `exp_caching` | Sec. 3 — do FEs cache search results?                      |
+//! | `exp_failover`| robustness — BE outage, failover, cold-reconnect recovery  |
 //! | `exp_instant` | Sec. 6 — search-as-you-type                                |
 //! | `exp_loss`    | Sec. 6 — lossy-last-hop placement trade-off                |
 //! | `abl_split`   | ablation — split TCP on/off                                |

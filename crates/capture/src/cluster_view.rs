@@ -6,6 +6,7 @@
 //! view from a session trace: event times relative to `tb`, plus an
 //! adaptive gap clustering of the receive events.
 
+use crate::errors::SessionError;
 use crate::session::ClientTrace;
 use stats::cluster::{adaptive_gap_threshold, gap_clusters, Cluster};
 use tcpsim::{NodeId, PktEvent};
@@ -24,12 +25,12 @@ pub struct TimelineView {
 }
 
 impl TimelineView {
-    /// Builds the view for one session. Returns `None` for malformed
-    /// sessions.
-    pub fn build(events: &[PktEvent], client: NodeId) -> Option<TimelineView> {
+    /// Builds the view for one session. Fails with a [`SessionError`]
+    /// for malformed sessions (no SYN, no completed handshake).
+    pub fn build(events: &[PktEvent], client: NodeId) -> Result<TimelineView, SessionError> {
         let trace = ClientTrace::new(events, client)?;
         let tb = trace.tb;
-        let rtt_ms = trace.rtt_ms?;
+        let rtt_ms = trace.rtt_ms.ok_or(SessionError::NoHandshake)?;
         let rel = |t: simcore::time::SimTime| t.saturating_since(tb).as_millis_f64();
         let tx_ms: Vec<f64> = trace.tx_all.iter().map(|e| rel(e.t)).collect();
         let rx_ms: Vec<f64> = trace.rx_all.iter().map(|e| rel(e.t)).collect();
@@ -44,7 +45,7 @@ impl TimelineView {
                 }
             }
         };
-        Some(TimelineView {
+        Ok(TimelineView {
             rtt_ms,
             tx_ms,
             rx_ms,
@@ -99,10 +100,20 @@ mod tests {
             ev(20.0, PktDir::Rx, PktKind::Ack, 0),
         ];
         for i in 0..4 {
-            v.push(ev(static_at + i as f64 * 0.2, PktDir::Rx, PktKind::Data, 1460));
+            v.push(ev(
+                static_at + i as f64 * 0.2,
+                PktDir::Rx,
+                PktKind::Data,
+                1460,
+            ));
         }
         for i in 0..6 {
-            v.push(ev(dynamic_at + i as f64 * 0.2, PktDir::Rx, PktKind::Data, 1460));
+            v.push(ev(
+                dynamic_at + i as f64 * 0.2,
+                PktDir::Rx,
+                PktKind::Data,
+                1460,
+            ));
         }
         v
     }
@@ -132,7 +143,10 @@ mod tests {
     }
 
     #[test]
-    fn malformed_returns_none() {
-        assert!(TimelineView::build(&[], NodeId(1)).is_none());
+    fn malformed_returns_typed_error() {
+        assert_eq!(
+            TimelineView::build(&[], NodeId(1)).unwrap_err(),
+            SessionError::NoClientSyn
+        );
     }
 }

@@ -12,6 +12,7 @@
 //! [`parse_line`] reads the core fields back (used by tests to guarantee
 //! dumps stay machine-readable, and handy for grepping long runs).
 
+use crate::errors::SessionError;
 use crate::session::ClientTrace;
 use tcpsim::{Marker, NodeId, PktDir, PktEvent, PktKind};
 
@@ -22,6 +23,7 @@ fn marker_tag(m: Marker) -> &'static str {
         Marker::Dynamic => "dynamic",
         Marker::BeQuery => "be-query",
         Marker::BeResponse => "be-response",
+        Marker::Error => "error",
         Marker::Other => "other",
     }
 }
@@ -58,7 +60,12 @@ pub fn render_line(ev: &PktEvent) -> String {
         line.push_str(" PSH");
     }
     for m in &ev.meta {
-        line.push_str(&format!(" [{}#{}:{}]", marker_tag(m.marker), m.content, m.len));
+        line.push_str(&format!(
+            " [{}#{}:{}]",
+            marker_tag(m.marker),
+            m.content,
+            m.len
+        ));
     }
     line
 }
@@ -76,7 +83,7 @@ pub fn render(events: &[PktEvent]) -> String {
 /// Renders only the client-side view with a header summarising the
 /// session landmarks — the format used by the `fig4` harness's debug
 /// output and by humans grepping long runs.
-pub fn render_client_view(events: &[PktEvent], client: NodeId) -> Option<String> {
+pub fn render_client_view(events: &[PktEvent], client: NodeId) -> Result<String, SessionError> {
     let trace = ClientTrace::new(events, client)?;
     let mut out = format!(
         "# client node{} tb={:.4}ms rtt={:?} bytes={}\n",
@@ -91,7 +98,7 @@ pub fn render_client_view(events: &[PktEvent], client: NodeId) -> Option<String>
         out.push_str(&render_line(ev));
         out.push('\n');
     }
-    Some(out)
+    Ok(out)
 }
 
 /// The core fields parsed back from a dump line.
@@ -252,6 +259,6 @@ mod tests {
         let t1 = parse_line(lines[1]).unwrap().t_ms;
         let t2 = parse_line(lines[2]).unwrap().t_ms;
         assert!(t1 <= t2);
-        assert!(render_client_view(&[], NodeId(7)).is_none());
+        assert!(render_client_view(&[], NodeId(7)).is_err());
     }
 }

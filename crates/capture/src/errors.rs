@@ -1,0 +1,114 @@
+//! Typed extraction errors.
+//!
+//! Real traces are messy: vantage points crash mid-download, servers
+//! reset connections, retransmission storms blur packet timings. The
+//! measurement pipeline must *skip but count* such sessions rather than
+//! silently drop them (or worse, panic). These error types name the
+//! reasons so aggregation can report how much data each filter removed.
+
+use std::fmt;
+
+/// Why a raw event list could not be reduced to a client-side trace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SessionError {
+    /// No SYN was transmitted by the claimed client node — either the
+    /// trace belongs to someone else or capture started mid-session.
+    NoClientSyn,
+    /// The client sent SYNs but never saw a SYN-ACK: the handshake never
+    /// completed (server outage, path blackhole, aborted session).
+    NoHandshake,
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::NoClientSyn => {
+                write!(f, "no client-side SYN in trace")
+            }
+            SessionError::NoHandshake => {
+                write!(f, "handshake never completed (no SYN-ACK)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+/// Why a [`Timeline`](crate::Timeline) could not be extracted from a
+/// session.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TimelineError {
+    /// The session itself was unusable.
+    Session(SessionError),
+    /// The handshake completed but no HTTP GET was ever sent.
+    NoRequest,
+    /// The session was truncated: the GET went out but the response
+    /// never completed (mid-download abort, client deadline).
+    Truncated,
+    /// No static-content boundary could be identified.
+    NoStatic,
+    /// No dynamic-content packet was identified — e.g. a degraded
+    /// response whose dynamic portion was replaced by an error stub.
+    NoDynamic,
+    /// Retransmitted payload dominates the receive stream; landmark
+    /// times would be fiction, not measurement.
+    RetransmissionHeavy,
+}
+
+impl fmt::Display for TimelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TimelineError::Session(e) => write!(f, "unusable session: {e}"),
+            TimelineError::NoRequest => write!(f, "no HTTP GET in session"),
+            TimelineError::Truncated => {
+                write!(f, "session truncated before the response completed")
+            }
+            TimelineError::NoStatic => {
+                write!(f, "no static-content boundary found")
+            }
+            TimelineError::NoDynamic => {
+                write!(f, "no dynamic-content packet found")
+            }
+            TimelineError::RetransmissionHeavy => {
+                write!(f, "retransmissions dominate the receive stream")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TimelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TimelineError::Session(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SessionError> for TimelineError {
+    fn from(e: SessionError) -> TimelineError {
+        TimelineError::Session(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(SessionError::NoClientSyn.to_string().contains("SYN"));
+        assert!(TimelineError::Session(SessionError::NoHandshake)
+            .to_string()
+            .contains("SYN-ACK"));
+        assert!(TimelineError::Truncated.to_string().contains("truncated"));
+    }
+
+    #[test]
+    fn error_source_chain() {
+        use std::error::Error;
+        let e = TimelineError::Session(SessionError::NoClientSyn);
+        assert!(e.source().is_some());
+        assert!(TimelineError::NoDynamic.source().is_none());
+    }
+}

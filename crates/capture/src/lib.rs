@@ -37,11 +37,13 @@ pub mod classify;
 pub mod cluster_view;
 pub mod content;
 pub mod dump;
+pub mod errors;
 pub mod session;
 pub mod timeline;
 pub mod validate;
 
 pub use classify::Classifier;
 pub use content::find_static_content_ids;
+pub use errors::{SessionError, TimelineError};
 pub use session::ClientTrace;
 pub use timeline::Timeline;

@@ -1,5 +1,6 @@
 //! Client-side view of one query session.
 
+use crate::errors::SessionError;
 use simcore::time::SimTime;
 use tcpsim::{NodeId, PktDir, PktEvent, PktKind};
 
@@ -23,9 +24,10 @@ pub struct ClientTrace {
 
 impl ClientTrace {
     /// Filters `events` down to those observed at `client`, requiring at
-    /// least a transmitted SYN. Returns `None` for sessions with no
-    /// client-side SYN (malformed traces).
-    pub fn new(events: &[PktEvent], client: NodeId) -> Option<ClientTrace> {
+    /// least a transmitted SYN. Fails with
+    /// [`SessionError::NoClientSyn`] for traces with no client-side SYN
+    /// (capture started mid-session, or the wrong node was named).
+    pub fn new(events: &[PktEvent], client: NodeId) -> Result<ClientTrace, SessionError> {
         let mut rx_data = Vec::new();
         let mut rx_all = Vec::new();
         let mut tx_all = Vec::new();
@@ -46,13 +48,14 @@ impl ClientTrace {
         }
         let syn = tx_all
             .iter()
-            .find(|e| e.kind == PktKind::Syn)?;
+            .find(|e| e.kind == PktKind::Syn)
+            .ok_or(SessionError::NoClientSyn)?;
         let tb = syn.t;
         let rtt_ms = rx_all
             .iter()
             .find(|e| e.kind == PktKind::SynAck)
             .map(|sa| sa.t.saturating_since(tb).as_millis_f64());
-        Some(ClientTrace {
+        Ok(ClientTrace {
             rx_data,
             rx_all,
             tx_all,
@@ -169,9 +172,12 @@ mod tests {
     }
 
     #[test]
-    fn none_without_client_syn() {
+    fn error_without_client_syn() {
         let evs = vec![ev(0, 2, PktDir::Tx, PktKind::Syn, 0, 0, 0)];
-        assert!(ClientTrace::new(&evs, NodeId(1)).is_none());
+        assert_eq!(
+            ClientTrace::new(&evs, NodeId(1)).unwrap_err(),
+            SessionError::NoClientSyn
+        );
     }
 
     #[test]

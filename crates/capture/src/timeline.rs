@@ -2,6 +2,7 @@
 //! model.
 
 use crate::classify::Classifier;
+use crate::errors::{SessionError, TimelineError};
 use crate::session::ClientTrace;
 use simcore::time::SimTime;
 use tcpsim::NodeId;
@@ -56,24 +57,40 @@ impl Timeline {
     }
 
     /// Extracts the timeline from one session's events using the given
-    /// classifier. Returns `None` when the session is malformed (no
-    /// handshake, no GET, no response, or no classifiable boundary).
+    /// classifier. Fails with a [`TimelineError`] naming why the session
+    /// is unusable (no handshake, no GET, truncated response,
+    /// retransmission storm, or no classifiable boundary).
     pub fn extract(
         events: &[PktEvent],
         client: NodeId,
         classifier: &Classifier,
-    ) -> Option<Timeline> {
+    ) -> Result<Timeline, TimelineError> {
         let trace = ClientTrace::new(events, client)?;
         Timeline::from_trace(&trace, classifier)
     }
 
     /// Extracts the timeline from an already-filtered [`ClientTrace`].
-    pub fn from_trace(trace: &ClientTrace, classifier: &Classifier) -> Option<Timeline> {
+    pub fn from_trace(
+        trace: &ClientTrace,
+        classifier: &Classifier,
+    ) -> Result<Timeline, TimelineError> {
         let tb = trace.tb;
-        let rtt_ms = trace.rtt_ms?;
-        let t1 = trace.t1()?;
-        let t2 = trace.t2()?;
-        let te = trace.te()?;
+        let rtt_ms = trace.rtt_ms.ok_or(SessionError::NoHandshake)?;
+        let t1 = trace.t1().ok_or(TimelineError::NoRequest)?;
+        let t2 = trace.t2().ok_or(TimelineError::Truncated)?;
+        let te = trace.te().ok_or(TimelineError::Truncated)?;
+        // Landmark times come from packet arrival order; when most of the
+        // payload is retransmitted copies, that order reflects loss
+        // recovery rather than server behaviour — refuse to measure.
+        let mut seen = std::collections::HashSet::new();
+        let dup = trace
+            .rx_data
+            .iter()
+            .filter(|e| !seen.insert((e.seq, e.len)))
+            .count();
+        if dup > trace.rx_data.len() / 2 {
+            return Err(TimelineError::RetransmissionHeavy);
+        }
         let mut t3: Option<SimTime> = None;
         let mut t4: Option<SimTime> = None;
         let mut t5: Option<SimTime> = None;
@@ -99,13 +116,13 @@ impl Timeline {
                 before_first_push_end = false;
             }
         }
-        Some(Timeline {
+        Ok(Timeline {
             tb,
             t1,
             t2,
-            t3: t3?,
-            t4: t4?,
-            t5: t5?,
+            t3: t3.ok_or(TimelineError::NoStatic)?,
+            t4: t4.ok_or(TimelineError::NoStatic)?,
+            t5: t5.ok_or(TimelineError::NoDynamic)?,
             te,
             rtt_ms,
             static_bytes,
@@ -161,17 +178,57 @@ mod tests {
         vec![
             ev(0, PktDir::Tx, PktKind::Syn, 0, 0, 0, false, vec![]),
             ev(50, PktDir::Rx, PktKind::SynAck, 0, 0, 0, false, vec![]),
-            ev(50, PktDir::Tx, PktKind::Data, 0, 400, 0, true,
-                vec![span(0, 400, Marker::Request, 900)]),
+            ev(
+                50,
+                PktDir::Tx,
+                PktKind::Data,
+                0,
+                400,
+                0,
+                true,
+                vec![span(0, 400, Marker::Request, 900)],
+            ),
             ev(100, PktDir::Rx, PktKind::Ack, 0, 0, 400, false, vec![]),
-            ev(105, PktDir::Rx, PktKind::Data, 0, 1460, 400, false,
-                vec![span(0, 1460, Marker::Static, 1)]),
-            ev(107, PktDir::Rx, PktKind::Data, 1460, 540, 400, true,
-                vec![span(1460, 540, Marker::Static, 1)]),
-            ev(250, PktDir::Rx, PktKind::Data, 2000, 1460, 400, false,
-                vec![span(2000, 1460, Marker::Dynamic, 1001)]),
-            ev(252, PktDir::Rx, PktKind::Data, 3460, 1000, 400, true,
-                vec![span(3460, 1000, Marker::Dynamic, 1001)]),
+            ev(
+                105,
+                PktDir::Rx,
+                PktKind::Data,
+                0,
+                1460,
+                400,
+                false,
+                vec![span(0, 1460, Marker::Static, 1)],
+            ),
+            ev(
+                107,
+                PktDir::Rx,
+                PktKind::Data,
+                1460,
+                540,
+                400,
+                true,
+                vec![span(1460, 540, Marker::Static, 1)],
+            ),
+            ev(
+                250,
+                PktDir::Rx,
+                PktKind::Data,
+                2000,
+                1460,
+                400,
+                false,
+                vec![span(2000, 1460, Marker::Dynamic, 1001)],
+            ),
+            ev(
+                252,
+                PktDir::Rx,
+                PktKind::Data,
+                3460,
+                1000,
+                400,
+                true,
+                vec![span(3460, 1000, Marker::Dynamic, 1001)],
+            ),
         ]
     }
 
@@ -216,16 +273,40 @@ mod tests {
         let evs = vec![
             ev(0, PktDir::Tx, PktKind::Syn, 0, 0, 0, false, vec![]),
             ev(50, PktDir::Rx, PktKind::SynAck, 0, 0, 0, false, vec![]),
-            ev(50, PktDir::Tx, PktKind::Data, 0, 400, 0, true,
-                vec![span(0, 400, Marker::Request, 900)]),
+            ev(
+                50,
+                PktDir::Tx,
+                PktKind::Data,
+                0,
+                400,
+                0,
+                true,
+                vec![span(0, 400, Marker::Request, 900)],
+            ),
             ev(100, PktDir::Rx, PktKind::Ack, 0, 0, 400, false, vec![]),
-            ev(105, PktDir::Rx, PktKind::Data, 0, 1460, 400, true,
+            ev(
+                105,
+                PktDir::Rx,
+                PktKind::Data,
+                0,
+                1460,
+                400,
+                true,
                 vec![
                     span(0, 1000, Marker::Static, 1),
                     span(1000, 460, Marker::Dynamic, 1001),
-                ]),
-            ev(106, PktDir::Rx, PktKind::Data, 1460, 500, 400, true,
-                vec![span(1460, 500, Marker::Dynamic, 1001)]),
+                ],
+            ),
+            ev(
+                106,
+                PktDir::Rx,
+                PktKind::Data,
+                1460,
+                500,
+                400,
+                true,
+                vec![span(1460, 500, Marker::Dynamic, 1001)],
+            ),
         ];
         let tl = Timeline::extract(&evs, NodeId(1), &Classifier::ByMarker).unwrap();
         assert_eq!(tl.t4, tl.t5);
@@ -233,19 +314,88 @@ mod tests {
     }
 
     #[test]
-    fn malformed_sessions_yield_none() {
+    fn malformed_sessions_yield_typed_errors() {
         // Missing SYN-ACK.
         let evs = vec![ev(0, PktDir::Tx, PktKind::Syn, 0, 0, 0, false, vec![])];
-        assert!(Timeline::extract(&evs, NodeId(1), &Classifier::ByMarker).is_none());
+        assert_eq!(
+            Timeline::extract(&evs, NodeId(1), &Classifier::ByMarker).unwrap_err(),
+            TimelineError::Session(SessionError::NoHandshake)
+        );
         // Response without any dynamic part.
         let evs2 = vec![
             ev(0, PktDir::Tx, PktKind::Syn, 0, 0, 0, false, vec![]),
             ev(50, PktDir::Rx, PktKind::SynAck, 0, 0, 0, false, vec![]),
-            ev(50, PktDir::Tx, PktKind::Data, 0, 400, 0, true,
-                vec![span(0, 400, Marker::Request, 900)]),
-            ev(100, PktDir::Rx, PktKind::Data, 0, 1460, 400, true,
-                vec![span(0, 1460, Marker::Static, 1)]),
+            ev(
+                50,
+                PktDir::Tx,
+                PktKind::Data,
+                0,
+                400,
+                0,
+                true,
+                vec![span(0, 400, Marker::Request, 900)],
+            ),
+            ev(
+                100,
+                PktDir::Rx,
+                PktKind::Data,
+                0,
+                1460,
+                400,
+                true,
+                vec![span(0, 1460, Marker::Static, 1)],
+            ),
         ];
-        assert!(Timeline::extract(&evs2, NodeId(1), &Classifier::ByMarker).is_none());
+        assert_eq!(
+            Timeline::extract(&evs2, NodeId(1), &Classifier::ByMarker).unwrap_err(),
+            TimelineError::NoDynamic
+        );
+        // Wrong node entirely.
+        assert_eq!(
+            Timeline::extract(&evs, NodeId(9), &Classifier::ByMarker).unwrap_err(),
+            TimelineError::Session(SessionError::NoClientSyn)
+        );
+    }
+
+    #[test]
+    fn truncated_session_is_rejected() {
+        // GET sent, never acknowledged, no payload back.
+        let evs = vec![
+            ev(0, PktDir::Tx, PktKind::Syn, 0, 0, 0, false, vec![]),
+            ev(50, PktDir::Rx, PktKind::SynAck, 0, 0, 0, false, vec![]),
+            ev(
+                50,
+                PktDir::Tx,
+                PktKind::Data,
+                0,
+                400,
+                0,
+                true,
+                vec![span(0, 400, Marker::Request, 900)],
+            ),
+        ];
+        assert_eq!(
+            Timeline::extract(&evs, NodeId(1), &Classifier::ByMarker).unwrap_err(),
+            TimelineError::Truncated
+        );
+    }
+
+    #[test]
+    fn retransmission_storm_is_rejected() {
+        // The same payload packet delivered over and over: more duplicate
+        // receptions than fresh ones.
+        let mut evs = session();
+        let dup = evs[4].clone();
+        for _ in 0..6 {
+            evs.push(dup.clone());
+        }
+        assert_eq!(
+            Timeline::extract(&evs, NodeId(1), &Classifier::ByMarker).unwrap_err(),
+            TimelineError::RetransmissionHeavy
+        );
+        // A couple of duplicates (ordinary loss recovery) still extract.
+        let mut light = session();
+        light.push(dup);
+        assert!(Timeline::extract(&light, NodeId(1), &Classifier::ByMarker).is_ok());
     }
 }

@@ -60,12 +60,12 @@ pub fn score_classifier(
     let mut byte_errs = Vec::new();
     for (events, client) in sessions {
         let oracle = match Timeline::extract(events, *client, &Classifier::ByMarker) {
-            Some(t) => t,
-            None => continue,
+            Ok(t) => t,
+            Err(_) => continue,
         };
         let cand = match Timeline::extract(events, *client, candidate) {
-            Some(t) => t,
-            None => {
+            Ok(t) => t,
+            Err(_) => {
                 score.candidate_failed += 1;
                 continue;
             }
@@ -78,11 +78,9 @@ pub fn score_classifier(
         byte_errs.push((oracle.static_bytes as f64 - cand.static_bytes as f64).abs());
     }
     if !tdelta_errs.is_empty() {
-        score.mean_tdelta_err_ms =
-            tdelta_errs.iter().sum::<f64>() / tdelta_errs.len() as f64;
+        score.mean_tdelta_err_ms = tdelta_errs.iter().sum::<f64>() / tdelta_errs.len() as f64;
         score.max_tdelta_err_ms = tdelta_errs.iter().cloned().fold(0.0, f64::max);
-        score.mean_static_bytes_err =
-            byte_errs.iter().sum::<f64>() / byte_errs.len() as f64;
+        score.mean_static_bytes_err = byte_errs.iter().sum::<f64>() / byte_errs.len() as f64;
     }
     score
 }
@@ -134,22 +132,63 @@ mod tests {
         let mut v = vec![
             ev(0, PktDir::Tx, PktKind::Syn, 0, 0, 0, false, vec![]),
             ev(50, PktDir::Rx, PktKind::SynAck, 0, 0, 0, false, vec![]),
-            ev(50, PktDir::Tx, PktKind::Data, 0, 400, 0, true,
-                vec![span(0, 400, Marker::Request, 900)]),
+            ev(
+                50,
+                PktDir::Tx,
+                PktKind::Data,
+                0,
+                400,
+                0,
+                true,
+                vec![span(0, 400, Marker::Request, 900)],
+            ),
             ev(100, PktDir::Rx, PktKind::Ack, 0, 0, 400, false, vec![]),
         ];
         if coalesced {
-            v.push(ev(105, PktDir::Rx, PktKind::Data, 0, 1460, 400, true, vec![
-                span(0, 1000, Marker::Static, 1),
-                span(1000, 460, Marker::Dynamic, 1001),
-            ]));
-            v.push(ev(106, PktDir::Rx, PktKind::Data, 1460, 500, 400, true,
-                vec![span(1460, 500, Marker::Dynamic, 1001)]));
+            v.push(ev(
+                105,
+                PktDir::Rx,
+                PktKind::Data,
+                0,
+                1460,
+                400,
+                true,
+                vec![
+                    span(0, 1000, Marker::Static, 1),
+                    span(1000, 460, Marker::Dynamic, 1001),
+                ],
+            ));
+            v.push(ev(
+                106,
+                PktDir::Rx,
+                PktKind::Data,
+                1460,
+                500,
+                400,
+                true,
+                vec![span(1460, 500, Marker::Dynamic, 1001)],
+            ));
         } else {
-            v.push(ev(105, PktDir::Rx, PktKind::Data, 0, 1000, 400, true,
-                vec![span(0, 1000, Marker::Static, 1)]));
-            v.push(ev(250, PktDir::Rx, PktKind::Data, 1000, 960, 400, true,
-                vec![span(1000, 960, Marker::Dynamic, 1001)]));
+            v.push(ev(
+                105,
+                PktDir::Rx,
+                PktKind::Data,
+                0,
+                1000,
+                400,
+                true,
+                vec![span(0, 1000, Marker::Static, 1)],
+            ));
+            v.push(ev(
+                250,
+                PktDir::Rx,
+                PktKind::Data,
+                1000,
+                960,
+                400,
+                true,
+                vec![span(1000, 960, Marker::Dynamic, 1001)],
+            ));
         }
         v
     }
@@ -158,8 +197,7 @@ mod tests {
     fn content_classifier_scores_perfectly_here() {
         let s1 = session(false);
         let s2 = session(true);
-        let sessions: Vec<(&[PktEvent], NodeId)> =
-            vec![(&s1, NodeId(1)), (&s2, NodeId(1))];
+        let sessions: Vec<(&[PktEvent], NodeId)> = vec![(&s1, NodeId(1)), (&s2, NodeId(1))];
         let ids: HashSet<u64> = [1u64].into();
         let score = score_classifier(&sessions, &Classifier::ByContent(ids));
         assert_eq!(score.comparable, 2);
@@ -173,8 +211,7 @@ mod tests {
     fn push_classifier_misses_the_coalesced_boundary() {
         let s1 = session(false);
         let s2 = session(true);
-        let sessions: Vec<(&[PktEvent], NodeId)> =
-            vec![(&s1, NodeId(1)), (&s2, NodeId(1))];
+        let sessions: Vec<(&[PktEvent], NodeId)> = vec![(&s1, NodeId(1)), (&s2, NodeId(1))];
         let score = score_classifier(&sessions, &Classifier::ByPush);
         // The separated session agrees exactly; the coalesced one puts
         // the first dynamic bytes in the "static" packet, so ByPush gets

@@ -119,21 +119,14 @@ impl DnsResolver {
     /// Resolves one lookup for `client`. `fe_load` supplies current
     /// per-FE load levels for [`DnsPolicy::LoadAware`] (ignored
     /// otherwise); `rng` drives the randomized rotation.
-    pub fn resolve(
-        &self,
-        client: usize,
-        rng: &mut Rng,
-        fe_load: impl Fn(usize) -> f64,
-    ) -> usize {
+    pub fn resolve(&self, client: usize, rng: &mut Rng, fe_load: impl Fn(usize) -> f64) -> usize {
         let cands = &self.candidates[client];
         match self.policy {
             DnsPolicy::Nearest => cands[0],
             DnsPolicy::RandomizedTopK(_) => *rng.choose(cands),
             DnsPolicy::LoadAware(_) => *cands
                 .iter()
-                .min_by(|&&a, &&b| {
-                    fe_load(a).partial_cmp(&fe_load(b)).expect("NaN load")
-                })
+                .min_by(|&&a, &&b| fe_load(a).partial_cmp(&fe_load(b)).expect("NaN load"))
                 .expect("non-empty candidates"),
         }
     }
@@ -170,9 +163,8 @@ mod tests {
         let pts: Vec<GeoPoint> = v.iter().map(|x| x.pt).collect();
         let dense = DnsMap::nearest(&pts, &dense_edge(2));
         let sparse = DnsMap::nearest(&pts, &sparse_pop(2, 14));
-        let mean = |m: &DnsMap| {
-            (0..m.len()).map(|i| m.distance_of(i)).sum::<f64>() / m.len() as f64
-        };
+        let mean =
+            |m: &DnsMap| (0..m.len()).map(|i| m.distance_of(i)).sum::<f64>() / m.len() as f64;
         assert!(mean(&dense) < mean(&sparse) / 2.0);
     }
 

@@ -205,14 +205,7 @@ mod tests {
 
     #[test]
     fn result_cache_when_enabled() {
-        let mut fe = FeServer::new(
-            1,
-            site(true),
-            Dist::Constant(5.0),
-            0.0,
-            0.0,
-            true,
-        );
+        let mut fe = FeServer::new(1, site(true), Dist::Constant(5.0), 0.0, 0.0, true);
         assert!(fe.cached_result(7).is_none());
         let plan = httpsim::ResponsePlan::new(9000, 1, 20000, 1000);
         fe.store_result(7, plan.clone());
@@ -256,14 +249,7 @@ mod tests {
     #[test]
     fn spaced_arrivals_do_not_queue() {
         use simcore::time::SimTime;
-        let mut fe = FeServer::new(
-            1,
-            site(false),
-            Dist::Constant(5.0),
-            0.0,
-            0.0,
-            false,
-        );
+        let mut fe = FeServer::new(1, site(false), Dist::Constant(5.0), 0.0, 0.0, false);
         for i in 0..20u64 {
             let t = SimTime::from_millis(i * 100);
             assert_eq!(fe.request_overhead_at(t).as_millis_f64(), 5.0);

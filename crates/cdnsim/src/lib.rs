@@ -31,5 +31,5 @@ pub mod world;
 
 pub use dns::{DnsMap, DnsPolicy, DnsResolver};
 pub use fe::FeServer;
-pub use service::{FeLoadProfile, ServiceConfig};
-pub use world::{CompletedQuery, QuerySpec, ServiceWorld};
+pub use service::{FeLoadProfile, RetryPolicy, ServiceConfig};
+pub use world::{CompletedQuery, QueryOutcome, QuerySpec, ServiceWorld};

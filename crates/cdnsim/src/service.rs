@@ -1,13 +1,46 @@
 //! Whole-service configuration: everything that distinguishes the two
 //! measured deployments, plus the ablation switches.
 
+use nettopo::faults::FaultPlan;
 use nettopo::path::PathProfile;
 use nettopo::placement::{dense_edge, sparse_pop, FeSite};
 use nettopo::sites::{BeSite, BING_BE_SITES, GOOGLE_BE_SITES};
 use searchbe::proctime::BackendProfile;
 use searchbe::response::PageComposer;
 use simcore::dist::Dist;
+use simcore::time::SimDuration;
 use tcpsim::TcpOptions;
+
+/// Client-side robustness policy: per-query deadline plus bounded
+/// retries with exponential backoff and jitter.
+#[derive(Clone, Debug)]
+pub struct RetryPolicy {
+    /// Per-attempt deadline: if the response is not complete by then the
+    /// attempt is abandoned.
+    pub deadline: SimDuration,
+    /// Maximum number of retries after the first attempt (0 = give up
+    /// immediately on the first deadline).
+    pub max_retries: u32,
+    /// Base backoff before the first retry; attempt `n` waits
+    /// `base_backoff · 2^(n-1) · (1 + jitter·u)` with `u` uniform in
+    /// [0, 1) from the dedicated retry RNG stream.
+    pub base_backoff: SimDuration,
+    /// Multiplicative jitter fraction (0 disables jitter).
+    pub jitter: f64,
+}
+
+impl Default for RetryPolicy {
+    /// A browser-like policy: 10 s deadline, two retries, half-second
+    /// base backoff with 30% jitter.
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            deadline: SimDuration::from_secs(10),
+            max_retries: 2,
+            base_backoff: SimDuration::from_millis(500),
+            jitter: 0.3,
+        }
+    }
+}
 
 /// Front-end load/service-time profile.
 #[derive(Clone, Debug)]
@@ -90,6 +123,21 @@ pub struct ServiceConfig {
     /// Parallel request slots per FE (the FIFO queue's service
     /// capacity).
     pub fe_workers: usize,
+    /// Scripted fault schedule. Empty by default: with no windows the
+    /// recovery machinery is inert and trajectories are byte-identical
+    /// to a fault-free build.
+    pub faults: FaultPlan,
+    /// Client-side deadline/retry policy; `None` (the default) arms no
+    /// deadline timers at all.
+    pub client_retry: Option<RetryPolicy>,
+    /// FE-side BE-fetch deadline: past it the FE fails over to the next
+    /// live BE site, or degrades the response (cached static portion +
+    /// error stub) when none is reachable. `None` disables failover.
+    pub fe_fetch_deadline: Option<SimDuration>,
+    /// DNS answer TTL: how long clients keep using a resolved FE before
+    /// re-resolving (only consulted when the fault plan contains FE
+    /// outages — failover away from a dead FE is not instantaneous).
+    pub dns_ttl: SimDuration,
 }
 
 impl ServiceConfig {
@@ -117,6 +165,10 @@ impl ServiceConfig {
             fe_caches_results: false,
             access_override: None,
             fe_workers: 8,
+            faults: FaultPlan::new(),
+            client_retry: None,
+            fe_fetch_deadline: None,
+            dns_ttl: SimDuration::from_secs(60),
         }
     }
 
@@ -144,6 +196,10 @@ impl ServiceConfig {
             fe_caches_results: false,
             access_override: None,
             fe_workers: 8,
+            faults: FaultPlan::new(),
+            client_retry: None,
+            fe_fetch_deadline: None,
+            dns_ttl: SimDuration::from_secs(60),
         }
     }
 
@@ -190,6 +246,31 @@ impl ServiceConfig {
         self.fe_workers = workers;
         self
     }
+
+    /// Installs a scripted fault schedule.
+    pub fn with_faults(mut self, plan: FaultPlan) -> ServiceConfig {
+        self.faults = plan;
+        self.name = format!("{}+faults", self.name);
+        self
+    }
+
+    /// Enables the client deadline/retry policy.
+    pub fn with_client_retry(mut self, policy: RetryPolicy) -> ServiceConfig {
+        self.client_retry = Some(policy);
+        self
+    }
+
+    /// Enables FE-side fetch deadlines (BE failover + degradation).
+    pub fn with_fe_fetch_deadline(mut self, deadline: SimDuration) -> ServiceConfig {
+        self.fe_fetch_deadline = Some(deadline);
+        self
+    }
+
+    /// Overrides the DNS answer TTL.
+    pub fn with_dns_ttl(mut self, ttl: SimDuration) -> ServiceConfig {
+        self.dns_ttl = ttl;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -222,6 +303,29 @@ mod tests {
         assert!(c3.fe_caches_results);
         let c4 = ServiceConfig::bing_like(1).with_fe_initial_window(10);
         assert_eq!(c4.fe_client_tcp.initial_window_segs, 10);
+    }
+
+    #[test]
+    fn fault_and_retry_knobs_default_off() {
+        use simcore::time::SimTime;
+        let b = ServiceConfig::bing_like(1);
+        assert!(b.faults.is_empty());
+        assert!(b.client_retry.is_none());
+        assert!(b.fe_fetch_deadline.is_none());
+        let c = b
+            .with_faults(FaultPlan::new().be_outage(
+                0,
+                SimTime::from_secs(1),
+                SimTime::from_secs(2),
+            ))
+            .with_client_retry(RetryPolicy::default())
+            .with_fe_fetch_deadline(SimDuration::from_millis(800))
+            .with_dns_ttl(SimDuration::from_secs(5));
+        assert!(!c.faults.is_empty());
+        assert!(c.name.contains("faults"));
+        assert_eq!(c.client_retry.as_ref().unwrap().max_retries, 2);
+        assert_eq!(c.fe_fetch_deadline, Some(SimDuration::from_millis(800)));
+        assert_eq!(c.dns_ttl, SimDuration::from_secs(5));
     }
 
     #[test]

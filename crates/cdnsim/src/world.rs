@@ -28,15 +28,19 @@ use crate::dns::DnsMap;
 use crate::fe::FeServer;
 use crate::service::ServiceConfig;
 use httpsim::{RecvProgress, RequestSpec, ResponsePlan};
+use nettopo::faults::{FaultKind, FaultWindow};
 use nettopo::geo::GeoPoint;
 use nettopo::path::{PathModel, PathProfile};
 use nettopo::sites::BeSite;
 use nettopo::vantage::{AccessKind, Vantage};
 use searchbe::datacenter::BeDataCenter;
 use searchbe::keywords::{KeywordClass, KeywordCorpus};
+use simcore::rng::Rng;
 use simcore::time::{SimDuration, SimTime};
-use tcpsim::{App, ConnId, DeliveredSpan, End, Marker, Net, NodeId, PathParams, PktEvent};
 use std::collections::HashMap;
+use tcpsim::{
+    App, ConnId, DeliveredSpan, End, LinkFault, Marker, Net, NodeId, PathParams, PktEvent,
+};
 
 /// Node-id base for front-end servers.
 pub const FE_NODE_BASE: u32 = 1_000_000;
@@ -45,6 +49,28 @@ pub const BE_NODE_BASE: u32 = 2_000_000;
 
 const WARMUP_REQ_BYTES: u64 = 2_000;
 const WARMUP_RESP_BYTES: u64 = 160_000;
+
+/// Size of the error stub an FE serves in place of the dynamic portion
+/// when every back-end is unreachable past the fetch deadline.
+pub const DEGRADED_STUB_BYTES: u64 = 600;
+/// Content identity of the degraded-service error stub.
+pub const DEGRADED_CONTENT_ID: u64 = 999_999_999_999;
+
+/// How a query's lifecycle ended, from the client's point of view.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueryOutcome {
+    /// Served normally on the first attempt.
+    Ok,
+    /// Served, but the dynamic portion was replaced by an error stub
+    /// (graceful degradation: no back-end was reachable in time).
+    Degraded,
+    /// Served after `n` client retries (attempt `n` succeeded).
+    Retried(u32),
+    /// Never served: every attempt blew its deadline and the retry
+    /// budget is exhausted. The record carries the truncated trace of
+    /// the final attempt.
+    TimedOut,
+}
 
 /// A query to execute.
 #[derive(Clone, Debug)]
@@ -97,6 +123,8 @@ pub struct CompletedQuery {
     /// All packet events of this query's session (client, FE and BE
     /// observations; filter by node for the client-side view).
     pub trace: Vec<PktEvent>,
+    /// How the query ended ([`QueryOutcome::Ok`] on the happy path).
+    pub outcome: QueryOutcome,
 }
 
 impl CompletedQuery {
@@ -131,9 +159,13 @@ struct ConnInfo {
 #[derive(Clone, Debug)]
 enum Action {
     Start(QuerySpec),
+    StartRetry { spec: QuerySpec, attempt: u32 },
     FeServe { qid: u64 },
-    BeReply { qid: u64 },
+    BeReply { qid: u64, attempt: u32 },
     BeDirectReply { qid: u64 },
+    ClientDeadline { qid: u64 },
+    FetchDeadline { qid: u64, attempt: u32 },
+    FaultStart { window: usize },
 }
 
 struct QueryState {
@@ -143,6 +175,10 @@ struct QueryState {
     keyword: u64,
     class: KeywordClass,
     instant_followup: bool,
+    fixed_fe: Option<usize>,
+    attempt: u32,
+    fetch_attempts: u32,
+    degraded: bool,
     t_start: SimTime,
     client_conn: ConnId,
     be_conn: Option<ConnId>,
@@ -179,6 +215,10 @@ pub struct ServiceWorld {
     actions: Vec<Action>,
     completed: Vec<CompletedQuery>,
     next_qid: u64,
+    retry_rng: Rng,
+    dns_cache: HashMap<usize, (usize, SimTime)>,
+    fe_rank: HashMap<usize, Vec<usize>>,
+    be_rank: HashMap<usize, Vec<usize>>,
 }
 
 impl ServiceWorld {
@@ -221,15 +261,14 @@ impl ServiceWorld {
             .map(|(k, site)| {
                 let mut composer = cfg.composer.clone();
                 composer.offset_ids(k as u64 * 100_000_000);
-                let dc = BeDataCenter::new(
-                    cfg.seed,
-                    site.name,
-                    cfg.backend.clone(),
-                    composer,
-                );
+                let dc = BeDataCenter::new(cfg.seed, site.name, cfg.backend.clone(), composer);
                 (*site, dc)
             })
             .collect();
+        // Dedicated named stream: constructed unconditionally (named
+        // streams are independent) but drawn from only when a retry
+        // actually backs off, so fault-free runs stay byte-identical.
+        let retry_rng = Rng::from_seed_and_name(cfg.seed, "cdnsim/retry");
         ServiceWorld {
             cfg,
             clients,
@@ -245,6 +284,10 @@ impl ServiceWorld {
             actions: Vec::new(),
             completed: Vec::new(),
             next_qid: 1,
+            retry_rng,
+            dns_cache: HashMap::new(),
+            fe_rank: HashMap::new(),
+            be_rank: HashMap::new(),
         }
     }
 
@@ -281,6 +324,74 @@ impl ServiceWorld {
     /// The nearest BE of an FE.
     pub fn be_of_fe(&self, fe: usize) -> usize {
         self.be_of_fe[fe]
+    }
+
+    /// FE indices ranked by distance from a client (memoized).
+    fn ranked_fes(&mut self, client: usize) -> Vec<usize> {
+        if let Some(r) = self.fe_rank.get(&client) {
+            return r.clone();
+        }
+        let pt = self.clients[client].pt;
+        let mut idx: Vec<usize> = (0..self.fes.len()).collect();
+        idx.sort_by(|&a, &b| {
+            pt.distance_miles(&self.fes[a].site.pt)
+                .total_cmp(&pt.distance_miles(&self.fes[b].site.pt))
+        });
+        self.fe_rank.insert(client, idx.clone());
+        idx
+    }
+
+    /// BE indices ranked by distance from an FE (memoized).
+    fn ranked_bes(&mut self, fe: usize) -> Vec<usize> {
+        if let Some(r) = self.be_rank.get(&fe) {
+            return r.clone();
+        }
+        let pt = self.fes[fe].site.pt;
+        let mut idx: Vec<usize> = (0..self.bes.len()).collect();
+        idx.sort_by(|&a, &b| {
+            pt.distance_miles(&self.bes[a].0.pt)
+                .total_cmp(&pt.distance_miles(&self.bes[b].0.pt))
+        });
+        self.be_rank.insert(fe, idx.clone());
+        idx
+    }
+
+    /// Health-aware DNS: resolves a client's FE honoring the answer TTL.
+    /// Without FE outages in the plan this is exactly the static nearest
+    /// mapping (no cache reads or writes), preserving byte-identical
+    /// trajectories.
+    fn resolve_fe(&mut self, now: SimTime, client: usize) -> usize {
+        if !self.cfg.faults.has_fe_outages() {
+            return self.dns.fe_of(client);
+        }
+        if let Some(&(fe, at)) = self.dns_cache.get(&client) {
+            if now.saturating_since(at) < self.cfg.dns_ttl {
+                // The cached answer is honored until the TTL runs out,
+                // even if the FE has since died — failover via DNS is
+                // deliberately not instantaneous.
+                return fe;
+            }
+        }
+        let fe = self
+            .ranked_fes(client)
+            .into_iter()
+            .find(|&f| !self.cfg.faults.fe_down(f, now))
+            .unwrap_or_else(|| self.dns.fe_of(client));
+        self.dns_cache.insert(client, (fe, now));
+        fe
+    }
+
+    /// The BE an FE should fetch from at `now`: its nearest site, or the
+    /// next-nearest live one when the primary is in an outage window.
+    fn live_be_for(&mut self, fe: usize, now: SimTime) -> usize {
+        let primary = self.be_of_fe[fe];
+        if !self.cfg.faults.has_be_outages() || !self.cfg.faults.be_down(primary, now) {
+            return primary;
+        }
+        self.ranked_bes(fe)
+            .into_iter()
+            .find(|&b| !self.cfg.faults.be_down(b, now))
+            .unwrap_or(primary)
     }
 
     /// Number of FEs in the fleet.
@@ -348,6 +459,112 @@ impl ServiceWorld {
         net.set_timer(delay, token);
     }
 
+    fn push_action_at(&mut self, net: &mut Net, at: SimTime, action: Action) {
+        let delay = at.saturating_since(net.now());
+        self.push_action(net, delay, action);
+    }
+
+    /// Installs the configuration's fault plan into the simulator:
+    /// packet-level episodes become `tcpsim` link faults, and
+    /// control-plane episodes (outage starts, connection drops) are
+    /// scheduled as world actions. Call once after building the sim,
+    /// before scheduling queries. A no-op for an empty plan — no link
+    /// faults, no timers, no RNG stream touched.
+    pub fn install_faults(&mut self, net: &mut Net) {
+        if self.cfg.faults.is_empty() {
+            return;
+        }
+        let windows: Vec<FaultWindow> = self.cfg.faults.windows().to_vec();
+        for (idx, w) in windows.iter().enumerate() {
+            match w.kind {
+                FaultKind::FeOutage { fe } => {
+                    net.add_link_fault(LinkFault::node_outage(Self::fe_node(fe), w.start, w.end));
+                    self.push_action_at(net, w.start, Action::FaultStart { window: idx });
+                }
+                FaultKind::BeOutage { be } => {
+                    net.add_link_fault(LinkFault::node_outage(Self::be_node(be), w.start, w.end));
+                    self.push_action_at(net, w.start, Action::FaultStart { window: idx });
+                }
+                FaultKind::ConnDrop { .. } => {
+                    self.push_action_at(net, w.start, Action::FaultStart { window: idx });
+                }
+                FaultKind::ClientBurstLoss { client, fe, params } => {
+                    net.add_link_fault(LinkFault::burst_loss(
+                        Self::client_node(client),
+                        Self::fe_node(fe),
+                        w.start,
+                        w.end,
+                        params.p_enter,
+                        params.p_exit,
+                        params.bad_loss,
+                    ));
+                }
+                FaultKind::FeBeBurstLoss { fe, be, params } => {
+                    net.add_link_fault(LinkFault::burst_loss(
+                        Self::fe_node(fe),
+                        Self::be_node(be),
+                        w.start,
+                        w.end,
+                        params.p_enter,
+                        params.p_exit,
+                        params.bad_loss,
+                    ));
+                }
+                // Brownouts act on FE service times, consulted at serve
+                // time; nothing to install up front.
+                FaultKind::FeBrownout { .. } => {}
+            }
+        }
+    }
+
+    /// Aborts every FE↔BE connection — pooled, warming or mid-fetch —
+    /// whose (fe, be) pair matches, so a dead site does not leave
+    /// endpoints retransmitting into a blackhole forever. Stalled
+    /// queries are failed over by their fetch deadline (if configured).
+    fn drop_fe_be_conns(&mut self, net: &mut Net, hit: impl Fn(usize, usize) -> bool) {
+        for (&(f, b), v) in self.free_pool.iter_mut() {
+            if hit(f, b) {
+                for c in v.drain(..) {
+                    net.abort(c);
+                }
+            }
+        }
+        let warm: Vec<ConnId> = self
+            .conn_info
+            .iter()
+            .filter_map(|(c, i)| match i.leg {
+                Leg::Warmup { fe, be } if hit(fe, be) => Some(*c),
+                _ => None,
+            })
+            .collect();
+        for c in warm {
+            net.abort(c);
+            self.conn_info.remove(&c);
+            self.warmup_progress.remove(&c);
+        }
+        let stalled: Vec<ConnId> = self
+            .queries
+            .values()
+            .filter_map(|q| match (q.fe, q.be_conn) {
+                (Some(f), Some(c)) if hit(f, q.be) && !q.resp_handled => Some(c),
+                _ => None,
+            })
+            .collect();
+        for c in stalled {
+            net.abort(c);
+        }
+    }
+
+    fn act_fault_start(&mut self, net: &mut Net, window: usize) {
+        let w = self.cfg.faults.windows()[window];
+        match w.kind {
+            FaultKind::FeOutage { fe } => self.drop_fe_be_conns(net, |f, _| f == fe),
+            FaultKind::BeOutage { be } => self.drop_fe_be_conns(net, |_, b| b == be),
+            FaultKind::ConnDrop { fe, be } => self.drop_fe_be_conns(net, |f, b| f == fe && b == be),
+            _ => {}
+        }
+    }
+
     /// Schedules a query to start `delay` from now.
     pub fn schedule_query(&mut self, net: &mut Net, delay: SimDuration, spec: QuerySpec) {
         self.push_action(net, delay, Action::Start(spec));
@@ -399,10 +616,15 @@ impl ServiceWorld {
     }
 
     fn checkout_be_conn(&mut self, net: &mut Net, fe: usize, be: usize, qid: u64) -> ConnId {
-        let conn = self
-            .free_pool
-            .get_mut(&(fe, be))
-            .and_then(|v| v.pop());
+        // Skip pooled connections a fault has aborted since check-in.
+        let conn = self.free_pool.get_mut(&(fe, be)).and_then(|v| {
+            while let Some(c) = v.pop() {
+                if !net.is_aborted(c) {
+                    return Some(c);
+                }
+            }
+            None
+        });
         let conn = match conn {
             Some(c) => {
                 net.set_session(c, qid);
@@ -419,11 +641,12 @@ impl ServiceWorld {
         self.free_pool.entry((fe, be)).or_default().push(conn);
     }
 
-    fn start_query(&mut self, net: &mut Net, spec: QuerySpec) {
+    fn start_query(&mut self, net: &mut Net, spec: QuerySpec, attempt: u32) {
         let qid = self.next_qid;
         self.next_qid += 1;
         let kw = self.corpus.get(spec.keyword).clone();
         let req = RequestSpec::for_query_len(kw.chars(), 500_000_000_000 + qid);
+        let now = net.now();
         let (fe, be, server_pt, rtt_fe_be_ms, dist_fe_be): (
             Option<usize>,
             usize,
@@ -431,8 +654,11 @@ impl ServiceWorld {
             f64,
             f64,
         ) = if self.cfg.split_tcp {
-            let fe = spec.fixed_fe.unwrap_or_else(|| self.dns.fe_of(spec.client));
-            let be = self.be_of_fe[fe];
+            let fe = match spec.fixed_fe {
+                Some(f) => f,
+                None => self.resolve_fe(now, spec.client),
+            };
+            let be = self.live_be_for(fe, now);
             (
                 Some(fe),
                 be,
@@ -442,13 +668,10 @@ impl ServiceWorld {
             )
         } else {
             // No split TCP: straight to the nearest BE.
-            let be = nettopo::geo::nearest(
-                &self.clients[spec.client].pt,
-                &self.cfg.be_sites,
-                |s| s.pt,
-            )
-            .unwrap()
-            .0;
+            let be =
+                nettopo::geo::nearest(&self.clients[spec.client].pt, &self.cfg.be_sites, |s| s.pt)
+                    .unwrap()
+                    .0;
             (None, be, self.bes[be].0.pt, 0.0, 0.0)
         };
         let path = self.client_path(spec.client, &server_pt);
@@ -480,6 +703,10 @@ impl ServiceWorld {
                 keyword: spec.keyword,
                 class: kw.class,
                 instant_followup: spec.instant_followup,
+                fixed_fe: spec.fixed_fe,
+                attempt,
+                fetch_attempts: 0,
+                degraded: false,
                 t_start: net.now(),
                 client_conn: conn,
                 be_conn: None,
@@ -499,6 +726,9 @@ impl ServiceWorld {
                 resp_handled: false,
             },
         );
+        if let Some(deadline) = self.cfg.client_retry.as_ref().map(|p| p.deadline) {
+            self.push_action(net, deadline, Action::ClientDeadline { qid });
+        }
     }
 
     fn handle_request_arrived(&mut self, net: &mut Net, qid: u64) {
@@ -514,9 +744,13 @@ impl ServiceWorld {
         };
         if split {
             let fe = fe.expect("split mode has an FE");
-            let overhead = self.fes[fe].request_overhead_at(net.now());
-            self.queries.get_mut(&qid).unwrap().fe_overhead_ms =
-                overhead.as_millis_f64();
+            let mut overhead = self.fes[fe].request_overhead_at(net.now());
+            // Brownout windows stretch FE processing.
+            let slow = self.cfg.faults.fe_slowdown(fe, net.now());
+            if slow > 1.0 {
+                overhead = SimDuration::from_millis_f64(overhead.as_millis_f64() * slow);
+            }
+            self.queries.get_mut(&qid).unwrap().fe_overhead_ms = overhead.as_millis_f64();
             self.push_action(net, overhead, Action::FeServe { qid });
         } else {
             let kw = self.corpus.get(kw_id).clone();
@@ -567,16 +801,31 @@ impl ServiceWorld {
         }
         let req = self.queries[&qid].req.clone();
         req.send_as_be_query(net, be_conn, End::A);
+        if let Some(d) = self.cfg.fe_fetch_deadline {
+            self.push_action(net, d, Action::FetchDeadline { qid, attempt: 0 });
+        }
     }
 
-    fn act_be_reply(&mut self, net: &mut Net, qid: u64) {
+    fn act_be_reply(&mut self, net: &mut Net, qid: u64, attempt: u32) {
         let (be_conn, plan, send_static_too) = {
-            let q = &self.queries[&qid];
-            (
-                q.be_conn.expect("BE reply without BE conn"),
-                q.plan.clone().expect("BE reply without plan"),
-                !self.cfg.cache_static,
-            )
+            let q = match self.queries.get(&qid) {
+                Some(q) => q,
+                None => return,
+            };
+            // A reply from a BE the query has since failed away from
+            // (or a degraded query) is stale — drop it.
+            if q.fetch_attempts != attempt || q.degraded {
+                return;
+            }
+            let be_conn = match q.be_conn {
+                Some(c) => c,
+                None => return,
+            };
+            let plan = match q.plan.clone() {
+                Some(p) => p,
+                None => return,
+            };
+            (be_conn, plan, !self.cfg.cache_static)
         };
         if send_static_too {
             net.send(
@@ -624,6 +873,182 @@ impl ServiceWorld {
         }
     }
 
+    /// FE fetch deadline fired: the BE response for fetch attempt
+    /// `attempt` has not fully arrived. Fail over to the next live BE
+    /// site on a (possibly cold) connection, or degrade the response when
+    /// no live site remains.
+    fn act_fetch_deadline(&mut self, net: &mut Net, qid: u64, attempt: u32) {
+        let (fe, cur_be, stalled_conn) = {
+            let q = match self.queries.get(&qid) {
+                Some(q) => q,
+                None => return,
+            };
+            // Completed, degraded or already failed over: stale timer.
+            if q.resp_handled || q.degraded || q.fetch_attempts != attempt {
+                return;
+            }
+            let fe = match q.fe {
+                Some(f) => f,
+                None => return,
+            };
+            (fe, q.be, q.be_conn)
+        };
+        if let Some(conn) = stalled_conn {
+            net.abort(conn);
+            self.conn_info.remove(&conn);
+        }
+        let now = net.now();
+        let next_be = self
+            .ranked_bes(fe)
+            .into_iter()
+            .find(|&b| b != cur_be && !self.cfg.faults.be_down(b, now));
+        let next_be = match next_be {
+            // One failover per site at most: once every site has been
+            // given a deadline's worth of time, serve what we have.
+            Some(b) if (attempt as usize) < self.bes.len().saturating_sub(1) => b,
+            _ => {
+                self.degrade_query(net, qid);
+                return;
+            }
+        };
+        let rtt = self.fe_be_rtt_ms(fe, next_be);
+        let dist = self.fe_be_distance_miles(fe, next_be);
+        {
+            let q = self.queries.get_mut(&qid).unwrap();
+            q.be = next_be;
+            q.fetch_attempts += 1;
+            q.be_handled = false;
+            q.plan = None;
+            q.srv_progress = RecvProgress::new();
+            q.resp_progress = RecvProgress::new();
+            q.rtt_fe_be_ms = rtt;
+            q.dist_fe_be_miles = dist;
+        }
+        let conn = self.checkout_be_conn(net, fe, next_be, qid);
+        self.queries.get_mut(&qid).unwrap().be_conn = Some(conn);
+        let req = self.queries[&qid].req.clone();
+        req.send_as_be_query(net, conn, End::A);
+        if let Some(d) = self.cfg.fe_fetch_deadline {
+            self.push_action(
+                net,
+                d,
+                Action::FetchDeadline {
+                    qid,
+                    attempt: attempt + 1,
+                },
+            );
+        }
+    }
+
+    /// Graceful degradation: no back-end is reachable in time, so the FE
+    /// closes the response with an error stub in place of the dynamic
+    /// portion. The client still gets the cached static bytes (already
+    /// burst at serve time when caching is on).
+    fn degrade_query(&mut self, net: &mut Net, qid: u64) {
+        let client_conn = {
+            let q = self.queries.get_mut(&qid).unwrap();
+            q.degraded = true;
+            q.be_conn = None;
+            q.client_conn
+        };
+        net.send(
+            client_conn,
+            End::B,
+            DEGRADED_STUB_BYTES,
+            Marker::Error,
+            DEGRADED_CONTENT_ID,
+        );
+        net.close(client_conn, End::B);
+        let static_bytes = if self.cfg.cache_static {
+            self.cfg.composer.static_bytes
+        } else {
+            // Static rides the BE response in the no-cache ablation, so
+            // nothing reached the client; record a 1-byte placeholder
+            // (ResponsePlan requires non-empty portions).
+            1
+        };
+        let static_content = self.cfg.composer.static_content;
+        let q = self.queries.get_mut(&qid).unwrap();
+        q.plan = Some(ResponsePlan::new(
+            static_bytes,
+            static_content,
+            DEGRADED_STUB_BYTES,
+            DEGRADED_CONTENT_ID,
+        ));
+    }
+
+    /// Client deadline fired with the query still in flight: abandon the
+    /// attempt (aborting its connections, discarding its trace) and
+    /// either schedule a retry with exponential backoff + jitter or
+    /// record a timed-out query.
+    fn act_client_deadline(&mut self, net: &mut Net, qid: u64) {
+        let q = match self.queries.remove(&qid) {
+            Some(q) => q,
+            None => return, // completed before the deadline
+        };
+        net.abort(q.client_conn);
+        self.conn_info.remove(&q.client_conn);
+        if let Some(bc) = q.be_conn {
+            net.abort(bc);
+            self.conn_info.remove(&bc);
+        }
+        let trace = net.trace_mut().take_session(qid);
+        let policy = self
+            .cfg
+            .client_retry
+            .clone()
+            .expect("deadline only armed when a retry policy is set");
+        if q.attempt < policy.max_retries {
+            // Exponential backoff with jitter, from the dedicated retry
+            // stream (drawn only here, so fault-free runs never touch
+            // it).
+            let u = self.retry_rng.next_f64();
+            let factor = (1u64 << q.attempt.min(16)) as f64 * (1.0 + policy.jitter * u);
+            let backoff =
+                SimDuration::from_millis_f64(policy.base_backoff.as_millis_f64() * factor);
+            let spec = QuerySpec {
+                client: q.client,
+                keyword: q.keyword,
+                fixed_fe: q.fixed_fe,
+                instant_followup: q.instant_followup,
+            };
+            self.push_action(
+                net,
+                backoff,
+                Action::StartRetry {
+                    spec,
+                    attempt: q.attempt + 1,
+                },
+            );
+            return;
+        }
+        // Retry budget exhausted: surface the failure with the truncated
+        // trace of the final attempt so the measurement pipeline can
+        // exercise its skip-and-count path.
+        self.completed.push(CompletedQuery {
+            qid,
+            client: q.client,
+            fe: q.fe,
+            be: q.be,
+            keyword: q.keyword,
+            class: q.class,
+            t_start: q.t_start,
+            t_done: net.now(),
+            plan: q
+                .plan
+                .unwrap_or_else(|| ResponsePlan::new(1, 0, 1, httpsim::CONTENT_ID_STATIC_BASE)),
+            proc_ms: q.proc_ms,
+            fe_overhead_ms: q.fe_overhead_ms,
+            fetch_start: q.fetch_start,
+            fetch_done: q.fetch_done,
+            rtt_client_fe_ms: q.rtt_client_fe_ms,
+            rtt_fe_be_ms: q.rtt_fe_be_ms,
+            dist_fe_be_miles: q.dist_fe_be_miles,
+            trace,
+            outcome: QueryOutcome::TimedOut,
+        });
+    }
+
     fn finish_query(&mut self, net: &mut Net, qid: u64) {
         let q = match self.queries.remove(&qid) {
             Some(q) => q,
@@ -633,6 +1058,13 @@ impl ServiceWorld {
         // Orderly close from the client side too.
         net.close(q.client_conn, End::A);
         let trace = net.trace_mut().take_session(qid);
+        let outcome = if q.degraded {
+            QueryOutcome::Degraded
+        } else if q.attempt > 0 {
+            QueryOutcome::Retried(q.attempt)
+        } else {
+            QueryOutcome::Ok
+        };
         self.completed.push(CompletedQuery {
             qid,
             client: q.client,
@@ -654,6 +1086,7 @@ impl ServiceWorld {
             rtt_fe_be_ms: q.rtt_fe_be_ms,
             dist_fe_be_miles: q.dist_fe_be_miles,
             trace,
+            outcome,
         });
     }
 }
@@ -709,9 +1142,7 @@ impl App for ServiceWorld {
                                 None => return,
                             };
                             q.srv_progress.absorb(spans);
-                            let done = q
-                                .srv_progress
-                                .complete(Marker::Request, q.req.bytes);
+                            let done = q.srv_progress.complete(Marker::Request, q.req.bytes);
                             if done && !q.request_handled {
                                 q.request_handled = true;
                                 true
@@ -743,9 +1174,7 @@ impl App for ServiceWorld {
                                 None => return,
                             };
                             q.srv_progress.absorb(spans);
-                            let done = q
-                                .srv_progress
-                                .complete(Marker::BeQuery, q.req.bytes);
+                            let done = q.srv_progress.complete(Marker::BeQuery, q.req.bytes);
                             if done && !q.be_handled {
                                 q.be_handled = true;
                                 true
@@ -759,17 +1188,16 @@ impl App for ServiceWorld {
                                 (q.be, q.keyword, q.instant_followup)
                             };
                             let kw = self.corpus.get(kw_id).clone();
-                            let region =
-                                Some(self.clients[self.queries[&qid].client].region);
-                            let result =
-                                self.bes[be].1.handle_query(&kw, followup, region);
+                            let region = Some(self.clients[self.queries[&qid].client].region);
+                            let result = self.bes[be].1.handle_query(&kw, followup, region);
                             let proc = result.proc_time;
                             {
                                 let q = self.queries.get_mut(&qid).unwrap();
                                 q.proc_ms = proc.as_millis_f64();
                                 q.plan = Some(result.plan);
                             }
-                            self.push_action(net, proc, Action::BeReply { qid });
+                            let attempt = self.queries[&qid].fetch_attempts;
+                            self.push_action(net, proc, Action::BeReply { qid, attempt });
                         }
                     }
                     End::A => {
@@ -791,9 +1219,7 @@ impl App for ServiceWorld {
                                 }
                                 None => u64::MAX,
                             };
-                            let done = q
-                                .resp_progress
-                                .complete(Marker::BeResponse, expected);
+                            let done = q.resp_progress.complete(Marker::BeResponse, expected);
                             if done && !q.resp_handled {
                                 q.resp_handled = true;
                                 true
@@ -823,10 +1249,14 @@ impl App for ServiceWorld {
     fn on_timer(&mut self, net: &mut Net, token: u64) {
         let action = self.actions[token as usize].clone();
         match action {
-            Action::Start(spec) => self.start_query(net, spec),
+            Action::Start(spec) => self.start_query(net, spec, 0),
+            Action::StartRetry { spec, attempt } => self.start_query(net, spec, attempt),
             Action::FeServe { qid } => self.act_fe_serve(net, qid),
-            Action::BeReply { qid } => self.act_be_reply(net, qid),
+            Action::BeReply { qid, attempt } => self.act_be_reply(net, qid, attempt),
             Action::BeDirectReply { qid } => self.act_be_direct_reply(net, qid),
+            Action::ClientDeadline { qid } => self.act_client_deadline(net, qid),
+            Action::FetchDeadline { qid, attempt } => self.act_fetch_deadline(net, qid, attempt),
+            Action::FaultStart { window } => self.act_fault_start(net, window),
         }
     }
 }
@@ -838,10 +1268,13 @@ mod tests {
     use tcpsim::Sim;
 
     fn small_world(cfg: ServiceConfig) -> Sim<ServiceWorld> {
-        let vantages = planetlab_like(cfg.seed, &VantageConfig {
-            count: 20,
-            ..VantageConfig::default()
-        });
+        let vantages = planetlab_like(
+            cfg.seed,
+            &VantageConfig {
+                count: 20,
+                ..VantageConfig::default()
+            },
+        );
         let corpus = KeywordCorpus::generate(cfg.seed, 200, 0.5);
         let world = ServiceWorld::new(cfg, vantages, corpus);
         let mut sim = Sim::new(7, world);
@@ -939,9 +1372,7 @@ mod tests {
         for cq in &done[1..] {
             let fe_node = ServiceWorld::fe_node(cq.fe.unwrap());
             let syn_on_be_leg = cq.trace.iter().any(|e| {
-                e.node == fe_node
-                    && e.kind == tcpsim::PktKind::Syn
-                    && e.dir == tcpsim::PktDir::Tx
+                e.node == fe_node && e.kind == tcpsim::PktKind::Syn && e.dir == tcpsim::PktDir::Tx
             });
             assert!(!syn_on_be_leg, "query {} reopened the BE conn", cq.qid);
         }
@@ -954,9 +1385,7 @@ mod tests {
         let be = sim.with(|w, _| w.be_of_fe(fe));
         sim.with(|w, net| w.prewarm(net, fe, be, 2));
         sim.run();
-        let pooled = sim.with(|w, _| {
-            w.free_pool.get(&(fe, be)).map(|v| v.len()).unwrap_or(0)
-        });
+        let pooled = sim.with(|w, _| w.free_pool.get(&(fe, be)).map(|v| v.len()).unwrap_or(0));
         assert_eq!(pooled, 2);
         // A subsequent query uses a warm conn (no SYN on the BE leg).
         sim.with(|w, net| {
@@ -1085,6 +1514,266 @@ mod tests {
         sim.run();
         let done = sim.with(|w, _| w.drain_completed());
         assert_eq!(done[0].fe, Some(far_fe));
+    }
+
+    #[test]
+    fn clean_query_outcome_is_ok() {
+        let cq = run_one_query(ServiceConfig::google_like(1));
+        assert_eq!(cq.outcome, QueryOutcome::Ok);
+    }
+
+    #[test]
+    fn empty_fault_plan_is_byte_identical() {
+        // Attaching an empty FaultPlan (and installing it) must not
+        // perturb a single packet relative to the plain configuration.
+        let run = |with_plan: bool| -> CompletedQuery {
+            let mut cfg = ServiceConfig::google_like(11);
+            if with_plan {
+                cfg = cfg.with_faults(nettopo::FaultPlan::default());
+            }
+            let mut sim = small_world(cfg);
+            if with_plan {
+                sim.with(|w, net| w.install_faults(net));
+            }
+            sim.with(|w, net| {
+                w.schedule_query(
+                    net,
+                    SimDuration::from_millis(1),
+                    QuerySpec {
+                        client: 0,
+                        keyword: 3,
+                        fixed_fe: None,
+                        instant_followup: false,
+                    },
+                );
+            });
+            sim.run();
+            sim.with(|w, _| w.drain_completed()).pop().unwrap()
+        };
+        let plain = run(false);
+        let faulted = run(true);
+        assert_eq!(plain.t_done, faulted.t_done);
+        assert_eq!(plain.trace.len(), faulted.trace.len());
+        for (a, b) in plain.trace.iter().zip(faulted.trace.iter()) {
+            assert_eq!(a, b);
+        }
+        assert_eq!(faulted.outcome, QueryOutcome::Ok);
+    }
+
+    #[test]
+    fn degraded_when_every_be_site_is_down() {
+        let mut plan = nettopo::FaultPlan::default();
+        for be in 0..64 {
+            plan = plan.be_outage(be, SimTime::ZERO, SimTime::from_millis(60_000));
+        }
+        let cfg = ServiceConfig::google_like(12)
+            .with_faults(plan)
+            .with_fe_fetch_deadline(SimDuration::from_millis(1_000));
+        let mut sim = small_world(cfg);
+        sim.with(|w, net| {
+            w.install_faults(net);
+            w.schedule_query(
+                net,
+                SimDuration::from_millis(1),
+                QuerySpec {
+                    client: 0,
+                    keyword: 3,
+                    fixed_fe: None,
+                    instant_followup: false,
+                },
+            );
+        });
+        sim.run();
+        let done = sim.with(|w, _| w.drain_completed());
+        assert_eq!(done.len(), 1);
+        let cq = &done[0];
+        assert_eq!(cq.outcome, QueryOutcome::Degraded);
+        // The degraded response carries the error stub, not real results.
+        assert_eq!(cq.plan.dynamic_bytes, DEGRADED_STUB_BYTES);
+        assert_eq!(cq.plan.dynamic_content, DEGRADED_CONTENT_ID);
+        // The client actually received error-marked bytes.
+        let client_node = ServiceWorld::client_node(0);
+        let err_bytes: u64 = cq
+            .trace
+            .iter()
+            .filter(|e| e.node == client_node && e.dir == tcpsim::PktDir::Rx)
+            .flat_map(|e| e.meta.iter())
+            .filter(|m| m.marker == Marker::Error)
+            .map(|m| m.len as u64)
+            .sum();
+        assert_eq!(err_bytes, DEGRADED_STUB_BYTES);
+        assert_eq!(sim.with(|w, _| w.in_flight()), 0);
+    }
+
+    #[test]
+    fn be_outage_steers_fetch_to_live_site() {
+        // Learn the primary BE, then knock it out for the whole run: the
+        // FE must route the fetch to another live site and still answer.
+        let mut probe = small_world(ServiceConfig::google_like(13));
+        let (fe, primary_be) = probe.with(|w, _| {
+            let fe = w.default_fe(0);
+            (fe, w.be_of_fe(fe))
+        });
+        let plan = nettopo::FaultPlan::default().be_outage(
+            primary_be,
+            SimTime::ZERO,
+            SimTime::from_millis(60_000),
+        );
+        let cfg = ServiceConfig::google_like(13)
+            .with_faults(plan)
+            .with_fe_fetch_deadline(SimDuration::from_millis(1_000));
+        let mut sim = small_world(cfg);
+        sim.with(|w, net| {
+            w.install_faults(net);
+            w.schedule_query(
+                net,
+                SimDuration::from_millis(1),
+                QuerySpec {
+                    client: 0,
+                    keyword: 3,
+                    fixed_fe: Some(fe),
+                    instant_followup: false,
+                },
+            );
+        });
+        sim.run();
+        let done = sim.with(|w, _| w.drain_completed());
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].outcome, QueryOutcome::Ok);
+        assert_ne!(done[0].be, primary_be, "fetch must avoid the dead site");
+    }
+
+    #[test]
+    fn fe_outage_retries_until_recovery() {
+        // All FEs dark for the first 5 s; the client's deadline/backoff
+        // loop must carry the query past the outage and then succeed.
+        let mut plan = nettopo::FaultPlan::default();
+        for fe in 0..512 {
+            plan = plan.fe_outage(fe, SimTime::ZERO, SimTime::from_millis(5_000));
+        }
+        let cfg = ServiceConfig::google_like(14)
+            .with_faults(plan)
+            .with_client_retry(crate::service::RetryPolicy {
+                deadline: SimDuration::from_millis(2_000),
+                max_retries: 3,
+                base_backoff: SimDuration::from_millis(500),
+                jitter: 0.3,
+            });
+        let mut sim = small_world(cfg);
+        sim.with(|w, net| {
+            w.install_faults(net);
+            w.schedule_query(
+                net,
+                SimDuration::from_millis(1),
+                QuerySpec {
+                    client: 0,
+                    keyword: 3,
+                    fixed_fe: None,
+                    instant_followup: false,
+                },
+            );
+        });
+        sim.run();
+        let done = sim.with(|w, _| w.drain_completed());
+        assert_eq!(done.len(), 1);
+        match done[0].outcome {
+            QueryOutcome::Retried(n) => assert!(n >= 1, "retry count {n}"),
+            other => panic!("expected Retried, got {other:?}"),
+        }
+        assert!(
+            done[0].t_done >= SimTime::from_millis(5_000),
+            "success only after the outage lifts"
+        );
+        assert_eq!(sim.with(|w, _| w.in_flight()), 0);
+    }
+
+    #[test]
+    fn fe_outage_outlasting_retry_budget_times_out() {
+        let mut plan = nettopo::FaultPlan::default();
+        for fe in 0..512 {
+            plan = plan.fe_outage(fe, SimTime::ZERO, SimTime::from_millis(60_000));
+        }
+        let cfg = ServiceConfig::google_like(15)
+            .with_faults(plan)
+            .with_client_retry(crate::service::RetryPolicy {
+                deadline: SimDuration::from_millis(1_000),
+                max_retries: 1,
+                base_backoff: SimDuration::from_millis(200),
+                jitter: 0.3,
+            });
+        let mut sim = small_world(cfg);
+        sim.with(|w, net| {
+            w.install_faults(net);
+            w.schedule_query(
+                net,
+                SimDuration::from_millis(1),
+                QuerySpec {
+                    client: 0,
+                    keyword: 3,
+                    fixed_fe: None,
+                    instant_followup: false,
+                },
+            );
+        });
+        sim.run();
+        let done = sim.with(|w, _| w.drain_completed());
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].outcome, QueryOutcome::TimedOut);
+        assert_eq!(sim.with(|w, _| w.in_flight()), 0);
+    }
+
+    #[test]
+    fn conn_drop_forces_cold_reconnect() {
+        // A persistent-connection drop empties the FE's pool; the next
+        // query must open a fresh (cold) BE connection — visible as a SYN
+        // on the FE's BE leg.
+        let run = |drop_conns: bool| -> CompletedQuery {
+            let mut probe = small_world(ServiceConfig::google_like(16));
+            let (fe, be) = probe.with(|w, _| {
+                let fe = w.default_fe(0);
+                (fe, w.be_of_fe(fe))
+            });
+            let mut cfg = ServiceConfig::google_like(16);
+            if drop_conns {
+                cfg = cfg.with_faults(nettopo::FaultPlan::default().conn_drop(
+                    fe,
+                    be,
+                    SimTime::from_millis(500),
+                ));
+            }
+            let mut sim = small_world(cfg);
+            sim.with(|w, net| {
+                w.install_faults(net);
+                w.prewarm(net, fe, be, 1);
+            });
+            sim.run(); // warm the pool
+            sim.with(|w, net| {
+                w.schedule_query(
+                    net,
+                    SimDuration::from_millis(1_000),
+                    QuerySpec {
+                        client: 0,
+                        keyword: 3,
+                        fixed_fe: Some(fe),
+                        instant_followup: false,
+                    },
+                );
+            });
+            sim.run();
+            sim.with(|w, _| w.drain_completed()).pop().unwrap()
+        };
+        let syn_on_be_leg = |cq: &CompletedQuery| {
+            let fe_node = ServiceWorld::fe_node(cq.fe.unwrap());
+            cq.trace.iter().any(|e| {
+                e.node == fe_node && e.kind == tcpsim::PktKind::Syn && e.dir == tcpsim::PktDir::Tx
+            })
+        };
+        let warm = run(false);
+        let cold = run(true);
+        assert!(!syn_on_be_leg(&warm), "control run must reuse the pool");
+        assert!(syn_on_be_leg(&cold), "dropped pool must force a cold SYN");
+        // Cold handshake + slow start make the fetch strictly slower.
+        assert!(cold.true_fetch_ms().unwrap() > warm.true_fetch_ms().unwrap());
     }
 
     #[test]

@@ -32,6 +32,46 @@ pub struct GroupMedians {
     pub overall_summary: Summary,
 }
 
+/// Robustness bookkeeping for one collection run.
+///
+/// Real measurement campaigns lose sessions — vantage points crash,
+/// servers time out, retransmission storms make timings meaningless. The
+/// pipeline must *skip but count*: excluded sessions never silently
+/// vanish. Outcome counts come from ground truth (what happened to the
+/// query); `skipped` counts sessions whose client-side timeline could
+/// not be extracted, independent of outcome.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SessionTally {
+    /// Clean first-attempt successes.
+    pub ok: usize,
+    /// Degraded responses (error stub in place of dynamic content).
+    pub degraded: usize,
+    /// Successes that needed at least one client retry.
+    pub retried: usize,
+    /// Queries that exhausted their retry budget.
+    pub timed_out: usize,
+    /// Sessions excluded from inference because timeline extraction
+    /// failed (truncated, no handshake, retransmission-heavy, …).
+    pub skipped: usize,
+}
+
+impl SessionTally {
+    /// Total sessions observed (excluded ones included).
+    pub fn total(&self) -> usize {
+        self.ok + self.degraded + self.retried + self.timed_out
+    }
+
+    /// Fraction of observed sessions that made it into the inference
+    /// input (1.0 when nothing was skipped; 0.0 for an empty run).
+    pub fn usable_fraction(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        (total - self.skipped.min(total)) as f64 / total as f64
+    }
+}
+
 /// Groups samples by a key and reduces each group to its medians.
 /// Groups are returned in ascending key order (deterministic output for
 /// the figure harnesses).
@@ -43,9 +83,8 @@ pub fn per_group_medians(samples: &[(u64, QueryParams)]) -> Vec<GroupMedians> {
     groups
         .into_iter()
         .map(|(group, ps)| {
-            let col = |f: fn(&QueryParams) -> f64| -> Vec<f64> {
-                ps.iter().map(|p| f(p)).collect()
-            };
+            let col =
+                |f: fn(&QueryParams) -> f64| -> Vec<f64> { ps.iter().map(|p| f(p)).collect() };
             let rtt = col(|p| p.rtt_ms);
             let ts = col(|p| p.t_static_ms);
             let td = col(|p| p.t_dynamic_ms);
@@ -103,9 +142,8 @@ mod tests {
 
     #[test]
     fn median_is_robust_to_one_outlier() {
-        let mut samples: Vec<(u64, QueryParams)> = (0..9)
-            .map(|_| (1, p(10.0, 20.0, 100.0, 300.0)))
-            .collect();
+        let mut samples: Vec<(u64, QueryParams)> =
+            (0..9).map(|_| (1, p(10.0, 20.0, 100.0, 300.0))).collect();
         samples.push((1, p(10.0, 20.0, 100_000.0, 300.0)));
         let groups = per_group_medians(&samples);
         assert_eq!(groups[0].t_dynamic_ms, 100.0);
@@ -126,6 +164,21 @@ mod tests {
     #[test]
     fn empty_input_gives_empty_output() {
         assert!(per_group_medians(&[]).is_empty());
+    }
+
+    #[test]
+    fn tally_totals_and_usable_fraction() {
+        let t = SessionTally {
+            ok: 6,
+            degraded: 1,
+            retried: 2,
+            timed_out: 1,
+            skipped: 2,
+        };
+        assert_eq!(t.total(), 10);
+        assert!((t.usable_fraction() - 0.8).abs() < 1e-12);
+        assert_eq!(SessionTally::default().total(), 0);
+        assert_eq!(SessionTally::default().usable_fraction(), 0.0);
     }
 
     #[test]

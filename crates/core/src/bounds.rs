@@ -112,12 +112,9 @@ mod tests {
 
     #[test]
     fn intersection_tightens() {
-        let combined = FetchBounds::intersect_all(&[
-            b(100.0, 200.0),
-            b(150.0, 220.0),
-            b(120.0, 190.0),
-        ])
-        .unwrap();
+        let combined =
+            FetchBounds::intersect_all(&[b(100.0, 200.0), b(150.0, 220.0), b(120.0, 190.0)])
+                .unwrap();
         assert_eq!(combined.lower_ms, 150.0);
         assert_eq!(combined.upper_ms, 190.0);
     }

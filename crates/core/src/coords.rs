@@ -99,8 +99,7 @@ impl Vivaldi {
         let dist = ca.rtt_to(&cb);
         let w = self.errors[s.a] / (self.errors[s.a] + self.errors[s.b]).max(1e-9);
         let es = (dist - s.rtt_ms).abs() / s.rtt_ms;
-        self.errors[s.a] =
-            (es * CE * w + self.errors[s.a] * (1.0 - CE * w)).clamp(0.02, 2.0);
+        self.errors[s.a] = (es * CE * w + self.errors[s.a] * (1.0 - CE * w)).clamp(0.02, 2.0);
         let delta = CC * w;
         let dx = ca.x - cb.x;
         let dy = ca.y - cb.y;

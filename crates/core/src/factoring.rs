@@ -49,8 +49,7 @@ impl FetchFactoring {
         let i_ok = if self.fit.intercept.abs() < 1e-9 {
             true
         } else {
-            ((self.fit.intercept - self.robust.intercept) / self.fit.intercept).abs()
-                <= rel_tol
+            ((self.fit.intercept - self.robust.intercept) / self.fit.intercept).abs() <= rel_tol
         };
         s_ok && i_ok
     }

@@ -40,10 +40,10 @@ pub mod model;
 pub mod params;
 pub mod threshold;
 
-pub use aggregate::{per_group_medians, GroupMedians};
+pub use aggregate::{per_group_medians, GroupMedians, SessionTally};
 pub use bounds::FetchBounds;
-pub use coords::{tproc_via_coords, RttSample, Vivaldi};
 pub use caching::{caching_verdict, CachingVerdict};
+pub use coords::{tproc_via_coords, RttSample, Vivaldi};
 pub use factoring::{factor_fetch_time, FetchFactoring};
 pub use model::ModelPrediction;
 pub use params::QueryParams;

@@ -35,11 +35,7 @@ pub struct RttThreshold {
 ///
 /// `eps_ms` defines "zero" (measurement noise floor); `bin_ms` the bin
 /// width of the second method.
-pub fn estimate_rtt_threshold(
-    points: &[(f64, f64)],
-    eps_ms: f64,
-    bin_ms: f64,
-) -> RttThreshold {
+pub fn estimate_rtt_threshold(points: &[(f64, f64)], eps_ms: f64, bin_ms: f64) -> RttThreshold {
     assert!(bin_ms > 0.0 && eps_ms >= 0.0);
     // ---- method 1: linear fit on the positive regime ----
     let positive: (Vec<f64>, Vec<f64>) = points
@@ -128,8 +124,9 @@ mod tests {
     #[test]
     fn no_threshold_when_tdelta_never_reaches_zero() {
         // Fetch so slow that even the largest RTT leaves Tdelta > 0.
-        let points: Vec<(f64, f64)> =
-            (0..30).map(|i| (i as f64 * 5.0, 400.0 - i as f64 * 5.0)).collect();
+        let points: Vec<(f64, f64)> = (0..30)
+            .map(|i| (i as f64 * 5.0, 400.0 - i as f64 * 5.0))
+            .collect();
         let est = estimate_rtt_threshold(&points, 1.0, 20.0);
         assert!(est.binned_first_zero_ms.is_none());
         // The linear method extrapolates (that is its value: it predicts

@@ -1,0 +1,216 @@
+//! # criterion (offline shim)
+//!
+//! A self-contained, dependency-free subset of the `criterion` crate,
+//! vendored so `cargo bench` works **with no network access** (the real
+//! crates-io registry is unreachable in this environment; see DESIGN.md
+//! §5). It implements exactly the surface this workspace's benches use:
+//!
+//! * [`Criterion::default`] + [`Criterion::sample_size`],
+//! * [`Criterion::bench_function`] and [`Criterion::benchmark_group`],
+//! * [`Bencher::iter`],
+//! * [`criterion_group!`] (both forms) and [`criterion_main!`].
+//!
+//! There is no statistical analysis, outlier rejection or HTML report:
+//! each bench runs `sample_size` timed iterations after one warm-up and
+//! prints min/mean/max wall-clock times in a stable single-line format.
+//! That is enough to spot order-of-magnitude regressions by eye, which
+//! is what these benches are for offline; the numbers are **not**
+//! comparable with real-criterion output.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// The benchmark driver: configuration plus result reporting.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed iterations each bench runs (min 1).
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        b.report(id);
+        self
+    }
+
+    /// Opens a named group; benches inside report as `group/bench`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.bench_function(&full, f);
+        self
+    }
+
+    /// Finishes the group (reporting happens per bench; this is a
+    /// no-op kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to each bench closure; times the routine.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Runs `routine` once untimed (warm-up), then `sample_size` timed
+    /// times, recording each duration.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        std::hint::black_box(routine());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.samples.is_empty() {
+            println!("bench {id:<40} (no samples — iter() never called)");
+            return;
+        }
+        let min = self.samples.iter().min().expect("non-empty");
+        let max = self.samples.iter().max().expect("non-empty");
+        let total: Duration = self.samples.iter().sum();
+        let mean = total / self.samples.len() as u32;
+        println!(
+            "bench {id:<40} mean {:>12} min {:>12} max {:>12} ({} samples)",
+            fmt_duration(mean),
+            fmt_duration(*min),
+            fmt_duration(*max),
+            self.samples.len()
+        );
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Declares a group of benchmark functions.
+///
+/// Both real-criterion forms are accepted:
+/// `criterion_group!(name, target_a, target_b)` and the long form with
+/// `name = ...; config = ...; targets = ...`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),* $(,)?) => {
+        /// Runs every benchmark in this group.
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )*
+        }
+    };
+    ($name:ident, $($target:path),* $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),*
+        );
+    };
+}
+
+/// Declares the bench `main` that runs the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),* $(,)?) => {
+        fn main() {
+            $( $group(); )*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut count = 0u32;
+        c.bench_function("shim_smoke", |b| b.iter(|| count += 1));
+        // 1 warm-up + 3 timed samples.
+        assert_eq!(count, 4);
+    }
+
+    #[test]
+    fn group_prefixes_and_finishes() {
+        let mut c = Criterion::default().sample_size(1);
+        let mut group = c.benchmark_group("g");
+        let mut ran = false;
+        group.bench_function("inner", |b| b.iter(|| ran = true));
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(12)), "12.00 µs");
+        assert_eq!(fmt_duration(Duration::from_millis(12)), "12.00 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.000 s");
+    }
+
+    criterion_group!(smoke_group, smoke_target);
+
+    fn smoke_target(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn group_macro_compiles_and_runs() {
+        smoke_group();
+    }
+}

@@ -111,16 +111,14 @@ impl CachingProbeRun {
                 .collect();
             assert!(!class_mates.is_empty(), "corpus too small for the probe");
             for client in 0..n_clients {
-                let stagger =
-                    SimDuration::from_millis(3_000 + (client as u64 * 53) % 2_500);
+                let stagger = SimDuration::from_millis(3_000 + (client as u64 * 53) % 2_500);
                 for r in 0..repeats {
                     let keyword = if same_query {
                         anchor.id
                     } else {
                         // Distinct per (client, repeat), same class.
                         class_mates
-                            [((client as u64 * repeats + r) % class_mates.len() as u64)
-                                as usize]
+                            [((client as u64 * repeats + r) % class_mates.len() as u64) as usize]
                     };
                     w.schedule_query(
                         net,
@@ -149,9 +147,14 @@ mod tests {
         let s = Scenario::small(31);
         let probe = CachingProbeRun::against(0);
         let out = probe.run(&s, ServiceConfig::google_like(31)).unwrap();
-        assert_eq!(out.probe.verdict, CachingVerdict::NoCaching,
+        assert_eq!(
+            out.probe.verdict,
+            CachingVerdict::NoCaching,
             "d={} same={} distinct={}",
-            out.probe.ks_distance, out.probe.median_same_ms, out.probe.median_distinct_ms);
+            out.probe.ks_distance,
+            out.probe.median_same_ms,
+            out.probe.median_distinct_ms
+        );
         assert!(out.same_query_ms.len() >= 10);
     }
 
@@ -162,8 +165,13 @@ mod tests {
         let out = probe
             .run(&s, ServiceConfig::google_like(32).with_fe_result_cache())
             .unwrap();
-        assert_eq!(out.probe.verdict, CachingVerdict::CachingSuspected,
+        assert_eq!(
+            out.probe.verdict,
+            CachingVerdict::CachingSuspected,
             "d={} same={} distinct={}",
-            out.probe.ks_distance, out.probe.median_same_ms, out.probe.median_distinct_ms);
+            out.probe.ks_distance,
+            out.probe.median_same_ms,
+            out.probe.median_distinct_ms
+        );
     }
 }

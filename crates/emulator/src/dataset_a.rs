@@ -60,9 +60,7 @@ impl DatasetA {
                 for r in 0..repeats {
                     let keyword = match keywords {
                         KeywordPolicy::Fixed(k) => k % corpus_len,
-                        KeywordPolicy::Zipf => {
-                            w.corpus().sample(net.rng()).id
-                        }
+                        KeywordPolicy::Zipf => w.corpus().sample(net.rng()).id,
                         KeywordPolicy::RoundRobin(n) => (r % n.max(1)) % corpus_len,
                     };
                     w.schedule_query(

@@ -62,8 +62,7 @@ impl DatasetB {
             }
             let n_clients = w.clients().len();
             for client in 0..n_clients {
-                let stagger =
-                    SimDuration::from_millis(3_000 + (client as u64 * 41) % 2_000);
+                let stagger = SimDuration::from_millis(3_000 + (client as u64 * 41) % 2_000);
                 for r in 0..repeats {
                     w.schedule_query(
                         net,

@@ -35,9 +35,7 @@ impl CampaignSummary {
         if queries.is_empty() {
             return None;
         }
-        let col = |f: fn(&ProcessedQuery) -> f64| -> Vec<f64> {
-            queries.iter().map(f).collect()
-        };
+        let col = |f: fn(&ProcessedQuery) -> f64| -> Vec<f64> { queries.iter().map(f).collect() };
         let procs: Vec<f64> = queries
             .iter()
             .filter(|q| q.proc_ms > 0.0)
@@ -134,12 +132,17 @@ mod tests {
             proc_ms: proc,
             fe_overhead_ms: 5.0,
             true_fetch_ms: Some(td - 5.0),
+            outcome: cdnsim::QueryOutcome::Ok,
         }
     }
 
     #[test]
     fn summary_medians_correct() {
-        let queries = vec![q(10.0, 100.0, 30.0), q(20.0, 200.0, 40.0), q(30.0, 300.0, 50.0)];
+        let queries = vec![
+            q(10.0, 100.0, 30.0),
+            q(20.0, 200.0, 40.0),
+            q(30.0, 300.0, 50.0),
+        ];
         let s = CampaignSummary::of("test", &queries).unwrap();
         assert_eq!(s.n, 3);
         assert_eq!(s.rtt.median, 20.0);

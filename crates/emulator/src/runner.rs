@@ -1,8 +1,8 @@
 //! Simulation driving and per-query processing.
 
-use capture::{Classifier, Timeline};
-use cdnsim::{CompletedQuery, ServiceWorld};
-use inference::QueryParams;
+use capture::{Classifier, Timeline, TimelineError};
+use cdnsim::{CompletedQuery, QueryOutcome, ServiceWorld};
+use inference::{QueryParams, SessionTally};
 use searchbe::keywords::KeywordClass;
 use simcore::time::SimTime;
 use tcpsim::Sim;
@@ -41,15 +41,21 @@ pub struct ProcessedQuery {
     /// Ground truth: fetch interval, ms (None on FE cache hits or
     /// without split TCP).
     pub true_fetch_ms: Option<f64>,
+    /// How the query ended (clean, degraded, retried, timed out).
+    pub outcome: QueryOutcome,
 }
 
 /// Converts a completed query into a processed record by extracting its
-/// client-side timeline with `classifier`. Returns `None` for sessions
-/// the classifier cannot decompose.
-pub fn process(cq: &CompletedQuery, classifier: &Classifier) -> Option<ProcessedQuery> {
+/// client-side timeline with `classifier`. Fails with the extraction
+/// error for sessions the classifier cannot decompose — callers decide
+/// whether to skip-and-count or propagate.
+pub fn process(
+    cq: &CompletedQuery,
+    classifier: &Classifier,
+) -> Result<ProcessedQuery, TimelineError> {
     let client_node = ServiceWorld::client_node(cq.client);
     let tl = Timeline::extract(&cq.trace, client_node, classifier)?;
-    Some(ProcessedQuery {
+    Ok(ProcessedQuery {
         qid: cq.qid,
         client: cq.client,
         fe: cq.fe,
@@ -64,6 +70,7 @@ pub fn process(cq: &CompletedQuery, classifier: &Classifier) -> Option<Processed
         proc_ms: cq.proc_ms,
         fe_overhead_ms: cq.fe_overhead_ms,
         true_fetch_ms: cq.true_fetch_ms(),
+        outcome: cq.outcome,
     })
 }
 
@@ -72,11 +79,27 @@ pub fn process(cq: &CompletedQuery, classifier: &Classifier) -> Option<Processed
 /// length). Returns the processed queries in completion order, plus the
 /// raw completions for callers that need traces (those are only the ones
 /// from the final chunk — pass `keep_raw = true` to retain all).
-pub fn run_collect(
+pub fn run_collect(sim: &mut Sim<ServiceWorld>, classifier: &Classifier) -> Vec<ProcessedQuery> {
+    run_collect_with(sim, classifier, |_| {})
+}
+
+/// [`run_collect`] that also returns the robustness tally: outcome
+/// counts plus how many sessions were skipped because their timeline
+/// could not be extracted. Fault-injection harnesses report this next to
+/// their inference results so excluded data is visible, not silent.
+pub fn run_collect_tally(
     sim: &mut Sim<ServiceWorld>,
     classifier: &Classifier,
-) -> Vec<ProcessedQuery> {
-    run_collect_with(sim, classifier, |_| {})
+) -> (Vec<ProcessedQuery>, SessionTally) {
+    let mut tally = SessionTally::default();
+    let out = run_collect_with(sim, classifier, |cq| match cq.outcome {
+        QueryOutcome::Ok => tally.ok += 1,
+        QueryOutcome::Degraded => tally.degraded += 1,
+        QueryOutcome::Retried(_) => tally.retried += 1,
+        QueryOutcome::TimedOut => tally.timed_out += 1,
+    });
+    tally.skipped = tally.total() - out.len();
+    (out, tally)
 }
 
 /// [`run_collect`] with a callback that sees every raw completion before
@@ -95,7 +118,7 @@ pub fn run_collect_with(
         let done = sim.with(|w, _| w.drain_completed());
         for cq in &done {
             on_raw(cq);
-            if let Some(pq) = process(cq, classifier) {
+            if let Ok(pq) = process(cq, classifier) {
                 out.push(pq);
             }
         }
@@ -185,6 +208,68 @@ mod tests {
         });
         assert_eq!(raw_count, 1);
         assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn tally_counts_degraded_sessions_as_skipped() {
+        // Every BE site dark for the whole run: all queries degrade, and
+        // their stub responses carry no dynamic content, so timeline
+        // extraction must skip them — visibly, in the tally.
+        let s = Scenario::small(8);
+        let mut plan = nettopo::FaultPlan::default();
+        for be in 0..64 {
+            plan = plan.be_outage(be, SimTime::ZERO, SimTime::from_millis(600_000));
+        }
+        let cfg = cdnsim::ServiceConfig::google_like(8)
+            .with_faults(plan)
+            .with_fe_fetch_deadline(SimDuration::from_millis(800));
+        let mut sim = s.build_sim(cfg);
+        for c in 0..4 {
+            sim.with(|w, net| {
+                w.schedule_query(
+                    net,
+                    SimDuration::from_millis(1 + c as u64 * 300),
+                    QuerySpec {
+                        client: c,
+                        keyword: c as u64,
+                        fixed_fe: None,
+                        instant_followup: false,
+                    },
+                );
+            });
+        }
+        let (out, tally) = run_collect_tally(&mut sim, &Classifier::ByMarker);
+        assert_eq!(tally.degraded, 4);
+        assert_eq!(tally.total(), 4);
+        assert_eq!(tally.skipped, 4, "degraded stubs must not be inferable");
+        assert!(out.is_empty());
+        assert_eq!(tally.usable_fraction(), 0.0);
+    }
+
+    #[test]
+    fn tally_is_clean_without_faults() {
+        let s = Scenario::small(9);
+        let mut sim = s.google_sim();
+        for c in 0..3 {
+            sim.with(|w, net| {
+                w.schedule_query(
+                    net,
+                    SimDuration::from_millis(1 + c as u64 * 400),
+                    QuerySpec {
+                        client: c,
+                        keyword: c as u64,
+                        fixed_fe: None,
+                        instant_followup: false,
+                    },
+                );
+            });
+        }
+        let (out, tally) = run_collect_tally(&mut sim, &Classifier::ByMarker);
+        assert_eq!(out.len(), 3);
+        assert_eq!(tally.ok, 3);
+        assert_eq!(tally.skipped, 0);
+        assert_eq!(tally.usable_fraction(), 1.0);
+        assert!(out.iter().all(|pq| pq.outcome == QueryOutcome::Ok));
     }
 
     #[test]

@@ -58,11 +58,13 @@ impl Scenario {
     }
 
     /// Builds a ready-to-run simulator for a service config, with packet
-    /// tracing enabled.
+    /// tracing enabled. Any fault plan attached to the config is
+    /// installed into the network (a no-op for the default empty plan).
     pub fn build_sim(&self, cfg: ServiceConfig) -> Sim<ServiceWorld> {
         let world = ServiceWorld::new(cfg, self.vantages.clone(), self.corpus.clone());
         let mut sim = Sim::new(self.seed ^ 0x5eed_cafe, world);
         sim.net().trace_mut().set_enabled(true);
+        sim.with(|w, net| w.install_faults(net));
         sim
     }
 

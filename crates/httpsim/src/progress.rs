@@ -16,6 +16,7 @@ pub struct RecvProgress {
     dynamic: u64,
     be_query: u64,
     be_response: u64,
+    error: u64,
     other: u64,
 }
 
@@ -35,6 +36,7 @@ impl RecvProgress {
                 Marker::Dynamic => self.dynamic += b,
                 Marker::BeQuery => self.be_query += b,
                 Marker::BeResponse => self.be_response += b,
+                Marker::Error => self.error += b,
                 Marker::Other => self.other += b,
             }
         }
@@ -48,13 +50,20 @@ impl RecvProgress {
             Marker::Dynamic => self.dynamic,
             Marker::BeQuery => self.be_query,
             Marker::BeResponse => self.be_response,
+            Marker::Error => self.error,
             Marker::Other => self.other,
         }
     }
 
     /// Total bytes received across all classes.
     pub fn total(&self) -> u64 {
-        self.request + self.stat + self.dynamic + self.be_query + self.be_response + self.other
+        self.request
+            + self.stat
+            + self.dynamic
+            + self.be_query
+            + self.be_response
+            + self.error
+            + self.other
     }
 
     /// True once at least `expected` bytes of `marker` have arrived.

@@ -1,0 +1,319 @@
+//! Scheduled fault plans: scripted outages, brownouts and loss episodes.
+//!
+//! The paper measures a *healthy* content-distribution platform; this
+//! module supplies the machinery to measure an unhealthy one. A
+//! [`FaultPlan`] is a seed-independent, fully scripted schedule of fault
+//! windows over the entities of a service scenario — front-end servers,
+//! back-end sites and individual paths — expressed in **scenario indices**
+//! (the position of an FE or BE in the placement lists), not simulator
+//! node ids. The service layer translates the plan into packet-level
+//! mechanics (`tcpsim::LinkFault`, connection aborts) and control-plane
+//! behaviour (health-aware DNS, failover) when the simulation is built.
+//!
+//! All windows are half-open `[start, end)`. An empty plan is the
+//! default and must leave every simulation trajectory byte-identical to
+//! a build without the fault subsystem at all.
+
+use simcore::time::SimTime;
+
+/// Parameters of a Gilbert–Elliott burst-loss episode.
+///
+/// The chain advances once per matching packet: in the *good* state a
+/// packet may flip the chain to *bad* with probability `p_enter`; in the
+/// *bad* state it may flip back with probability `p_exit`; packets
+/// observed in the bad state are dropped with probability `bad_loss`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BurstLossParams {
+    /// Probability of entering the bad (bursty) state, per packet.
+    pub p_enter: f64,
+    /// Probability of leaving the bad state, per packet.
+    pub p_exit: f64,
+    /// Drop probability while in the bad state.
+    pub bad_loss: f64,
+}
+
+impl BurstLossParams {
+    /// A moderately bursty episode: short bad runs with heavy in-burst
+    /// loss — the classic access-network interference signature.
+    pub fn moderate() -> BurstLossParams {
+        BurstLossParams {
+            p_enter: 0.02,
+            p_exit: 0.25,
+            bad_loss: 0.5,
+        }
+    }
+}
+
+/// What fails during a [`FaultWindow`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultKind {
+    /// A front-end server is completely unreachable: its node blackholes
+    /// all traffic and health-aware DNS steers new queries away once the
+    /// previous answer's TTL expires.
+    FeOutage {
+        /// Scenario index of the front-end.
+        fe: usize,
+    },
+    /// A front-end is degraded but alive: request processing is slowed by
+    /// `slowdown` (> 1.0). DNS keeps mapping clients to it.
+    FeBrownout {
+        /// Scenario index of the front-end.
+        fe: usize,
+        /// Multiplier applied to FE processing delays (must be >= 1.0).
+        slowdown: f64,
+    },
+    /// A back-end site is down: its node blackholes all traffic, so
+    /// front-ends fail over to their next-nearest live site.
+    BeOutage {
+        /// Scenario index of the back-end site.
+        be: usize,
+    },
+    /// The persistent FE↔BE connections between one front-end and one
+    /// back-end are dropped at the window start (the window length is
+    /// irrelevant): pooled connections are aborted and the next fetch
+    /// pays a cold reconnect.
+    ConnDrop {
+        /// Scenario index of the front-end.
+        fe: usize,
+        /// Scenario index of the back-end site.
+        be: usize,
+    },
+    /// A Gilbert–Elliott burst-loss episode on one client's access path
+    /// to a front-end.
+    ClientBurstLoss {
+        /// Scenario index of the client (vantage point).
+        client: usize,
+        /// Scenario index of the front-end.
+        fe: usize,
+        /// Episode parameters.
+        params: BurstLossParams,
+    },
+    /// A Gilbert–Elliott burst-loss episode on a front-end's path to a
+    /// back-end site.
+    FeBeBurstLoss {
+        /// Scenario index of the front-end.
+        fe: usize,
+        /// Scenario index of the back-end site.
+        be: usize,
+        /// Episode parameters.
+        params: BurstLossParams,
+    },
+}
+
+/// One scheduled fault: a [`FaultKind`] active over `[start, end)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultWindow {
+    /// What fails.
+    pub kind: FaultKind,
+    /// When the fault begins (inclusive).
+    pub start: SimTime,
+    /// When the fault ends (exclusive).
+    pub end: SimTime,
+}
+
+impl FaultWindow {
+    /// True if the window is active at `t`.
+    pub fn active_at(&self, t: SimTime) -> bool {
+        self.start <= t && t < self.end
+    }
+}
+
+/// A scripted schedule of fault windows for one scenario run.
+///
+/// The plan is deliberately *not* randomized: reproducing a failure
+/// episode exactly — same outage, same second — is what makes the
+/// recovery behaviour assertable in tests and experiments. Randomness
+/// only enters through burst-loss episodes, which draw from the
+/// simulator's dedicated fault RNG stream.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    windows: Vec<FaultWindow>,
+}
+
+impl FaultPlan {
+    /// An empty plan: no faults, byte-identical trajectories.
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// True if the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// All scheduled windows, in insertion order.
+    pub fn windows(&self) -> &[FaultWindow] {
+        &self.windows
+    }
+
+    fn push(mut self, kind: FaultKind, start: SimTime, end: SimTime) -> FaultPlan {
+        assert!(start <= end, "fault window must not end before it starts");
+        self.windows.push(FaultWindow { kind, start, end });
+        self
+    }
+
+    /// Schedules a complete outage of front-end `fe` over `[start, end)`.
+    pub fn fe_outage(self, fe: usize, start: SimTime, end: SimTime) -> FaultPlan {
+        self.push(FaultKind::FeOutage { fe }, start, end)
+    }
+
+    /// Schedules a brownout of front-end `fe`: processing slowed by
+    /// `slowdown` (>= 1.0) over `[start, end)`.
+    pub fn fe_brownout(self, fe: usize, start: SimTime, end: SimTime, slowdown: f64) -> FaultPlan {
+        assert!(slowdown >= 1.0, "a brownout slows processing down");
+        self.push(FaultKind::FeBrownout { fe, slowdown }, start, end)
+    }
+
+    /// Schedules a complete outage of back-end site `be` over
+    /// `[start, end)`.
+    pub fn be_outage(self, be: usize, start: SimTime, end: SimTime) -> FaultPlan {
+        self.push(FaultKind::BeOutage { be }, start, end)
+    }
+
+    /// Drops the persistent connections between front-end `fe` and
+    /// back-end `be` at time `at`.
+    pub fn conn_drop(self, fe: usize, be: usize, at: SimTime) -> FaultPlan {
+        self.push(FaultKind::ConnDrop { fe, be }, at, at)
+    }
+
+    /// Schedules a burst-loss episode on client `client`'s path to
+    /// front-end `fe` over `[start, end)`.
+    pub fn client_burst_loss(
+        self,
+        client: usize,
+        fe: usize,
+        start: SimTime,
+        end: SimTime,
+        params: BurstLossParams,
+    ) -> FaultPlan {
+        self.push(
+            FaultKind::ClientBurstLoss { client, fe, params },
+            start,
+            end,
+        )
+    }
+
+    /// Schedules a burst-loss episode on front-end `fe`'s path to
+    /// back-end site `be` over `[start, end)`.
+    pub fn fe_be_burst_loss(
+        self,
+        fe: usize,
+        be: usize,
+        start: SimTime,
+        end: SimTime,
+        params: BurstLossParams,
+    ) -> FaultPlan {
+        self.push(FaultKind::FeBeBurstLoss { fe, be, params }, start, end)
+    }
+
+    /// True if front-end `fe` is in a full-outage window at `t`.
+    pub fn fe_down(&self, fe: usize, t: SimTime) -> bool {
+        self.windows
+            .iter()
+            .any(|w| matches!(w.kind, FaultKind::FeOutage { fe: f } if f == fe) && w.active_at(t))
+    }
+
+    /// True if back-end site `be` is in an outage window at `t`.
+    pub fn be_down(&self, be: usize, t: SimTime) -> bool {
+        self.windows
+            .iter()
+            .any(|w| matches!(w.kind, FaultKind::BeOutage { be: b } if b == be) && w.active_at(t))
+    }
+
+    /// Combined processing slowdown of front-end `fe` at `t`: the product
+    /// of all active brownout windows (1.0 when healthy).
+    pub fn fe_slowdown(&self, fe: usize, t: SimTime) -> f64 {
+        self.windows
+            .iter()
+            .filter_map(|w| match w.kind {
+                FaultKind::FeBrownout { fe: f, slowdown } if f == fe && w.active_at(t) => {
+                    Some(slowdown)
+                }
+                _ => None,
+            })
+            .product::<f64>()
+            .max(1.0)
+    }
+
+    /// True if *any* window (of any kind) ever targets front-end `fe` with
+    /// a full outage — used to decide whether DNS must bother with health
+    /// checks at all.
+    pub fn has_fe_outages(&self) -> bool {
+        self.windows
+            .iter()
+            .any(|w| matches!(w.kind, FaultKind::FeOutage { .. }))
+    }
+
+    /// True if any window ever targets a back-end site with an outage.
+    pub fn has_be_outages(&self) -> bool {
+        self.windows
+            .iter()
+            .any(|w| matches!(w.kind, FaultKind::BeOutage { .. }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::time::SimDuration;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(secs)
+    }
+
+    #[test]
+    fn empty_plan_reports_everything_healthy() {
+        let plan = FaultPlan::new();
+        assert!(plan.is_empty());
+        assert!(!plan.fe_down(0, t(10)));
+        assert!(!plan.be_down(0, t(10)));
+        assert_eq!(plan.fe_slowdown(0, t(10)), 1.0);
+        assert!(!plan.has_fe_outages());
+        assert!(!plan.has_be_outages());
+    }
+
+    #[test]
+    fn windows_are_half_open() {
+        let plan = FaultPlan::new().fe_outage(3, t(10), t(20));
+        assert!(!plan.fe_down(3, t(9)));
+        assert!(plan.fe_down(3, t(10)));
+        assert!(plan.fe_down(3, t(19)));
+        assert!(!plan.fe_down(3, t(20)));
+        // A different FE is unaffected.
+        assert!(!plan.fe_down(2, t(15)));
+    }
+
+    #[test]
+    fn brownout_slowdowns_compose_multiplicatively() {
+        let plan = FaultPlan::new()
+            .fe_brownout(1, t(0), t(100), 2.0)
+            .fe_brownout(1, t(50), t(100), 3.0);
+        assert_eq!(plan.fe_slowdown(1, t(10)), 2.0);
+        assert_eq!(plan.fe_slowdown(1, t(60)), 6.0);
+        assert_eq!(plan.fe_slowdown(1, t(200)), 1.0);
+        assert_eq!(plan.fe_slowdown(0, t(60)), 1.0);
+    }
+
+    #[test]
+    fn outage_presence_flags() {
+        let plan = FaultPlan::new().be_outage(0, t(5), t(6));
+        assert!(!plan.has_fe_outages());
+        assert!(plan.has_be_outages());
+        let plan = plan.fe_outage(1, t(7), t(8));
+        assert!(plan.has_fe_outages());
+    }
+
+    #[test]
+    fn conn_drop_is_a_point_event() {
+        let plan = FaultPlan::new().conn_drop(2, 1, t(30));
+        let w = plan.windows()[0];
+        assert_eq!(w.start, w.end);
+        assert!(matches!(w.kind, FaultKind::ConnDrop { fe: 2, be: 1 }));
+    }
+
+    #[test]
+    #[should_panic(expected = "must not end before")]
+    fn reversed_window_panics() {
+        let _ = FaultPlan::new().fe_outage(0, t(10), t(5));
+    }
+}

@@ -39,8 +39,7 @@ impl GeoPoint {
         let lat2 = other.lat_deg.to_radians();
         let dlat = (other.lat_deg - self.lat_deg).to_radians();
         let dlon = (other.lon_deg - self.lon_deg).to_radians();
-        let a = (dlat / 2.0).sin().powi(2)
-            + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        let a = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
         let c = 2.0 * a.sqrt().asin();
         EARTH_RADIUS_MILES * c
     }
@@ -51,8 +50,7 @@ impl GeoPoint {
     pub fn offset_miles(&self, miles_north: f64, miles_east: f64) -> GeoPoint {
         let dlat = miles_north / EARTH_RADIUS_MILES * (180.0 / std::f64::consts::PI);
         let coslat = self.lat_deg.to_radians().cos().max(0.01);
-        let dlon = miles_east / (EARTH_RADIUS_MILES * coslat)
-            * (180.0 / std::f64::consts::PI);
+        let dlon = miles_east / (EARTH_RADIUS_MILES * coslat) * (180.0 / std::f64::consts::PI);
         GeoPoint::new(self.lat_deg + dlat, self.lon_deg + dlon)
     }
 }

@@ -17,13 +17,18 @@
 //!   services (from the paper's refs \[1\] and \[2\]);
 //! * [`path`] — per-path latency/jitter/loss/bandwidth models derived
 //!   from geography plus a *profile* (public transit, private WAN,
-//!   campus access, wireless access).
+//!   campus access, wireless access);
+//! * [`faults`] — scripted fault schedules ([`FaultPlan`]): FE/BE
+//!   outages, brownouts, persistent-connection drops and burst-loss
+//!   episodes, consumed by the service layer's failure-recovery
+//!   machinery.
 //!
 //! Everything is deterministic given a seed.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod faults;
 pub mod geo;
 pub mod metro;
 pub mod path;
@@ -31,6 +36,7 @@ pub mod placement;
 pub mod sites;
 pub mod vantage;
 
+pub use faults::{BurstLossParams, FaultKind, FaultPlan, FaultWindow};
 pub use geo::GeoPoint;
 pub use metro::{Metro, Region, WORLD_METROS};
 pub use path::{PathModel, PathProfile};

@@ -66,28 +66,175 @@ const fn m(
 pub const WORLD_METROS: &[Metro] = &[
     // --- North America (PlanetLab-dense) ---
     m("Boston", 42.3601, -71.0589, Region::NorthAmerica, 3.0, true),
-    m("New York", 40.7128, -74.0060, Region::NorthAmerica, 2.5, true),
-    m("Philadelphia", 39.9526, -75.1652, Region::NorthAmerica, 1.5, true),
-    m("Washington DC", 38.9072, -77.0369, Region::NorthAmerica, 2.0, true),
-    m("Pittsburgh", 40.4406, -79.9959, Region::NorthAmerica, 1.5, true),
-    m("Atlanta", 33.7490, -84.3880, Region::NorthAmerica, 1.2, true),
+    m(
+        "New York",
+        40.7128,
+        -74.0060,
+        Region::NorthAmerica,
+        2.5,
+        true,
+    ),
+    m(
+        "Philadelphia",
+        39.9526,
+        -75.1652,
+        Region::NorthAmerica,
+        1.5,
+        true,
+    ),
+    m(
+        "Washington DC",
+        38.9072,
+        -77.0369,
+        Region::NorthAmerica,
+        2.0,
+        true,
+    ),
+    m(
+        "Pittsburgh",
+        40.4406,
+        -79.9959,
+        Region::NorthAmerica,
+        1.5,
+        true,
+    ),
+    m(
+        "Atlanta",
+        33.7490,
+        -84.3880,
+        Region::NorthAmerica,
+        1.2,
+        true,
+    ),
     m("Miami", 25.7617, -80.1918, Region::NorthAmerica, 0.8, false),
-    m("Chicago", 41.8781, -87.6298, Region::NorthAmerica, 2.2, true),
-    m("Minneapolis", 44.9778, -93.2650, Region::NorthAmerica, 1.5, true),
-    m("St. Louis", 38.6270, -90.1994, Region::NorthAmerica, 0.8, true),
-    m("Houston", 29.7604, -95.3698, Region::NorthAmerica, 1.0, true),
-    m("Dallas", 32.7767, -96.7970, Region::NorthAmerica, 1.0, false),
-    m("Denver", 39.7392, -104.9903, Region::NorthAmerica, 0.9, true),
-    m("Salt Lake City", 40.7608, -111.8910, Region::NorthAmerica, 0.7, true),
-    m("Phoenix", 33.4484, -112.0740, Region::NorthAmerica, 0.6, false),
-    m("Seattle", 47.6062, -122.3321, Region::NorthAmerica, 1.8, true),
-    m("Portland", 45.5152, -122.6784, Region::NorthAmerica, 0.8, false),
-    m("San Francisco", 37.7749, -122.4194, Region::NorthAmerica, 2.5, true),
-    m("Los Angeles", 34.0522, -118.2437, Region::NorthAmerica, 1.8, true),
-    m("San Diego", 32.7157, -117.1611, Region::NorthAmerica, 1.0, true),
-    m("Toronto", 43.6532, -79.3832, Region::NorthAmerica, 1.5, true),
-    m("Montreal", 45.5019, -73.5674, Region::NorthAmerica, 1.0, true),
-    m("Vancouver", 49.2827, -123.1207, Region::NorthAmerica, 0.9, true),
+    m(
+        "Chicago",
+        41.8781,
+        -87.6298,
+        Region::NorthAmerica,
+        2.2,
+        true,
+    ),
+    m(
+        "Minneapolis",
+        44.9778,
+        -93.2650,
+        Region::NorthAmerica,
+        1.5,
+        true,
+    ),
+    m(
+        "St. Louis",
+        38.6270,
+        -90.1994,
+        Region::NorthAmerica,
+        0.8,
+        true,
+    ),
+    m(
+        "Houston",
+        29.7604,
+        -95.3698,
+        Region::NorthAmerica,
+        1.0,
+        true,
+    ),
+    m(
+        "Dallas",
+        32.7767,
+        -96.7970,
+        Region::NorthAmerica,
+        1.0,
+        false,
+    ),
+    m(
+        "Denver",
+        39.7392,
+        -104.9903,
+        Region::NorthAmerica,
+        0.9,
+        true,
+    ),
+    m(
+        "Salt Lake City",
+        40.7608,
+        -111.8910,
+        Region::NorthAmerica,
+        0.7,
+        true,
+    ),
+    m(
+        "Phoenix",
+        33.4484,
+        -112.0740,
+        Region::NorthAmerica,
+        0.6,
+        false,
+    ),
+    m(
+        "Seattle",
+        47.6062,
+        -122.3321,
+        Region::NorthAmerica,
+        1.8,
+        true,
+    ),
+    m(
+        "Portland",
+        45.5152,
+        -122.6784,
+        Region::NorthAmerica,
+        0.8,
+        false,
+    ),
+    m(
+        "San Francisco",
+        37.7749,
+        -122.4194,
+        Region::NorthAmerica,
+        2.5,
+        true,
+    ),
+    m(
+        "Los Angeles",
+        34.0522,
+        -118.2437,
+        Region::NorthAmerica,
+        1.8,
+        true,
+    ),
+    m(
+        "San Diego",
+        32.7157,
+        -117.1611,
+        Region::NorthAmerica,
+        1.0,
+        true,
+    ),
+    m(
+        "Toronto",
+        43.6532,
+        -79.3832,
+        Region::NorthAmerica,
+        1.5,
+        true,
+    ),
+    m(
+        "Montreal",
+        45.5019,
+        -73.5674,
+        Region::NorthAmerica,
+        1.0,
+        true,
+    ),
+    m(
+        "Vancouver",
+        49.2827,
+        -123.1207,
+        Region::NorthAmerica,
+        0.9,
+        true,
+    ),
     // --- Europe ---
     m("London", 51.5074, -0.1278, Region::Europe, 2.2, true),
     m("Cambridge UK", 52.2053, 0.1218, Region::Europe, 1.2, true),
@@ -124,9 +271,30 @@ pub const WORLD_METROS: &[Metro] = &[
     m("Bangalore", 12.9716, 77.5946, Region::Asia, 0.6, true),
     m("Tel Aviv", 32.0853, 34.7818, Region::Asia, 0.6, true),
     // --- South America ---
-    m("Sao Paulo", -23.5505, -46.6333, Region::SouthAmerica, 0.7, true),
-    m("Buenos Aires", -34.6037, -58.3816, Region::SouthAmerica, 0.4, true),
-    m("Santiago", -33.4489, -70.6693, Region::SouthAmerica, 0.3, true),
+    m(
+        "Sao Paulo",
+        -23.5505,
+        -46.6333,
+        Region::SouthAmerica,
+        0.7,
+        true,
+    ),
+    m(
+        "Buenos Aires",
+        -34.6037,
+        -58.3816,
+        Region::SouthAmerica,
+        0.4,
+        true,
+    ),
+    m(
+        "Santiago",
+        -33.4489,
+        -70.6693,
+        Region::SouthAmerica,
+        0.3,
+        true,
+    ),
     // --- Oceania ---
     m("Sydney", -33.8688, 151.2093, Region::Oceania, 0.7, true),
     m("Melbourne", -37.8136, 144.9631, Region::Oceania, 0.5, true),

@@ -44,7 +44,10 @@ pub struct FeSite {
 /// Deterministic in `seed`.
 pub fn dense_edge(seed: u64) -> Vec<FeSite> {
     let mut rng = Rng::from_seed_and_name(seed, "nettopo/dense_edge");
-    let scatter = Dist::Normal { mean: 0.0, std: 8.0 };
+    let scatter = Dist::Normal {
+        mean: 0.0,
+        std: 8.0,
+    };
     let mut out = Vec::new();
     for metro in WORLD_METROS {
         // Every metro gets a city-core cache cluster.
@@ -85,7 +88,10 @@ pub fn dense_edge(seed: u64) -> Vec<FeSite> {
 /// Deterministic in `seed`.
 pub fn sparse_pop(seed: u64, pop_count: usize) -> Vec<FeSite> {
     let mut rng = Rng::from_seed_and_name(seed, "nettopo/sparse_pop");
-    let scatter = Dist::Normal { mean: 0.0, std: 5.0 };
+    let scatter = Dist::Normal {
+        mean: 0.0,
+        std: 5.0,
+    };
     top_metros(pop_count)
         .into_iter()
         .enumerate()
@@ -115,8 +121,12 @@ mod tests {
     fn dense_fleet_is_much_larger_than_sparse() {
         let dense = dense_edge(1);
         let sparse = sparse_pop(1, 25);
-        assert!(dense.len() > 3 * sparse.len(),
-            "dense {} vs sparse {}", dense.len(), sparse.len());
+        assert!(
+            dense.len() > 3 * sparse.len(),
+            "dense {} vs sparse {}",
+            dense.len(),
+            sparse.len()
+        );
         assert!(dense.len() > 100);
         assert_eq!(sparse.len(), 25);
     }

@@ -1,0 +1,221 @@
+//! # proptest (offline shim)
+//!
+//! A self-contained, dependency-free subset of the `proptest` crate,
+//! vendored so the workspace builds and tests **with no network access**
+//! (the real crates-io registry is unreachable in this environment; see
+//! DESIGN.md §5). The API mirrors the pieces this workspace's property
+//! tests actually use:
+//!
+//! * the [`proptest!`] macro (with `#![proptest_config(...)]`),
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`],
+//! * numeric range strategies (`0u64..100`, `0.0f64..1.0`, ...),
+//! * tuple strategies,
+//! * `prop::collection::vec(element, size_range)`,
+//! * simple regex string strategies (`"[a-z]{1,12}"`).
+//!
+//! Unlike the real proptest there is **no shrinking** and no persisted
+//! failure file: each case is sampled from a deterministic per-test
+//! stream (FNV-1a over the test path, SplitMix64 per case), so a failing
+//! case reproduces exactly on re-run — which is all a deterministic
+//! simulation workspace needs from its property tests.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The conventional glob import: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Namespace mirror of the crate root (`prop::collection::vec`).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Defines property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn addition_commutes(a in 0u64..1000, b in 0u64..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+///
+/// Each test function runs `cases` times with fresh deterministic
+/// samples; a failed `prop_assert!` aborts that case with a panic that
+/// names the test and case index.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            cfg = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat_param in $strat:expr),* $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                const __TEST_NAME: &str =
+                    concat!(module_path!(), "::", stringify!($name));
+                let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+                for __case in 0..__cfg.cases {
+                    let mut __rng = $crate::test_runner::TestRng::for_case(
+                        __TEST_NAME,
+                        __case as u64,
+                    );
+                    let __result = (||
+                        -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $(
+                            #[allow(unused_mut)]
+                            let $arg =
+                                $crate::strategy::Strategy::sample(&($strat), &mut __rng);
+                        )*
+                        {
+                            $body
+                        }
+                        #[allow(unreachable_code)]
+                        ::core::result::Result::Ok(())
+                    })();
+                    if let ::core::result::Result::Err(__e) = __result {
+                        panic!(
+                            "[{}] case {} of {} failed: {}",
+                            __TEST_NAME, __case, __cfg.cases, __e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the current
+/// case (rather than unwinding through the sampler) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let __a = $a;
+        let __b = $b;
+        $crate::prop_assert!(
+            __a == __b,
+            "assertion failed: `{:?}` != `{:?}` ({} == {})",
+            __a, __b, stringify!($a), stringify!($b)
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let __a = $a;
+        let __b = $b;
+        $crate::prop_assert!(__a == __b, $($fmt)*);
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let __a = $a;
+        let __b = $b;
+        $crate::prop_assert!(
+            __a != __b,
+            "assertion failed: `{:?}` == `{:?}` ({} != {})",
+            __a, __b, stringify!($a), stringify!($b)
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let __a = $a;
+        let __b = $b;
+        $crate::prop_assert!(__a != __b, $($fmt)*);
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(
+            a in 0u64..100,
+            b in 5u32..6,
+            c in -2.0f64..3.0,
+            d in 1usize..10,
+        ) {
+            prop_assert!(a < 100);
+            prop_assert_eq!(b, 5);
+            prop_assert!((-2.0..3.0).contains(&c));
+            prop_assert!((1..10).contains(&d));
+        }
+
+        #[test]
+        fn vec_and_tuple_strategies(
+            mut xs in prop::collection::vec(0.0f64..1.0, 1..20),
+            pair in (0u64..10, 0u64..10),
+        ) {
+            prop_assert!(!xs.is_empty() && xs.len() < 20);
+            xs.sort_by(|p, q| p.partial_cmp(q).unwrap());
+            prop_assert!(xs[0] >= 0.0 && xs[xs.len() - 1] < 1.0);
+            prop_assert!(pair.0 < 10 && pair.1 < 10);
+        }
+
+        #[test]
+        fn regex_strategy_shape(name in "[a-z]{1,12}") {
+            prop_assert!(!name.is_empty() && name.len() <= 12);
+            prop_assert!(name.chars().all(|c| c.is_ascii_lowercase()));
+        }
+
+        #[test]
+        fn full_u64_range_is_accepted(seed in 0u64..u64::MAX) {
+            prop_assert!(seed < u64::MAX);
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_case() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let strat = 0u64..1_000_000;
+        let mut a = TestRng::for_case("x", 3);
+        let mut b = TestRng::for_case("x", 3);
+        assert_eq!(strat.sample(&mut a), strat.sample(&mut b));
+        let mut c = TestRng::for_case("x", 4);
+        let vals: Vec<u64> = (0..8).map(|_| strat.sample(&mut c)).collect();
+        assert!(vals.iter().any(|v| *v != vals[0]), "stream should vary");
+    }
+}

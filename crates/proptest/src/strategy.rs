@@ -1,0 +1,279 @@
+//! Value-generation strategies.
+//!
+//! A [`Strategy`] knows how to sample one value from a [`TestRng`].
+//! Ranges, string regexes (a small subset), tuples and `Vec`s are
+//! supported — the shapes the workspace's property tests use.
+
+use crate::test_runner::TestRng;
+
+/// Something that can generate values for a property test.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+    /// Samples one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as u64) - (self.start as u64);
+                self.start + (rng.next_below(span) as $t)
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let span = (hi as u64) - (lo as u64);
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + (rng.next_below(span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_range_strategy {
+    ($($t:ty => $u:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as $u).wrapping_sub(self.start as $u);
+                self.start.wrapping_add(rng.next_below(span as u64) as $t)
+            }
+        }
+    )*};
+}
+
+signed_range_strategy!(i32 => u32, i64 => u64, isize => usize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for std::ops::Range<f32> {
+    type Value = f32;
+    fn sample(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + (rng.next_f64() as f32) * (self.end - self.start)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($n:ident . $i:tt),+))*) => {$(
+        impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+            type Value = ($($n::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$i.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+/// String strategy from a regex-subset pattern, e.g. `"[a-z]{1,12}"`.
+///
+/// Supported syntax: literal characters, character classes with ranges
+/// (`[a-z0-9_]`), and repetition of the previous atom via `{m}`,
+/// `{m,n}`, `?`, `+` or `*` (the open-ended forms cap at 8 repeats).
+/// Anything else panics with the offending pattern, which is the right
+/// failure mode for a test-only shim.
+impl Strategy for &str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        sample_regex(self, rng)
+    }
+}
+
+#[derive(Debug)]
+enum Atom {
+    Literal(char),
+    Class(Vec<(char, char)>),
+}
+
+fn parse_atoms(pattern: &str) -> Vec<(Atom, u32, u32)> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms: Vec<(Atom, u32, u32)> = Vec::new();
+    let mut i = 0usize;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|c| *c == ']')
+                    .unwrap_or_else(|| panic!("unclosed '[' in regex strategy {pattern:?}"))
+                    + i;
+                let mut ranges = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        ranges.push((chars[j], chars[j + 2]));
+                        j += 3;
+                    } else {
+                        ranges.push((chars[j], chars[j]));
+                        j += 1;
+                    }
+                }
+                assert!(
+                    !ranges.is_empty(),
+                    "empty class in regex strategy {pattern:?}"
+                );
+                i = close + 1;
+                Atom::Class(ranges)
+            }
+            '\\' => {
+                i += 1;
+                assert!(
+                    i < chars.len(),
+                    "dangling escape in regex strategy {pattern:?}"
+                );
+                let c = chars[i];
+                i += 1;
+                Atom::Literal(c)
+            }
+            c if "(){}*+?|^$.".contains(c) => {
+                panic!("unsupported regex construct {c:?} in strategy {pattern:?}")
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        // Optional repetition suffix.
+        let (lo, hi) = if i < chars.len() {
+            match chars[i] {
+                '{' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|c| *c == '}')
+                        .unwrap_or_else(|| panic!("unclosed '{{' in regex strategy {pattern:?}"))
+                        + i;
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    if let Some((m, n)) = body.split_once(',') {
+                        let m: u32 = m.trim().parse().expect("repeat lower bound");
+                        let n: u32 = n.trim().parse().expect("repeat upper bound");
+                        (m, n)
+                    } else {
+                        let m: u32 = body.trim().parse().expect("repeat count");
+                        (m, m)
+                    }
+                }
+                '?' => {
+                    i += 1;
+                    (0, 1)
+                }
+                '+' => {
+                    i += 1;
+                    (1, 8)
+                }
+                '*' => {
+                    i += 1;
+                    (0, 8)
+                }
+                _ => (1, 1),
+            }
+        } else {
+            (1, 1)
+        };
+        atoms.push((atom, lo, hi));
+    }
+    atoms
+}
+
+fn sample_regex(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for (atom, lo, hi) in parse_atoms(pattern) {
+        let reps = lo + rng.next_below(u64::from(hi - lo) + 1) as u32;
+        for _ in 0..reps {
+            match &atom {
+                Atom::Literal(c) => out.push(*c),
+                Atom::Class(ranges) => {
+                    let (a, b) = ranges[rng.next_below(ranges.len() as u64) as usize];
+                    let span = (b as u32) - (a as u32) + 1;
+                    let code = (a as u32) + rng.next_below(u64::from(span)) as u32;
+                    out.push(char::from_u32(code).expect("valid char in class range"));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_case("strategy-tests", 0)
+    }
+
+    #[test]
+    fn int_ranges_in_bounds() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let v = (10u64..20).sample(&mut r);
+            assert!((10..20).contains(&v));
+            let w = (0u32..1).sample(&mut r);
+            assert_eq!(w, 0);
+            let x = (3usize..=5).sample(&mut r);
+            assert!((3..=5).contains(&x));
+        }
+    }
+
+    #[test]
+    fn float_range_in_bounds() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let v = (-1.5f64..2.5).sample(&mut r);
+            assert!((-1.5..2.5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn regex_class_with_counts() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "[a-c]{2,4}".sample(&mut r);
+            assert!(s.len() >= 2 && s.len() <= 4, "{s:?}");
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn regex_literals_and_suffixes() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let s = "ab?[0-9]".sample(&mut r);
+            assert!(s.starts_with('a'));
+            assert!(s.ends_with(|c: char| c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_length() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let v = crate::collection::vec(0.0f64..1.0, 2..6).sample(&mut r);
+            assert!(v.len() >= 2 && v.len() < 6);
+        }
+    }
+}

@@ -1,9 +1,9 @@
 //! The back-end data center: query in, `(Tproc, ResponsePlan)` out.
 
 use crate::keywords::Keyword;
-use nettopo::metro::Region;
 use crate::proctime::{BackendProfile, LoadProcess};
 use crate::response::PageComposer;
+use nettopo::metro::Region;
 use simcore::rng::Rng;
 use simcore::time::SimDuration;
 
@@ -85,9 +85,7 @@ impl BeDataCenter {
     ) -> BeResult {
         self.queries_served += 1;
         let load_factor = self.load.step(&mut self.rng);
-        let mut ms = self
-            .profile
-            .sample_ms(kw.class, load_factor, &mut self.rng);
+        let mut ms = self.profile.sample_ms(kw.class, load_factor, &mut self.rng);
         if instant_followup {
             ms *= self.profile.instant_discount;
         }
@@ -151,7 +149,11 @@ mod tests {
         let avg = |followup: bool| {
             let mut dc = BeDataCenter::google_like(7, "z");
             (0..3000)
-                .map(|_| dc.handle_query(kw, followup, None).proc_time.as_millis_f64())
+                .map(|_| {
+                    dc.handle_query(kw, followup, None)
+                        .proc_time
+                        .as_millis_f64()
+                })
                 .sum::<f64>()
                 / 3000.0
         };

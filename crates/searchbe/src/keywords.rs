@@ -91,9 +91,9 @@ impl Keyword {
 }
 
 const SYLLABLES: &[&str] = &[
-    "com", "pu", "ter", "sci", "ence", "cloud", "mo", "bile", "data", "cen",
-    "net", "work", "po", "ta", "to", "uni", "ver", "si", "ty", "min", "ne",
-    "so", "search", "que", "ry", "lab", "sys", "tem", "web", "ser", "vice",
+    "com", "pu", "ter", "sci", "ence", "cloud", "mo", "bile", "data", "cen", "net", "work", "po",
+    "ta", "to", "uni", "ver", "si", "ty", "min", "ne", "so", "search", "que", "ry", "lab", "sys",
+    "tem", "web", "ser", "vice",
 ];
 
 fn synth_word(rng: &mut Rng) -> String {

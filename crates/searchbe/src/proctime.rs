@@ -176,7 +176,12 @@ mod tests {
             let m = mean(v);
             (v.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / v.len() as f64).sqrt()
         };
-        assert!(mean(&bs) > 3.0 * mean(&gs), "bing {} vs google {}", mean(&bs), mean(&gs));
+        assert!(
+            mean(&bs) > 3.0 * mean(&gs),
+            "bing {} vs google {}",
+            mean(&bs),
+            mean(&gs)
+        );
         assert!(std(&bs) > 3.0 * std(&gs));
     }
 
@@ -185,10 +190,7 @@ mod tests {
         let p = BackendProfile::bing_like();
         let mut rng = Rng::from_seed(7);
         let avg = |class: KeywordClass, rng: &mut Rng| {
-            (0..5000)
-                .map(|_| p.sample_ms(class, 1.0, rng))
-                .sum::<f64>()
-                / 5000.0
+            (0..5000).map(|_| p.sample_ms(class, 1.0, rng)).sum::<f64>() / 5000.0
         };
         let popular = avg(KeywordClass::Popular, &mut rng);
         let refined = avg(KeywordClass::Refined, &mut rng);

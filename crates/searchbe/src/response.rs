@@ -168,8 +168,7 @@ mod tests {
             let plan = c.compose(kw, None, &mut rng);
             by_class[kw.class.index()].push(plan.dynamic_bytes as f64);
         }
-        let mean =
-            |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
         assert!(mean(&by_class[2]) > mean(&by_class[0]), "complex > popular");
         assert!(mean(&by_class[2]) > mean(&by_class[3]), "complex > mix");
         // All sizes respect the floor.

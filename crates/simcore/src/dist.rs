@@ -134,8 +134,7 @@ impl Sampler for Dist {
                 // Box–Muller; one draw discarded for statelessness.
                 let u1 = rng.next_f64_open();
                 let u2 = rng.next_f64();
-                let z = (-2.0 * u1.ln()).sqrt()
-                    * (2.0 * std::f64::consts::PI * u2).cos();
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
                 mean + std * z
             }
             Dist::LogNormal { mu, sigma } => {
@@ -145,12 +144,8 @@ impl Sampler for Dist {
                 };
                 n.sample(rng).exp()
             }
-            Dist::Pareto { xmin, alpha } => {
-                xmin / rng.next_f64_open().powf(1.0 / alpha)
-            }
-            Dist::Weibull { lambda, k } => {
-                lambda * (-rng.next_f64_open().ln()).powf(1.0 / k)
-            }
+            Dist::Pareto { xmin, alpha } => xmin / rng.next_f64_open().powf(1.0 / alpha),
+            Dist::Weibull { lambda, k } => lambda * (-rng.next_f64_open().ln()).powf(1.0 / k),
             Dist::Mix { p, a, b } => {
                 if rng.chance(*p) {
                     a.sample(rng)
@@ -286,7 +281,10 @@ mod tests {
 
     #[test]
     fn normal_mean_and_spread() {
-        let d = Dist::Normal { mean: 10.0, std: 2.0 };
+        let d = Dist::Normal {
+            mean: 10.0,
+            std: 2.0,
+        };
         assert!((empirical_mean(&d, 200_000) - 10.0).abs() < 0.05);
         let mut r = rng();
         let within: usize = (0..100_000)
@@ -305,24 +303,41 @@ mod tests {
         let median = samples[50_000];
         assert!((median - 15.0).abs() < 0.5, "median {median}");
         let p84 = samples[84_134];
-        assert!((p84 / median - 1.6).abs() < 0.1, "p84/median {}", p84 / median);
+        assert!(
+            (p84 / median - 1.6).abs() < 0.1,
+            "p84/median {}",
+            p84 / median
+        );
     }
 
     #[test]
     fn pareto_is_heavy_tailed_and_bounded_below() {
-        let d = Dist::Pareto { xmin: 1.0, alpha: 2.0 };
+        let d = Dist::Pareto {
+            xmin: 1.0,
+            alpha: 2.0,
+        };
         let mut r = rng();
         for _ in 0..10_000 {
             assert!(d.sample(&mut r) >= 1.0);
         }
         assert!((empirical_mean(&d, 500_000) - 2.0).abs() < 0.15);
         assert_eq!(d.mean(), Some(2.0));
-        assert_eq!(Dist::Pareto { xmin: 1.0, alpha: 0.9 }.mean(), None);
+        assert_eq!(
+            Dist::Pareto {
+                xmin: 1.0,
+                alpha: 0.9
+            }
+            .mean(),
+            None
+        );
     }
 
     #[test]
     fn weibull_shape_one_is_exponential() {
-        let d = Dist::Weibull { lambda: 2.0, k: 1.0 };
+        let d = Dist::Weibull {
+            lambda: 2.0,
+            k: 1.0,
+        };
         assert!((empirical_mean(&d, 200_000) - 2.0).abs() < 0.05);
     }
 

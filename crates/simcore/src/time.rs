@@ -321,10 +321,7 @@ mod tests {
 
     #[test]
     fn float_bridges() {
-        assert_eq!(
-            SimDuration::from_millis_f64(1.5).as_nanos(),
-            1_500_000
-        );
+        assert_eq!(SimDuration::from_millis_f64(1.5).as_nanos(), 1_500_000);
         assert_eq!(SimDuration::from_millis_f64(-3.0), SimDuration::ZERO);
         assert_eq!(SimDuration::from_millis_f64(f64::NAN), SimDuration::ZERO);
         assert_eq!(

@@ -17,7 +17,10 @@ impl Histogram {
     /// Panics if `bins == 0` or the range is empty/invalid.
     pub fn new(lo: f64, hi: f64, bins: usize) -> Histogram {
         assert!(bins > 0, "Histogram: zero bins");
-        assert!(hi > lo && lo.is_finite() && hi.is_finite(), "Histogram: bad range");
+        assert!(
+            hi > lo && lo.is_finite() && hi.is_finite(),
+            "Histogram: bad range"
+        );
         Histogram {
             lo,
             hi,
@@ -72,11 +75,7 @@ impl Histogram {
 
     /// The index of the fullest bin, or `None` if all bins are empty.
     pub fn mode_bin(&self) -> Option<usize> {
-        let (idx, &max) = self
-            .counts
-            .iter()
-            .enumerate()
-            .max_by_key(|&(_, c)| *c)?;
+        let (idx, &max) = self.counts.iter().enumerate().max_by_key(|&(_, c)| *c)?;
         if max == 0 {
             None
         } else {

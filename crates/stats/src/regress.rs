@@ -125,11 +125,7 @@ pub fn theil_sen(xs: &[f64], ys: &[f64]) -> Option<Fit> {
     }
     slopes.sort_by(|a, b| a.partial_cmp(b).expect("NaN slope"));
     let slope = crate::quantile::quantile_sorted(&slopes, 0.5);
-    let mut residuals: Vec<f64> = xs
-        .iter()
-        .zip(ys)
-        .map(|(&x, &y)| y - slope * x)
-        .collect();
+    let mut residuals: Vec<f64> = xs.iter().zip(ys).map(|(&x, &y)| y - slope * x).collect();
     residuals.sort_by(|a, b| a.partial_cmp(b).expect("NaN residual"));
     let intercept = crate::quantile::quantile_sorted(&residuals, 0.5);
     Some(Fit {
@@ -220,7 +216,9 @@ mod tests {
         let neg: Vec<f64> = xs.iter().map(|x| -x).collect();
         assert!((pearson(&xs, &neg).unwrap() + 1.0).abs() < 1e-12);
         // Orthogonal alternating signal: correlation ≈ 0.
-        let alt: Vec<f64> = (0..50).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let alt: Vec<f64> = (0..50)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         assert!(pearson(&xs, &alt).unwrap().abs() < 0.1);
         // Degenerate inputs.
         assert!(pearson(&[1.0], &[2.0]).is_none());

@@ -60,8 +60,7 @@ impl CubicState {
             if self.w_max_segs < cwnd_segs {
                 self.w_max_segs = cwnd_segs;
             }
-            self.k_secs =
-                ((self.w_max_segs * (1.0 - CUBIC_BETA)) / CUBIC_C).cbrt();
+            self.k_secs = ((self.w_max_segs * (1.0 - CUBIC_BETA)) / CUBIC_C).cbrt();
             now
         });
         let t = now.saturating_since(epoch).as_secs_f64();
@@ -117,8 +116,8 @@ mod tests {
         let _ = s.target(t0, 70.0, 0.05);
         let at_k = t0 + SimDuration::from_secs_f64(s.k_secs);
         let w = s.target(at_k, 70.0, 0.05);
-        let w_est = 100.0 * CUBIC_BETA
-            + 3.0 * (1.0 - CUBIC_BETA) / (1.0 + CUBIC_BETA) * (s.k_secs / 0.05);
+        let w_est =
+            100.0 * CUBIC_BETA + 3.0 * (1.0 - CUBIC_BETA) / (1.0 + CUBIC_BETA) * (s.k_secs / 0.05);
         assert!((w - w_est).abs() < 1.0, "target {w} vs envelope {w_est}");
         assert!(w > 100.0, "envelope exceeds the plateau here");
     }
@@ -144,8 +143,8 @@ mod tests {
         s.on_loss(4.0);
         let t0 = SimTime::from_secs(1);
         let _ = s.target(t0, 3.0, 0.01); // starts the epoch
-        // Two seconds later at a 10 ms RTT the Reno-rate envelope has
-        // grown far past the tiny cubic plateau.
+                                         // Two seconds later at a 10 ms RTT the Reno-rate envelope has
+                                         // grown far past the tiny cubic plateau.
         let w = s.target(t0 + SimDuration::from_secs(2), 3.0, 0.01);
         let reno_est = 4.0 * CUBIC_BETA + 3.0 * 0.3 / 1.7 * (2.0 / 0.01);
         assert!(

@@ -322,8 +322,8 @@ impl Endpoint {
                 } else {
                     // Partial ACK: retransmit the next hole, deflate by
                     // the amount acked (NewReno).
-                    self.cwnd = (self.cwnd - acked as f64 + self.opts.mss as f64)
-                        .max(self.opts.mss as f64);
+                    self.cwnd =
+                        (self.cwnd - acked as f64 + self.opts.mss as f64).max(self.opts.mss as f64);
                     return AckReaction::PartialRetransmit;
                 }
             }
@@ -592,7 +592,10 @@ mod tests {
         assert_eq!(e.ssthresh, 7300.0);
         assert_eq!(e.cwnd, 7300.0 + 3.0 * 1460.0);
         // Additional dupack inflates.
-        assert_eq!(e.on_ack(0, u64::MAX, t, false), AckReaction::RecoveryInflate);
+        assert_eq!(
+            e.on_ack(0, u64::MAX, t, false),
+            AckReaction::RecoveryInflate
+        );
     }
 
     #[test]

@@ -47,7 +47,10 @@ pub mod segment;
 pub mod trace;
 
 pub use endpoint::{ConnStats, TcpState};
-pub use net::{App, ConnId, DeliveredSpan, End, Net, NodeId, PathParams, Sim};
+pub use net::{
+    App, ConnId, DeliveredSpan, End, FaultTarget, LinkFault, LinkFaultKind, Net, NodeId,
+    PathParams, Sim,
+};
 pub use opts::{CongAlgo, TcpOptions};
 pub use segment::{Marker, MetaSpan, PktKind, Segment};
 pub use trace::{PktDir, PktEvent, TraceLog};

@@ -96,6 +96,132 @@ impl PathParams {
     }
 }
 
+/// What part of the topology a [`LinkFault`] applies to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultTarget {
+    /// Every packet to or from this node (a host/site outage).
+    Node(NodeId),
+    /// Packets on connections between these two nodes, either direction
+    /// (a single path episode).
+    Link(NodeId, NodeId),
+}
+
+impl FaultTarget {
+    fn matches(&self, nodes: [NodeId; 2]) -> bool {
+        match *self {
+            FaultTarget::Node(n) => nodes[0] == n || nodes[1] == n,
+            FaultTarget::Link(a, b) => {
+                (nodes[0] == a && nodes[1] == b) || (nodes[0] == b && nodes[1] == a)
+            }
+        }
+    }
+}
+
+/// The drop behaviour of a [`LinkFault`] while its window is active.
+#[derive(Clone, Copy, Debug)]
+pub enum LinkFaultKind {
+    /// Drop every matching packet (outage).
+    Blackhole,
+    /// Drop each matching packet independently with this probability,
+    /// on top of the path's own loss.
+    ExtraLoss {
+        /// Additional per-packet drop probability.
+        loss: f64,
+    },
+    /// A Gilbert–Elliott two-state chain advanced once per matching
+    /// packet: in the good state packets pass; entering the bad state
+    /// (probability `p_enter` per packet) drops packets with
+    /// probability `bad_loss` until the chain exits (probability
+    /// `p_exit` per packet) — loss arrives in bursts, the pattern that
+    /// defeats fast retransmit and forces RTO recovery.
+    Burst {
+        /// Per-packet probability of entering the bad state.
+        p_enter: f64,
+        /// Per-packet probability of leaving the bad state.
+        p_exit: f64,
+        /// Drop probability while in the bad state.
+        bad_loss: f64,
+    },
+}
+
+/// A scheduled fault on part of the topology: within `[start, end)`,
+/// matching packets are subject to `kind`. All randomness is drawn from
+/// the network's dedicated fault stream (`"tcpsim/fault"`), so a net
+/// with no faults installed — or whose fault windows never activate —
+/// produces byte-identical trajectories to one built before this
+/// machinery existed.
+#[derive(Clone, Debug)]
+pub struct LinkFault {
+    /// What the fault applies to.
+    pub target: FaultTarget,
+    /// Window start (inclusive).
+    pub start: SimTime,
+    /// Window end (exclusive).
+    pub end: SimTime,
+    /// Drop behaviour inside the window.
+    pub kind: LinkFaultKind,
+    /// Gilbert–Elliott chain state (burst faults only).
+    bad: bool,
+}
+
+impl LinkFault {
+    /// A total outage of one node over a window.
+    pub fn node_outage(node: NodeId, start: SimTime, end: SimTime) -> LinkFault {
+        LinkFault {
+            target: FaultTarget::Node(node),
+            start,
+            end,
+            kind: LinkFaultKind::Blackhole,
+            bad: false,
+        }
+    }
+
+    /// A total outage of one path over a window.
+    pub fn link_outage(a: NodeId, b: NodeId, start: SimTime, end: SimTime) -> LinkFault {
+        LinkFault {
+            target: FaultTarget::Link(a, b),
+            start,
+            end,
+            kind: LinkFaultKind::Blackhole,
+            bad: false,
+        }
+    }
+
+    /// Extra Bernoulli loss on one path over a window.
+    pub fn extra_loss(a: NodeId, b: NodeId, start: SimTime, end: SimTime, loss: f64) -> LinkFault {
+        LinkFault {
+            target: FaultTarget::Link(a, b),
+            start,
+            end,
+            kind: LinkFaultKind::ExtraLoss { loss },
+            bad: false,
+        }
+    }
+
+    /// A Gilbert–Elliott burst-loss episode on one path over a window.
+    pub fn burst_loss(
+        a: NodeId,
+        b: NodeId,
+        start: SimTime,
+        end: SimTime,
+        p_enter: f64,
+        p_exit: f64,
+        bad_loss: f64,
+    ) -> LinkFault {
+        LinkFault {
+            target: FaultTarget::Link(a, b),
+            start,
+            end,
+            kind: LinkFaultKind::Burst {
+                p_enter,
+                p_exit,
+                bad_loss,
+            },
+            bad: false,
+        }
+    }
+}
+
 /// The application protocol driven by the simulator.
 ///
 /// All callbacks receive `&mut Net` and may call [`Net::open`],
@@ -123,10 +249,22 @@ enum Ev {
 }
 
 enum Cb {
-    Established { conn: ConnId, end: End },
-    Data { conn: ConnId, end: End, spans: Vec<MetaSpan> },
-    Fin { conn: ConnId, end: End },
-    Timer { token: u64 },
+    Established {
+        conn: ConnId,
+        end: End,
+    },
+    Data {
+        conn: ConnId,
+        end: End,
+        spans: Vec<MetaSpan>,
+    },
+    Fin {
+        conn: ConnId,
+        end: End,
+    },
+    Timer {
+        token: u64,
+    },
 }
 
 struct Conn {
@@ -142,6 +280,7 @@ struct Conn {
     syn_time: SimTime,
     handshake_retx: bool,
     fin_cb_fired: [bool; 2],
+    aborted: bool,
 }
 
 /// All network state: connections, event queue, traces.
@@ -151,6 +290,11 @@ pub struct Net {
     trace: TraceLog,
     cbs: VecDeque<Cb>,
     app_rng: Rng,
+    // Fault-injection state: scheduled link/node faults and the dedicated
+    // RNG stream they draw from. No fault ⇒ no draw ⇒ every other stream
+    // is untouched.
+    faults: Vec<LinkFault>,
+    fault_rng: Rng,
     seed: u64,
     max_events: u64,
 }
@@ -163,6 +307,8 @@ impl Net {
             trace: TraceLog::new(),
             cbs: VecDeque::new(),
             app_rng: Rng::from_seed_and_name(seed, "tcpsim/app"),
+            faults: Vec::new(),
+            fault_rng: Rng::from_seed_and_name(seed, "tcpsim/fault"),
             seed,
             max_events: 2_000_000_000,
         }
@@ -217,10 +363,7 @@ impl Net {
         session: u64,
     ) -> ConnId {
         let cid = ConnId(self.conns.len() as u32);
-        let rng = Rng::from_seed_and_name(
-            self.seed,
-            &format!("tcpsim/conn/{}/{}", cid.0, session),
-        );
+        let rng = Rng::from_seed_and_name(self.seed, &format!("tcpsim/conn/{}/{}", cid.0, session));
         let mut conn = Conn {
             nodes: [a, b],
             session,
@@ -232,6 +375,7 @@ impl Net {
             syn_time: self.now(),
             handshake_retx: false,
             fin_cb_fired: [false, false],
+            aborted: false,
         };
         conn.ep[0].state = TcpState::SynSent;
         conn.ep[0].syn_sent_count = 1;
@@ -300,6 +444,37 @@ impl Net {
         self.conns[conn.0 as usize].session = session;
     }
 
+    /// Installs a scheduled fault. Faults are consulted on every packet
+    /// transmission while their window is active; an empty fault list
+    /// costs nothing and draws no randomness.
+    pub fn add_link_fault(&mut self, fault: LinkFault) {
+        self.faults.push(fault);
+    }
+
+    /// Tears a connection down immediately and silently: both endpoints
+    /// stop sending, pending retransmission/delayed-ACK timers are
+    /// disarmed, in-flight packets are discarded on arrival, and **no**
+    /// `on_fin` callback fires. This models a crashed peer or a proxy
+    /// discarding a connection it has declared dead — the abstraction
+    /// failure recovery needs: a reconnect after `abort` starts from a
+    /// cold congestion window.
+    pub fn abort(&mut self, conn: ConnId) {
+        let c = &mut self.conns[conn.0 as usize];
+        c.aborted = true;
+        for i in 0..2 {
+            c.ep[i].rto_gen += 1;
+            c.ep[i].rto_armed = false;
+            c.ep[i].delack_gen += 1;
+            c.ep[i].delack_armed = false;
+            c.fin_cb_fired[i] = true;
+        }
+    }
+
+    /// True when [`Net::abort`] was called on this connection.
+    pub fn is_aborted(&self, conn: ConnId) -> bool {
+        self.conns[conn.0 as usize].aborted
+    }
+
     // ---- internals ----
 
     fn make_ctl(&mut self, cid: ConnId, from: End, kind: PktKind) -> Segment {
@@ -319,6 +494,9 @@ impl Net {
     fn transmit(&mut self, cid: ConnId, from: End, seg: Segment) {
         let now = self.now();
         let c = &mut self.conns[cid.0 as usize];
+        if c.aborted {
+            return;
+        }
         let node = c.nodes[from.idx()];
         self.trace
             .record(now, node, cid, c.session, PktDir::Tx, &seg);
@@ -332,6 +510,45 @@ impl Net {
         };
         let dep_end = dep_start + ser;
         c.busy_until[from.idx()] = dep_end;
+        // Scheduled faults first (they model the outside world failing,
+        // not this path's own loss process). Checked without any RNG
+        // draw unless a probabilistic fault window is active, so an
+        // empty fault list leaves all trajectories untouched.
+        let mut fault_drop = false;
+        for f in self.faults.iter_mut() {
+            if now < f.start || now >= f.end || !f.target.matches(c.nodes) {
+                continue;
+            }
+            match f.kind {
+                LinkFaultKind::Blackhole => fault_drop = true,
+                LinkFaultKind::ExtraLoss { loss } => {
+                    if self.fault_rng.chance(loss) {
+                        fault_drop = true;
+                    }
+                }
+                LinkFaultKind::Burst {
+                    p_enter,
+                    p_exit,
+                    bad_loss,
+                } => {
+                    if f.bad {
+                        if self.fault_rng.chance(p_exit) {
+                            f.bad = false;
+                        }
+                    } else if self.fault_rng.chance(p_enter) {
+                        f.bad = true;
+                    }
+                    if f.bad && self.fault_rng.chance(bad_loss) {
+                        fault_drop = true;
+                    }
+                }
+            }
+        }
+        if fault_drop {
+            self.trace
+                .record(now, node, cid, c.session, PktDir::Drop, &seg);
+            return;
+        }
         // Loss coin (after consuming the wire).
         if c.rng.chance(c.path.loss) {
             self.trace
@@ -339,8 +556,7 @@ impl Net {
             return;
         }
         let jitter = c.path.jitter_ms.sample(&mut c.rng).max(0.0);
-        let mut arrival =
-            dep_end + SimDuration::from_millis_f64(c.path.base_owd_ms + jitter);
+        let mut arrival = dep_end + SimDuration::from_millis_f64(c.path.base_owd_ms + jitter);
         // FIFO per direction: never deliver before an earlier packet.
         let floor = c.last_arrival[from.idx()] + SimDuration::from_nanos(1);
         if arrival < floor {
@@ -364,7 +580,14 @@ impl Net {
         ep.rto_armed = true;
         let gen = ep.rto_gen;
         let rto = ep.rto;
-        self.q.schedule_in(rto, Ev::Rto { conn: cid, end, gen });
+        self.q.schedule_in(
+            rto,
+            Ev::Rto {
+                conn: cid,
+                end,
+                gen,
+            },
+        );
     }
 
     fn cancel_rto(&mut self, cid: ConnId, end: End) {
@@ -394,8 +617,7 @@ impl Net {
                 }
                 // Nagle: hold a sub-MSS tail while older data is in
                 // flight (it will ride out on the next ACK).
-                if ep.opts.nagle && (len as u64) < ep.opts.mss as u64 && ep.in_flight() > 0
-                {
+                if ep.opts.nagle && (len as u64) < ep.opts.mss as u64 && ep.in_flight() > 0 {
                     break;
                 }
                 let seq = ep.snd_nxt;
@@ -511,7 +733,14 @@ impl Net {
         ep.delack_gen += 1;
         let gen = ep.delack_gen;
         let dt = ep.opts.delack_timeout;
-        self.q.schedule_in(dt, Ev::DelAck { conn: cid, end, gen });
+        self.q.schedule_in(
+            dt,
+            Ev::DelAck {
+                conn: cid,
+                end,
+                gen,
+            },
+        );
     }
 
     fn establish(&mut self, cid: ConnId, end: End) {
@@ -535,6 +764,11 @@ impl Net {
         let now = self.now();
         {
             let c = &self.conns[cid.0 as usize];
+            if c.aborted {
+                // Packets in flight when the connection was torn down
+                // arrive at a dead socket: discarded, unrecorded.
+                return;
+            }
             let node = c.nodes[to.idx()];
             self.trace
                 .record(now, node, cid, c.session, PktDir::Rx, &seg);
@@ -633,9 +867,7 @@ impl Net {
                 // --- lifecycle: both sides done? ---
                 let c = &mut self.conns[cid.0 as usize];
                 for i in 0..2 {
-                    let done = c.ep[i].fin_sent
-                        && c.ep[i].all_acked()
-                        && c.ep[i].peer_fin_rcvd;
+                    let done = c.ep[i].fin_sent && c.ep[i].all_acked() && c.ep[i].peer_fin_rcvd;
                     if done {
                         c.ep[i].state = TcpState::Done;
                     }
@@ -646,8 +878,9 @@ impl Net {
 
     fn handle_rto(&mut self, cid: ConnId, end: End, gen: u64) {
         let (stale, state) = {
-            let ep = &self.conns[cid.0 as usize].ep[end.idx()];
-            (ep.rto_gen != gen || !ep.rto_armed, ep.state)
+            let c = &self.conns[cid.0 as usize];
+            let ep = &c.ep[end.idx()];
+            (c.aborted || ep.rto_gen != gen || !ep.rto_armed, ep.state)
         };
         if stale {
             return;
@@ -691,8 +924,9 @@ impl Net {
 
     fn handle_delack(&mut self, cid: ConnId, end: End, gen: u64) {
         let fire = {
-            let ep = &self.conns[cid.0 as usize].ep[end.idx()];
-            ep.delack_armed && ep.delack_gen == gen
+            let c = &self.conns[cid.0 as usize];
+            let ep = &c.ep[end.idx()];
+            !c.aborted && ep.delack_armed && ep.delack_gen == gen
         };
         if fire {
             self.send_ack_now(cid, end);
@@ -745,12 +979,8 @@ impl<A: App> Sim<A> {
     fn drain_callbacks(&mut self) {
         while let Some(cb) = self.net.cbs.pop_front() {
             match cb {
-                Cb::Established { conn, end } => {
-                    self.app.on_established(&mut self.net, conn, end)
-                }
-                Cb::Data { conn, end, spans } => {
-                    self.app.on_data(&mut self.net, conn, end, &spans)
-                }
+                Cb::Established { conn, end } => self.app.on_established(&mut self.net, conn, end),
+                Cb::Data { conn, end, spans } => self.app.on_data(&mut self.net, conn, end, &spans),
                 Cb::Fin { conn, end } => self.app.on_fin(&mut self.net, conn, end),
                 Cb::Timer { token } => self.app.on_timer(&mut self.net, token),
             }
@@ -910,10 +1140,7 @@ mod tests {
     fn transfer_is_deterministic() {
         let a = run_transfer(60.0, 400, 20_000, 0.0);
         let b = run_transfer(60.0, 400, 20_000, 0.0);
-        assert_eq!(
-            a.response_done_at.unwrap(),
-            b.response_done_at.unwrap()
-        );
+        assert_eq!(a.response_done_at.unwrap(), b.response_done_at.unwrap());
         assert_eq!(a.data_events.len(), b.data_events.len());
     }
 
@@ -953,10 +1180,7 @@ mod tests {
         };
         let t_iw4 = run_with_iw(4);
         let t_iw10 = run_with_iw(10);
-        assert!(
-            t_iw10 < t_iw4,
-            "IW10 {t_iw10:?} should beat IW4 {t_iw4:?}"
-        );
+        assert!(t_iw10 < t_iw4, "IW10 {t_iw10:?} should beat IW4 {t_iw4:?}");
     }
 
     #[test]
@@ -1218,7 +1442,197 @@ mod tests {
             1,
         );
         clean.run();
-        assert_eq!(clean.net().conn_stats(c2, End::B), crate::endpoint::ConnStats::default());
+        assert_eq!(
+            clean.net().conn_stats(c2, End::B),
+            crate::endpoint::ConnStats::default()
+        );
+    }
+
+    /// Runs the [`Echoish`] transfer on an ideal 100 ms path with the
+    /// given scripted fault windows installed, returning the app and the
+    /// server-side connection stats.
+    fn run_faulty(response: u64, faults: Vec<LinkFault>) -> (Echoish, crate::endpoint::ConnStats) {
+        let mut sim = Sim::new(42, Echoish::new(400, response));
+        for f in faults {
+            sim.net().add_link_fault(f);
+        }
+        let cid = sim.net().open(
+            NodeId(1),
+            NodeId(2),
+            PathParams::ideal(100.0),
+            TcpOptions::default(),
+            TcpOptions::default(),
+            1,
+        );
+        sim.run();
+        let stats = sim.net().conn_stats(cid, End::B);
+        (sim.into_app(), stats)
+    }
+
+    #[test]
+    fn scripted_burst_loss_triggers_fast_retransmit_not_rto() {
+        // Round 2 of the 60 KB response leaves the server at ~250 ms (ACKs
+        // of the IW4 round arrive back at one RTT + handshake). A
+        // degenerate Gilbert–Elliott episode with p_enter = p_exit =
+        // bad_loss = 1 over [240 ms, 260 ms) deterministically drops every
+        // *other* packet transmitted in the window, so the surviving
+        // segments arrive out of order, generate three duplicate ACKs and
+        // trigger fast retransmit — the RTO never fires.
+        let burst = LinkFault::burst_loss(
+            NodeId(1),
+            NodeId(2),
+            SimTime::from_millis(240),
+            SimTime::from_millis(260),
+            1.0,
+            1.0,
+            1.0,
+        );
+        let (clean, clean_stats) = run_faulty(60_000, vec![]);
+        let (app, stats) = run_faulty(60_000, vec![burst.clone()]);
+        assert_eq!(clean_stats, crate::endpoint::ConnStats::default());
+        assert_eq!(app.got, 60_000, "all bytes must arrive despite the burst");
+        assert_eq!(stats.fast_retransmits, 1);
+        assert_eq!(stats.timeouts, 0, "dup-ACK recovery must beat the RTO");
+        assert!(
+            stats.retransmitted_segs >= 3,
+            "alternating drops lose >=3 segs"
+        );
+        assert!(
+            app.response_done_at.unwrap() > clean.response_done_at.unwrap(),
+            "recovery must cost time"
+        );
+        // The scripted episode is deterministic: an identical run produces
+        // an identical trajectory.
+        let (again, again_stats) = run_faulty(60_000, vec![burst]);
+        assert_eq!(app.response_done_at, again.response_done_at);
+        assert_eq!(stats, again_stats);
+    }
+
+    #[test]
+    fn scripted_blackhole_forces_rto_with_exponential_backoff() {
+        // The lone request segment leaves the client at 100 ms (one RTT of
+        // handshake). A blackhole starting at 95 ms swallows it; with no
+        // other data in flight the only recovery is the retransmission
+        // timer: initial RTO 300 ms (srtt 100 + 4·rttvar 50), then Karn
+        // backoff doubles it, so retransmissions leave at 400 ms, 1000 ms,
+        // 2200 ms, ... Each scripted window length therefore pins an exact
+        // timeout count.
+        let run = |end_ms: u64| {
+            let mut sim = Sim::new(42, Echoish::new(400, 5_000));
+            sim.net().add_link_fault(LinkFault::link_outage(
+                NodeId(1),
+                NodeId(2),
+                SimTime::from_millis(95),
+                SimTime::from_millis(end_ms),
+            ));
+            let cid = sim.net().open(
+                NodeId(1),
+                NodeId(2),
+                PathParams::ideal(100.0),
+                TcpOptions::default(),
+                TcpOptions::default(),
+                1,
+            );
+            sim.run();
+            let stats = sim.net().conn_stats(cid, End::A);
+            let app = sim.into_app();
+            assert_eq!(app.got, 5_000, "transfer must complete after the outage");
+            assert_eq!(stats.fast_retransmits, 0, "a silent flight cannot dup-ACK");
+            (stats.timeouts, app.request_done_at.unwrap())
+        };
+        // Window ends before the first RTO fire: one timeout, request
+        // arrives at 400 + 50 ms.
+        let (n1, t1) = run(110);
+        assert_eq!(n1, 1);
+        // Window swallows the first retransmission too: the second fire
+        // waits a doubled RTO.
+        let (n2, t2) = run(500);
+        assert_eq!(n2, 2);
+        // And a third, doubled again.
+        let (n3, t3) = run(1100);
+        assert_eq!(n3, 3);
+        let gap1 = t2.saturating_since(t1).as_millis_f64();
+        let gap2 = t3.saturating_since(t2).as_millis_f64();
+        assert!((gap1 - 600.0).abs() < 1.0, "first backoff gap {gap1}ms");
+        assert!((gap2 - 1200.0).abs() < 1.0, "second backoff gap {gap2}ms");
+    }
+
+    #[test]
+    fn non_matching_fault_windows_are_inert() {
+        // Faults scoped to other links/nodes — or to a window after the
+        // transfer ends — must leave the trajectory byte-identical: the
+        // fault layer draws from its own named RNG stream only for
+        // packets actually inside a matching window.
+        let (clean, clean_stats) = run_faulty(60_000, vec![]);
+        let (faulted, faulted_stats) = run_faulty(
+            60_000,
+            vec![
+                LinkFault::link_outage(
+                    NodeId(7),
+                    NodeId(8),
+                    SimTime::ZERO,
+                    SimTime::from_secs(3600),
+                ),
+                LinkFault::node_outage(NodeId(9), SimTime::ZERO, SimTime::from_secs(3600)),
+                LinkFault::burst_loss(
+                    NodeId(1),
+                    NodeId(2),
+                    SimTime::from_secs(1800),
+                    SimTime::from_secs(1900),
+                    0.5,
+                    0.5,
+                    1.0,
+                ),
+            ],
+        );
+        assert_eq!(clean.response_done_at, faulted.response_done_at);
+        assert_eq!(clean.data_events, faulted.data_events);
+        assert_eq!(clean_stats, faulted_stats);
+    }
+
+    #[test]
+    fn aborted_connection_goes_silent_and_quiesces() {
+        // Abort mid-transfer: no further callbacks (in particular no
+        // on_fin), timers are disarmed, and the event queue drains
+        // without the transfer completing.
+        let mut sim = Sim::new(42, Echoish::new(400, 60_000));
+        let cid = sim.net().open(
+            NodeId(1),
+            NodeId(2),
+            PathParams::ideal(100.0),
+            TcpOptions::default(),
+            TcpOptions::default(),
+            1,
+        );
+        sim.run_until(SimTime::from_millis(220));
+        sim.net().abort(cid);
+        assert!(sim.net().is_aborted(cid));
+        sim.run();
+        let app = sim.into_app();
+        assert!(app.got < 60_000, "aborted transfer must not complete");
+        assert!(app.response_done_at.is_none());
+        assert!(app.fins.is_empty(), "abort must not surface FIN callbacks");
+    }
+
+    #[test]
+    fn node_outage_blackholes_both_directions() {
+        // An outage of the server node during the whole response window
+        // stalls the transfer until the node recovers.
+        let (clean, _) = run_faulty(5_000, vec![]);
+        let (app, stats) = run_faulty(
+            5_000,
+            vec![LinkFault::node_outage(
+                NodeId(2),
+                SimTime::from_millis(140),
+                SimTime::from_millis(600),
+            )],
+        );
+        assert_eq!(app.got, 5_000);
+        assert!(stats.timeouts >= 1, "outage must force at least one RTO");
+        assert!(
+            app.response_done_at.unwrap() > clean.response_done_at.unwrap(),
+            "outage must delay completion"
+        );
     }
 
     #[test]

@@ -140,6 +140,11 @@ mod tests {
         let o = TcpOptions::default().with_initial_window(10);
         assert_eq!(o.initial_cwnd(), 14600.0);
         assert!(TcpOptions::default().with_idle_reset().idle_reset);
-        assert!(!TcpOptions::default().with_idle_reset().persistent().idle_reset);
+        assert!(
+            !TcpOptions::default()
+                .with_idle_reset()
+                .persistent()
+                .idle_reset
+        );
     }
 }

@@ -27,6 +27,10 @@ pub enum Marker {
     BeQuery,
     /// A back-end response on the FE↔BE leg.
     BeResponse,
+    /// A degraded-service error marker: the FE could not reach any
+    /// back-end before its fetch deadline and served an error stub in
+    /// place of the dynamic portion.
+    Error,
     /// Anything else (background traffic, probes).
     Other,
 }

@@ -25,7 +25,7 @@ pub enum PktDir {
 }
 
 /// One observed packet event.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct PktEvent {
     /// Virtual time of the observation.
     pub t: SimTime,
@@ -156,14 +156,7 @@ mod tests {
     #[test]
     fn disabled_by_default() {
         let mut log = TraceLog::new();
-        log.record(
-            SimTime::ZERO,
-            NodeId(1),
-            ConnId(0),
-            7,
-            PktDir::Tx,
-            &seg(),
-        );
+        log.record(SimTime::ZERO, NodeId(1), ConnId(0), 7, PktDir::Tx, &seg());
         assert_eq!(log.recorded(), 0);
         assert!(log.take_session(7).is_empty());
     }

@@ -19,7 +19,11 @@ fn campaign(name: &str, scenario: &Scenario, cfg: ServiceConfig) -> Vec<Processe
         keywords: KeywordPolicy::Fixed(0),
     };
     let out = d.run(scenario, cfg, &Classifier::ByMarker);
-    println!("{name}: {} queries from {} vantages", out.len(), scenario.vantage_count());
+    println!(
+        "{name}: {} queries from {} vantages",
+        out.len(),
+        scenario.vantage_count()
+    );
     out
 }
 
@@ -39,8 +43,16 @@ fn summarize(name: &str, out: &[ProcessedQuery]) {
 
 fn main() {
     let scenario = Scenario::with_size(42, 40, 1_000);
-    let bing = campaign("bing-like", &scenario, ServiceConfig::bing_like(scenario.seed));
-    let google = campaign("google-like", &scenario, ServiceConfig::google_like(scenario.seed));
+    let bing = campaign(
+        "bing-like",
+        &scenario,
+        ServiceConfig::bing_like(scenario.seed),
+    );
+    let google = campaign(
+        "google-like",
+        &scenario,
+        ServiceConfig::google_like(scenario.seed),
+    );
     println!();
     summarize("bing-like", &bing);
     summarize("google-like", &google);

@@ -30,8 +30,7 @@ fn main() {
     println!("Dataset B: {} queries against fixed FE {fe}", out.len());
 
     // ---- step 2: fetch-time brackets, intersected per vantage ----
-    let mut per_client: std::collections::BTreeMap<usize, Vec<FetchBounds>> =
-        Default::default();
+    let mut per_client: std::collections::BTreeMap<usize, Vec<FetchBounds>> = Default::default();
     let mut truths: std::collections::BTreeMap<usize, Vec<f64>> = Default::default();
     for q in &out {
         per_client
@@ -67,9 +66,7 @@ fn main() {
         med(&width_single),
         med(&width_joint)
     );
-    println!(
-        "intersected brackets containing the mean true fetch time: {contained}/{total}"
-    );
+    println!("intersected brackets containing the mean true fetch time: {contained}/{total}");
 
     // ---- step 3: the RTT threshold ----
     let samples: Vec<(u64, QueryParams)> =

@@ -58,7 +58,10 @@ fn main() {
         sim.with(|w, _| (w.client_fe_rtt_ms(0, near), w.client_fe_rtt_ms(0, far)));
     drop(sim);
     println!("client 0 served by FE {near} ({rtt_near:.1} ms) vs FE {far} ({rtt_far:.1} ms)\n");
-    println!("{:>8} {:>12} {:>12} {:>12}", "loss", "near (ms)", "far (ms)", "advantage");
+    println!(
+        "{:>8} {:>12} {:>12} {:>12}",
+        "loss", "near (ms)", "far (ms)", "advantage"
+    );
     for loss in [0.0, 0.01, 0.03, 0.05] {
         let mut profile = PathProfile::wireless_access();
         profile.loss = loss;

@@ -63,8 +63,10 @@ fn main() {
         k_rounds: 1.0,
         t_fetch_ms: t_fetch,
     };
-    println!("fitted model: c = {c_ms:.1} ms, Tfetch = {t_fetch:.1} ms, threshold = {:?} ms\n",
-        model.rtt_threshold_ms().map(|t| t.round()));
+    println!(
+        "fitted model: c = {c_ms:.1} ms, Tfetch = {t_fetch:.1} ms, threshold = {:?} ms\n",
+        model.rtt_threshold_ms().map(|t| t.round())
+    );
     println!(
         "{:>4} {:>9} | {:>9} {:>9} {:>8} | {:>10} {:>9}",
         "FE", "RTT(ms)", "Tstatic", "Tdynamic", "Tdelta", "model Tdyn", "model Δ"

@@ -8,11 +8,7 @@
 use fecdn::prelude::*;
 
 fn one_query(name: &str, scenario: &Scenario, cfg: ServiceConfig) {
-    let world = ServiceWorld::new(
-        cfg,
-        scenario.vantages.clone(),
-        scenario.corpus.clone(),
-    );
+    let world = ServiceWorld::new(cfg, scenario.vantages.clone(), scenario.corpus.clone());
     let mut sim = Sim::new(scenario.seed, world);
     sim.net().trace_mut().set_enabled(true);
     sim.with(|w, net| {
@@ -30,11 +26,26 @@ fn one_query(name: &str, scenario: &Scenario, cfg: ServiceConfig) {
     let queries = run_collect(&mut sim, &Classifier::ByMarker);
     let q = &queries[0];
     println!("== {name} ==");
-    println!("  vantage 0 → default FE, RTT (handshake est.)  {:>8.2} ms", q.params.rtt_ms);
-    println!("  Tstatic  (t4 − t2)                            {:>8.2} ms", q.params.t_static_ms);
-    println!("  Tdynamic (t5 − t2)                            {:>8.2} ms", q.params.t_dynamic_ms);
-    println!("  Tdelta   (t5 − t4)                            {:>8.2} ms", q.params.t_delta_ms);
-    println!("  overall  (te − tb)                            {:>8.2} ms", q.params.overall_ms);
+    println!(
+        "  vantage 0 → default FE, RTT (handshake est.)  {:>8.2} ms",
+        q.params.rtt_ms
+    );
+    println!(
+        "  Tstatic  (t4 − t2)                            {:>8.2} ms",
+        q.params.t_static_ms
+    );
+    println!(
+        "  Tdynamic (t5 − t2)                            {:>8.2} ms",
+        q.params.t_dynamic_ms
+    );
+    println!(
+        "  Tdelta   (t5 − t4)                            {:>8.2} ms",
+        q.params.t_delta_ms
+    );
+    println!(
+        "  overall  (te − tb)                            {:>8.2} ms",
+        q.params.overall_ms
+    );
     let bounds = FetchBounds::from_params(&q.params);
     println!(
         "  fetch-time bracket (eq. 1)              [{:>7.2}, {:>7.2}] ms",
@@ -56,10 +67,16 @@ fn one_query(name: &str, scenario: &Scenario, cfg: ServiceConfig) {
 
 fn main() {
     let scenario = Scenario::small(42);
-    one_query("bing-like (Akamai FE, public FE↔BE transit)", &scenario,
-        ServiceConfig::bing_like(scenario.seed));
-    one_query("google-like (own FE, private WAN)", &scenario,
-        ServiceConfig::google_like(scenario.seed));
+    one_query(
+        "bing-like (Akamai FE, public FE↔BE transit)",
+        &scenario,
+        ServiceConfig::bing_like(scenario.seed),
+    );
+    one_query(
+        "google-like (own FE, private WAN)",
+        &scenario,
+        ServiceConfig::google_like(scenario.seed),
+    );
     println!("The directly unobservable FE↔BE fetch time is bracketed by the");
     println!("two client-side observables — the paper's Eq. (1) at work.");
 }

@@ -1,0 +1,20 @@
+#!/bin/sh
+# Local CI: formatting, lints, tier-1 verify (ROADMAP.md), all offline.
+# Usage: scripts/ci.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> tier-1: cargo build --release"
+cargo build --release --workspace --offline
+
+echo "==> tier-1: cargo test -q"
+cargo test --workspace -q --offline
+
+echo "CI OK"

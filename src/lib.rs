@@ -75,8 +75,8 @@ pub mod prelude {
     pub use emulator::runner::{run_collect, run_collect_with, ProcessedQuery};
     pub use emulator::Scenario;
     pub use inference::{
-        caching_verdict, estimate_rtt_threshold, factor_fetch_time, per_group_medians,
-        FetchBounds, ModelPrediction, QueryParams,
+        caching_verdict, estimate_rtt_threshold, factor_fetch_time, per_group_medians, FetchBounds,
+        ModelPrediction, QueryParams,
     };
     pub use simcore::time::{SimDuration, SimTime};
     pub use tcpsim::{End, Marker, Sim};

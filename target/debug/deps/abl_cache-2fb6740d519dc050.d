@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/abl_cache-2fb6740d519dc050.d: crates/bench/src/bin/abl_cache.rs Cargo.toml
+
+/root/repo/target/debug/deps/libabl_cache-2fb6740d519dc050.rmeta: crates/bench/src/bin/abl_cache.rs Cargo.toml
+
+crates/bench/src/bin/abl_cache.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

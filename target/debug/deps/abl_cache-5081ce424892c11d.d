@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/abl_cache-5081ce424892c11d.d: crates/bench/src/bin/abl_cache.rs
+
+/root/repo/target/debug/deps/abl_cache-5081ce424892c11d: crates/bench/src/bin/abl_cache.rs
+
+crates/bench/src/bin/abl_cache.rs:

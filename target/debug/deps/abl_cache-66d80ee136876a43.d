@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/abl_cache-66d80ee136876a43.d: crates/bench/src/bin/abl_cache.rs
+
+/root/repo/target/debug/deps/abl_cache-66d80ee136876a43: crates/bench/src/bin/abl_cache.rs
+
+crates/bench/src/bin/abl_cache.rs:

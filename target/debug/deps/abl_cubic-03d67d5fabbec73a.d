@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/abl_cubic-03d67d5fabbec73a.d: crates/bench/src/bin/abl_cubic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libabl_cubic-03d67d5fabbec73a.rmeta: crates/bench/src/bin/abl_cubic.rs Cargo.toml
+
+crates/bench/src/bin/abl_cubic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/abl_cubic-679d4f27bd98d16e.d: crates/bench/src/bin/abl_cubic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libabl_cubic-679d4f27bd98d16e.rmeta: crates/bench/src/bin/abl_cubic.rs Cargo.toml
+
+crates/bench/src/bin/abl_cubic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/abl_cubic-9e7845b82631172c.d: crates/bench/src/bin/abl_cubic.rs
+
+/root/repo/target/debug/deps/abl_cubic-9e7845b82631172c: crates/bench/src/bin/abl_cubic.rs
+
+crates/bench/src/bin/abl_cubic.rs:

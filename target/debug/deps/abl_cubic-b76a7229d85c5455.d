@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/abl_cubic-b76a7229d85c5455.d: crates/bench/src/bin/abl_cubic.rs
+
+/root/repo/target/debug/deps/abl_cubic-b76a7229d85c5455: crates/bench/src/bin/abl_cubic.rs
+
+crates/bench/src/bin/abl_cubic.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/abl_iw-2265d0e499582810.d: crates/bench/src/bin/abl_iw.rs Cargo.toml
+
+/root/repo/target/debug/deps/libabl_iw-2265d0e499582810.rmeta: crates/bench/src/bin/abl_iw.rs Cargo.toml
+
+crates/bench/src/bin/abl_iw.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/abl_iw-b1d10b6c68b4833c.d: crates/bench/src/bin/abl_iw.rs Cargo.toml
+
+/root/repo/target/debug/deps/libabl_iw-b1d10b6c68b4833c.rmeta: crates/bench/src/bin/abl_iw.rs Cargo.toml
+
+crates/bench/src/bin/abl_iw.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

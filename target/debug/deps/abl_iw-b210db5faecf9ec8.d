@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/abl_iw-b210db5faecf9ec8.d: crates/bench/src/bin/abl_iw.rs
+
+/root/repo/target/debug/deps/abl_iw-b210db5faecf9ec8: crates/bench/src/bin/abl_iw.rs
+
+crates/bench/src/bin/abl_iw.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/abl_iw-ccba4cce46fda272.d: crates/bench/src/bin/abl_iw.rs
+
+/root/repo/target/debug/deps/abl_iw-ccba4cce46fda272: crates/bench/src/bin/abl_iw.rs
+
+crates/bench/src/bin/abl_iw.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/abl_split-193537ff571ae498.d: crates/bench/src/bin/abl_split.rs
+
+/root/repo/target/debug/deps/abl_split-193537ff571ae498: crates/bench/src/bin/abl_split.rs
+
+crates/bench/src/bin/abl_split.rs:

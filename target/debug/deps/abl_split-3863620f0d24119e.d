@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/abl_split-3863620f0d24119e.d: crates/bench/src/bin/abl_split.rs Cargo.toml
+
+/root/repo/target/debug/deps/libabl_split-3863620f0d24119e.rmeta: crates/bench/src/bin/abl_split.rs Cargo.toml
+
+crates/bench/src/bin/abl_split.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

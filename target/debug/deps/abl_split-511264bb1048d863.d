@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/abl_split-511264bb1048d863.d: crates/bench/src/bin/abl_split.rs Cargo.toml
+
+/root/repo/target/debug/deps/libabl_split-511264bb1048d863.rmeta: crates/bench/src/bin/abl_split.rs Cargo.toml
+
+crates/bench/src/bin/abl_split.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/abl_split-5b60e14643a2c692.d: crates/bench/src/bin/abl_split.rs
+
+/root/repo/target/debug/deps/abl_split-5b60e14643a2c692: crates/bench/src/bin/abl_split.rs
+
+crates/bench/src/bin/abl_split.rs:

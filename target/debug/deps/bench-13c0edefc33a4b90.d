@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bench-13c0edefc33a4b90.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-13c0edefc33a4b90.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-13c0edefc33a4b90.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

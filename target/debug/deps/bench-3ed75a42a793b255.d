@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench-3ed75a42a793b255.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/bench-3ed75a42a793b255: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

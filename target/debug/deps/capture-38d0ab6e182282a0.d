@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/capture-38d0ab6e182282a0.d: crates/capture/src/lib.rs crates/capture/src/classify.rs crates/capture/src/cluster_view.rs crates/capture/src/content.rs crates/capture/src/dump.rs crates/capture/src/errors.rs crates/capture/src/session.rs crates/capture/src/timeline.rs crates/capture/src/validate.rs
+
+/root/repo/target/debug/deps/capture-38d0ab6e182282a0: crates/capture/src/lib.rs crates/capture/src/classify.rs crates/capture/src/cluster_view.rs crates/capture/src/content.rs crates/capture/src/dump.rs crates/capture/src/errors.rs crates/capture/src/session.rs crates/capture/src/timeline.rs crates/capture/src/validate.rs
+
+crates/capture/src/lib.rs:
+crates/capture/src/classify.rs:
+crates/capture/src/cluster_view.rs:
+crates/capture/src/content.rs:
+crates/capture/src/dump.rs:
+crates/capture/src/errors.rs:
+crates/capture/src/session.rs:
+crates/capture/src/timeline.rs:
+crates/capture/src/validate.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/capture-58a1588f017e56cf.d: crates/capture/src/lib.rs crates/capture/src/classify.rs crates/capture/src/cluster_view.rs crates/capture/src/content.rs crates/capture/src/dump.rs crates/capture/src/errors.rs crates/capture/src/session.rs crates/capture/src/timeline.rs crates/capture/src/validate.rs
+
+/root/repo/target/debug/deps/libcapture-58a1588f017e56cf.rlib: crates/capture/src/lib.rs crates/capture/src/classify.rs crates/capture/src/cluster_view.rs crates/capture/src/content.rs crates/capture/src/dump.rs crates/capture/src/errors.rs crates/capture/src/session.rs crates/capture/src/timeline.rs crates/capture/src/validate.rs
+
+/root/repo/target/debug/deps/libcapture-58a1588f017e56cf.rmeta: crates/capture/src/lib.rs crates/capture/src/classify.rs crates/capture/src/cluster_view.rs crates/capture/src/content.rs crates/capture/src/dump.rs crates/capture/src/errors.rs crates/capture/src/session.rs crates/capture/src/timeline.rs crates/capture/src/validate.rs
+
+crates/capture/src/lib.rs:
+crates/capture/src/classify.rs:
+crates/capture/src/cluster_view.rs:
+crates/capture/src/content.rs:
+crates/capture/src/dump.rs:
+crates/capture/src/errors.rs:
+crates/capture/src/session.rs:
+crates/capture/src/timeline.rs:
+crates/capture/src/validate.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/capture-683fada95524586f.d: crates/capture/src/lib.rs crates/capture/src/classify.rs crates/capture/src/cluster_view.rs crates/capture/src/content.rs crates/capture/src/dump.rs crates/capture/src/errors.rs crates/capture/src/session.rs crates/capture/src/timeline.rs crates/capture/src/validate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcapture-683fada95524586f.rmeta: crates/capture/src/lib.rs crates/capture/src/classify.rs crates/capture/src/cluster_view.rs crates/capture/src/content.rs crates/capture/src/dump.rs crates/capture/src/errors.rs crates/capture/src/session.rs crates/capture/src/timeline.rs crates/capture/src/validate.rs Cargo.toml
+
+crates/capture/src/lib.rs:
+crates/capture/src/classify.rs:
+crates/capture/src/cluster_view.rs:
+crates/capture/src/content.rs:
+crates/capture/src/dump.rs:
+crates/capture/src/errors.rs:
+crates/capture/src/session.rs:
+crates/capture/src/timeline.rs:
+crates/capture/src/validate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

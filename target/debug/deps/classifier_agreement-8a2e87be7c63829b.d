@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/classifier_agreement-8a2e87be7c63829b.d: tests/classifier_agreement.rs Cargo.toml
+
+/root/repo/target/debug/deps/libclassifier_agreement-8a2e87be7c63829b.rmeta: tests/classifier_agreement.rs Cargo.toml
+
+tests/classifier_agreement.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/classifier_agreement-ab5ce01b105000a4.d: tests/classifier_agreement.rs
+
+/root/repo/target/debug/deps/classifier_agreement-ab5ce01b105000a4: tests/classifier_agreement.rs
+
+tests/classifier_agreement.rs:

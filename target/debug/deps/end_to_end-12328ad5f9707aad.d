@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-12328ad5f9707aad.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-12328ad5f9707aad: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_bias-5851acf0ab46529c.d: crates/bench/src/bin/exp_bias.rs
+
+/root/repo/target/debug/deps/exp_bias-5851acf0ab46529c: crates/bench/src/bin/exp_bias.rs
+
+crates/bench/src/bin/exp_bias.rs:

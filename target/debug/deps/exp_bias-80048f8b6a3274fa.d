@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_bias-80048f8b6a3274fa.d: crates/bench/src/bin/exp_bias.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_bias-80048f8b6a3274fa.rmeta: crates/bench/src/bin/exp_bias.rs Cargo.toml
+
+crates/bench/src/bin/exp_bias.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

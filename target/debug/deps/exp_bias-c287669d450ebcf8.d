@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_bias-c287669d450ebcf8.d: crates/bench/src/bin/exp_bias.rs
+
+/root/repo/target/debug/deps/exp_bias-c287669d450ebcf8: crates/bench/src/bin/exp_bias.rs
+
+crates/bench/src/bin/exp_bias.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_caching-6ef1e28d147ca282.d: crates/bench/src/bin/exp_caching.rs
+
+/root/repo/target/debug/deps/exp_caching-6ef1e28d147ca282: crates/bench/src/bin/exp_caching.rs
+
+crates/bench/src/bin/exp_caching.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_caching-a6c848a83094036a.d: crates/bench/src/bin/exp_caching.rs
+
+/root/repo/target/debug/deps/exp_caching-a6c848a83094036a: crates/bench/src/bin/exp_caching.rs
+
+crates/bench/src/bin/exp_caching.rs:

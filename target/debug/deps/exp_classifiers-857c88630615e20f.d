@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_classifiers-857c88630615e20f.d: crates/bench/src/bin/exp_classifiers.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_classifiers-857c88630615e20f.rmeta: crates/bench/src/bin/exp_classifiers.rs Cargo.toml
+
+crates/bench/src/bin/exp_classifiers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

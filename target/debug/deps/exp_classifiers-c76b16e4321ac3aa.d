@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_classifiers-c76b16e4321ac3aa.d: crates/bench/src/bin/exp_classifiers.rs
+
+/root/repo/target/debug/deps/exp_classifiers-c76b16e4321ac3aa: crates/bench/src/bin/exp_classifiers.rs
+
+crates/bench/src/bin/exp_classifiers.rs:

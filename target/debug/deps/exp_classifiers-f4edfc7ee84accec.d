@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_classifiers-f4edfc7ee84accec.d: crates/bench/src/bin/exp_classifiers.rs
+
+/root/repo/target/debug/deps/exp_classifiers-f4edfc7ee84accec: crates/bench/src/bin/exp_classifiers.rs
+
+crates/bench/src/bin/exp_classifiers.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_coords-2d0d6718267d948a.d: crates/bench/src/bin/exp_coords.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_coords-2d0d6718267d948a.rmeta: crates/bench/src/bin/exp_coords.rs Cargo.toml
+
+crates/bench/src/bin/exp_coords.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

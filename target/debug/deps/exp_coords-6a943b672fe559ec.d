@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_coords-6a943b672fe559ec.d: crates/bench/src/bin/exp_coords.rs
+
+/root/repo/target/debug/deps/exp_coords-6a943b672fe559ec: crates/bench/src/bin/exp_coords.rs
+
+crates/bench/src/bin/exp_coords.rs:

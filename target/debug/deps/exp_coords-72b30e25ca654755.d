@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_coords-72b30e25ca654755.d: crates/bench/src/bin/exp_coords.rs
+
+/root/repo/target/debug/deps/exp_coords-72b30e25ca654755: crates/bench/src/bin/exp_coords.rs
+
+crates/bench/src/bin/exp_coords.rs:

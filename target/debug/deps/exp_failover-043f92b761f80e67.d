@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_failover-043f92b761f80e67.d: crates/bench/src/bin/exp_failover.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_failover-043f92b761f80e67.rmeta: crates/bench/src/bin/exp_failover.rs Cargo.toml
+
+crates/bench/src/bin/exp_failover.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

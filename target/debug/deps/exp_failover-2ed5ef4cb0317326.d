@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_failover-2ed5ef4cb0317326.d: crates/bench/src/bin/exp_failover.rs
+
+/root/repo/target/debug/deps/exp_failover-2ed5ef4cb0317326: crates/bench/src/bin/exp_failover.rs
+
+crates/bench/src/bin/exp_failover.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_failover-f21e8d8c71dd2818.d: crates/bench/src/bin/exp_failover.rs
+
+/root/repo/target/debug/deps/exp_failover-f21e8d8c71dd2818: crates/bench/src/bin/exp_failover.rs
+
+crates/bench/src/bin/exp_failover.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_feload-0580c5f7862f5874.d: crates/bench/src/bin/exp_feload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_feload-0580c5f7862f5874.rmeta: crates/bench/src/bin/exp_feload.rs Cargo.toml
+
+crates/bench/src/bin/exp_feload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

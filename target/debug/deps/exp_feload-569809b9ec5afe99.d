@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_feload-569809b9ec5afe99.d: crates/bench/src/bin/exp_feload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_feload-569809b9ec5afe99.rmeta: crates/bench/src/bin/exp_feload.rs Cargo.toml
+
+crates/bench/src/bin/exp_feload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

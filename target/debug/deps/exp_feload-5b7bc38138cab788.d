@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_feload-5b7bc38138cab788.d: crates/bench/src/bin/exp_feload.rs
+
+/root/repo/target/debug/deps/exp_feload-5b7bc38138cab788: crates/bench/src/bin/exp_feload.rs
+
+crates/bench/src/bin/exp_feload.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_feload-60e2076a099bc6c9.d: crates/bench/src/bin/exp_feload.rs
+
+/root/repo/target/debug/deps/exp_feload-60e2076a099bc6c9: crates/bench/src/bin/exp_feload.rs
+
+crates/bench/src/bin/exp_feload.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_instant-5457f6908f82045f.d: crates/bench/src/bin/exp_instant.rs
+
+/root/repo/target/debug/deps/exp_instant-5457f6908f82045f: crates/bench/src/bin/exp_instant.rs
+
+crates/bench/src/bin/exp_instant.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_instant-7434dd5965c94a3d.d: crates/bench/src/bin/exp_instant.rs
+
+/root/repo/target/debug/deps/exp_instant-7434dd5965c94a3d: crates/bench/src/bin/exp_instant.rs
+
+crates/bench/src/bin/exp_instant.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_instant-fbf91b4a35ee39eb.d: crates/bench/src/bin/exp_instant.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_instant-fbf91b4a35ee39eb.rmeta: crates/bench/src/bin/exp_instant.rs Cargo.toml
+
+crates/bench/src/bin/exp_instant.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

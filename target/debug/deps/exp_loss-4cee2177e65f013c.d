@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_loss-4cee2177e65f013c.d: crates/bench/src/bin/exp_loss.rs
+
+/root/repo/target/debug/deps/exp_loss-4cee2177e65f013c: crates/bench/src/bin/exp_loss.rs
+
+crates/bench/src/bin/exp_loss.rs:

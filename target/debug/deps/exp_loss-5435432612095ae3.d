@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_loss-5435432612095ae3.d: crates/bench/src/bin/exp_loss.rs
+
+/root/repo/target/debug/deps/exp_loss-5435432612095ae3: crates/bench/src/bin/exp_loss.rs
+
+crates/bench/src/bin/exp_loss.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_whatif-4d4001e83bb83ae8.d: crates/bench/src/bin/exp_whatif.rs
+
+/root/repo/target/debug/deps/exp_whatif-4d4001e83bb83ae8: crates/bench/src/bin/exp_whatif.rs
+
+crates/bench/src/bin/exp_whatif.rs:

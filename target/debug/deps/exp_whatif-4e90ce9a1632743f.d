@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_whatif-4e90ce9a1632743f.d: crates/bench/src/bin/exp_whatif.rs
+
+/root/repo/target/debug/deps/exp_whatif-4e90ce9a1632743f: crates/bench/src/bin/exp_whatif.rs
+
+crates/bench/src/bin/exp_whatif.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_whatif-f2df9c6d6d01d9cc.d: crates/bench/src/bin/exp_whatif.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_whatif-f2df9c6d6d01d9cc.rmeta: crates/bench/src/bin/exp_whatif.rs Cargo.toml
+
+crates/bench/src/bin/exp_whatif.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fecdn-1fda335480505b02.d: src/lib.rs
+
+/root/repo/target/debug/deps/libfecdn-1fda335480505b02.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libfecdn-1fda335480505b02.rmeta: src/lib.rs
+
+src/lib.rs:

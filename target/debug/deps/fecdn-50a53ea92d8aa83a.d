@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fecdn-50a53ea92d8aa83a.d: src/lib.rs
+
+/root/repo/target/debug/deps/fecdn-50a53ea92d8aa83a: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fecdn-5d333a0546adc307.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfecdn-5d333a0546adc307.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-689ec599187351af.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-689ec599187351af: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-ea3d9e2b2e62f79d.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-ea3d9e2b2e62f79d: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-4f2d0162271a844c.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-4f2d0162271a844c: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-79e82b4d6a7c0972.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-79e82b4d6a7c0972: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-5c240758d94e5b82.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-5c240758d94e5b82: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

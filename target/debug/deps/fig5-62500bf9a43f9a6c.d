@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-62500bf9a43f9a6c.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-62500bf9a43f9a6c: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

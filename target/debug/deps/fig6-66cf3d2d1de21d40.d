@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-66cf3d2d1de21d40.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-66cf3d2d1de21d40: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

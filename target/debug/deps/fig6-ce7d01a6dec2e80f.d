@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-ce7d01a6dec2e80f.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-ce7d01a6dec2e80f: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

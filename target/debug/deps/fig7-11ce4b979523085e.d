@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-11ce4b979523085e.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-11ce4b979523085e: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-13046d40f73dd9e5.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-13046d40f73dd9e5: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-0c0b0a9533f678cf.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-0c0b0a9533f678cf: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

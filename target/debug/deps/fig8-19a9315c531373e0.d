@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-19a9315c531373e0.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-19a9315c531373e0: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-76401c774f45c265.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-76401c774f45c265: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-857c179f19a22e84.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-857c179f19a22e84: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/httpsim-4895c12f5b74a0b0.d: crates/httpsim/src/lib.rs crates/httpsim/src/msg.rs crates/httpsim/src/progress.rs
+
+/root/repo/target/debug/deps/httpsim-4895c12f5b74a0b0: crates/httpsim/src/lib.rs crates/httpsim/src/msg.rs crates/httpsim/src/progress.rs
+
+crates/httpsim/src/lib.rs:
+crates/httpsim/src/msg.rs:
+crates/httpsim/src/progress.rs:

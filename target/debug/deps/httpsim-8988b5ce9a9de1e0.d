@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/httpsim-8988b5ce9a9de1e0.d: crates/httpsim/src/lib.rs crates/httpsim/src/msg.rs crates/httpsim/src/progress.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhttpsim-8988b5ce9a9de1e0.rmeta: crates/httpsim/src/lib.rs crates/httpsim/src/msg.rs crates/httpsim/src/progress.rs Cargo.toml
+
+crates/httpsim/src/lib.rs:
+crates/httpsim/src/msg.rs:
+crates/httpsim/src/progress.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/httpsim-8ddc8d3010488740.d: crates/httpsim/src/lib.rs crates/httpsim/src/msg.rs crates/httpsim/src/progress.rs
+
+/root/repo/target/debug/deps/libhttpsim-8ddc8d3010488740.rlib: crates/httpsim/src/lib.rs crates/httpsim/src/msg.rs crates/httpsim/src/progress.rs
+
+/root/repo/target/debug/deps/libhttpsim-8ddc8d3010488740.rmeta: crates/httpsim/src/lib.rs crates/httpsim/src/msg.rs crates/httpsim/src/progress.rs
+
+crates/httpsim/src/lib.rs:
+crates/httpsim/src/msg.rs:
+crates/httpsim/src/progress.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/inference-0c7e0a55dbf4d955.d: crates/core/src/lib.rs crates/core/src/aggregate.rs crates/core/src/bounds.rs crates/core/src/caching.rs crates/core/src/coords.rs crates/core/src/factoring.rs crates/core/src/model.rs crates/core/src/params.rs crates/core/src/threshold.rs
+
+/root/repo/target/debug/deps/libinference-0c7e0a55dbf4d955.rlib: crates/core/src/lib.rs crates/core/src/aggregate.rs crates/core/src/bounds.rs crates/core/src/caching.rs crates/core/src/coords.rs crates/core/src/factoring.rs crates/core/src/model.rs crates/core/src/params.rs crates/core/src/threshold.rs
+
+/root/repo/target/debug/deps/libinference-0c7e0a55dbf4d955.rmeta: crates/core/src/lib.rs crates/core/src/aggregate.rs crates/core/src/bounds.rs crates/core/src/caching.rs crates/core/src/coords.rs crates/core/src/factoring.rs crates/core/src/model.rs crates/core/src/params.rs crates/core/src/threshold.rs
+
+crates/core/src/lib.rs:
+crates/core/src/aggregate.rs:
+crates/core/src/bounds.rs:
+crates/core/src/caching.rs:
+crates/core/src/coords.rs:
+crates/core/src/factoring.rs:
+crates/core/src/model.rs:
+crates/core/src/params.rs:
+crates/core/src/threshold.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/inference-8183396345670f62.d: crates/core/src/lib.rs crates/core/src/aggregate.rs crates/core/src/bounds.rs crates/core/src/caching.rs crates/core/src/coords.rs crates/core/src/factoring.rs crates/core/src/model.rs crates/core/src/params.rs crates/core/src/threshold.rs
+
+/root/repo/target/debug/deps/inference-8183396345670f62: crates/core/src/lib.rs crates/core/src/aggregate.rs crates/core/src/bounds.rs crates/core/src/caching.rs crates/core/src/coords.rs crates/core/src/factoring.rs crates/core/src/model.rs crates/core/src/params.rs crates/core/src/threshold.rs
+
+crates/core/src/lib.rs:
+crates/core/src/aggregate.rs:
+crates/core/src/bounds.rs:
+crates/core/src/caching.rs:
+crates/core/src/coords.rs:
+crates/core/src/factoring.rs:
+crates/core/src/model.rs:
+crates/core/src/params.rs:
+crates/core/src/threshold.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/inference-fee15fa51037501a.d: crates/core/src/lib.rs crates/core/src/aggregate.rs crates/core/src/bounds.rs crates/core/src/caching.rs crates/core/src/coords.rs crates/core/src/factoring.rs crates/core/src/model.rs crates/core/src/params.rs crates/core/src/threshold.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinference-fee15fa51037501a.rmeta: crates/core/src/lib.rs crates/core/src/aggregate.rs crates/core/src/bounds.rs crates/core/src/caching.rs crates/core/src/coords.rs crates/core/src/factoring.rs crates/core/src/model.rs crates/core/src/params.rs crates/core/src/threshold.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/aggregate.rs:
+crates/core/src/bounds.rs:
+crates/core/src/caching.rs:
+crates/core/src/coords.rs:
+crates/core/src/factoring.rs:
+crates/core/src/model.rs:
+crates/core/src/params.rs:
+crates/core/src/threshold.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/inference_pipeline-3afcee95328e6117.d: tests/inference_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinference_pipeline-3afcee95328e6117.rmeta: tests/inference_pipeline.rs Cargo.toml
+
+tests/inference_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/inference_pipeline-ae3c6c8e88051916.d: tests/inference_pipeline.rs
+
+/root/repo/target/debug/deps/inference_pipeline-ae3c6c8e88051916: tests/inference_pipeline.rs
+
+tests/inference_pipeline.rs:

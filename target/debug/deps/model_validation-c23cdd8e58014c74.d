@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/model_validation-c23cdd8e58014c74.d: tests/model_validation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmodel_validation-c23cdd8e58014c74.rmeta: tests/model_validation.rs Cargo.toml
+
+tests/model_validation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

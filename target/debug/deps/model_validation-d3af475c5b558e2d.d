@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_validation-d3af475c5b558e2d.d: tests/model_validation.rs
+
+/root/repo/target/debug/deps/model_validation-d3af475c5b558e2d: tests/model_validation.rs
+
+tests/model_validation.rs:

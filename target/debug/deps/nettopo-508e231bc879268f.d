@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/nettopo-508e231bc879268f.d: crates/nettopo/src/lib.rs crates/nettopo/src/faults.rs crates/nettopo/src/geo.rs crates/nettopo/src/metro.rs crates/nettopo/src/path.rs crates/nettopo/src/placement.rs crates/nettopo/src/sites.rs crates/nettopo/src/vantage.rs
+
+/root/repo/target/debug/deps/libnettopo-508e231bc879268f.rlib: crates/nettopo/src/lib.rs crates/nettopo/src/faults.rs crates/nettopo/src/geo.rs crates/nettopo/src/metro.rs crates/nettopo/src/path.rs crates/nettopo/src/placement.rs crates/nettopo/src/sites.rs crates/nettopo/src/vantage.rs
+
+/root/repo/target/debug/deps/libnettopo-508e231bc879268f.rmeta: crates/nettopo/src/lib.rs crates/nettopo/src/faults.rs crates/nettopo/src/geo.rs crates/nettopo/src/metro.rs crates/nettopo/src/path.rs crates/nettopo/src/placement.rs crates/nettopo/src/sites.rs crates/nettopo/src/vantage.rs
+
+crates/nettopo/src/lib.rs:
+crates/nettopo/src/faults.rs:
+crates/nettopo/src/geo.rs:
+crates/nettopo/src/metro.rs:
+crates/nettopo/src/path.rs:
+crates/nettopo/src/placement.rs:
+crates/nettopo/src/sites.rs:
+crates/nettopo/src/vantage.rs:

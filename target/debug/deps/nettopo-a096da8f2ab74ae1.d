@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/nettopo-a096da8f2ab74ae1.d: crates/nettopo/src/lib.rs crates/nettopo/src/faults.rs crates/nettopo/src/geo.rs crates/nettopo/src/metro.rs crates/nettopo/src/path.rs crates/nettopo/src/placement.rs crates/nettopo/src/sites.rs crates/nettopo/src/vantage.rs
+
+/root/repo/target/debug/deps/nettopo-a096da8f2ab74ae1: crates/nettopo/src/lib.rs crates/nettopo/src/faults.rs crates/nettopo/src/geo.rs crates/nettopo/src/metro.rs crates/nettopo/src/path.rs crates/nettopo/src/placement.rs crates/nettopo/src/sites.rs crates/nettopo/src/vantage.rs
+
+crates/nettopo/src/lib.rs:
+crates/nettopo/src/faults.rs:
+crates/nettopo/src/geo.rs:
+crates/nettopo/src/metro.rs:
+crates/nettopo/src/path.rs:
+crates/nettopo/src/placement.rs:
+crates/nettopo/src/sites.rs:
+crates/nettopo/src/vantage.rs:

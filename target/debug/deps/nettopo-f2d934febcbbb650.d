@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/nettopo-f2d934febcbbb650.d: crates/nettopo/src/lib.rs crates/nettopo/src/faults.rs crates/nettopo/src/geo.rs crates/nettopo/src/metro.rs crates/nettopo/src/path.rs crates/nettopo/src/placement.rs crates/nettopo/src/sites.rs crates/nettopo/src/vantage.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnettopo-f2d934febcbbb650.rmeta: crates/nettopo/src/lib.rs crates/nettopo/src/faults.rs crates/nettopo/src/geo.rs crates/nettopo/src/metro.rs crates/nettopo/src/path.rs crates/nettopo/src/placement.rs crates/nettopo/src/sites.rs crates/nettopo/src/vantage.rs Cargo.toml
+
+crates/nettopo/src/lib.rs:
+crates/nettopo/src/faults.rs:
+crates/nettopo/src/geo.rs:
+crates/nettopo/src/metro.rs:
+crates/nettopo/src/path.rs:
+crates/nettopo/src/placement.rs:
+crates/nettopo/src/sites.rs:
+crates/nettopo/src/vantage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-eca3cc8ed1f3b004.d: tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-eca3cc8ed1f3b004: tests/proptests.rs
+
+tests/proptests.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/searchbe-357ca0c790795714.d: crates/searchbe/src/lib.rs crates/searchbe/src/datacenter.rs crates/searchbe/src/instant.rs crates/searchbe/src/keywords.rs crates/searchbe/src/proctime.rs crates/searchbe/src/response.rs
+
+/root/repo/target/debug/deps/libsearchbe-357ca0c790795714.rlib: crates/searchbe/src/lib.rs crates/searchbe/src/datacenter.rs crates/searchbe/src/instant.rs crates/searchbe/src/keywords.rs crates/searchbe/src/proctime.rs crates/searchbe/src/response.rs
+
+/root/repo/target/debug/deps/libsearchbe-357ca0c790795714.rmeta: crates/searchbe/src/lib.rs crates/searchbe/src/datacenter.rs crates/searchbe/src/instant.rs crates/searchbe/src/keywords.rs crates/searchbe/src/proctime.rs crates/searchbe/src/response.rs
+
+crates/searchbe/src/lib.rs:
+crates/searchbe/src/datacenter.rs:
+crates/searchbe/src/instant.rs:
+crates/searchbe/src/keywords.rs:
+crates/searchbe/src/proctime.rs:
+crates/searchbe/src/response.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/searchbe-4212918d2edea9b2.d: crates/searchbe/src/lib.rs crates/searchbe/src/datacenter.rs crates/searchbe/src/instant.rs crates/searchbe/src/keywords.rs crates/searchbe/src/proctime.rs crates/searchbe/src/response.rs
+
+/root/repo/target/debug/deps/searchbe-4212918d2edea9b2: crates/searchbe/src/lib.rs crates/searchbe/src/datacenter.rs crates/searchbe/src/instant.rs crates/searchbe/src/keywords.rs crates/searchbe/src/proctime.rs crates/searchbe/src/response.rs
+
+crates/searchbe/src/lib.rs:
+crates/searchbe/src/datacenter.rs:
+crates/searchbe/src/instant.rs:
+crates/searchbe/src/keywords.rs:
+crates/searchbe/src/proctime.rs:
+crates/searchbe/src/response.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/searchbe-9276dab3f91f5fd1.d: crates/searchbe/src/lib.rs crates/searchbe/src/datacenter.rs crates/searchbe/src/instant.rs crates/searchbe/src/keywords.rs crates/searchbe/src/proctime.rs crates/searchbe/src/response.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsearchbe-9276dab3f91f5fd1.rmeta: crates/searchbe/src/lib.rs crates/searchbe/src/datacenter.rs crates/searchbe/src/instant.rs crates/searchbe/src/keywords.rs crates/searchbe/src/proctime.rs crates/searchbe/src/response.rs Cargo.toml
+
+crates/searchbe/src/lib.rs:
+crates/searchbe/src/datacenter.rs:
+crates/searchbe/src/instant.rs:
+crates/searchbe/src/keywords.rs:
+crates/searchbe/src/proctime.rs:
+crates/searchbe/src/response.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simcore-ecc5ee3a809b6385.d: crates/simcore/src/lib.rs crates/simcore/src/dist.rs crates/simcore/src/queue.rs crates/simcore/src/rng.rs crates/simcore/src/time.rs
+
+/root/repo/target/debug/deps/simcore-ecc5ee3a809b6385: crates/simcore/src/lib.rs crates/simcore/src/dist.rs crates/simcore/src/queue.rs crates/simcore/src/rng.rs crates/simcore/src/time.rs
+
+crates/simcore/src/lib.rs:
+crates/simcore/src/dist.rs:
+crates/simcore/src/queue.rs:
+crates/simcore/src/rng.rs:
+crates/simcore/src/time.rs:

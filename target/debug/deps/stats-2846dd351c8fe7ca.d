@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/stats-2846dd351c8fe7ca.d: crates/stats/src/lib.rs crates/stats/src/boxplot.rs crates/stats/src/cluster.rs crates/stats/src/ecdf.rs crates/stats/src/hist.rs crates/stats/src/ks.rs crates/stats/src/moving.rs crates/stats/src/quantile.rs crates/stats/src/regress.rs
+
+/root/repo/target/debug/deps/stats-2846dd351c8fe7ca: crates/stats/src/lib.rs crates/stats/src/boxplot.rs crates/stats/src/cluster.rs crates/stats/src/ecdf.rs crates/stats/src/hist.rs crates/stats/src/ks.rs crates/stats/src/moving.rs crates/stats/src/quantile.rs crates/stats/src/regress.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/boxplot.rs:
+crates/stats/src/cluster.rs:
+crates/stats/src/ecdf.rs:
+crates/stats/src/hist.rs:
+crates/stats/src/ks.rs:
+crates/stats/src/moving.rs:
+crates/stats/src/quantile.rs:
+crates/stats/src/regress.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/stats-9c9b9048db3aca77.d: crates/stats/src/lib.rs crates/stats/src/boxplot.rs crates/stats/src/cluster.rs crates/stats/src/ecdf.rs crates/stats/src/hist.rs crates/stats/src/ks.rs crates/stats/src/moving.rs crates/stats/src/quantile.rs crates/stats/src/regress.rs
+
+/root/repo/target/debug/deps/libstats-9c9b9048db3aca77.rlib: crates/stats/src/lib.rs crates/stats/src/boxplot.rs crates/stats/src/cluster.rs crates/stats/src/ecdf.rs crates/stats/src/hist.rs crates/stats/src/ks.rs crates/stats/src/moving.rs crates/stats/src/quantile.rs crates/stats/src/regress.rs
+
+/root/repo/target/debug/deps/libstats-9c9b9048db3aca77.rmeta: crates/stats/src/lib.rs crates/stats/src/boxplot.rs crates/stats/src/cluster.rs crates/stats/src/ecdf.rs crates/stats/src/hist.rs crates/stats/src/ks.rs crates/stats/src/moving.rs crates/stats/src/quantile.rs crates/stats/src/regress.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/boxplot.rs:
+crates/stats/src/cluster.rs:
+crates/stats/src/ecdf.rs:
+crates/stats/src/hist.rs:
+crates/stats/src/ks.rs:
+crates/stats/src/moving.rs:
+crates/stats/src/quantile.rs:
+crates/stats/src/regress.rs:

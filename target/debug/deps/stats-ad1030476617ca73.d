@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/stats-ad1030476617ca73.d: crates/stats/src/lib.rs crates/stats/src/boxplot.rs crates/stats/src/cluster.rs crates/stats/src/ecdf.rs crates/stats/src/hist.rs crates/stats/src/ks.rs crates/stats/src/moving.rs crates/stats/src/quantile.rs crates/stats/src/regress.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstats-ad1030476617ca73.rmeta: crates/stats/src/lib.rs crates/stats/src/boxplot.rs crates/stats/src/cluster.rs crates/stats/src/ecdf.rs crates/stats/src/hist.rs crates/stats/src/ks.rs crates/stats/src/moving.rs crates/stats/src/quantile.rs crates/stats/src/regress.rs Cargo.toml
+
+crates/stats/src/lib.rs:
+crates/stats/src/boxplot.rs:
+crates/stats/src/cluster.rs:
+crates/stats/src/ecdf.rs:
+crates/stats/src/hist.rs:
+crates/stats/src/ks.rs:
+crates/stats/src/moving.rs:
+crates/stats/src/quantile.rs:
+crates/stats/src/regress.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

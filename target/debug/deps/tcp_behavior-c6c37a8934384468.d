@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tcp_behavior-c6c37a8934384468.d: tests/tcp_behavior.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtcp_behavior-c6c37a8934384468.rmeta: tests/tcp_behavior.rs Cargo.toml
+
+tests/tcp_behavior.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tcp_behavior-f8050a44961a654d.d: tests/tcp_behavior.rs
+
+/root/repo/target/debug/deps/tcp_behavior-f8050a44961a654d: tests/tcp_behavior.rs
+
+tests/tcp_behavior.rs:

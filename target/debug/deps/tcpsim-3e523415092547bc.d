@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/tcpsim-3e523415092547bc.d: crates/tcpsim/src/lib.rs crates/tcpsim/src/cubic.rs crates/tcpsim/src/endpoint.rs crates/tcpsim/src/net.rs crates/tcpsim/src/opts.rs crates/tcpsim/src/segment.rs crates/tcpsim/src/trace.rs
+
+/root/repo/target/debug/deps/libtcpsim-3e523415092547bc.rlib: crates/tcpsim/src/lib.rs crates/tcpsim/src/cubic.rs crates/tcpsim/src/endpoint.rs crates/tcpsim/src/net.rs crates/tcpsim/src/opts.rs crates/tcpsim/src/segment.rs crates/tcpsim/src/trace.rs
+
+/root/repo/target/debug/deps/libtcpsim-3e523415092547bc.rmeta: crates/tcpsim/src/lib.rs crates/tcpsim/src/cubic.rs crates/tcpsim/src/endpoint.rs crates/tcpsim/src/net.rs crates/tcpsim/src/opts.rs crates/tcpsim/src/segment.rs crates/tcpsim/src/trace.rs
+
+crates/tcpsim/src/lib.rs:
+crates/tcpsim/src/cubic.rs:
+crates/tcpsim/src/endpoint.rs:
+crates/tcpsim/src/net.rs:
+crates/tcpsim/src/opts.rs:
+crates/tcpsim/src/segment.rs:
+crates/tcpsim/src/trace.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/tcpsim-53c2bfcd58421cd4.d: crates/tcpsim/src/lib.rs crates/tcpsim/src/cubic.rs crates/tcpsim/src/endpoint.rs crates/tcpsim/src/net.rs crates/tcpsim/src/opts.rs crates/tcpsim/src/segment.rs crates/tcpsim/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtcpsim-53c2bfcd58421cd4.rmeta: crates/tcpsim/src/lib.rs crates/tcpsim/src/cubic.rs crates/tcpsim/src/endpoint.rs crates/tcpsim/src/net.rs crates/tcpsim/src/opts.rs crates/tcpsim/src/segment.rs crates/tcpsim/src/trace.rs Cargo.toml
+
+crates/tcpsim/src/lib.rs:
+crates/tcpsim/src/cubic.rs:
+crates/tcpsim/src/endpoint.rs:
+crates/tcpsim/src/net.rs:
+crates/tcpsim/src/opts.rs:
+crates/tcpsim/src/segment.rs:
+crates/tcpsim/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

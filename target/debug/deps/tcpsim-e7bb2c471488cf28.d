@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/tcpsim-e7bb2c471488cf28.d: crates/tcpsim/src/lib.rs crates/tcpsim/src/cubic.rs crates/tcpsim/src/endpoint.rs crates/tcpsim/src/net.rs crates/tcpsim/src/opts.rs crates/tcpsim/src/segment.rs crates/tcpsim/src/trace.rs
+
+/root/repo/target/debug/deps/tcpsim-e7bb2c471488cf28: crates/tcpsim/src/lib.rs crates/tcpsim/src/cubic.rs crates/tcpsim/src/endpoint.rs crates/tcpsim/src/net.rs crates/tcpsim/src/opts.rs crates/tcpsim/src/segment.rs crates/tcpsim/src/trace.rs
+
+crates/tcpsim/src/lib.rs:
+crates/tcpsim/src/cubic.rs:
+crates/tcpsim/src/endpoint.rs:
+crates/tcpsim/src/net.rs:
+crates/tcpsim/src/opts.rs:
+crates/tcpsim/src/segment.rs:
+crates/tcpsim/src/trace.rs:

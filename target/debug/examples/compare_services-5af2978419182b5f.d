@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/compare_services-5af2978419182b5f.d: examples/compare_services.rs
+
+/root/repo/target/debug/examples/compare_services-5af2978419182b5f: examples/compare_services.rs
+
+examples/compare_services.rs:

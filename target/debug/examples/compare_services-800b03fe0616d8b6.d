@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/compare_services-800b03fe0616d8b6.d: examples/compare_services.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcompare_services-800b03fe0616d8b6.rmeta: examples/compare_services.rs Cargo.toml
+
+examples/compare_services.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

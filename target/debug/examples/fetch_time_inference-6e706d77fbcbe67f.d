@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fetch_time_inference-6e706d77fbcbe67f.d: examples/fetch_time_inference.rs
+
+/root/repo/target/debug/examples/fetch_time_inference-6e706d77fbcbe67f: examples/fetch_time_inference.rs
+
+examples/fetch_time_inference.rs:

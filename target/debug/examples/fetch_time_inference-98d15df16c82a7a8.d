@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/fetch_time_inference-98d15df16c82a7a8.d: examples/fetch_time_inference.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfetch_time_inference-98d15df16c82a7a8.rmeta: examples/fetch_time_inference.rs Cargo.toml
+
+examples/fetch_time_inference.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/loss_tradeoff-c20ef6efc2555cc1.d: examples/loss_tradeoff.rs Cargo.toml
+
+/root/repo/target/debug/examples/libloss_tradeoff-c20ef6efc2555cc1.rmeta: examples/loss_tradeoff.rs Cargo.toml
+
+examples/loss_tradeoff.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/loss_tradeoff-fe540302e86f84ac.d: examples/loss_tradeoff.rs
+
+/root/repo/target/debug/examples/loss_tradeoff-fe540302e86f84ac: examples/loss_tradeoff.rs
+
+examples/loss_tradeoff.rs:

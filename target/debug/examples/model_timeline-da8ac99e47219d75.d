@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/model_timeline-da8ac99e47219d75.d: examples/model_timeline.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmodel_timeline-da8ac99e47219d75.rmeta: examples/model_timeline.rs Cargo.toml
+
+examples/model_timeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

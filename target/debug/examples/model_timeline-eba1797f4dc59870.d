@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/model_timeline-eba1797f4dc59870.d: examples/model_timeline.rs
+
+/root/repo/target/debug/examples/model_timeline-eba1797f4dc59870: examples/model_timeline.rs
+
+examples/model_timeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/placement_whatif-8ca24aa9d5a50cf6.d: examples/placement_whatif.rs Cargo.toml
+
+/root/repo/target/debug/examples/libplacement_whatif-8ca24aa9d5a50cf6.rmeta: examples/placement_whatif.rs Cargo.toml
+
+examples/placement_whatif.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

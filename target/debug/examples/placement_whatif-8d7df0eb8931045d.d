@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/placement_whatif-8d7df0eb8931045d.d: examples/placement_whatif.rs
+
+/root/repo/target/debug/examples/placement_whatif-8d7df0eb8931045d: examples/placement_whatif.rs
+
+examples/placement_whatif.rs:

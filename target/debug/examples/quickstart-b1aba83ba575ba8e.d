@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-b1aba83ba575ba8e.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-b1aba83ba575ba8e: examples/quickstart.rs
+
+examples/quickstart.rs:

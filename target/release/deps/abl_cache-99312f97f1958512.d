@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/abl_cache-99312f97f1958512.d: crates/bench/src/bin/abl_cache.rs
+
+/root/repo/target/release/deps/abl_cache-99312f97f1958512: crates/bench/src/bin/abl_cache.rs
+
+crates/bench/src/bin/abl_cache.rs:

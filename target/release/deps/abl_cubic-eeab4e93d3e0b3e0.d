@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/abl_cubic-eeab4e93d3e0b3e0.d: crates/bench/src/bin/abl_cubic.rs
+
+/root/repo/target/release/deps/abl_cubic-eeab4e93d3e0b3e0: crates/bench/src/bin/abl_cubic.rs
+
+crates/bench/src/bin/abl_cubic.rs:

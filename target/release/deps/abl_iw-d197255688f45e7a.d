@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/abl_iw-d197255688f45e7a.d: crates/bench/src/bin/abl_iw.rs
+
+/root/repo/target/release/deps/abl_iw-d197255688f45e7a: crates/bench/src/bin/abl_iw.rs
+
+crates/bench/src/bin/abl_iw.rs:

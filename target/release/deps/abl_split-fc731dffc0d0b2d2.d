@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/abl_split-fc731dffc0d0b2d2.d: crates/bench/src/bin/abl_split.rs
+
+/root/repo/target/release/deps/abl_split-fc731dffc0d0b2d2: crates/bench/src/bin/abl_split.rs
+
+crates/bench/src/bin/abl_split.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bench-225ec2ed3612ff58.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbench-225ec2ed3612ff58.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbench-225ec2ed3612ff58.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/capture-9ab74d09612bc11b.d: crates/capture/src/lib.rs crates/capture/src/classify.rs crates/capture/src/cluster_view.rs crates/capture/src/content.rs crates/capture/src/dump.rs crates/capture/src/errors.rs crates/capture/src/session.rs crates/capture/src/timeline.rs crates/capture/src/validate.rs
+
+/root/repo/target/release/deps/libcapture-9ab74d09612bc11b.rlib: crates/capture/src/lib.rs crates/capture/src/classify.rs crates/capture/src/cluster_view.rs crates/capture/src/content.rs crates/capture/src/dump.rs crates/capture/src/errors.rs crates/capture/src/session.rs crates/capture/src/timeline.rs crates/capture/src/validate.rs
+
+/root/repo/target/release/deps/libcapture-9ab74d09612bc11b.rmeta: crates/capture/src/lib.rs crates/capture/src/classify.rs crates/capture/src/cluster_view.rs crates/capture/src/content.rs crates/capture/src/dump.rs crates/capture/src/errors.rs crates/capture/src/session.rs crates/capture/src/timeline.rs crates/capture/src/validate.rs
+
+crates/capture/src/lib.rs:
+crates/capture/src/classify.rs:
+crates/capture/src/cluster_view.rs:
+crates/capture/src/content.rs:
+crates/capture/src/dump.rs:
+crates/capture/src/errors.rs:
+crates/capture/src/session.rs:
+crates/capture/src/timeline.rs:
+crates/capture/src/validate.rs:

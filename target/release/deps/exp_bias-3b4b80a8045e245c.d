@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_bias-3b4b80a8045e245c.d: crates/bench/src/bin/exp_bias.rs
+
+/root/repo/target/release/deps/exp_bias-3b4b80a8045e245c: crates/bench/src/bin/exp_bias.rs
+
+crates/bench/src/bin/exp_bias.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_caching-b3cbeb39a2a4aaaf.d: crates/bench/src/bin/exp_caching.rs
+
+/root/repo/target/release/deps/exp_caching-b3cbeb39a2a4aaaf: crates/bench/src/bin/exp_caching.rs
+
+crates/bench/src/bin/exp_caching.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_classifiers-434022bb0b8a9c37.d: crates/bench/src/bin/exp_classifiers.rs
+
+/root/repo/target/release/deps/exp_classifiers-434022bb0b8a9c37: crates/bench/src/bin/exp_classifiers.rs
+
+crates/bench/src/bin/exp_classifiers.rs:

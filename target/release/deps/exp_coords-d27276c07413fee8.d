@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_coords-d27276c07413fee8.d: crates/bench/src/bin/exp_coords.rs
+
+/root/repo/target/release/deps/exp_coords-d27276c07413fee8: crates/bench/src/bin/exp_coords.rs
+
+crates/bench/src/bin/exp_coords.rs:

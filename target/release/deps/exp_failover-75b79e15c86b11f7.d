@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_failover-75b79e15c86b11f7.d: crates/bench/src/bin/exp_failover.rs
+
+/root/repo/target/release/deps/exp_failover-75b79e15c86b11f7: crates/bench/src/bin/exp_failover.rs
+
+crates/bench/src/bin/exp_failover.rs:

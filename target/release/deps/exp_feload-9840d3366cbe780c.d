@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_feload-9840d3366cbe780c.d: crates/bench/src/bin/exp_feload.rs
+
+/root/repo/target/release/deps/exp_feload-9840d3366cbe780c: crates/bench/src/bin/exp_feload.rs
+
+crates/bench/src/bin/exp_feload.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_instant-ef184fac5ac56e06.d: crates/bench/src/bin/exp_instant.rs
+
+/root/repo/target/release/deps/exp_instant-ef184fac5ac56e06: crates/bench/src/bin/exp_instant.rs
+
+crates/bench/src/bin/exp_instant.rs:

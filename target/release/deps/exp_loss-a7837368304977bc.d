@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_loss-a7837368304977bc.d: crates/bench/src/bin/exp_loss.rs
+
+/root/repo/target/release/deps/exp_loss-a7837368304977bc: crates/bench/src/bin/exp_loss.rs
+
+crates/bench/src/bin/exp_loss.rs:

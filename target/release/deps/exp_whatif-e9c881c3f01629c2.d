@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_whatif-e9c881c3f01629c2.d: crates/bench/src/bin/exp_whatif.rs
+
+/root/repo/target/release/deps/exp_whatif-e9c881c3f01629c2: crates/bench/src/bin/exp_whatif.rs
+
+crates/bench/src/bin/exp_whatif.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/fecdn-1c4eb5cfcedf10c6.d: src/lib.rs
+
+/root/repo/target/release/deps/libfecdn-1c4eb5cfcedf10c6.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libfecdn-1c4eb5cfcedf10c6.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3-9404316a54fa1b10.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/release/deps/fig3-9404316a54fa1b10: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

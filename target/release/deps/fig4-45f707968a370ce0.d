@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4-45f707968a370ce0.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/release/deps/fig4-45f707968a370ce0: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

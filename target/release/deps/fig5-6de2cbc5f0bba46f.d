@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-6de2cbc5f0bba46f.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/release/deps/fig5-6de2cbc5f0bba46f: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

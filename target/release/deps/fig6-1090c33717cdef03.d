@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-1090c33717cdef03.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-1090c33717cdef03: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

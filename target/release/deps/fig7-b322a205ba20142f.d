@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-b322a205ba20142f.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-b322a205ba20142f: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

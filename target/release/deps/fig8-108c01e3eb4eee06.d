@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-108c01e3eb4eee06.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-108c01e3eb4eee06: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9-6603b9b31c7e607a.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/release/deps/fig9-6603b9b31c7e607a: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/httpsim-c86d628bd57609e5.d: crates/httpsim/src/lib.rs crates/httpsim/src/msg.rs crates/httpsim/src/progress.rs
+
+/root/repo/target/release/deps/libhttpsim-c86d628bd57609e5.rlib: crates/httpsim/src/lib.rs crates/httpsim/src/msg.rs crates/httpsim/src/progress.rs
+
+/root/repo/target/release/deps/libhttpsim-c86d628bd57609e5.rmeta: crates/httpsim/src/lib.rs crates/httpsim/src/msg.rs crates/httpsim/src/progress.rs
+
+crates/httpsim/src/lib.rs:
+crates/httpsim/src/msg.rs:
+crates/httpsim/src/progress.rs:

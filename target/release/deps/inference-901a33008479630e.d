@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/inference-901a33008479630e.d: crates/core/src/lib.rs crates/core/src/aggregate.rs crates/core/src/bounds.rs crates/core/src/caching.rs crates/core/src/coords.rs crates/core/src/factoring.rs crates/core/src/model.rs crates/core/src/params.rs crates/core/src/threshold.rs
+
+/root/repo/target/release/deps/libinference-901a33008479630e.rlib: crates/core/src/lib.rs crates/core/src/aggregate.rs crates/core/src/bounds.rs crates/core/src/caching.rs crates/core/src/coords.rs crates/core/src/factoring.rs crates/core/src/model.rs crates/core/src/params.rs crates/core/src/threshold.rs
+
+/root/repo/target/release/deps/libinference-901a33008479630e.rmeta: crates/core/src/lib.rs crates/core/src/aggregate.rs crates/core/src/bounds.rs crates/core/src/caching.rs crates/core/src/coords.rs crates/core/src/factoring.rs crates/core/src/model.rs crates/core/src/params.rs crates/core/src/threshold.rs
+
+crates/core/src/lib.rs:
+crates/core/src/aggregate.rs:
+crates/core/src/bounds.rs:
+crates/core/src/caching.rs:
+crates/core/src/coords.rs:
+crates/core/src/factoring.rs:
+crates/core/src/model.rs:
+crates/core/src/params.rs:
+crates/core/src/threshold.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/nettopo-730354f098500c25.d: crates/nettopo/src/lib.rs crates/nettopo/src/faults.rs crates/nettopo/src/geo.rs crates/nettopo/src/metro.rs crates/nettopo/src/path.rs crates/nettopo/src/placement.rs crates/nettopo/src/sites.rs crates/nettopo/src/vantage.rs
+
+/root/repo/target/release/deps/libnettopo-730354f098500c25.rlib: crates/nettopo/src/lib.rs crates/nettopo/src/faults.rs crates/nettopo/src/geo.rs crates/nettopo/src/metro.rs crates/nettopo/src/path.rs crates/nettopo/src/placement.rs crates/nettopo/src/sites.rs crates/nettopo/src/vantage.rs
+
+/root/repo/target/release/deps/libnettopo-730354f098500c25.rmeta: crates/nettopo/src/lib.rs crates/nettopo/src/faults.rs crates/nettopo/src/geo.rs crates/nettopo/src/metro.rs crates/nettopo/src/path.rs crates/nettopo/src/placement.rs crates/nettopo/src/sites.rs crates/nettopo/src/vantage.rs
+
+crates/nettopo/src/lib.rs:
+crates/nettopo/src/faults.rs:
+crates/nettopo/src/geo.rs:
+crates/nettopo/src/metro.rs:
+crates/nettopo/src/path.rs:
+crates/nettopo/src/placement.rs:
+crates/nettopo/src/sites.rs:
+crates/nettopo/src/vantage.rs:

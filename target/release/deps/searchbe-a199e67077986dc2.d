@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/searchbe-a199e67077986dc2.d: crates/searchbe/src/lib.rs crates/searchbe/src/datacenter.rs crates/searchbe/src/instant.rs crates/searchbe/src/keywords.rs crates/searchbe/src/proctime.rs crates/searchbe/src/response.rs
+
+/root/repo/target/release/deps/libsearchbe-a199e67077986dc2.rlib: crates/searchbe/src/lib.rs crates/searchbe/src/datacenter.rs crates/searchbe/src/instant.rs crates/searchbe/src/keywords.rs crates/searchbe/src/proctime.rs crates/searchbe/src/response.rs
+
+/root/repo/target/release/deps/libsearchbe-a199e67077986dc2.rmeta: crates/searchbe/src/lib.rs crates/searchbe/src/datacenter.rs crates/searchbe/src/instant.rs crates/searchbe/src/keywords.rs crates/searchbe/src/proctime.rs crates/searchbe/src/response.rs
+
+crates/searchbe/src/lib.rs:
+crates/searchbe/src/datacenter.rs:
+crates/searchbe/src/instant.rs:
+crates/searchbe/src/keywords.rs:
+crates/searchbe/src/proctime.rs:
+crates/searchbe/src/response.rs:

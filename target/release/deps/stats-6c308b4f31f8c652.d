@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/stats-6c308b4f31f8c652.d: crates/stats/src/lib.rs crates/stats/src/boxplot.rs crates/stats/src/cluster.rs crates/stats/src/ecdf.rs crates/stats/src/hist.rs crates/stats/src/ks.rs crates/stats/src/moving.rs crates/stats/src/quantile.rs crates/stats/src/regress.rs
+
+/root/repo/target/release/deps/libstats-6c308b4f31f8c652.rlib: crates/stats/src/lib.rs crates/stats/src/boxplot.rs crates/stats/src/cluster.rs crates/stats/src/ecdf.rs crates/stats/src/hist.rs crates/stats/src/ks.rs crates/stats/src/moving.rs crates/stats/src/quantile.rs crates/stats/src/regress.rs
+
+/root/repo/target/release/deps/libstats-6c308b4f31f8c652.rmeta: crates/stats/src/lib.rs crates/stats/src/boxplot.rs crates/stats/src/cluster.rs crates/stats/src/ecdf.rs crates/stats/src/hist.rs crates/stats/src/ks.rs crates/stats/src/moving.rs crates/stats/src/quantile.rs crates/stats/src/regress.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/boxplot.rs:
+crates/stats/src/cluster.rs:
+crates/stats/src/ecdf.rs:
+crates/stats/src/hist.rs:
+crates/stats/src/ks.rs:
+crates/stats/src/moving.rs:
+crates/stats/src/quantile.rs:
+crates/stats/src/regress.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/tcpsim-48fff5cb30d02477.d: crates/tcpsim/src/lib.rs crates/tcpsim/src/cubic.rs crates/tcpsim/src/endpoint.rs crates/tcpsim/src/net.rs crates/tcpsim/src/opts.rs crates/tcpsim/src/segment.rs crates/tcpsim/src/trace.rs
+
+/root/repo/target/release/deps/libtcpsim-48fff5cb30d02477.rlib: crates/tcpsim/src/lib.rs crates/tcpsim/src/cubic.rs crates/tcpsim/src/endpoint.rs crates/tcpsim/src/net.rs crates/tcpsim/src/opts.rs crates/tcpsim/src/segment.rs crates/tcpsim/src/trace.rs
+
+/root/repo/target/release/deps/libtcpsim-48fff5cb30d02477.rmeta: crates/tcpsim/src/lib.rs crates/tcpsim/src/cubic.rs crates/tcpsim/src/endpoint.rs crates/tcpsim/src/net.rs crates/tcpsim/src/opts.rs crates/tcpsim/src/segment.rs crates/tcpsim/src/trace.rs
+
+crates/tcpsim/src/lib.rs:
+crates/tcpsim/src/cubic.rs:
+crates/tcpsim/src/endpoint.rs:
+crates/tcpsim/src/net.rs:
+crates/tcpsim/src/opts.rs:
+crates/tcpsim/src/segment.rs:
+crates/tcpsim/src/trace.rs:

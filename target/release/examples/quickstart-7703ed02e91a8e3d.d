@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-7703ed02e91a8e3d.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-7703ed02e91a8e3d: examples/quickstart.rs
+
+examples/quickstart.rs:

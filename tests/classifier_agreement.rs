@@ -39,8 +39,7 @@ fn raw_sessions(seed: u64) -> Vec<CompletedQuery> {
 fn content_analysis_recovers_exactly_the_static_ids() {
     let raw = raw_sessions(11);
     assert!(raw.len() >= 10);
-    let sessions: Vec<Vec<tcpsim::PktEvent>> =
-        raw.iter().map(|cq| cq.trace.clone()).collect();
+    let sessions: Vec<Vec<tcpsim::PktEvent>> = raw.iter().map(|cq| cq.trace.clone()).collect();
     let clients: Vec<tcpsim::NodeId> = raw
         .iter()
         .map(|cq| ServiceWorld::client_node(cq.client))
@@ -55,8 +54,7 @@ fn content_analysis_recovers_exactly_the_static_ids() {
 #[test]
 fn content_classifier_matches_markers_on_every_session() {
     let raw = raw_sessions(12);
-    let sessions: Vec<Vec<tcpsim::PktEvent>> =
-        raw.iter().map(|cq| cq.trace.clone()).collect();
+    let sessions: Vec<Vec<tcpsim::PktEvent>> = raw.iter().map(|cq| cq.trace.clone()).collect();
     let clients: Vec<tcpsim::NodeId> = raw
         .iter()
         .map(|cq| ServiceWorld::client_node(cq.client))

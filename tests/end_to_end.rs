@@ -88,20 +88,16 @@ fn static_cache_ablation_collapses_tdelta() {
     let with_cache = dataset_a(27, ServiceConfig::bing_like(27));
     let without = dataset_a(27, ServiceConfig::bing_like(27).without_static_cache());
     let med = |v: Vec<f64>| stats::quantile::median(&v).unwrap();
-    let dl_with = med(
-        with_cache
-            .iter()
-            .filter(|q| q.params.rtt_ms < 40.0)
-            .map(|q| q.params.t_delta_ms)
-            .collect(),
-    );
-    let dl_without = med(
-        without
-            .iter()
-            .filter(|q| q.params.rtt_ms < 40.0)
-            .map(|q| q.params.t_delta_ms)
-            .collect(),
-    );
+    let dl_with = med(with_cache
+        .iter()
+        .filter(|q| q.params.rtt_ms < 40.0)
+        .map(|q| q.params.t_delta_ms)
+        .collect());
+    let dl_without = med(without
+        .iter()
+        .filter(|q| q.params.rtt_ms < 40.0)
+        .map(|q| q.params.t_delta_ms)
+        .collect());
     assert!(dl_with > 30.0, "cached Tdelta {dl_with}");
     assert!(dl_without < 5.0, "uncached Tdelta {dl_without}");
 }

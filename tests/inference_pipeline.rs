@@ -45,8 +45,7 @@ fn blind_pipeline_reproduces_ground_truth_parameters() {
     assert!(raw.len() >= 50);
     // Step 1: learn the static content ids from cross-session recurrence
     // (no markers involved).
-    let sessions: Vec<Vec<tcpsim::PktEvent>> =
-        raw.iter().map(|cq| cq.trace.clone()).collect();
+    let sessions: Vec<Vec<tcpsim::PktEvent>> = raw.iter().map(|cq| cq.trace.clone()).collect();
     let clients: Vec<tcpsim::NodeId> = raw
         .iter()
         .map(|cq| ServiceWorld::client_node(cq.client))
@@ -82,8 +81,7 @@ fn repeated_single_keyword_defeats_content_analysis() {
     // a single repeated keyword, dynamic content does NOT recur (fresh
     // content identity per response), so classification stays correct.
     let raw = campaign(32, false);
-    let sessions: Vec<Vec<tcpsim::PktEvent>> =
-        raw.iter().map(|cq| cq.trace.clone()).collect();
+    let sessions: Vec<Vec<tcpsim::PktEvent>> = raw.iter().map(|cq| cq.trace.clone()).collect();
     let clients: Vec<tcpsim::NodeId> = raw
         .iter()
         .map(|cq| ServiceWorld::client_node(cq.client))

@@ -71,7 +71,11 @@ fn tstatic_tracks_rtt_with_unit_slope() {
         "Tstatic slope {} should be ≈ 1",
         fit.slope
     );
-    assert!(fit.r2 > 0.95, "Tstatic should hug its RTT trend, R² {}", fit.r2);
+    assert!(
+        fit.r2 > 0.95,
+        "Tstatic should hug its RTT trend, R² {}",
+        fit.r2
+    );
     assert!(fit.intercept > 0.0, "positive FE-side constant");
 }
 
@@ -82,13 +86,10 @@ fn tdynamic_is_max_of_fetch_and_pacing() {
         out.iter().map(|q| (q.client as u64, q.params)).collect();
     let groups = per_group_medians(&samples);
     // Fit the model from the data.
-    let small: Vec<&inference::GroupMedians> =
-        groups.iter().filter(|g| g.rtt_ms < 30.0).collect();
+    let small: Vec<&inference::GroupMedians> = groups.iter().filter(|g| g.rtt_ms < 30.0).collect();
     assert!(small.len() >= 3);
-    let tfetch = stats::quantile::median(
-        &small.iter().map(|g| g.t_dynamic_ms).collect::<Vec<_>>(),
-    )
-    .unwrap();
+    let tfetch =
+        stats::quantile::median(&small.iter().map(|g| g.t_dynamic_ms).collect::<Vec<_>>()).unwrap();
     let c = stats::quantile::median(
         &small
             .iter()

@@ -4,8 +4,8 @@
 use simcore::dist::Dist;
 use simcore::time::{SimDuration, SimTime};
 use tcpsim::{
-    App, CongAlgo, ConnId, DeliveredSpan, End, Marker, Net, NodeId, PathParams, PktDir,
-    PktKind, Sim, TcpOptions,
+    App, CongAlgo, ConnId, DeliveredSpan, End, Marker, Net, NodeId, PathParams, PktDir, PktKind,
+    Sim, TcpOptions,
 };
 
 /// Server sends `response` bytes on connect; the client app records
@@ -40,7 +40,14 @@ fn trace_run(
     response: u64,
     opts_b: TcpOptions,
 ) -> (Vec<tcpsim::PktEvent>, u64) {
-    let mut sim = Sim::new(3, OneShot { response, request, got: 0 });
+    let mut sim = Sim::new(
+        3,
+        OneShot {
+            response,
+            request,
+            got: 0,
+        },
+    );
     sim.net().trace_mut().set_enabled(true);
     sim.net().open(
         NodeId(1),
@@ -115,7 +122,14 @@ fn receive_window_caps_the_flight() {
         rwnd: 8 * 1024,
         ..TcpOptions::default()
     };
-    let mut sim = Sim::new(4, OneShot { response: 150_000, request: 400, got: 0 });
+    let mut sim = Sim::new(
+        4,
+        OneShot {
+            response: 150_000,
+            request: 400,
+            got: 0,
+        },
+    );
     sim.net().trace_mut().set_enabled(true);
     sim.net().open(
         NodeId(1),
@@ -154,7 +168,14 @@ fn receive_window_caps_the_flight() {
 fn rto_backoff_doubles_under_blackout_and_recovers() {
     // 60% loss: many RTOs. The SYN retransmission intervals must grow
     // (exponential backoff) — read them from the trace.
-    let mut sim = Sim::new(11, OneShot { response: 5_000, request: 400, got: 0 });
+    let mut sim = Sim::new(
+        11,
+        OneShot {
+            response: 5_000,
+            request: 400,
+            got: 0,
+        },
+    );
     sim.net().trace_mut().set_enabled(true);
     sim.net().open(
         NodeId(1),
@@ -179,8 +200,14 @@ fn rto_backoff_doubles_under_blackout_and_recovers() {
     if syn_tx.len() >= 3 {
         let g1 = syn_tx[1].saturating_since(syn_tx[0]).as_millis_f64();
         let g2 = syn_tx[2].saturating_since(syn_tx[1]).as_millis_f64();
-        assert!((g1 - 1000.0).abs() < 50.0, "first retry after initial RTO, got {g1}");
-        assert!((g2 - 2.0 * g1).abs() < 100.0, "backoff should double: {g1} → {g2}");
+        assert!(
+            (g1 - 1000.0).abs() < 50.0,
+            "first retry after initial RTO, got {g1}"
+        );
+        assert!(
+            (g2 - 2.0 * g1).abs() < 100.0,
+            "backoff should double: {g1} → {g2}"
+        );
     }
 }
 
@@ -255,12 +282,7 @@ fn cubic_and_reno_identical_during_slow_start() {
     // Search responses live in slow start: the two algorithms must
     // produce byte-identical traces on a clean path.
     let run = |cong: CongAlgo| {
-        let (trace, _) = trace_run(
-            90.0,
-            400,
-            40_000,
-            TcpOptions::default().with_cong(cong),
-        );
+        let (trace, _) = trace_run(90.0, 400, 40_000, TcpOptions::default().with_cong(cong));
         trace
             .iter()
             .filter(|e| e.node == NodeId(1) && e.dir == PktDir::Rx)
