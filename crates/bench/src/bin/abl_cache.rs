@@ -13,56 +13,59 @@
 //! * the *final* byte (overall delay) changes much less: the cache's
 //!   value is perceived latency of the page head, not total transfer.
 
-use bench::{check, finish, scenario, seed_from_env, Scale};
-use capture::Classifier;
+use bench::{campaign, check, execute, finish, seed_from_env, Scale};
 use cdnsim::{QuerySpec, ServiceConfig};
 use emulator::output::Tsv;
-use emulator::runner::run_collect;
-use emulator::ProcessedQuery;
+use emulator::Design;
 use simcore::time::SimDuration;
 
-fn run_small_rtt(sc: &emulator::Scenario, cfg: ServiceConfig, repeats: u64) -> Vec<ProcessedQuery> {
-    let mut sim = sc.build_sim(cfg);
-    // Clients within 30 ms of their default FE.
-    let close: Vec<usize> = sim.with(|w, _| {
-        (0..w.clients().len())
-            .filter(|&c| w.client_fe_rtt_ms(c, w.default_fe(c)) < 30.0)
-            .collect()
-    });
-    sim.with(|w, net| {
-        for (i, &client) in close.iter().enumerate() {
-            for r in 0..repeats {
-                w.schedule_query(
-                    net,
-                    SimDuration::from_millis(1 + r * 10_000 + i as u64 * 61),
-                    QuerySpec {
-                        client,
-                        keyword: 0,
-                        fixed_fe: None,
-                        instant_followup: false,
-                    },
-                );
+/// Clients within 30 ms of their default FE, `repeats` queries each.
+fn small_rtt_design(repeats: u64) -> Design {
+    Design::custom(move |sim| {
+        sim.with(|w, net| {
+            let close: Vec<usize> = (0..w.clients().len())
+                .filter(|&c| w.client_fe_rtt_ms(c, w.default_fe(c)) < 30.0)
+                .collect();
+            for (i, &client) in close.iter().enumerate() {
+                for r in 0..repeats {
+                    w.schedule_query(
+                        net,
+                        SimDuration::from_millis(1 + r * 10_000 + i as u64 * 61),
+                        QuerySpec {
+                            client,
+                            keyword: 0,
+                            fixed_fe: None,
+                            instant_followup: false,
+                        },
+                    );
+                }
             }
-        }
-    });
-    run_collect(&mut sim, &Classifier::ByMarker)
+        });
+    })
 }
 
 fn main() {
     let scale = Scale::from_env();
     let seed = seed_from_env();
-    let sc = scenario(scale, seed);
     let repeats = match scale {
         Scale::Quick => 8,
         Scale::Paper => 40,
     };
 
-    let cached = run_small_rtt(&sc, ServiceConfig::bing_like(seed), repeats);
-    let uncached = run_small_rtt(
-        &sc,
-        ServiceConfig::bing_like(seed).without_static_cache(),
-        repeats,
+    let mut c = campaign(scale, seed);
+    c.push(
+        "cache-on",
+        ServiceConfig::bing_like(seed),
+        small_rtt_design(repeats),
     );
+    c.push(
+        "cache-off",
+        ServiceConfig::bing_like(seed).without_static_cache(),
+        small_rtt_design(repeats),
+    );
+    let report = execute(&c);
+    let cached = report.queries("cache-on");
+    let uncached = report.queries("cache-off");
 
     let med = |v: Vec<f64>| stats::quantile::median(&v).unwrap();
     let ts_c = med(cached.iter().map(|q| q.params.t_static_ms).collect());

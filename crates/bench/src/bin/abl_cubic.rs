@@ -13,12 +13,10 @@
 //! * on a 3% lossy wireless path, CUBIC's median overall delay is no
 //!   worse than Reno's.
 
-use bench::{check, finish, scenario, seed_from_env, Scale};
-use capture::Classifier;
+use bench::{campaign, check, execute, finish, seed_from_env, Scale};
 use cdnsim::{QuerySpec, ServiceConfig};
 use emulator::output::Tsv;
-use emulator::runner::run_collect;
-use emulator::ProcessedQuery;
+use emulator::{Design, ProcessedQuery};
 use nettopo::path::PathProfile;
 use simcore::time::SimDuration;
 use tcpsim::CongAlgo;
@@ -29,70 +27,75 @@ fn with_cong(mut cfg: ServiceConfig, cong: CongAlgo) -> ServiceConfig {
     cfg
 }
 
-fn run(sc: &emulator::Scenario, cfg: ServiceConfig, repeats: u64) -> Vec<ProcessedQuery> {
-    let mut sim = sc.build_sim(cfg);
-    sim.with(|w, net| {
-        for c in 0..w.clients().len().min(12) {
-            for r in 0..repeats {
-                w.schedule_query(
-                    net,
-                    SimDuration::from_millis(1 + r * 9_000 + c as u64 * 101),
-                    QuerySpec {
-                        client: c,
-                        keyword: 0,
-                        fixed_fe: None,
-                        instant_followup: false,
-                    },
-                );
+/// Default-FE queries from the first 12 clients, `repeats` each.
+fn wave_design(repeats: u64) -> Design {
+    Design::custom(move |sim| {
+        sim.with(|w, net| {
+            for c in 0..w.clients().len().min(12) {
+                for r in 0..repeats {
+                    w.schedule_query(
+                        net,
+                        SimDuration::from_millis(1 + r * 9_000 + c as u64 * 101),
+                        QuerySpec {
+                            client: c,
+                            keyword: 0,
+                            fixed_fe: None,
+                            instant_followup: false,
+                        },
+                    );
+                }
             }
-        }
-    });
-    run_collect(&mut sim, &Classifier::ByMarker)
+        });
+    })
 }
 
 fn main() {
     let scale = Scale::from_env();
     let seed = seed_from_env();
-    let sc = scenario(scale, seed);
     let repeats = match scale {
         Scale::Quick => 10,
         Scale::Paper => 40,
     };
 
-    // ---- clean paths ----
-    let clean_reno = run(
-        &sc,
-        with_cong(ServiceConfig::google_like(seed), CongAlgo::Reno),
-        repeats,
-    );
-    let clean_cubic = run(
-        &sc,
-        with_cong(ServiceConfig::google_like(seed), CongAlgo::Cubic),
-        repeats,
-    );
-    let td =
-        |v: &[ProcessedQuery]| -> Vec<f64> { v.iter().map(|q| q.params.t_dynamic_ms).collect() };
-    let (ks, verdict) = stats::ks::ks_test(&td(&clean_reno), &td(&clean_cubic)).unwrap();
-
-    // ---- lossy paths ----
     let mut lossy = PathProfile::wireless_access();
     lossy.loss = 0.03;
-    let lossy_reno = run(
-        &sc,
+
+    let mut c = campaign(scale, seed);
+    c.push(
+        "clean/reno",
+        with_cong(ServiceConfig::google_like(seed), CongAlgo::Reno),
+        wave_design(repeats),
+    );
+    c.push(
+        "clean/cubic",
+        with_cong(ServiceConfig::google_like(seed), CongAlgo::Cubic),
+        wave_design(repeats),
+    );
+    c.push(
+        "lossy3pct/reno",
         with_cong(ServiceConfig::google_like(seed), CongAlgo::Reno)
             .with_access_override(lossy.clone()),
-        repeats,
+        wave_design(repeats),
     );
-    let lossy_cubic = run(
-        &sc,
+    c.push(
+        "lossy3pct/cubic",
         with_cong(ServiceConfig::google_like(seed), CongAlgo::Cubic).with_access_override(lossy),
-        repeats,
+        wave_design(repeats),
     );
+    let report = execute(&c);
+    let clean_reno = report.queries("clean/reno");
+    let clean_cubic = report.queries("clean/cubic");
+    let lossy_reno = report.queries("lossy3pct/reno");
+    let lossy_cubic = report.queries("lossy3pct/cubic");
+
+    let td =
+        |v: &[ProcessedQuery]| -> Vec<f64> { v.iter().map(|q| q.params.t_dynamic_ms).collect() };
+    let (ks, verdict) = stats::ks::ks_test(&td(clean_reno), &td(clean_cubic)).unwrap();
     let med_overall = |v: &[ProcessedQuery]| {
         stats::quantile::median(&v.iter().map(|q| q.params.overall_ms).collect::<Vec<_>>()).unwrap()
     };
-    let mr = med_overall(&lossy_reno);
-    let mc = med_overall(&lossy_cubic);
+    let mr = med_overall(lossy_reno);
+    let mc = med_overall(lossy_cubic);
 
     let stdout = std::io::stdout();
     let mut tsv = Tsv::new(

@@ -16,11 +16,11 @@
 //! This is the design insight behind Google's IW10 campaign viewed
 //! through the paper's model.
 
-use bench::{check, dataset_b_repeats, finish, scenario, seed_from_env, Scale};
-use capture::Classifier;
+use bench::{campaign, check, dataset_b_repeats, execute, finish, seed_from_env, Scale};
 use cdnsim::ServiceConfig;
 use emulator::dataset_b::DatasetB;
 use emulator::output::Tsv;
+use emulator::Design;
 use inference::{estimate_rtt_threshold, per_group_medians};
 
 struct SweepRow {
@@ -32,21 +32,27 @@ struct SweepRow {
 fn main() {
     let scale = Scale::from_env();
     let seed = seed_from_env();
-    let sc = scenario(scale, seed);
     let repeats = dataset_b_repeats(scale).min(24);
+
+    let mut c = campaign(scale, seed);
+    for iw in [2u32, 4, 10] {
+        c.push(
+            format!("iw{iw}"),
+            ServiceConfig::google_like(seed).with_fe_initial_window(iw),
+            Design::custom(move |sim| {
+                let fe = sim.with(|w, _| w.default_fe(0));
+                DatasetB::against(fe).with_repeats(repeats).schedule(sim);
+            }),
+        );
+    }
+    let report = execute(&c);
 
     let stdout = std::io::stdout();
     let mut tsv = Tsv::new(stdout.lock(), &["iw_segs", "tdelta_slope", "threshold_ms"]).unwrap();
 
     let mut rows = Vec::new();
     for iw in [2u32, 4, 10] {
-        let cfg = ServiceConfig::google_like(seed).with_fe_initial_window(iw);
-        let mut sim = sc.build_sim(cfg.clone());
-        let fe = sim.with(|w, _| w.default_fe(0));
-        drop(sim);
-        let out = DatasetB::against(fe)
-            .with_repeats(repeats)
-            .run(&sc, cfg, &Classifier::ByMarker);
+        let out = report.queries(&format!("iw{iw}"));
         let samples: Vec<(u64, inference::QueryParams)> =
             out.iter().map(|q| (q.client as u64, q.params)).collect();
         let groups = per_group_medians(&samples);

@@ -12,23 +12,13 @@
 //! * `Tstatic` degrades most (no nearby cache);
 //! * the improvement is larger for vantages far from the BE.
 
-use bench::{check, dataset_a_repeats, finish, scenario, seed_from_env, Scale};
-use capture::Classifier;
+use bench::{campaign, check, dataset_a_repeats, execute, finish, seed_from_env, Scale};
 use cdnsim::ServiceConfig;
 use emulator::dataset_a::{DatasetA, KeywordPolicy};
 use emulator::output::Tsv;
-use emulator::ProcessedQuery;
+use emulator::{Design, ProcessedQuery};
 use simcore::time::SimDuration;
 use std::collections::BTreeMap;
-
-fn run(sc: &emulator::Scenario, cfg: ServiceConfig, repeats: u64) -> Vec<ProcessedQuery> {
-    DatasetA {
-        repeats,
-        spacing: SimDuration::from_secs(10),
-        keywords: KeywordPolicy::Fixed(0),
-    }
-    .run(sc, cfg, &Classifier::ByMarker)
-}
 
 fn per_client_median(
     out: &[ProcessedQuery],
@@ -46,20 +36,28 @@ fn per_client_median(
 fn main() {
     let scale = Scale::from_env();
     let seed = seed_from_env();
-    let sc = scenario(scale, seed);
     let repeats = dataset_a_repeats(scale);
 
-    let with_split = run(&sc, ServiceConfig::google_like(seed), repeats);
-    let without = run(
-        &sc,
-        ServiceConfig::google_like(seed).without_split_tcp(),
+    let design = Design::DatasetA(DatasetA {
         repeats,
+        spacing: SimDuration::from_secs(10),
+        keywords: KeywordPolicy::Fixed(0),
+    });
+    let mut c = campaign(scale, seed);
+    c.push("split", ServiceConfig::google_like(seed), design.clone());
+    c.push(
+        "no-split",
+        ServiceConfig::google_like(seed).without_split_tcp(),
+        design,
     );
+    let report = execute(&c);
+    let with_split = report.queries("split");
+    let without = report.queries("no-split");
 
-    let ov_with = per_client_median(&with_split, |q| q.params.overall_ms);
-    let ov_without = per_client_median(&without, |q| q.params.overall_ms);
-    let ts_with = per_client_median(&with_split, |q| q.params.t_static_ms);
-    let ts_without = per_client_median(&without, |q| q.params.t_static_ms);
+    let ov_with = per_client_median(with_split, |q| q.params.overall_ms);
+    let ov_without = per_client_median(without, |q| q.params.overall_ms);
+    let ts_with = per_client_median(with_split, |q| q.params.t_static_ms);
+    let ts_without = per_client_median(without, |q| q.params.t_static_ms);
 
     let stdout = std::io::stdout();
     let mut tsv = Tsv::new(
@@ -107,7 +105,7 @@ fn main() {
     // farthest thirds by client↔BE RTT, and require a clear win in the
     // far third.
     let mut rows: Vec<(f64, f64)> = Vec::new(); // (client→BE rtt, penalty)
-    let rtt_without = per_client_median(&without, |q| q.params.rtt_ms);
+    let rtt_without = per_client_median(without, |q| q.params.rtt_ms);
     for (&c, &ov_n) in &ov_without {
         if let (Some(&ov_s), Some(&rtt)) = (ov_with.get(&c), rtt_without.get(&c)) {
             rows.push((rtt, ov_n - ov_s));

@@ -19,24 +19,25 @@
 //!   comparative claims are robust to the bias, its absolute ones are
 //!   not.
 
-use bench::{check, finish, seed_from_env};
-use capture::Classifier;
+use bench::{check, execute, finish, seed_from_env};
 use cdnsim::ServiceConfig;
 use emulator::dataset_a::{DatasetA, KeywordPolicy};
 use emulator::output::Tsv;
-use emulator::Scenario;
+use emulator::{Campaign, Design, ProcessedQuery, Scenario};
 use nettopo::vantage::{planetlab_like, VantageConfig};
 use searchbe::keywords::KeywordCorpus;
 use simcore::time::SimDuration;
 use stats::Ecdf;
 
-fn rtts(scenario: &Scenario, cfg: ServiceConfig) -> Ecdf {
-    let d = DatasetA {
+fn fig6_design() -> Design {
+    Design::DatasetA(DatasetA {
         repeats: 4,
         spacing: SimDuration::from_secs(8),
         keywords: KeywordPolicy::Fixed(0),
-    };
-    let out = d.run(scenario, cfg, &Classifier::ByMarker);
+    })
+}
+
+fn rtts(out: &[ProcessedQuery]) -> Ecdf {
     let samples: Vec<(u64, inference::QueryParams)> =
         out.iter().map(|q| (q.client as u64, q.params)).collect();
     let per_node: Vec<f64> = inference::per_group_medians(&samples)
@@ -75,13 +76,20 @@ fn main() {
         },
     );
 
+    // One campaign per vantage population (a campaign shares one
+    // scenario); each carries both service configs.
     let mut rows = Vec::new();
     for (pop_name, sc) in [("planetlab", &campus), ("residential", &residential)] {
-        for (svc_name, cfg) in [
-            ("bing-like", ServiceConfig::bing_like(seed)),
-            ("google-like", ServiceConfig::google_like(seed)),
-        ] {
-            let e = rtts(sc, cfg);
+        let mut c = Campaign::new(sc.clone());
+        c.push("bing-like", ServiceConfig::bing_like(seed), fig6_design());
+        c.push(
+            "google-like",
+            ServiceConfig::google_like(seed),
+            fig6_design(),
+        );
+        let report = execute(&c);
+        for svc_name in ["bing-like", "google-like"] {
+            let e = rtts(report.queries(svc_name));
             rows.push((
                 pop_name,
                 svc_name,

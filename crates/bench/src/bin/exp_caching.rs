@@ -10,7 +10,7 @@
 //! * a hypothetical FE-result-caching deployment is flagged
 //!   `CachingSuspected` (the detector has power, not just a blind spot).
 
-use bench::{check, finish, scenario, seed_from_env, Scale};
+use bench::{campaign, check, execute, finish, seed_from_env, Scale};
 use cdnsim::ServiceConfig;
 use emulator::caching_probe::CachingProbeRun;
 use emulator::output::Tsv;
@@ -19,7 +19,6 @@ use inference::caching::CachingVerdict;
 fn main() {
     let scale = Scale::from_env();
     let seed = seed_from_env();
-    let sc = scenario(scale, seed);
     let probe = CachingProbeRun::against(0);
 
     let configs = [
@@ -40,6 +39,14 @@ fn main() {
         ),
     ];
 
+    // All six probe worlds (3 configs × same/distinct designs) run as one
+    // campaign batch.
+    let mut c = campaign(scale, seed);
+    for (name, cfg, _) in &configs {
+        probe.add_to(&mut c, name, cfg.clone());
+    }
+    let report = execute(&c);
+
     let stdout = std::io::stdout();
     let mut tsv = Tsv::new(
         stdout.lock(),
@@ -54,8 +61,8 @@ fn main() {
     .unwrap();
 
     let mut ok = true;
-    for (name, cfg, expected) in configs {
-        match probe.run(&sc, cfg) {
+    for (name, _, expected) in configs {
+        match probe.outcome(&report, name) {
             Some(out) => {
                 tsv.row(&[
                     name.to_string(),

@@ -16,19 +16,18 @@
 //! * content analysis' `Tdelta` error stays ≈ 0, so every downstream
 //!   inference result in this repository stands on a validated method.
 
-use bench::{check, finish, scenario, seed_from_env, Scale};
+use bench::{campaign, check, execute, finish, seed_from_env, Scale};
 use capture::validate::score_classifier;
 use capture::{find_static_content_ids, Classifier};
-use cdnsim::{CompletedQuery, QuerySpec, ServiceConfig, ServiceWorld};
+use cdnsim::{QuerySpec, ServiceConfig, ServiceWorld};
 use emulator::output::Tsv;
-use emulator::runner::run_collect_with;
+use emulator::Design;
 use simcore::time::SimDuration;
 use tcpsim::NodeId;
 
 fn main() {
     let scale = Scale::from_env();
     let seed = seed_from_env();
-    let sc = scenario(scale, seed);
     let repeats: u64 = match scale {
         Scale::Quick => 4,
         Scale::Paper => 12,
@@ -37,30 +36,37 @@ fn main() {
     // Distinct queries from every vantage to one *fixed* FE of the
     // google-like service (threshold ≈ 72 ms): the vantage RTT spread
     // then covers both regimes, with plenty of merged sessions.
-    let mut sim = sc.build_sim(ServiceConfig::google_like(seed));
-    sim.with(|w, net| {
-        let fe = w.default_fe(0);
-        let be = w.be_of_fe(fe);
-        w.prewarm(net, fe, be, 4);
-        let n = w.clients().len();
-        let corpus_len = w.corpus().len() as u64;
-        for c in 0..n {
-            for r in 0..repeats {
-                w.schedule_query(
-                    net,
-                    SimDuration::from_millis(3_000 + r * 9_000 + c as u64 * 83),
-                    QuerySpec {
-                        client: c,
-                        keyword: (c as u64 * repeats + r + 1) % corpus_len,
-                        fixed_fe: Some(fe),
-                        instant_followup: false,
-                    },
-                );
-            }
-        }
-    });
-    let mut raw: Vec<CompletedQuery> = Vec::new();
-    let _ = run_collect_with(&mut sim, &Classifier::ByMarker, |cq| raw.push(cq.clone()));
+    let mut c = campaign(scale, seed);
+    c.push(
+        "classifiers",
+        ServiceConfig::google_like(seed),
+        Design::custom(move |sim| {
+            sim.with(|w, net| {
+                let fe = w.default_fe(0);
+                let be = w.be_of_fe(fe);
+                w.prewarm(net, fe, be, 4);
+                let n = w.clients().len();
+                let corpus_len = w.corpus().len() as u64;
+                for c in 0..n {
+                    for r in 0..repeats {
+                        w.schedule_query(
+                            net,
+                            SimDuration::from_millis(3_000 + r * 9_000 + c as u64 * 83),
+                            QuerySpec {
+                                client: c,
+                                keyword: (c as u64 * repeats + r + 1) % corpus_len,
+                                fixed_fe: Some(fe),
+                                instant_followup: false,
+                            },
+                        );
+                    }
+                }
+            });
+        }),
+    )
+    .keep_raw = true;
+    let report = execute(&c);
+    let raw = &report.get("classifiers").unwrap().raw;
 
     // Learn the static ids blind.
     let traces: Vec<Vec<tcpsim::PktEvent>> = raw.iter().map(|c| c.trace.clone()).collect();

@@ -22,11 +22,10 @@
 //!   private WAN — exactly why the authors' regression approach (which
 //!   never needs absolute RTTbe) is the more robust design.
 
-use bench::{check, finish, scenario, seed_from_env, Scale};
-use capture::Classifier;
+use bench::{campaign, check, execute, finish, scenario, seed_from_env, Scale};
 use cdnsim::{QuerySpec, ServiceConfig};
 use emulator::output::Tsv;
-use emulator::runner::run_collect;
+use emulator::Design;
 use inference::{tproc_via_coords, RttSample, Vivaldi};
 use simcore::time::SimDuration;
 
@@ -36,6 +35,8 @@ fn main() {
     let sc = scenario(scale, seed);
     let cfg = ServiceConfig::google_like(seed);
 
+    // Planning world for the geometry lookups (counts, ping RTTs, ground
+    // truth): pure geometry, identical in every world of this scenario.
     let mut sim = sc.build_sim(cfg.clone());
     let (n_clients, n_fes, n_bes) =
         sim.with(|w, _| (w.clients().len(), w.fe_count(), cfg.be_sites.len()));
@@ -45,23 +46,32 @@ fn main() {
 
     // ---- step 1a: client↔FE handshake RTTs from real queries ----
     let probe_clients: Vec<usize> = (0..n_clients).step_by(2).collect();
-    sim.with(|w, net| {
-        for (i, &client) in probe_clients.iter().enumerate() {
-            for fe in 0..n_fes {
-                w.schedule_query(
-                    net,
-                    SimDuration::from_millis(1 + (i * n_fes + fe) as u64 * 150),
-                    QuerySpec {
-                        client,
-                        keyword: 0,
-                        fixed_fe: Some(fe),
-                        instant_followup: false,
-                    },
-                );
-            }
-        }
-    });
-    let out = run_collect(&mut sim, &Classifier::ByMarker);
+    let mut c = campaign(scale, seed);
+    let sched_clients = probe_clients.clone();
+    c.push(
+        "coords",
+        cfg.clone(),
+        Design::custom(move |sim| {
+            sim.with(|w, net| {
+                for (i, &client) in sched_clients.iter().enumerate() {
+                    for fe in 0..n_fes {
+                        w.schedule_query(
+                            net,
+                            SimDuration::from_millis(1 + (i * n_fes + fe) as u64 * 150),
+                            QuerySpec {
+                                client,
+                                keyword: 0,
+                                fixed_fe: Some(fe),
+                                instant_followup: false,
+                            },
+                        );
+                    }
+                }
+            });
+        }),
+    );
+    let report = execute(&c);
+    let out = report.queries("coords");
     let mut samples: Vec<RttSample> = out
         .iter()
         .map(|q| RttSample {

@@ -24,12 +24,11 @@
 //! * the whole experiment is deterministic: a second run reproduces
 //!   every measurement exactly.
 
-use bench::{check, finish, scenario, seed_from_env, Scale};
-use capture::Classifier;
+use bench::{campaign, check, execute, finish, scenario, seed_from_env, Scale};
 use cdnsim::{QueryOutcome, QuerySpec, ServiceConfig};
 use emulator::output::Tsv;
-use emulator::runner::{run_collect_tally, ProcessedQuery};
-use inference::SessionTally;
+use emulator::runner::ProcessedQuery;
+use emulator::Design;
 use nettopo::FaultPlan;
 use simcore::time::{SimDuration, SimTime};
 use stats::quantile::median;
@@ -37,32 +36,25 @@ use stats::quantile::median;
 const OUTAGE_START_MS: u64 = 20_000;
 const OUTAGE_END_MS: u64 = 40_000;
 
-fn run_campaign(
-    sc: &emulator::Scenario,
-    cfg: ServiceConfig,
-    client: usize,
-    fe: usize,
-    repeats: u64,
-    spacing_ms: u64,
-) -> (Vec<ProcessedQuery>, SessionTally) {
-    let mut sim = sc.build_sim(cfg);
-    sim.with(|w, net| {
-        let be = w.be_of_fe(fe);
-        w.prewarm(net, fe, be, 2);
-        for r in 0..repeats {
-            w.schedule_query(
-                net,
-                SimDuration::from_millis(3_000 + r * spacing_ms),
-                QuerySpec {
-                    client,
-                    keyword: r,
-                    fixed_fe: Some(fe),
-                    instant_followup: false,
-                },
-            );
-        }
-    });
-    run_collect_tally(&mut sim, &Classifier::ByMarker)
+fn failover_design(client: usize, fe: usize, repeats: u64, spacing_ms: u64) -> Design {
+    Design::custom(move |sim| {
+        sim.with(|w, net| {
+            let be = w.be_of_fe(fe);
+            w.prewarm(net, fe, be, 2);
+            for r in 0..repeats {
+                w.schedule_query(
+                    net,
+                    SimDuration::from_millis(3_000 + r * spacing_ms),
+                    QuerySpec {
+                        client,
+                        keyword: r,
+                        fixed_fe: Some(fe),
+                        instant_followup: false,
+                    },
+                );
+            }
+        });
+    })
 }
 
 fn phase_of(t_start_ms: f64) -> &'static str {
@@ -108,8 +100,18 @@ fn main() {
         .with_faults(plan)
         .with_fe_fetch_deadline(SimDuration::from_millis(1_500));
 
-    let (out, tally) = run_campaign(&sc, cfg.clone(), client, fe, repeats, spacing_ms);
-    let (rerun, _) = run_campaign(&sc, cfg, client, fe, repeats, spacing_ms);
+    // Two descriptors with the *same* derived seed: identical worlds that
+    // may land on different worker threads, so the exact-reproduction
+    // check also exercises shard-level determinism.
+    let design = failover_design(client, fe, repeats, spacing_ms);
+    let mut c = campaign(scale, seed);
+    let run_seed = c.push("failover", cfg.clone(), design.clone()).seed;
+    c.push("failover-rerun", cfg, design).seed = run_seed;
+    let report = execute(&c);
+    let run = report.get("failover").unwrap();
+    let out = &run.queries;
+    let tally = &run.tally;
+    let rerun = report.queries("failover-rerun");
 
     let stdout = std::io::stdout();
     let mut tsv = Tsv::new(
@@ -125,7 +127,7 @@ fn main() {
         ],
     )
     .unwrap();
-    for pq in &out {
+    for pq in out {
         tsv.row(&[
             format!("{:.1}", pq.t_start_ms),
             phase_of(pq.t_start_ms).to_string(),

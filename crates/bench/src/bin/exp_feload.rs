@@ -12,73 +12,64 @@
 //! * `Tstatic` grows monotonically (within tolerance) with offered load;
 //! * saturation inflates the *variance* too — queueing is bursty.
 
-use bench::{check, finish, scenario, seed_from_env, Scale};
-use capture::Classifier;
+use bench::{campaign, check, execute, finish, seed_from_env, Scale};
 use cdnsim::{QuerySpec, ServiceConfig};
 use emulator::output::Tsv;
-use emulator::runner::run_collect;
+use emulator::Design;
 use simcore::time::SimDuration;
 
-/// Runs one load level: `clients_per_wave` clients hit the FE together
-/// every `wave_gap_ms`, repeated `waves` times.
-fn run_level(
-    sc: &emulator::Scenario,
-    cfg: ServiceConfig,
-    fe: usize,
-    clients_per_wave: usize,
-    waves: u64,
-) -> (f64, f64) {
-    let mut sim = sc.build_sim(cfg);
-    sim.with(|w, net| {
-        let be = w.be_of_fe(fe);
-        w.prewarm(net, fe, be, 4);
-        let n = w.clients().len();
-        for wave in 0..waves {
-            for k in 0..clients_per_wave {
-                let client = (wave as usize * clients_per_wave + k) % n;
-                w.schedule_query(
-                    net,
-                    SimDuration::from_millis(3_000 + wave * 5_000 + k as u64 / 4),
-                    QuerySpec {
-                        client,
-                        keyword: 0,
-                        fixed_fe: Some(fe),
-                        instant_followup: false,
-                    },
-                );
+/// One load level: `clients_per_wave` clients hit the default FE
+/// together every wave, repeated `waves` times.
+fn level_design(clients_per_wave: usize, waves: u64) -> Design {
+    Design::custom(move |sim| {
+        sim.with(|w, net| {
+            let fe = w.default_fe(0);
+            let be = w.be_of_fe(fe);
+            w.prewarm(net, fe, be, 4);
+            let n = w.clients().len();
+            for wave in 0..waves {
+                for k in 0..clients_per_wave {
+                    let client = (wave as usize * clients_per_wave + k) % n;
+                    w.schedule_query(
+                        net,
+                        SimDuration::from_millis(3_000 + wave * 5_000 + k as u64 / 4),
+                        QuerySpec {
+                            client,
+                            keyword: 0,
+                            fixed_fe: Some(fe),
+                            instant_followup: false,
+                        },
+                    );
+                }
             }
-        }
-    });
-    let out = run_collect(&mut sim, &Classifier::ByMarker);
-    // Tstatic minus the vantage's RTT isolates the FE-side constant.
-    let overheads: Vec<f64> = out
-        .iter()
-        .map(|q| (q.params.t_static_ms - q.params.rtt_ms).max(0.0))
-        .collect();
-    (
-        stats::quantile::median(&overheads).unwrap(),
-        stats::quantile::iqr(&overheads).unwrap(),
-    )
+        });
+    })
 }
 
 fn main() {
     let scale = Scale::from_env();
     let seed = seed_from_env();
-    let sc = scenario(scale, seed);
     // Two worker slots and the shared-tenancy service times: the FE
     // saturates at realistic wave sizes (client RTT spread disperses
     // arrivals over ~250 ms, so per-wave arrival rate ≈ N/250 req/ms
     // against a ~0.1 req/ms capacity).
     let cfg = ServiceConfig::bing_like(seed).with_fe_workers(2);
-    let mut sim = sc.build_sim(cfg.clone());
-    let fe = sim.with(|w, _| w.default_fe(0));
-    drop(sim);
     let waves = match scale {
         Scale::Quick => 12,
         Scale::Paper => 40,
     };
 
     let levels = [1usize, 8, 24, 56];
+    let mut c = campaign(scale, seed);
+    for &level in &levels {
+        c.push(
+            format!("load{level}"),
+            cfg.clone(),
+            level_design(level, waves),
+        );
+    }
+    let report = execute(&c);
+
     let stdout = std::io::stdout();
     let mut tsv = Tsv::new(
         stdout.lock(),
@@ -92,7 +83,14 @@ fn main() {
     let mut medians = Vec::new();
     let mut iqrs = Vec::new();
     for &level in &levels {
-        let (m, i) = run_level(&sc, cfg.clone(), fe, level, waves);
+        let out = report.queries(&format!("load{level}"));
+        // Tstatic minus the vantage's RTT isolates the FE-side constant.
+        let overheads: Vec<f64> = out
+            .iter()
+            .map(|q| (q.params.t_static_ms - q.params.rtt_ms).max(0.0))
+            .collect();
+        let m = stats::quantile::median(&overheads).unwrap();
+        let i = stats::quantile::iqr(&overheads).unwrap();
         eprintln!("load {level:>3} clients/wave: FE constant median {m:>7.2} ms, IQR {i:>6.2} ms");
         tsv.row_f64(&[level as f64, m, i]).unwrap();
         medians.push(m);

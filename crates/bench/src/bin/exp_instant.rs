@@ -11,7 +11,7 @@
 //!   true fetch time for every sub-query;
 //! * follow-up sub-queries have materially smaller true `Tproc`.
 
-use bench::{check, finish, scenario, seed_from_env, Scale};
+use bench::{campaign, check, execute, finish, seed_from_env, Scale};
 use cdnsim::ServiceConfig;
 use emulator::instant::InstantRun;
 use emulator::output::Tsv;
@@ -20,7 +20,6 @@ use inference::FetchBounds;
 fn main() {
     let scale = Scale::from_env();
     let seed = seed_from_env();
-    let sc = scenario(scale, seed);
     let clients: Vec<usize> = match scale {
         Scale::Quick => (0..8).collect(),
         Scale::Paper => (0..40).collect(),
@@ -30,7 +29,10 @@ fn main() {
         keyword: 3,
         min_prefix: 3,
     };
-    let sessions = run.run(&sc, ServiceConfig::google_like(seed));
+    let mut c = campaign(scale, seed);
+    c.push("instant", ServiceConfig::google_like(seed), run.design());
+    let report = execute(&c);
+    let sessions = run.sessions(report.queries("instant"));
 
     let stdout = std::io::stdout();
     let mut tsv = Tsv::new(

@@ -18,13 +18,12 @@
 //!   bing-like — confirming the paper's conclusion that optimizing the
 //!   fetch path, not FE placement, was Bing's real lever.
 
-use bench::{check, dataset_a_repeats, finish, scenario, seed_from_env, Scale};
-use capture::Classifier;
+use bench::{campaign, check, dataset_a_repeats, execute, finish, seed_from_env, Scale};
 use cdnsim::ServiceConfig;
 use emulator::dataset_a::{DatasetA, KeywordPolicy};
 use emulator::output::Tsv;
 use emulator::report::CampaignSummary;
-use emulator::ProcessedQuery;
+use emulator::Design;
 use simcore::time::SimDuration;
 
 fn hybrid_a(seed: u64) -> ServiceConfig {
@@ -57,36 +56,37 @@ fn hybrid_b(seed: u64) -> ServiceConfig {
     }
 }
 
-fn run(sc: &emulator::Scenario, cfg: ServiceConfig, repeats: u64) -> Vec<ProcessedQuery> {
-    DatasetA {
-        repeats,
-        spacing: SimDuration::from_secs(10),
-        keywords: KeywordPolicy::Fixed(0),
-    }
-    .run(sc, cfg, &Classifier::ByMarker)
-}
-
 fn main() {
     let scale = Scale::from_env();
     let seed = seed_from_env();
-    let sc = scenario(scale, seed);
     let repeats = dataset_a_repeats(scale);
 
-    let campaigns = [
+    let deployments = [
         ("google-like", ServiceConfig::google_like(seed)),
         ("hybridA (sparse FEs + bing BE)", hybrid_a(seed)),
         ("hybridB (dense FEs + google BE)", hybrid_b(seed)),
         ("bing-like", ServiceConfig::bing_like(seed)),
     ];
+    let design = Design::DatasetA(DatasetA {
+        repeats,
+        spacing: SimDuration::from_secs(10),
+        keywords: KeywordPolicy::Fixed(0),
+    });
+    let mut c = campaign(scale, seed);
+    for (label, cfg) in &deployments {
+        c.push(*label, cfg.clone(), design.clone());
+    }
+    let report = execute(&c);
+
     let mut rows = Vec::new();
-    for (label, cfg) in campaigns {
-        let out = run(&sc, cfg, repeats);
+    for (label, _) in deployments {
+        let out = report.queries(label);
         // FE-attributable Tstatic constant: Tstatic − RTT.
         let fe_const: Vec<f64> = out
             .iter()
             .map(|q| (q.params.t_static_ms - q.params.rtt_ms).max(0.0))
             .collect();
-        let summary = CampaignSummary::of(label, &out).unwrap();
+        let summary = CampaignSummary::of(label, out).unwrap();
         rows.push((label, summary, stats::quantile::median(&fe_const).unwrap()));
     }
 

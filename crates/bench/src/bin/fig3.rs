@@ -10,11 +10,10 @@
 //!   popular);
 //! * `Tstatic` is insensitive to the keyword class.
 
-use bench::{check, fig3_samples, finish, scenario, seed_from_env, Scale};
-use capture::Classifier;
+use bench::{campaign, check, execute, fig3_samples, finish, seed_from_env, Scale};
 use cdnsim::{QuerySpec, ServiceConfig};
 use emulator::output::Tsv;
-use emulator::runner::run_collect;
+use emulator::Design;
 use searchbe::keywords::KeywordClass;
 use simcore::time::SimDuration;
 use stats::moving_median;
@@ -22,39 +21,46 @@ use stats::moving_median;
 fn main() {
     let scale = Scale::from_env();
     let seed = seed_from_env();
-    let sc = scenario(scale, seed);
     let samples = fig3_samples(scale);
 
     // The paper runs this against Bing; we use the Bing-like service.
-    let mut sim = sc.build_sim(ServiceConfig::bing_like(seed));
-    let picks: [u64; 4] = sim.with(|w, _| {
-        let p = w.corpus().fig3_picks();
+    let mut c = campaign(scale, seed);
+    let picks: [u64; 4] = {
+        let p = c.scenario().corpus.fig3_picks();
         [p[0].id, p[1].id, p[2].id, p[3].id]
-    });
+    };
     let client = 0usize;
-    sim.with(|w, net| {
-        let fe = w.default_fe(client);
-        let be = w.be_of_fe(fe);
-        w.prewarm(net, fe, be, 4);
-        for (ki, &kw) in picks.iter().enumerate() {
-            for r in 0..samples {
-                // Interleave the four keywords over time, 2.5 s apart
-                // per keyword (10 s full cycle as in the paper).
-                let at = SimDuration::from_millis(3_000 + r * 10_000 + ki as u64 * 2_500);
-                w.schedule_query(
-                    net,
-                    at,
-                    QuerySpec {
-                        client,
-                        keyword: kw,
-                        fixed_fe: Some(fe),
-                        instant_followup: false,
-                    },
-                );
-            }
-        }
-    });
-    let out = run_collect(&mut sim, &Classifier::ByMarker);
+    c.push(
+        "fig3",
+        ServiceConfig::bing_like(seed),
+        Design::custom(move |sim| {
+            sim.with(|w, net| {
+                let fe = w.default_fe(client);
+                let be = w.be_of_fe(fe);
+                w.prewarm(net, fe, be, 4);
+                for (ki, &kw) in picks.iter().enumerate() {
+                    for r in 0..samples {
+                        // Interleave the four keywords over time, 2.5 s
+                        // apart per keyword (10 s full cycle as in the
+                        // paper).
+                        let at = SimDuration::from_millis(3_000 + r * 10_000 + ki as u64 * 2_500);
+                        w.schedule_query(
+                            net,
+                            at,
+                            QuerySpec {
+                                client,
+                                keyword: kw,
+                                fixed_fe: Some(fe),
+                                instant_followup: false,
+                            },
+                        );
+                    }
+                }
+            });
+        }),
+    );
+    let report = execute(&c);
+    let out = report.queries("fig3");
 
     // Series per keyword, in chronological order.
     let mut per_kw: Vec<(KeywordClass, Vec<f64>, Vec<f64>)> = Vec::new();

@@ -14,13 +14,12 @@
 //! * the largest-RTT client's payload events form a single merged
 //!   cluster.
 
-use bench::{check, finish, seed_from_env};
+use bench::{check, execute, finish, seed_from_env};
 use capture::cluster_view::TimelineView;
 use capture::{Classifier, Timeline};
 use cdnsim::{QuerySpec, ServiceConfig, ServiceWorld};
 use emulator::output::Tsv;
-use emulator::runner::run_collect_with;
-use emulator::Scenario;
+use emulator::{Campaign, Design, Scenario};
 use simcore::time::SimDuration;
 
 /// The paper's five RTT rows (ms).
@@ -29,11 +28,12 @@ const PAPER_RTTS: [f64; 5] = [10.656, 30.003, 86.647, 160.38, 243.25];
 fn main() {
     let seed = seed_from_env();
     let sc = Scenario::with_size(seed, 230, 1_000);
-    let mut sim = sc.build_sim(ServiceConfig::bing_like(seed));
 
     // Pick one FE and five clients whose RTTs best match the paper's
-    // rows.
-    let (fe, clients) = sim.with(|w, _| {
+    // rows, from a throwaway planning world (pure geometry: identical
+    // in every world built from this scenario's configs).
+    let mut planning = sc.build_sim(ServiceConfig::bing_like(seed));
+    let (fe, clients) = planning.with(|w, _| {
         let fe = w.default_fe(0);
         let mut chosen = Vec::new();
         for target in PAPER_RTTS {
@@ -52,40 +52,52 @@ fn main() {
         }
         (fe, chosen)
     });
+    drop(planning);
     // The back-end processing time is itself noisy (that is the point of
     // the Bing-like model); a figure built from one query per row would
     // inherit that noise. Run each row several times and display the
     // median-`Tdelta` run — the paper similarly shows representative
     // timelines.
     const TRIES: u64 = 7;
-    sim.with(|w, net| {
-        let be = w.be_of_fe(fe);
-        w.prewarm(net, fe, be, 5);
-        for (i, &client) in clients.iter().enumerate() {
-            for t in 0..TRIES {
-                w.schedule_query(
-                    net,
-                    SimDuration::from_millis(3_000 + i as u64 * 5_000 + t * 30_000),
-                    QuerySpec {
-                        client,
-                        keyword: 0,
-                        fixed_fe: Some(fe),
-                        instant_followup: false,
-                    },
-                );
-            }
-        }
-    });
+    let mut campaign = Campaign::new(sc);
+    let sched_clients = clients.clone();
+    campaign
+        .push(
+            "fig4",
+            ServiceConfig::bing_like(seed),
+            Design::custom(move |sim| {
+                sim.with(|w, net| {
+                    let be = w.be_of_fe(fe);
+                    w.prewarm(net, fe, be, 5);
+                    for (i, &client) in sched_clients.iter().enumerate() {
+                        for t in 0..TRIES {
+                            w.schedule_query(
+                                net,
+                                SimDuration::from_millis(3_000 + i as u64 * 5_000 + t * 30_000),
+                                QuerySpec {
+                                    client,
+                                    keyword: 0,
+                                    fixed_fe: Some(fe),
+                                    instant_followup: false,
+                                },
+                            );
+                        }
+                    }
+                });
+            }),
+        )
+        .keep_raw = true;
+    let report = execute(&campaign);
 
     let mut runs: Vec<(usize, TimelineView, Timeline)> = Vec::new();
-    let _ = run_collect_with(&mut sim, &Classifier::ByMarker, |cq| {
+    for cq in &report.get("fig4").unwrap().raw {
         let node = ServiceWorld::client_node(cq.client);
         let view = TimelineView::build(&cq.trace, node);
         let tl = Timeline::extract(&cq.trace, node, &Classifier::ByMarker);
         if let (Ok(v), Ok(t)) = (view, tl) {
             runs.push((cq.client, v, t));
         }
-    });
+    }
     // Per client, keep the run with the median Tdelta.
     let mut views: Vec<(usize, TimelineView, Timeline)> = clients
         .iter()

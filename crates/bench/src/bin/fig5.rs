@@ -12,32 +12,34 @@
 //! * the Google-like threshold (paper: 50–100 ms) sits below the
 //!   Bing-like one (paper: 100–200 ms).
 
-use bench::{check, dataset_b_repeats, finish, scenario, seed_from_env, Scale};
-use capture::Classifier;
+use bench::{campaign, check, dataset_b_repeats, execute, finish, seed_from_env, Scale};
 use cdnsim::ServiceConfig;
 use emulator::dataset_b::DatasetB;
 use emulator::output::Tsv;
-use emulator::ProcessedQuery;
+use emulator::{Design, ProcessedQuery};
 use inference::{estimate_rtt_threshold, per_group_medians, GroupMedians};
 
-fn run_service(
+/// Dataset B against the FE nearest to the first vantage's default — an
+/// arbitrary but deterministic pick, like the paper's single named
+/// server IPs. The pick happens inside the shard world, so the
+/// descriptor stays self-contained.
+fn fixed_fe_design(repeats: u64) -> Design {
+    Design::custom(move |sim| {
+        let fe = sim.with(|w, _| w.default_fe(0));
+        DatasetB::against(fe).with_repeats(repeats).schedule(sim);
+    })
+}
+
+fn analyse(
     name: &str,
-    cfg: ServiceConfig,
-    sc: &emulator::Scenario,
-    repeats: u64,
+    out: &[ProcessedQuery],
 ) -> (Vec<GroupMedians>, inference::threshold::RttThreshold) {
-    // Fix the FE nearest to the first vantage's default — an arbitrary
-    // but deterministic pick, like the paper's single named server IPs.
-    let mut sim = sc.build_sim(cfg.clone());
-    let fe = sim.with(|w, _| w.default_fe(0));
-    drop(sim);
-    let d = DatasetB::against(fe).with_repeats(repeats);
-    let out: Vec<ProcessedQuery> = d.run(sc, cfg, &Classifier::ByMarker);
     let samples: Vec<(u64, inference::QueryParams)> =
         out.iter().map(|q| (q.client as u64, q.params)).collect();
     let groups = per_group_medians(&samples);
     let points: Vec<(f64, f64)> = groups.iter().map(|g| (g.rtt_ms, g.t_delta_ms)).collect();
     let thr = estimate_rtt_threshold(&points, 3.0, 25.0);
+    let fe = out.first().and_then(|q| q.fe).unwrap_or(0);
     eprintln!(
         "{name}: fixed FE {fe}, {} vantages, {} samples",
         groups.len(),
@@ -63,16 +65,23 @@ fn spread_around_trend(points: &[(f64, f64)]) -> f64 {
 fn main() {
     let scale = Scale::from_env();
     let seed = seed_from_env();
-    let sc = scenario(scale, seed);
     let repeats = dataset_b_repeats(scale);
 
-    let (bing, bing_thr) = run_service("bing-like", ServiceConfig::bing_like(seed), &sc, repeats);
-    let (google, google_thr) = run_service(
+    let mut c = campaign(scale, seed);
+    c.push(
+        "bing-like",
+        ServiceConfig::bing_like(seed),
+        fixed_fe_design(repeats),
+    );
+    c.push(
         "google-like",
         ServiceConfig::google_like(seed),
-        &sc,
-        repeats,
+        fixed_fe_design(repeats),
     );
+    let report = execute(&c);
+
+    let (bing, bing_thr) = analyse("bing-like", report.queries("bing-like"));
+    let (google, google_thr) = analyse("google-like", report.queries("google-like"));
 
     // ---- TSV: one row per (service, vantage) ----
     let stdout = std::io::stdout();

@@ -11,23 +11,17 @@
 //! * ≥ 80 % of vantages within 20 ms of a Bing-like FE;
 //! * the Google-like fraction is materially lower (paper: ~60 %).
 
-use bench::{check, dataset_a_repeats, finish, scenario, seed_from_env, Scale};
-use capture::Classifier;
+use bench::{campaign, check, dataset_a_repeats, execute, finish, seed_from_env, Scale};
 use cdnsim::ServiceConfig;
 use emulator::dataset_a::{DatasetA, KeywordPolicy};
 use emulator::output::Tsv;
+use emulator::{Design, ProcessedQuery};
 use simcore::time::SimDuration;
 use stats::Ecdf;
 
-fn measured_rtts(sc: &emulator::Scenario, cfg: ServiceConfig, repeats: u64) -> Vec<f64> {
-    // Measured (handshake-estimated) RTTs, one median per vantage, from
-    // a short Dataset A run — exactly what the paper plots.
-    let d = DatasetA {
-        repeats,
-        spacing: SimDuration::from_secs(10),
-        keywords: KeywordPolicy::Fixed(0),
-    };
-    let out = d.run(sc, cfg, &Classifier::ByMarker);
+fn measured_rtts(out: &[ProcessedQuery]) -> Vec<f64> {
+    // Measured (handshake-estimated) RTTs, one median per vantage —
+    // exactly what the paper plots.
     let samples: Vec<(u64, inference::QueryParams)> =
         out.iter().map(|q| (q.client as u64, q.params)).collect();
     inference::per_group_medians(&samples)
@@ -39,11 +33,20 @@ fn measured_rtts(sc: &emulator::Scenario, cfg: ServiceConfig, repeats: u64) -> V
 fn main() {
     let scale = Scale::from_env();
     let seed = seed_from_env();
-    let sc = scenario(scale, seed);
     let repeats = dataset_a_repeats(scale).min(10);
 
-    let bing = measured_rtts(&sc, ServiceConfig::bing_like(seed), repeats);
-    let google = measured_rtts(&sc, ServiceConfig::google_like(seed), repeats);
+    let design = Design::DatasetA(DatasetA {
+        repeats,
+        spacing: SimDuration::from_secs(10),
+        keywords: KeywordPolicy::Fixed(0),
+    });
+    let mut c = campaign(scale, seed);
+    c.push("bing-like", ServiceConfig::bing_like(seed), design.clone());
+    c.push("google-like", ServiceConfig::google_like(seed), design);
+    let report = execute(&c);
+
+    let bing = measured_rtts(report.queries("bing-like"));
+    let google = measured_rtts(report.queries("google-like"));
     let bing_cdf = Ecdf::new(&bing);
     let google_cdf = Ecdf::new(&google);
 

@@ -10,30 +10,19 @@
 //! * Bing-like `Tstatic` and `Tdynamic` medians are higher, and
 //! * Bing-like variability (IQR) is larger for both quantities.
 
-use bench::{check, dataset_a_repeats, finish, scenario, seed_from_env, Scale};
-use capture::Classifier;
+use bench::{campaign, check, dataset_a_repeats, execute, finish, seed_from_env, Scale};
 use cdnsim::ServiceConfig;
 use emulator::dataset_a::{DatasetA, KeywordPolicy};
 use emulator::output::Tsv;
-use emulator::ProcessedQuery;
+use emulator::{Design, ProcessedQuery};
 use inference::{per_group_medians, GroupMedians};
 use simcore::time::SimDuration;
 use std::collections::BTreeMap;
 
-fn run(
-    sc: &emulator::Scenario,
-    cfg: ServiceConfig,
-    repeats: u64,
-) -> (Vec<GroupMedians>, Vec<ProcessedQuery>) {
-    let d = DatasetA {
-        repeats,
-        spacing: SimDuration::from_secs(10),
-        keywords: KeywordPolicy::Fixed(0),
-    };
-    let out = d.run(sc, cfg, &Classifier::ByMarker);
+fn medians(out: &[ProcessedQuery]) -> Vec<GroupMedians> {
     let samples: Vec<(u64, inference::QueryParams)> =
         out.iter().map(|q| (q.client as u64, q.params)).collect();
-    (per_group_medians(&samples), out)
+    per_group_medians(&samples)
 }
 
 /// Median across vantages of the *within-vantage* IQR — the
@@ -54,11 +43,22 @@ fn within_vantage_iqr(out: &[ProcessedQuery], f: fn(&ProcessedQuery) -> f64) -> 
 fn main() {
     let scale = Scale::from_env();
     let seed = seed_from_env();
-    let sc = scenario(scale, seed);
     let repeats = dataset_a_repeats(scale);
 
-    let (bing, bing_raw) = run(&sc, ServiceConfig::bing_like(seed), repeats);
-    let (google, google_raw) = run(&sc, ServiceConfig::google_like(seed), repeats);
+    let design = Design::DatasetA(DatasetA {
+        repeats,
+        spacing: SimDuration::from_secs(10),
+        keywords: KeywordPolicy::Fixed(0),
+    });
+    let mut c = campaign(scale, seed);
+    c.push("bing-like", ServiceConfig::bing_like(seed), design.clone());
+    c.push("google-like", ServiceConfig::google_like(seed), design);
+    let report = execute(&c);
+
+    let bing_raw = report.queries("bing-like");
+    let google_raw = report.queries("google-like");
+    let bing = medians(bing_raw);
+    let google = medians(google_raw);
 
     // ---- TSV: the Fig. 7 scatter, one row per (service, vantage) ----
     let stdout = std::io::stdout();
@@ -114,10 +114,10 @@ fn main() {
     );
     // Variability the FE/BE are responsible for: within-vantage IQRs
     // (RTT is constant per vantage, so geography cancels out).
-    let b_ts_iqr = within_vantage_iqr(&bing_raw, |q| q.params.t_static_ms);
-    let g_ts_iqr = within_vantage_iqr(&google_raw, |q| q.params.t_static_ms);
-    let b_td_iqr = within_vantage_iqr(&bing_raw, |q| q.params.t_dynamic_ms);
-    let g_td_iqr = within_vantage_iqr(&google_raw, |q| q.params.t_dynamic_ms);
+    let b_ts_iqr = within_vantage_iqr(bing_raw, |q| q.params.t_static_ms);
+    let g_ts_iqr = within_vantage_iqr(google_raw, |q| q.params.t_static_ms);
+    let b_td_iqr = within_vantage_iqr(bing_raw, |q| q.params.t_dynamic_ms);
+    let g_td_iqr = within_vantage_iqr(google_raw, |q| q.params.t_dynamic_ms);
     ok &= check(
         &format!(
             "bing-like Tstatic more variable (within-vantage IQR {b_ts_iqr:.1} vs {g_ts_iqr:.1})"

@@ -10,24 +10,14 @@
 //! * per-vantage variability (whisker span / IQR) is larger for the
 //!   Bing-like service.
 
-use bench::{check, dataset_a_repeats, finish, scenario, seed_from_env, Scale};
-use capture::Classifier;
+use bench::{campaign, check, dataset_a_repeats, execute, finish, seed_from_env, Scale};
 use cdnsim::ServiceConfig;
 use emulator::dataset_a::{DatasetA, KeywordPolicy};
 use emulator::output::Tsv;
-use emulator::ProcessedQuery;
+use emulator::{Design, ProcessedQuery};
 use simcore::time::SimDuration;
 use stats::BoxSummary;
 use std::collections::BTreeMap;
-
-fn run(sc: &emulator::Scenario, cfg: ServiceConfig, repeats: u64) -> Vec<ProcessedQuery> {
-    DatasetA {
-        repeats,
-        spacing: SimDuration::from_secs(10),
-        keywords: KeywordPolicy::Fixed(0),
-    }
-    .run(sc, cfg, &Classifier::ByMarker)
-}
 
 fn boxes(out: &[ProcessedQuery]) -> BTreeMap<usize, BoxSummary> {
     let mut by_client: BTreeMap<usize, Vec<f64>> = BTreeMap::new();
@@ -46,11 +36,20 @@ fn boxes(out: &[ProcessedQuery]) -> BTreeMap<usize, BoxSummary> {
 fn main() {
     let scale = Scale::from_env();
     let seed = seed_from_env();
-    let sc = scenario(scale, seed);
     let repeats = dataset_a_repeats(scale);
 
-    let bing = boxes(&run(&sc, ServiceConfig::bing_like(seed), repeats));
-    let google = boxes(&run(&sc, ServiceConfig::google_like(seed), repeats));
+    let design = Design::DatasetA(DatasetA {
+        repeats,
+        spacing: SimDuration::from_secs(10),
+        keywords: KeywordPolicy::Fixed(0),
+    });
+    let mut c = campaign(scale, seed);
+    c.push("bing-like", ServiceConfig::bing_like(seed), design.clone());
+    c.push("google-like", ServiceConfig::google_like(seed), design);
+    let report = execute(&c);
+
+    let bing = boxes(report.queries("bing-like"));
+    let google = boxes(report.queries("google-like"));
 
     // ---- TSV: the box plots, one row per (service, vantage) ----
     let stdout = std::io::stdout();

@@ -18,11 +18,10 @@
 //! * slopes are the same order of magnitude across services (paper:
 //!   0.08 vs 0.099 ms/mile).
 
-use bench::{check, finish, scenario, seed_from_env, Scale};
-use capture::Classifier;
+use bench::{campaign, check, execute, finish, seed_from_env, Scale};
 use cdnsim::{QuerySpec, ServiceConfig};
 use emulator::output::Tsv;
-use emulator::runner::run_collect;
+use emulator::{Design, ProcessedQuery};
 use inference::factoring::factor_fetch_time;
 use simcore::time::SimDuration;
 
@@ -32,71 +31,69 @@ struct ServiceFit {
     true_proc_mean_ms: f64,
 }
 
-fn run_service(
-    sc: &emulator::Scenario,
-    cfg: ServiceConfig,
-    radius_miles: f64,
-    repeats: u64,
-) -> Option<ServiceFit> {
-    let mut sim = sc.build_sim(cfg);
-    // FEs served by BE site 0 (the paper's chosen data center), within
-    // the radius, each paired with its nearest (small-RTT) vantage.
-    let plan: Vec<(usize, usize, f64)> = sim.with(|w, _| {
-        let mut plan = Vec::new();
-        for fe in 0..w.fe_count() {
-            if w.be_of_fe(fe) != 0 {
-                continue;
+/// FEs served by BE site 0 (the paper's chosen data center), within the
+/// radius, each paired with its nearest (small-RTT) vantage; `repeats`
+/// queries per FE. Planning is pure geometry, done inside the shard.
+fn fig9_design(radius_miles: f64, repeats: u64) -> Design {
+    Design::custom(move |sim| {
+        sim.with(|w, net| {
+            let mut plan = Vec::new();
+            for fe in 0..w.fe_count() {
+                if w.be_of_fe(fe) != 0 {
+                    continue;
+                }
+                let dist = w.fe_be_distance_miles(fe, 0);
+                if dist > radius_miles {
+                    continue;
+                }
+                // Nearest vantage by RTT.
+                let (client, rtt) = (0..w.clients().len())
+                    .map(|c| (c, w.client_fe_rtt_ms(c, fe)))
+                    .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                    .unwrap();
+                if rtt < 25.0 {
+                    plan.push((fe, client));
+                }
             }
-            let dist = w.fe_be_distance_miles(fe, 0);
-            if dist > radius_miles {
-                continue;
+            for (i, &(fe, client)) in plan.iter().enumerate() {
+                w.prewarm(net, fe, 0, 2);
+                for r in 0..repeats {
+                    w.schedule_query(
+                        net,
+                        SimDuration::from_millis(3_000 + r * 10_000 + i as u64 * 131),
+                        QuerySpec {
+                            client,
+                            keyword: 0,
+                            fixed_fe: Some(fe),
+                            instant_followup: false,
+                        },
+                    );
+                }
             }
-            // Nearest vantage by RTT.
-            let (client, rtt) = (0..w.clients().len())
-                .map(|c| (c, w.client_fe_rtt_ms(c, fe)))
-                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-                .unwrap();
-            if rtt < 25.0 {
-                plan.push((fe, client, dist));
-            }
-        }
-        plan
-    });
-    if plan.len() < 3 {
-        eprintln!("not enough qualifying FEs ({})", plan.len());
+        });
+    })
+}
+
+fn analyse(out: &[ProcessedQuery]) -> Option<ServiceFit> {
+    // Reconstruct the qualifying-FE set from the results: every query
+    // carries its FE and the FE↔BE distance ground truth.
+    let mut fes: Vec<usize> = out.iter().filter_map(|q| q.fe).collect();
+    fes.sort_unstable();
+    fes.dedup();
+    if fes.len() < 3 {
+        eprintln!("not enough qualifying FEs ({})", fes.len());
         return None;
     }
-    sim.with(|w, net| {
-        for (i, &(fe, client, _)) in plan.iter().enumerate() {
-            w.prewarm(net, fe, 0, 2);
-            for r in 0..repeats {
-                w.schedule_query(
-                    net,
-                    SimDuration::from_millis(3_000 + r * 10_000 + i as u64 * 131),
-                    QuerySpec {
-                        client,
-                        keyword: 0,
-                        fixed_fe: Some(fe),
-                        instant_followup: false,
-                    },
-                );
-            }
-        }
-    });
-    let out = run_collect(&mut sim, &Classifier::ByMarker);
     let mut points = Vec::new();
     let mut proc_samples = Vec::new();
-    for &(fe, _, dist) in &plan {
-        let td: Vec<f64> = out
-            .iter()
-            .filter(|q| q.fe == Some(fe))
-            .map(|q| q.params.t_dynamic_ms)
-            .collect();
+    for &fe in &fes {
+        let mine: Vec<&ProcessedQuery> = out.iter().filter(|q| q.fe == Some(fe)).collect();
+        let td: Vec<f64> = mine.iter().map(|q| q.params.t_dynamic_ms).collect();
         if let Some(m) = stats::quantile::median(&td) {
-            points.push((dist, m));
+            points.push((mine[0].dist_fe_be_miles, m));
         }
     }
-    for q in &out {
+    for q in out {
         proc_samples.push(q.proc_ms);
     }
     let factoring = factor_fetch_time(&points)?;
@@ -110,7 +107,6 @@ fn run_service(
 fn main() {
     let scale = Scale::from_env();
     let seed = seed_from_env();
-    let sc = scenario(scale, seed);
     // The Bing-like back-end's Tproc variance (its defining trait) buries
     // the ~0.07 ms/mile distance signal unless medians are taken over
     // many repeats — the authors hit the same wall and re-ran Sec. 5
@@ -120,8 +116,20 @@ fn main() {
         Scale::Paper => (96, 40),
     };
 
-    let bing = run_service(&sc, ServiceConfig::bing_like(seed), 620.0, rep_bing);
-    let google = run_service(&sc, ServiceConfig::google_like(seed), 700.0, rep_google);
+    let mut c = campaign(scale, seed);
+    c.push(
+        "bing-like",
+        ServiceConfig::bing_like(seed),
+        fig9_design(620.0, rep_bing),
+    );
+    c.push(
+        "google-like",
+        ServiceConfig::google_like(seed),
+        fig9_design(700.0, rep_google),
+    );
+    let report = execute(&c);
+    let bing = analyse(report.queries("bing-like"));
+    let google = analyse(report.queries("google-like"));
     let (bing, google) = match (bing, google) {
         (Some(b), Some(g)) => (b, g),
         _ => {

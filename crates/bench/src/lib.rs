@@ -27,7 +27,7 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
-use emulator::Scenario;
+use emulator::{Campaign, CampaignReport, Scenario};
 
 /// Run scale for the harness binaries.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -86,6 +86,21 @@ pub fn fig3_samples(scale: Scale) -> u64 {
         Scale::Quick => 120,
         Scale::Paper => 500,
     }
+}
+
+/// An empty campaign over the scale's scenario — harness binaries push
+/// their runs onto this and execute once.
+pub fn campaign(scale: Scale, seed: u64) -> Campaign {
+    Campaign::new(scenario(scale, seed))
+}
+
+/// Executes a campaign with the `FECDN_THREADS` worker count and prints
+/// the per-run wall-clock/queue stats to stderr (stdout stays reserved
+/// for the byte-stable TSV).
+pub fn execute(campaign: &Campaign) -> CampaignReport {
+    let report = campaign.execute();
+    eprint!("{}", report.stats_table());
+    report
 }
 
 /// A headline-shape check: prints PASS/FAIL to stderr and returns the

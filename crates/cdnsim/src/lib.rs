@@ -15,6 +15,9 @@
 //!   FE↔BE paths, slow variable back-end) from a Google-like one (sparse
 //!   dedicated POPs, private WAN, fast stable back-end), plus ablation
 //!   switches (split TCP off, static cache off, FE result caching on);
+//! * [`spec`] — [`WorldSpec`]: a self-contained descriptor (config +
+//!   vantages + corpus + network seed) from which a ready-to-run world is
+//!   constructed; the unit of sharding for parallel campaign execution;
 //! * [`world`] — [`ServiceWorld`], the `tcpsim::App` implementation: it
 //!   owns clients, FE servers, BE data centers, persistent FE↔BE
 //!   connection pools, and executes the full query lifecycle
@@ -27,9 +30,11 @@
 pub mod dns;
 pub mod fe;
 pub mod service;
+pub mod spec;
 pub mod world;
 
 pub use dns::{DnsMap, DnsPolicy, DnsResolver};
 pub use fe::FeServer;
 pub use service::{FeLoadProfile, RetryPolicy, ServiceConfig};
+pub use spec::WorldSpec;
 pub use world::{CompletedQuery, QueryOutcome, QuerySpec, ServiceWorld};

@@ -7,9 +7,9 @@
 //! distributions answers whether FEs cache (dynamically generated)
 //! search results.
 
-use crate::runner::{run_collect, ProcessedQuery};
+use crate::campaign::{Campaign, CampaignReport, Design};
+use crate::runner::ProcessedQuery;
 use crate::scenarios::Scenario;
-use capture::Classifier;
 use cdnsim::{QuerySpec, ServiceConfig};
 use inference::caching::{caching_verdict, CachingProbe};
 use simcore::time::SimDuration;
@@ -52,7 +52,8 @@ impl CachingProbeRun {
         }
     }
 
-    /// Runs both designs against `cfg` and compares.
+    /// Runs both designs against `cfg` as a two-run campaign and
+    /// compares.
     ///
     /// Design 1 (same query): all clients repeatedly submit one anchor
     /// keyword. Design 2 (distinct queries): every (client, repeat)
@@ -60,8 +61,21 @@ impl CachingProbeRun {
     /// for the keyword-class effect on `Tproc` so any distributional
     /// difference is attributable to caching alone.
     pub fn run(&self, scenario: &Scenario, cfg: ServiceConfig) -> Option<CachingOutcome> {
-        let same = self.run_design(scenario, cfg.clone(), true);
-        let distinct = self.run_design(scenario, cfg, false);
+        let mut campaign = Campaign::new(scenario.clone());
+        self.add_to(&mut campaign, "caching", cfg);
+        self.outcome(&campaign.execute(), "caching")
+    }
+
+    /// Pushes the probe's two runs (`{prefix}/same`, `{prefix}/distinct`)
+    /// onto a campaign, so several probes (different configs, different
+    /// FEs) execute as one parallel batch.
+    pub fn add_to(&self, campaign: &mut Campaign, prefix: &str, cfg: ServiceConfig) {
+        campaign.push(format!("{prefix}/same"), cfg.clone(), self.design(true));
+        campaign.push(format!("{prefix}/distinct"), cfg, self.design(false));
+    }
+
+    /// Extracts the comparison for the runs pushed under `prefix`.
+    pub fn outcome(&self, report: &CampaignReport, prefix: &str) -> Option<CachingOutcome> {
         let near = |qs: &[ProcessedQuery]| -> Vec<f64> {
             let filtered: Vec<f64> = qs
                 .iter()
@@ -76,8 +90,8 @@ impl CachingProbeRun {
                 qs.iter().map(|q| q.params.t_dynamic_ms).collect()
             }
         };
-        let same_ms = near(&same);
-        let distinct_ms = near(&distinct);
+        let same_ms = near(report.queries(&format!("{prefix}/same")));
+        let distinct_ms = near(report.queries(&format!("{prefix}/distinct")));
         let probe = caching_verdict(&same_ms, &distinct_ms)?;
         Some(CachingOutcome {
             same_query_ms: same_ms,
@@ -86,54 +100,49 @@ impl CachingProbeRun {
         })
     }
 
-    fn run_design(
-        &self,
-        scenario: &Scenario,
-        cfg: ServiceConfig,
-        same_query: bool,
-    ) -> Vec<ProcessedQuery> {
-        let mut sim = scenario.build_sim(cfg);
+    fn design(&self, same_query: bool) -> Design {
         let fe = self.fe;
         let repeats = self.repeats_per_client;
         let spacing = self.spacing;
-        sim.with(|w, net| {
-            let be = w.be_of_fe(fe);
-            w.prewarm(net, fe, be, 4);
-            let n_clients = w.clients().len();
-            // Anchor keyword and its class-mates (excluding the anchor).
-            let anchor = w.corpus().get(0).clone();
-            let class_mates: Vec<u64> = w
-                .corpus()
-                .all()
-                .iter()
-                .filter(|k| k.class == anchor.class && k.id != anchor.id)
-                .map(|k| k.id)
-                .collect();
-            assert!(!class_mates.is_empty(), "corpus too small for the probe");
-            for client in 0..n_clients {
-                let stagger = SimDuration::from_millis(3_000 + (client as u64 * 53) % 2_500);
-                for r in 0..repeats {
-                    let keyword = if same_query {
-                        anchor.id
-                    } else {
-                        // Distinct per (client, repeat), same class.
-                        class_mates
-                            [((client as u64 * repeats + r) % class_mates.len() as u64) as usize]
-                    };
-                    w.schedule_query(
-                        net,
-                        stagger + spacing * r,
-                        QuerySpec {
-                            client,
-                            keyword,
-                            fixed_fe: Some(fe),
-                            instant_followup: false,
-                        },
-                    );
+        Design::custom(move |sim| {
+            sim.with(|w, net| {
+                let be = w.be_of_fe(fe);
+                w.prewarm(net, fe, be, 4);
+                let n_clients = w.clients().len();
+                // Anchor keyword and its class-mates (excluding the anchor).
+                let anchor = w.corpus().get(0).clone();
+                let class_mates: Vec<u64> = w
+                    .corpus()
+                    .all()
+                    .iter()
+                    .filter(|k| k.class == anchor.class && k.id != anchor.id)
+                    .map(|k| k.id)
+                    .collect();
+                assert!(!class_mates.is_empty(), "corpus too small for the probe");
+                for client in 0..n_clients {
+                    let stagger = SimDuration::from_millis(3_000 + (client as u64 * 53) % 2_500);
+                    for r in 0..repeats {
+                        let keyword = if same_query {
+                            anchor.id
+                        } else {
+                            // Distinct per (client, repeat), same class.
+                            class_mates[((client as u64 * repeats + r) % class_mates.len() as u64)
+                                as usize]
+                        };
+                        w.schedule_query(
+                            net,
+                            stagger + spacing * r,
+                            QuerySpec {
+                                client,
+                                keyword,
+                                fixed_fe: Some(fe),
+                                instant_followup: false,
+                            },
+                        );
+                    }
                 }
-            }
-        });
-        run_collect(&mut sim, &Classifier::ByMarker)
+            });
+        })
     }
 }
 

@@ -1,0 +1,519 @@
+//! Sharded parallel campaign execution.
+//!
+//! A [`Campaign`] is a deterministically ordered list of independent
+//! [`RunDescriptor`]s — each one a full simulator world: a
+//! `ServiceConfig` plus an experiment design plus a derived seed. Runs
+//! execute across a
+//! [`std::thread::scope`] worker pool and their results are merged back
+//! in descriptor order, so campaign output is byte-identical regardless
+//! of worker count. The sharding boundary is the whole sim world: FE
+//! queue interactions between clients *inside* one world are untouched,
+//! only unrelated worlds run concurrently.
+//!
+//! Each run's world seed is [`simcore::rng::stream_seed`]`(campaign
+//! seed, run label)`, a named child stream — adding or reordering runs
+//! never perturbs the seed (and hence the packet trace) of any other
+//! run. Worker count comes from `FECDN_THREADS` (default: available
+//! parallelism; `1` is exactly the historical serial path).
+
+use crate::dataset_a::DatasetA;
+use crate::dataset_b::DatasetB;
+use crate::runner::{run_collect_with, ProcessedQuery};
+use crate::scenarios::Scenario;
+use capture::Classifier;
+use cdnsim::{CompletedQuery, QueryOutcome, ServiceConfig, ServiceWorld};
+use inference::SessionTally;
+use simcore::rng::stream_seed;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+use tcpsim::Sim;
+
+/// Reads the worker count from `FECDN_THREADS`. Unset or `0` means the
+/// machine's available parallelism; `1` forces the serial path.
+pub fn threads_from_env() -> usize {
+    match std::env::var("FECDN_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+    {
+        Some(n) if n > 0 => n,
+        _ => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    }
+}
+
+/// A boxed scheduling function for [`Design::Custom`].
+pub type ScheduleFn = Arc<dyn Fn(&mut Sim<ServiceWorld>) + Send + Sync>;
+
+/// The experiment design a run schedules into its world.
+#[derive(Clone)]
+pub enum Design {
+    /// Dataset A: every client queries its default FE.
+    DatasetA(DatasetA),
+    /// Dataset B: every client queries one fixed FE.
+    DatasetB(DatasetB),
+    /// An arbitrary scheduling function. It runs on the worker thread
+    /// that owns the shard, against the freshly built world — any
+    /// in-world planning (picking an FE, probing geometry) happens here,
+    /// not outside, so the descriptor stays self-contained.
+    Custom(ScheduleFn),
+}
+
+impl Design {
+    /// Wraps a scheduling closure.
+    pub fn custom(f: impl Fn(&mut Sim<ServiceWorld>) + Send + Sync + 'static) -> Design {
+        Design::Custom(Arc::new(f))
+    }
+
+    /// Schedules this design into a world.
+    pub fn schedule(&self, sim: &mut Sim<ServiceWorld>) {
+        match self {
+            Design::DatasetA(d) => d.schedule(sim),
+            Design::DatasetB(d) => d.schedule(sim),
+            Design::Custom(f) => f(sim),
+        }
+    }
+}
+
+impl fmt::Debug for Design {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Design::DatasetA(d) => f.debug_tuple("DatasetA").field(d).finish(),
+            Design::DatasetB(d) => f.debug_tuple("DatasetB").field(d).finish(),
+            Design::Custom(_) => f.write_str("Custom(..)"),
+        }
+    }
+}
+
+/// One independent run: a service configuration plus a design, with a
+/// world seed derived from the campaign seed and the run label.
+#[derive(Clone, Debug)]
+pub struct RunDescriptor {
+    /// Unique label (also the seed-derivation name and the merge key).
+    pub label: String,
+    /// The service under test.
+    pub cfg: ServiceConfig,
+    /// The experiment design.
+    pub design: Design,
+    /// Network-side world seed (derived; see [`Campaign::push`]).
+    pub seed: u64,
+    /// Timeline classifier used when processing completions.
+    pub classifier: Classifier,
+    /// Retain raw completions (with packet traces) in the result. Off by
+    /// default: traces dominate memory on long campaigns.
+    pub keep_raw: bool,
+}
+
+/// Execution bookkeeping of one run, surfaced so speedups are measurable.
+#[derive(Clone, Copy, Debug)]
+pub struct RunStats {
+    /// Worker slot that executed the run.
+    pub worker: usize,
+    /// Milliseconds the run waited from campaign start to pickup.
+    pub queue_ms: f64,
+    /// Wall-clock milliseconds of build + schedule + drive.
+    pub wall_ms: f64,
+}
+
+/// The merged output of one run.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// The descriptor's label.
+    pub label: String,
+    /// Processed queries in completion order.
+    pub queries: Vec<ProcessedQuery>,
+    /// Raw completions (empty unless the descriptor set `keep_raw`).
+    pub raw: Vec<CompletedQuery>,
+    /// Outcome/skip accounting for the run.
+    pub tally: SessionTally,
+    /// Wall-clock and queue bookkeeping.
+    pub stats: RunStats,
+}
+
+/// The merged results of a campaign, in descriptor order.
+#[derive(Clone, Debug)]
+pub struct CampaignReport {
+    /// Per-run results, in descriptor order (not completion order).
+    pub runs: Vec<RunResult>,
+    /// Worker count used.
+    pub threads: usize,
+    /// Campaign wall-clock, ms.
+    pub wall_ms: f64,
+}
+
+impl CampaignReport {
+    /// The result of the labelled run, if present.
+    pub fn get(&self, label: &str) -> Option<&RunResult> {
+        self.runs.iter().find(|r| r.label == label)
+    }
+
+    /// The processed queries of the labelled run. Panics on an unknown
+    /// label — descriptor labels are static strings, so a miss is a bug.
+    pub fn queries(&self, label: &str) -> &[ProcessedQuery] {
+        &self
+            .get(label)
+            .unwrap_or_else(|| panic!("no campaign run labelled {label:?}"))
+            .queries
+    }
+
+    /// Sum of per-run wall-clock times — what a serial execution would
+    /// have cost.
+    pub fn serial_ms(&self) -> f64 {
+        self.runs.iter().map(|r| r.stats.wall_ms).sum()
+    }
+
+    /// Serial-equivalent time over actual wall-clock time.
+    pub fn speedup(&self) -> f64 {
+        if self.wall_ms > 0.0 {
+            self.serial_ms() / self.wall_ms
+        } else {
+            1.0
+        }
+    }
+
+    /// Renders per-run wall-clock + queue stats plus the campaign
+    /// speedup line, for stderr. Never part of stdout TSV: timings vary
+    /// run to run while the TSV must stay byte-identical.
+    pub fn stats_table(&self) -> String {
+        let mut out = format!(
+            "{:<28} {:>8} {:>8} {:>10} {:>10} {:>7}\n",
+            "run", "queries", "skipped", "queue_ms", "wall_ms", "worker"
+        );
+        for r in &self.runs {
+            out.push_str(&format!(
+                "{:<28} {:>8} {:>8} {:>10.0} {:>10.0} {:>7}\n",
+                r.label,
+                r.queries.len(),
+                r.tally.skipped,
+                r.stats.queue_ms,
+                r.stats.wall_ms,
+                r.stats.worker,
+            ));
+        }
+        out.push_str(&format!(
+            "campaign: {} runs on {} thread(s), wall {:.0} ms, serial-equivalent {:.0} ms, speedup {:.2}x\n",
+            self.runs.len(),
+            self.threads,
+            self.wall_ms,
+            self.serial_ms(),
+            self.speedup(),
+        ));
+        out
+    }
+
+    /// Canonical TSV serialisation of the merged campaign — the golden
+    /// trace. One `#` accounting line plus one row per processed query,
+    /// per run, in descriptor order. Everything here is virtual-time or
+    /// outcome data: byte-identical across worker counts and machines.
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::from(
+            "run\tqid\tclient\tfe\tbe\tkeyword\tclass\tt_start_ms\trtt_ms\t\
+             t_static_ms\tt_dynamic_ms\tt_delta_ms\toverall_ms\toutcome\n",
+        );
+        for r in &self.runs {
+            let t = &r.tally;
+            out.push_str(&format!(
+                "# run={} ok={} degraded={} retried={} timed_out={} skipped={}\n",
+                r.label, t.ok, t.degraded, t.retried, t.timed_out, t.skipped
+            ));
+            for q in &r.queries {
+                let fe = q.fe.map_or(-1, |f| f as i64);
+                out.push_str(&format!(
+                    "{}\t{}\t{}\t{}\t{}\t{}\t{:?}\t{:.3}\t{:.3}\t{:.3}\t{:.3}\t{:.3}\t{:.3}\t{:?}\n",
+                    r.label,
+                    q.qid,
+                    q.client,
+                    fe,
+                    q.be,
+                    q.keyword,
+                    q.class,
+                    q.t_start_ms,
+                    q.params.rtt_ms,
+                    q.params.t_static_ms,
+                    q.params.t_dynamic_ms,
+                    q.params.t_delta_ms,
+                    q.params.overall_ms,
+                    q.outcome,
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// A deterministically ordered list of independent runs over one shared
+/// [`Scenario`].
+#[derive(Clone, Debug)]
+pub struct Campaign {
+    scenario: Scenario,
+    runs: Vec<RunDescriptor>,
+}
+
+impl Campaign {
+    /// An empty campaign over `scenario`.
+    pub fn new(scenario: Scenario) -> Campaign {
+        Campaign {
+            scenario,
+            runs: Vec::new(),
+        }
+    }
+
+    /// The shared scenario.
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// Number of runs.
+    pub fn len(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Whether the campaign has no runs.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// The descriptors, in execution (= merge) order.
+    pub fn descriptors(&self) -> &[RunDescriptor] {
+        &self.runs
+    }
+
+    /// Appends a run. The world seed is derived from the campaign seed
+    /// and the label, so every run owns an independent named stream and
+    /// adding a run never perturbs another. Returns the descriptor for
+    /// optional tweaks (`classifier`, `keep_raw`). Panics on a duplicate
+    /// label: labels are merge keys and seed-derivation names.
+    pub fn push(
+        &mut self,
+        label: impl Into<String>,
+        cfg: ServiceConfig,
+        design: Design,
+    ) -> &mut RunDescriptor {
+        let label = label.into();
+        assert!(
+            self.runs.iter().all(|r| r.label != label),
+            "duplicate campaign run label {label:?}"
+        );
+        let seed = stream_seed(self.scenario.seed, &label);
+        self.runs.push(RunDescriptor {
+            label,
+            cfg,
+            design,
+            seed,
+            classifier: Classifier::ByMarker,
+            keep_raw: false,
+        });
+        self.runs.last_mut().expect("just pushed")
+    }
+
+    /// Executes with the worker count from `FECDN_THREADS`.
+    pub fn execute(&self) -> CampaignReport {
+        self.execute_with_threads(threads_from_env())
+    }
+
+    /// Executes across `threads` workers (clamped to the run count;
+    /// `<= 1` runs serially on the calling thread with no pool at all).
+    /// Results are merged in descriptor order regardless of which worker
+    /// finished when.
+    pub fn execute_with_threads(&self, threads: usize) -> CampaignReport {
+        let t0 = Instant::now();
+        let n = self.runs.len();
+        let threads = threads.max(1).min(n.max(1));
+        let runs = if threads <= 1 {
+            self.runs
+                .iter()
+                .map(|d| self.execute_one(d, 0, t0))
+                .collect()
+        } else {
+            let next = AtomicUsize::new(0);
+            let mut slots: Vec<Option<RunResult>> = (0..n).map(|_| None).collect();
+            let finished: Vec<(usize, RunResult)> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|worker| {
+                        let next = &next;
+                        scope.spawn(move || {
+                            let mut mine = Vec::new();
+                            loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                if i >= n {
+                                    break;
+                                }
+                                mine.push((i, self.execute_one(&self.runs[i], worker, t0)));
+                            }
+                            mine
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("campaign worker panicked"))
+                    .collect()
+            });
+            for (i, r) in finished {
+                slots[i] = Some(r);
+            }
+            slots
+                .into_iter()
+                .map(|s| s.expect("every run index was dispatched exactly once"))
+                .collect()
+        };
+        CampaignReport {
+            runs,
+            threads,
+            wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+        }
+    }
+
+    /// Builds, schedules and drives one shard to quiescence.
+    fn execute_one(&self, d: &RunDescriptor, worker: usize, campaign_start: Instant) -> RunResult {
+        let queue_ms = campaign_start.elapsed().as_secs_f64() * 1e3;
+        let started = Instant::now();
+        let mut sim = self.scenario.spec(d.cfg.clone(), d.seed).build();
+        d.design.schedule(&mut sim);
+        let mut tally = SessionTally::default();
+        let mut raw = Vec::new();
+        let queries = run_collect_with(&mut sim, &d.classifier, |cq| {
+            match cq.outcome {
+                QueryOutcome::Ok => tally.ok += 1,
+                QueryOutcome::Degraded => tally.degraded += 1,
+                QueryOutcome::Retried(_) => tally.retried += 1,
+                QueryOutcome::TimedOut => tally.timed_out += 1,
+            }
+            if d.keep_raw {
+                raw.push(cq.clone());
+            }
+        });
+        tally.skipped = tally.total() - queries.len();
+        RunResult {
+            label: d.label.clone(),
+            queries,
+            raw,
+            tally,
+            stats: RunStats {
+                worker,
+                queue_ms,
+                wall_ms: started.elapsed().as_secs_f64() * 1e3,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset_a::KeywordPolicy;
+    use simcore::time::SimDuration;
+
+    fn two_run_campaign(seed: u64) -> Campaign {
+        let mut c = Campaign::new(Scenario::small(seed));
+        let d = DatasetA {
+            repeats: 2,
+            spacing: SimDuration::from_secs(2),
+            keywords: KeywordPolicy::Fixed(3),
+        };
+        c.push(
+            "bing",
+            ServiceConfig::bing_like(seed),
+            Design::DatasetA(d.clone()),
+        );
+        c.push(
+            "google",
+            ServiceConfig::google_like(seed),
+            Design::DatasetA(d),
+        );
+        c
+    }
+
+    #[test]
+    fn merge_order_is_descriptor_order() {
+        let report = two_run_campaign(51).execute_with_threads(2);
+        assert_eq!(report.runs.len(), 2);
+        assert_eq!(report.runs[0].label, "bing");
+        assert_eq!(report.runs[1].label, "google");
+        assert!(report.get("google").is_some());
+        assert!(report.get("absent").is_none());
+    }
+
+    #[test]
+    fn parallel_output_matches_serial_exactly() {
+        let c = two_run_campaign(52);
+        let serial = c.execute_with_threads(1);
+        let parallel = c.execute_with_threads(4);
+        assert_eq!(serial.to_tsv(), parallel.to_tsv());
+        assert_eq!(serial.threads, 1);
+        // Thread count clamps to the run count.
+        assert_eq!(parallel.threads, 2);
+    }
+
+    #[test]
+    fn run_seeds_are_label_derived_and_stable() {
+        let c = two_run_campaign(53);
+        let d = c.descriptors();
+        assert_eq!(d[0].seed, stream_seed(53, "bing"));
+        assert_eq!(d[1].seed, stream_seed(53, "google"));
+        assert_ne!(d[0].seed, d[1].seed);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate campaign run label")]
+    fn duplicate_labels_are_rejected() {
+        let mut c = Campaign::new(Scenario::small(54));
+        let d = DatasetA {
+            repeats: 1,
+            spacing: SimDuration::from_secs(1),
+            keywords: KeywordPolicy::Fixed(0),
+        };
+        c.push(
+            "x",
+            ServiceConfig::bing_like(54),
+            Design::DatasetA(d.clone()),
+        );
+        c.push("x", ServiceConfig::bing_like(54), Design::DatasetA(d));
+    }
+
+    #[test]
+    fn custom_designs_and_keep_raw_work() {
+        let mut c = Campaign::new(Scenario::small(55));
+        c.push(
+            "custom",
+            ServiceConfig::google_like(55),
+            Design::custom(|sim| {
+                sim.with(|w, net| {
+                    w.schedule_query(
+                        net,
+                        SimDuration::from_millis(1),
+                        cdnsim::QuerySpec {
+                            client: 0,
+                            keyword: 1,
+                            fixed_fe: None,
+                            instant_followup: false,
+                        },
+                    );
+                });
+            }),
+        )
+        .keep_raw = true;
+        let report = c.execute_with_threads(2);
+        let run = report.get("custom").unwrap();
+        assert_eq!(run.queries.len(), 1);
+        assert_eq!(run.raw.len(), 1);
+        assert!(!run.raw[0].trace.is_empty());
+        assert_eq!(run.tally.ok, 1);
+    }
+
+    #[test]
+    fn stats_and_tsv_shapes() {
+        let report = two_run_campaign(56).execute_with_threads(2);
+        let table = report.stats_table();
+        assert!(table.contains("speedup"));
+        assert!(report.serial_ms() > 0.0);
+        let tsv = report.to_tsv();
+        let header_cols = tsv.lines().next().unwrap().split('\t').count();
+        assert_eq!(header_cols, 14);
+        let first_row = tsv.lines().find(|l| l.starts_with("bing\t")).unwrap();
+        assert_eq!(first_row.split('\t').count(), header_cols);
+        assert!(tsv.contains("# run=bing ok="));
+    }
+}

@@ -5,7 +5,8 @@
 //! RTT CDF (Fig. 6), the default-FE `Tstatic`/`Tdynamic` scatter
 //! (Fig. 7) and the per-node overall-delay box plots (Fig. 8).
 
-use crate::runner::{run_collect, ProcessedQuery};
+use crate::campaign::{Campaign, Design};
+use crate::runner::ProcessedQuery;
 use crate::scenarios::Scenario;
 use capture::Classifier;
 use cdnsim::{QuerySpec, ServiceConfig, ServiceWorld};
@@ -78,17 +79,20 @@ impl DatasetA {
         });
     }
 
-    /// Runs the design against one service and returns the processed
-    /// queries.
+    /// Runs the design against one service as a single-run campaign and
+    /// returns the processed queries.
     pub fn run(
         &self,
         scenario: &Scenario,
         cfg: ServiceConfig,
         classifier: &Classifier,
     ) -> Vec<ProcessedQuery> {
-        let mut sim = scenario.build_sim(cfg);
-        self.schedule(&mut sim);
-        run_collect(&mut sim, classifier)
+        let mut campaign = Campaign::new(scenario.clone());
+        campaign
+            .push("dataset-a", cfg, Design::DatasetA(self.clone()))
+            .classifier = classifier.clone();
+        let mut report = campaign.execute_with_threads(1);
+        report.runs.remove(0).queries
     }
 }
 

@@ -7,7 +7,8 @@
 //! node against one FE expose how `Tstatic`/`Tdynamic`/`Tdelta` depend
 //! on RTT alone.
 
-use crate::runner::{run_collect, run_collect_with, ProcessedQuery};
+use crate::campaign::{Campaign, Design};
+use crate::runner::ProcessedQuery;
 use crate::scenarios::Scenario;
 use capture::Classifier;
 use cdnsim::{CompletedQuery, QuerySpec, ServiceConfig, ServiceWorld};
@@ -79,16 +80,20 @@ impl DatasetB {
         });
     }
 
-    /// Runs the design and returns the processed queries.
+    /// Runs the design as a single-run campaign and returns the
+    /// processed queries.
     pub fn run(
         &self,
         scenario: &Scenario,
         cfg: ServiceConfig,
         classifier: &Classifier,
     ) -> Vec<ProcessedQuery> {
-        let mut sim = scenario.build_sim(cfg);
-        self.schedule(&mut sim);
-        run_collect(&mut sim, classifier)
+        let mut campaign = Campaign::new(scenario.clone());
+        campaign
+            .push("dataset-b", cfg, Design::DatasetB(self.clone()))
+            .classifier = classifier.clone();
+        let mut report = campaign.execute_with_threads(1);
+        report.runs.remove(0).queries
     }
 
     /// Runs the design, also handing every raw completion (with its
@@ -99,11 +104,18 @@ impl DatasetB {
         scenario: &Scenario,
         cfg: ServiceConfig,
         classifier: &Classifier,
-        on_raw: impl FnMut(&CompletedQuery),
+        mut on_raw: impl FnMut(&CompletedQuery),
     ) -> Vec<ProcessedQuery> {
-        let mut sim = scenario.build_sim(cfg);
-        self.schedule(&mut sim);
-        run_collect_with(&mut sim, classifier, on_raw)
+        let mut campaign = Campaign::new(scenario.clone());
+        let descriptor = campaign.push("dataset-b", cfg, Design::DatasetB(self.clone()));
+        descriptor.classifier = classifier.clone();
+        descriptor.keep_raw = true;
+        let mut report = campaign.execute_with_threads(1);
+        let run = report.runs.remove(0);
+        for cq in &run.raw {
+            on_raw(cq);
+        }
+        run.queries
     }
 }
 

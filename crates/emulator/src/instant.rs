@@ -6,12 +6,13 @@
 //! each query hence still fits our basic model" — verified here by
 //! extracting a full timeline from every sub-query.
 
-use crate::runner::{run_collect, ProcessedQuery};
+use crate::campaign::{Campaign, Design};
+use crate::runner::ProcessedQuery;
 use crate::scenarios::Scenario;
-use capture::Classifier;
-use cdnsim::{QuerySpec, ServiceConfig};
+use cdnsim::{QuerySpec, ServiceConfig, ServiceWorld};
 use searchbe::instant::instant_session;
 use simcore::time::SimDuration;
+use tcpsim::Sim;
 
 /// Configuration of one instant-search campaign.
 #[derive(Clone, Debug)]
@@ -35,9 +36,10 @@ pub struct InstantSession {
 }
 
 impl InstantRun {
-    /// Runs the campaign; returns one session per client.
-    pub fn run(&self, scenario: &Scenario, cfg: ServiceConfig) -> Vec<InstantSession> {
-        let mut sim = scenario.build_sim(cfg);
+    /// Schedules the per-keystroke sub-queries into a world. Keystroke
+    /// gaps are drawn from the world's own RNG, so the schedule is part
+    /// of the shard and reproducible from its descriptor.
+    pub fn schedule(&self, sim: &mut Sim<ServiceWorld>) {
         let keyword = self.keyword;
         let min_prefix = self.min_prefix;
         let clients = self.clients.clone();
@@ -61,8 +63,12 @@ impl InstantRun {
                 }
             }
         });
-        let processed = run_collect(&mut sim, &Classifier::ByMarker);
-        clients
+    }
+
+    /// Groups a run's processed queries into per-client sessions in
+    /// keystroke (issue-time) order.
+    pub fn sessions(&self, processed: &[ProcessedQuery]) -> Vec<InstantSession> {
+        self.clients
             .iter()
             .map(|&client| {
                 let mut subqueries: Vec<ProcessedQuery> = processed
@@ -74,6 +80,20 @@ impl InstantRun {
                 InstantSession { client, subqueries }
             })
             .collect()
+    }
+
+    /// The campaign design scheduling this run.
+    pub fn design(&self) -> Design {
+        let this = self.clone();
+        Design::custom(move |sim| this.schedule(sim))
+    }
+
+    /// Runs as a single-run campaign; returns one session per client.
+    pub fn run(&self, scenario: &Scenario, cfg: ServiceConfig) -> Vec<InstantSession> {
+        let mut campaign = Campaign::new(scenario.clone());
+        campaign.push("instant", cfg, self.design());
+        let report = campaign.execute_with_threads(1);
+        self.sessions(report.queries("instant"))
     }
 }
 

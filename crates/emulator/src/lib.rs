@@ -21,6 +21,11 @@
 //! a timeline is extracted, so arbitrarily long campaigns run in bounded
 //! memory).
 //!
+//! Experiments are expressed as [`campaign`]s: deterministically ordered
+//! lists of independent run descriptors, executed across a worker pool
+//! (`FECDN_THREADS`) and merged back in descriptor order so output is
+//! byte-identical regardless of thread count.
+//!
 //! [`ProcessedQuery`]: runner::ProcessedQuery
 //! [`instant_run`]: instant::InstantRun::run
 
@@ -28,6 +33,7 @@
 #![forbid(unsafe_code)]
 
 pub mod caching_probe;
+pub mod campaign;
 pub mod dataset_a;
 pub mod dataset_b;
 pub mod instant;
@@ -36,5 +42,6 @@ pub mod report;
 pub mod runner;
 pub mod scenarios;
 
+pub use campaign::{Campaign, CampaignReport, Design, RunDescriptor, RunResult};
 pub use runner::{run_collect, ProcessedQuery};
 pub use scenarios::Scenario;

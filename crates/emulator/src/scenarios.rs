@@ -6,7 +6,7 @@
 //! engines" from the same PlanetLab nodes. [`Scenario`] pins that shared
 //! context; per-service worlds are derived from it.
 
-use cdnsim::{ServiceConfig, ServiceWorld};
+use cdnsim::{ServiceConfig, ServiceWorld, WorldSpec};
 use nettopo::vantage::{planetlab_like, Vantage, VantageConfig};
 use searchbe::keywords::KeywordCorpus;
 use tcpsim::Sim;
@@ -61,11 +61,22 @@ impl Scenario {
     /// tracing enabled. Any fault plan attached to the config is
     /// installed into the network (a no-op for the default empty plan).
     pub fn build_sim(&self, cfg: ServiceConfig) -> Sim<ServiceWorld> {
-        let world = ServiceWorld::new(cfg, self.vantages.clone(), self.corpus.clone());
-        let mut sim = Sim::new(self.seed ^ 0x5eed_cafe, world);
-        sim.net().trace_mut().set_enabled(true);
-        sim.with(|w, net| w.install_faults(net));
-        sim
+        // The historical world-seed derivation; campaign runs derive
+        // per-run seeds via `spec` instead.
+        self.spec(cfg, self.seed ^ 0x5eed_cafe).build()
+    }
+
+    /// The world descriptor for `cfg` under this scenario's shared
+    /// vantage/corpus context, with an explicit network-side seed.
+    /// Campaign descriptors construct their shard worlds through this.
+    pub fn spec(&self, cfg: ServiceConfig, world_seed: u64) -> WorldSpec {
+        WorldSpec {
+            cfg,
+            vantages: self.vantages.clone(),
+            corpus: self.corpus.clone(),
+            world_seed,
+            trace: true,
+        }
     }
 
     /// Convenience: the Bing-like simulator.

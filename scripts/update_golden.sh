@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Refreshes the committed golden campaign traces under tests/golden/.
+#
+# Run this only when an output change is *intentional* (simulator
+# behaviour, seed derivation, or TSV format changed on purpose), then
+# review the diff like any other code change.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mkdir -p tests/golden
+UPDATE_GOLDEN=1 cargo test --offline --test determinism golden_ -- --nocapture
+git --no-pager diff --stat -- tests/golden || true

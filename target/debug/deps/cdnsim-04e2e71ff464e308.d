@@ -1,11 +1,12 @@
-/root/repo/target/debug/deps/cdnsim-04e2e71ff464e308.d: crates/cdnsim/src/lib.rs crates/cdnsim/src/dns.rs crates/cdnsim/src/fe.rs crates/cdnsim/src/service.rs crates/cdnsim/src/world.rs Cargo.toml
+/root/repo/target/debug/deps/cdnsim-04e2e71ff464e308.d: crates/cdnsim/src/lib.rs crates/cdnsim/src/dns.rs crates/cdnsim/src/fe.rs crates/cdnsim/src/service.rs crates/cdnsim/src/spec.rs crates/cdnsim/src/world.rs Cargo.toml
 
-/root/repo/target/debug/deps/libcdnsim-04e2e71ff464e308.rmeta: crates/cdnsim/src/lib.rs crates/cdnsim/src/dns.rs crates/cdnsim/src/fe.rs crates/cdnsim/src/service.rs crates/cdnsim/src/world.rs Cargo.toml
+/root/repo/target/debug/deps/libcdnsim-04e2e71ff464e308.rmeta: crates/cdnsim/src/lib.rs crates/cdnsim/src/dns.rs crates/cdnsim/src/fe.rs crates/cdnsim/src/service.rs crates/cdnsim/src/spec.rs crates/cdnsim/src/world.rs Cargo.toml
 
 crates/cdnsim/src/lib.rs:
 crates/cdnsim/src/dns.rs:
 crates/cdnsim/src/fe.rs:
 crates/cdnsim/src/service.rs:
+crates/cdnsim/src/spec.rs:
 crates/cdnsim/src/world.rs:
 Cargo.toml:
 

@@ -1,11 +1,12 @@
-/root/repo/target/debug/deps/cdnsim-76603ad33e3df6c6.d: crates/cdnsim/src/lib.rs crates/cdnsim/src/dns.rs crates/cdnsim/src/fe.rs crates/cdnsim/src/service.rs crates/cdnsim/src/world.rs
+/root/repo/target/debug/deps/cdnsim-76603ad33e3df6c6.d: crates/cdnsim/src/lib.rs crates/cdnsim/src/dns.rs crates/cdnsim/src/fe.rs crates/cdnsim/src/service.rs crates/cdnsim/src/spec.rs crates/cdnsim/src/world.rs
 
-/root/repo/target/debug/deps/libcdnsim-76603ad33e3df6c6.rlib: crates/cdnsim/src/lib.rs crates/cdnsim/src/dns.rs crates/cdnsim/src/fe.rs crates/cdnsim/src/service.rs crates/cdnsim/src/world.rs
+/root/repo/target/debug/deps/libcdnsim-76603ad33e3df6c6.rlib: crates/cdnsim/src/lib.rs crates/cdnsim/src/dns.rs crates/cdnsim/src/fe.rs crates/cdnsim/src/service.rs crates/cdnsim/src/spec.rs crates/cdnsim/src/world.rs
 
-/root/repo/target/debug/deps/libcdnsim-76603ad33e3df6c6.rmeta: crates/cdnsim/src/lib.rs crates/cdnsim/src/dns.rs crates/cdnsim/src/fe.rs crates/cdnsim/src/service.rs crates/cdnsim/src/world.rs
+/root/repo/target/debug/deps/libcdnsim-76603ad33e3df6c6.rmeta: crates/cdnsim/src/lib.rs crates/cdnsim/src/dns.rs crates/cdnsim/src/fe.rs crates/cdnsim/src/service.rs crates/cdnsim/src/spec.rs crates/cdnsim/src/world.rs
 
 crates/cdnsim/src/lib.rs:
 crates/cdnsim/src/dns.rs:
 crates/cdnsim/src/fe.rs:
 crates/cdnsim/src/service.rs:
+crates/cdnsim/src/spec.rs:
 crates/cdnsim/src/world.rs:

@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/cdnsim-ad89f9bebd77f5d6.d: crates/cdnsim/src/lib.rs crates/cdnsim/src/dns.rs crates/cdnsim/src/fe.rs crates/cdnsim/src/service.rs crates/cdnsim/src/world.rs
+/root/repo/target/debug/deps/cdnsim-ad89f9bebd77f5d6.d: crates/cdnsim/src/lib.rs crates/cdnsim/src/dns.rs crates/cdnsim/src/fe.rs crates/cdnsim/src/service.rs crates/cdnsim/src/spec.rs crates/cdnsim/src/world.rs
 
-/root/repo/target/debug/deps/cdnsim-ad89f9bebd77f5d6: crates/cdnsim/src/lib.rs crates/cdnsim/src/dns.rs crates/cdnsim/src/fe.rs crates/cdnsim/src/service.rs crates/cdnsim/src/world.rs
+/root/repo/target/debug/deps/cdnsim-ad89f9bebd77f5d6: crates/cdnsim/src/lib.rs crates/cdnsim/src/dns.rs crates/cdnsim/src/fe.rs crates/cdnsim/src/service.rs crates/cdnsim/src/spec.rs crates/cdnsim/src/world.rs
 
 crates/cdnsim/src/lib.rs:
 crates/cdnsim/src/dns.rs:
 crates/cdnsim/src/fe.rs:
 crates/cdnsim/src/service.rs:
+crates/cdnsim/src/spec.rs:
 crates/cdnsim/src/world.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/determinism-d48423bb1d17ae03.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-d48423bb1d17ae03: tests/determinism.rs
+
+tests/determinism.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

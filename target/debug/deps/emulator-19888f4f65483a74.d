@@ -1,11 +1,12 @@
-/root/repo/target/debug/deps/emulator-19888f4f65483a74.d: crates/emulator/src/lib.rs crates/emulator/src/caching_probe.rs crates/emulator/src/dataset_a.rs crates/emulator/src/dataset_b.rs crates/emulator/src/instant.rs crates/emulator/src/output.rs crates/emulator/src/report.rs crates/emulator/src/runner.rs crates/emulator/src/scenarios.rs
+/root/repo/target/debug/deps/emulator-19888f4f65483a74.d: crates/emulator/src/lib.rs crates/emulator/src/caching_probe.rs crates/emulator/src/campaign.rs crates/emulator/src/dataset_a.rs crates/emulator/src/dataset_b.rs crates/emulator/src/instant.rs crates/emulator/src/output.rs crates/emulator/src/report.rs crates/emulator/src/runner.rs crates/emulator/src/scenarios.rs
 
-/root/repo/target/debug/deps/libemulator-19888f4f65483a74.rlib: crates/emulator/src/lib.rs crates/emulator/src/caching_probe.rs crates/emulator/src/dataset_a.rs crates/emulator/src/dataset_b.rs crates/emulator/src/instant.rs crates/emulator/src/output.rs crates/emulator/src/report.rs crates/emulator/src/runner.rs crates/emulator/src/scenarios.rs
+/root/repo/target/debug/deps/libemulator-19888f4f65483a74.rlib: crates/emulator/src/lib.rs crates/emulator/src/caching_probe.rs crates/emulator/src/campaign.rs crates/emulator/src/dataset_a.rs crates/emulator/src/dataset_b.rs crates/emulator/src/instant.rs crates/emulator/src/output.rs crates/emulator/src/report.rs crates/emulator/src/runner.rs crates/emulator/src/scenarios.rs
 
-/root/repo/target/debug/deps/libemulator-19888f4f65483a74.rmeta: crates/emulator/src/lib.rs crates/emulator/src/caching_probe.rs crates/emulator/src/dataset_a.rs crates/emulator/src/dataset_b.rs crates/emulator/src/instant.rs crates/emulator/src/output.rs crates/emulator/src/report.rs crates/emulator/src/runner.rs crates/emulator/src/scenarios.rs
+/root/repo/target/debug/deps/libemulator-19888f4f65483a74.rmeta: crates/emulator/src/lib.rs crates/emulator/src/caching_probe.rs crates/emulator/src/campaign.rs crates/emulator/src/dataset_a.rs crates/emulator/src/dataset_b.rs crates/emulator/src/instant.rs crates/emulator/src/output.rs crates/emulator/src/report.rs crates/emulator/src/runner.rs crates/emulator/src/scenarios.rs
 
 crates/emulator/src/lib.rs:
 crates/emulator/src/caching_probe.rs:
+crates/emulator/src/campaign.rs:
 crates/emulator/src/dataset_a.rs:
 crates/emulator/src/dataset_b.rs:
 crates/emulator/src/instant.rs:

@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/emulator-2ec1609fb6e9b71c.d: crates/emulator/src/lib.rs crates/emulator/src/caching_probe.rs crates/emulator/src/dataset_a.rs crates/emulator/src/dataset_b.rs crates/emulator/src/instant.rs crates/emulator/src/output.rs crates/emulator/src/report.rs crates/emulator/src/runner.rs crates/emulator/src/scenarios.rs Cargo.toml
+/root/repo/target/debug/deps/emulator-2ec1609fb6e9b71c.d: crates/emulator/src/lib.rs crates/emulator/src/caching_probe.rs crates/emulator/src/campaign.rs crates/emulator/src/dataset_a.rs crates/emulator/src/dataset_b.rs crates/emulator/src/instant.rs crates/emulator/src/output.rs crates/emulator/src/report.rs crates/emulator/src/runner.rs crates/emulator/src/scenarios.rs Cargo.toml
 
-/root/repo/target/debug/deps/libemulator-2ec1609fb6e9b71c.rmeta: crates/emulator/src/lib.rs crates/emulator/src/caching_probe.rs crates/emulator/src/dataset_a.rs crates/emulator/src/dataset_b.rs crates/emulator/src/instant.rs crates/emulator/src/output.rs crates/emulator/src/report.rs crates/emulator/src/runner.rs crates/emulator/src/scenarios.rs Cargo.toml
+/root/repo/target/debug/deps/libemulator-2ec1609fb6e9b71c.rmeta: crates/emulator/src/lib.rs crates/emulator/src/caching_probe.rs crates/emulator/src/campaign.rs crates/emulator/src/dataset_a.rs crates/emulator/src/dataset_b.rs crates/emulator/src/instant.rs crates/emulator/src/output.rs crates/emulator/src/report.rs crates/emulator/src/runner.rs crates/emulator/src/scenarios.rs Cargo.toml
 
 crates/emulator/src/lib.rs:
 crates/emulator/src/caching_probe.rs:
+crates/emulator/src/campaign.rs:
 crates/emulator/src/dataset_a.rs:
 crates/emulator/src/dataset_b.rs:
 crates/emulator/src/instant.rs:

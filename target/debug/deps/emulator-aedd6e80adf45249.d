@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/emulator-aedd6e80adf45249.d: crates/emulator/src/lib.rs crates/emulator/src/caching_probe.rs crates/emulator/src/dataset_a.rs crates/emulator/src/dataset_b.rs crates/emulator/src/instant.rs crates/emulator/src/output.rs crates/emulator/src/report.rs crates/emulator/src/runner.rs crates/emulator/src/scenarios.rs
+/root/repo/target/debug/deps/emulator-aedd6e80adf45249.d: crates/emulator/src/lib.rs crates/emulator/src/caching_probe.rs crates/emulator/src/campaign.rs crates/emulator/src/dataset_a.rs crates/emulator/src/dataset_b.rs crates/emulator/src/instant.rs crates/emulator/src/output.rs crates/emulator/src/report.rs crates/emulator/src/runner.rs crates/emulator/src/scenarios.rs
 
-/root/repo/target/debug/deps/emulator-aedd6e80adf45249: crates/emulator/src/lib.rs crates/emulator/src/caching_probe.rs crates/emulator/src/dataset_a.rs crates/emulator/src/dataset_b.rs crates/emulator/src/instant.rs crates/emulator/src/output.rs crates/emulator/src/report.rs crates/emulator/src/runner.rs crates/emulator/src/scenarios.rs
+/root/repo/target/debug/deps/emulator-aedd6e80adf45249: crates/emulator/src/lib.rs crates/emulator/src/caching_probe.rs crates/emulator/src/campaign.rs crates/emulator/src/dataset_a.rs crates/emulator/src/dataset_b.rs crates/emulator/src/instant.rs crates/emulator/src/output.rs crates/emulator/src/report.rs crates/emulator/src/runner.rs crates/emulator/src/scenarios.rs
 
 crates/emulator/src/lib.rs:
 crates/emulator/src/caching_probe.rs:
+crates/emulator/src/campaign.rs:
 crates/emulator/src/dataset_a.rs:
 crates/emulator/src/dataset_b.rs:
 crates/emulator/src/instant.rs:

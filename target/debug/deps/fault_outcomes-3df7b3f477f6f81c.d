@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fault_outcomes-3df7b3f477f6f81c.d: tests/fault_outcomes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfault_outcomes-3df7b3f477f6f81c.rmeta: tests/fault_outcomes.rs Cargo.toml
+
+tests/fault_outcomes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_outcomes-6a63b2b94729e6f9.d: tests/fault_outcomes.rs
+
+/root/repo/target/debug/deps/fault_outcomes-6a63b2b94729e6f9: tests/fault_outcomes.rs
+
+tests/fault_outcomes.rs:

@@ -1,11 +1,12 @@
-/root/repo/target/release/deps/cdnsim-c8287526a0540066.d: crates/cdnsim/src/lib.rs crates/cdnsim/src/dns.rs crates/cdnsim/src/fe.rs crates/cdnsim/src/service.rs crates/cdnsim/src/world.rs
+/root/repo/target/release/deps/cdnsim-c8287526a0540066.d: crates/cdnsim/src/lib.rs crates/cdnsim/src/dns.rs crates/cdnsim/src/fe.rs crates/cdnsim/src/service.rs crates/cdnsim/src/spec.rs crates/cdnsim/src/world.rs
 
-/root/repo/target/release/deps/libcdnsim-c8287526a0540066.rlib: crates/cdnsim/src/lib.rs crates/cdnsim/src/dns.rs crates/cdnsim/src/fe.rs crates/cdnsim/src/service.rs crates/cdnsim/src/world.rs
+/root/repo/target/release/deps/libcdnsim-c8287526a0540066.rlib: crates/cdnsim/src/lib.rs crates/cdnsim/src/dns.rs crates/cdnsim/src/fe.rs crates/cdnsim/src/service.rs crates/cdnsim/src/spec.rs crates/cdnsim/src/world.rs
 
-/root/repo/target/release/deps/libcdnsim-c8287526a0540066.rmeta: crates/cdnsim/src/lib.rs crates/cdnsim/src/dns.rs crates/cdnsim/src/fe.rs crates/cdnsim/src/service.rs crates/cdnsim/src/world.rs
+/root/repo/target/release/deps/libcdnsim-c8287526a0540066.rmeta: crates/cdnsim/src/lib.rs crates/cdnsim/src/dns.rs crates/cdnsim/src/fe.rs crates/cdnsim/src/service.rs crates/cdnsim/src/spec.rs crates/cdnsim/src/world.rs
 
 crates/cdnsim/src/lib.rs:
 crates/cdnsim/src/dns.rs:
 crates/cdnsim/src/fe.rs:
 crates/cdnsim/src/service.rs:
+crates/cdnsim/src/spec.rs:
 crates/cdnsim/src/world.rs:

@@ -1,11 +1,12 @@
-/root/repo/target/release/deps/emulator-d81c8d94f2ba5d54.d: crates/emulator/src/lib.rs crates/emulator/src/caching_probe.rs crates/emulator/src/dataset_a.rs crates/emulator/src/dataset_b.rs crates/emulator/src/instant.rs crates/emulator/src/output.rs crates/emulator/src/report.rs crates/emulator/src/runner.rs crates/emulator/src/scenarios.rs
+/root/repo/target/release/deps/emulator-d81c8d94f2ba5d54.d: crates/emulator/src/lib.rs crates/emulator/src/caching_probe.rs crates/emulator/src/campaign.rs crates/emulator/src/dataset_a.rs crates/emulator/src/dataset_b.rs crates/emulator/src/instant.rs crates/emulator/src/output.rs crates/emulator/src/report.rs crates/emulator/src/runner.rs crates/emulator/src/scenarios.rs
 
-/root/repo/target/release/deps/libemulator-d81c8d94f2ba5d54.rlib: crates/emulator/src/lib.rs crates/emulator/src/caching_probe.rs crates/emulator/src/dataset_a.rs crates/emulator/src/dataset_b.rs crates/emulator/src/instant.rs crates/emulator/src/output.rs crates/emulator/src/report.rs crates/emulator/src/runner.rs crates/emulator/src/scenarios.rs
+/root/repo/target/release/deps/libemulator-d81c8d94f2ba5d54.rlib: crates/emulator/src/lib.rs crates/emulator/src/caching_probe.rs crates/emulator/src/campaign.rs crates/emulator/src/dataset_a.rs crates/emulator/src/dataset_b.rs crates/emulator/src/instant.rs crates/emulator/src/output.rs crates/emulator/src/report.rs crates/emulator/src/runner.rs crates/emulator/src/scenarios.rs
 
-/root/repo/target/release/deps/libemulator-d81c8d94f2ba5d54.rmeta: crates/emulator/src/lib.rs crates/emulator/src/caching_probe.rs crates/emulator/src/dataset_a.rs crates/emulator/src/dataset_b.rs crates/emulator/src/instant.rs crates/emulator/src/output.rs crates/emulator/src/report.rs crates/emulator/src/runner.rs crates/emulator/src/scenarios.rs
+/root/repo/target/release/deps/libemulator-d81c8d94f2ba5d54.rmeta: crates/emulator/src/lib.rs crates/emulator/src/caching_probe.rs crates/emulator/src/campaign.rs crates/emulator/src/dataset_a.rs crates/emulator/src/dataset_b.rs crates/emulator/src/instant.rs crates/emulator/src/output.rs crates/emulator/src/report.rs crates/emulator/src/runner.rs crates/emulator/src/scenarios.rs
 
 crates/emulator/src/lib.rs:
 crates/emulator/src/caching_probe.rs:
+crates/emulator/src/campaign.rs:
 crates/emulator/src/dataset_a.rs:
 crates/emulator/src/dataset_b.rs:
 crates/emulator/src/instant.rs:

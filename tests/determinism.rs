@@ -1,0 +1,163 @@
+//! Campaign determinism: the sharded runner must be a pure
+//! reordering of the serial runner.
+//!
+//! Two guarantees are pinned here:
+//!
+//! 1. **Thread invariance** — a campaign's merged output is
+//!    byte-identical whether it runs on one worker or many. Each run
+//!    descriptor owns a whole simulated world and a seed derived only
+//!    from `(campaign seed, label)`, so scheduling order can never leak
+//!    into results.
+//! 2. **Golden traces** — the exact TSV of a small representative
+//!    campaign is committed under `tests/golden/`. Any change to the
+//!    simulator core, the world construction, the seed derivation or
+//!    the TSV formatting shows up as a diff here, reviewable in the PR
+//!    that caused it. Refresh intentionally with
+//!    `scripts/update_golden.sh`.
+
+use cdnsim::ServiceConfig;
+use emulator::dataset_a::{DatasetA, KeywordPolicy};
+use emulator::dataset_b::DatasetB;
+use emulator::{Campaign, Design, Scenario};
+use simcore::time::SimDuration;
+use std::path::PathBuf;
+
+/// A small campaign touching every design family: both stock dataset
+/// designs, both service archetypes, a custom closure design, and one
+/// run with raw-capture enabled.
+fn representative_campaign(seed: u64) -> Campaign {
+    let mut c = Campaign::new(Scenario::small(seed));
+    c.push(
+        "a/bing",
+        ServiceConfig::bing_like(seed),
+        Design::DatasetA(DatasetA {
+            repeats: 2,
+            spacing: SimDuration::from_secs(8),
+            keywords: KeywordPolicy::Fixed(0),
+        }),
+    );
+    c.push(
+        "a/google",
+        ServiceConfig::google_like(seed),
+        Design::DatasetA(DatasetA {
+            repeats: 2,
+            spacing: SimDuration::from_secs(8),
+            keywords: KeywordPolicy::RoundRobin(5),
+        }),
+    );
+    c.push(
+        "b/fixed-fe",
+        ServiceConfig::google_like(seed),
+        Design::DatasetB(DatasetB::against(0).with_repeats(3)),
+    );
+    let run = c.push(
+        "custom/close-pair",
+        ServiceConfig::bing_like(seed),
+        Design::custom(|sim| {
+            sim.with(|w, net| {
+                let fe = w.default_fe(0);
+                let be = w.be_of_fe(fe);
+                w.prewarm(net, fe, be, 2);
+                for r in 0..4u64 {
+                    w.schedule_query(
+                        net,
+                        SimDuration::from_millis(1_000 + r * 7_000),
+                        cdnsim::QuerySpec {
+                            client: 0,
+                            keyword: r,
+                            fixed_fe: Some(fe),
+                            instant_followup: false,
+                        },
+                    );
+                }
+            });
+        }),
+    );
+    run.keep_raw = true;
+    c
+}
+
+#[test]
+fn campaign_output_is_thread_invariant() {
+    let c = representative_campaign(42);
+    let serial = c.execute_with_threads(1);
+    let sharded = c.execute_with_threads(4);
+    assert_eq!(serial.threads, 1);
+    assert_eq!(sharded.threads, 4.min(c.len()).max(1));
+    assert_eq!(
+        serial.to_tsv(),
+        sharded.to_tsv(),
+        "merged TSV must be byte-identical at 1 and 4 workers"
+    );
+    // Raw captures merge identically too (same traces, same order).
+    let a = &serial.get("custom/close-pair").unwrap().raw;
+    let b = &sharded.get("custom/close-pair").unwrap().raw;
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(b.iter()) {
+        assert_eq!(x.trace.len(), y.trace.len());
+        assert_eq!(x.client, y.client);
+    }
+}
+
+#[test]
+fn campaign_output_is_oversubscription_invariant() {
+    // More workers than runs: excess threads must be clamped away, not
+    // spin on an empty queue or change the merge.
+    let c = representative_campaign(7);
+    assert_eq!(
+        c.execute_with_threads(2).to_tsv(),
+        c.execute_with_threads(64).to_tsv()
+    );
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn check_golden(seed: u64, name: &str) {
+    let got = representative_campaign(seed)
+        .execute_with_threads(4)
+        .to_tsv();
+    let path = golden_path(name);
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::write(&path, &got).unwrap();
+        eprintln!("rewrote {}", path.display());
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); run scripts/update_golden.sh",
+            path.display()
+        )
+    });
+    if got != want {
+        // A full assert_eq! dump of two multi-KB TSVs is unreadable;
+        // point at the first divergent line instead.
+        for (i, (g, w)) in got.lines().zip(want.lines()).enumerate() {
+            assert_eq!(
+                g,
+                w,
+                "golden {} diverges at line {} (intentional change? run scripts/update_golden.sh)",
+                name,
+                i + 1
+            );
+        }
+        panic!(
+            "golden {name} length changed: {} vs {} lines; run scripts/update_golden.sh if intentional",
+            got.lines().count(),
+            want.lines().count()
+        );
+    }
+}
+
+#[test]
+fn golden_trace_seed42_matches() {
+    check_golden(42, "campaign_seed42.tsv");
+}
+
+#[test]
+fn golden_trace_seed7_matches() {
+    check_golden(7, "campaign_seed7.tsv");
+}

@@ -308,6 +308,75 @@ proptest! {
     }
 }
 
+// ---------- campaign seed-derivation and accounting properties ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Per-run seed derivation is a pure function of (root, label):
+    /// the same descriptor always gets the same stream, and distinct
+    /// labels never collide in practice.
+    #[test]
+    fn stream_seeds_stable_and_collision_free(
+        root in 0u64..u64::MAX,
+        names in prop::collection::vec("[a-z0-9/_-]{1,24}", 2..24),
+    ) {
+        use simcore::rng::stream_seed;
+        let mut distinct = names.clone();
+        distinct.sort();
+        distinct.dedup();
+        let seeds: Vec<u64> = distinct.iter().map(|n| stream_seed(root, n)).collect();
+        // Same input → same output.
+        for (n, &s) in distinct.iter().zip(&seeds) {
+            prop_assert_eq!(stream_seed(root, n), s);
+        }
+        // Distinct names → distinct seeds (a 64-bit collision among a
+        // couple dozen names would indicate a broken mix, not luck).
+        let mut sorted = seeds.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), seeds.len(), "seed collision among {:?}", distinct);
+        // A run's seed is independent of what else is in the campaign:
+        // re-deriving from any subset gives the same value per name.
+        if let Some(first) = distinct.first() {
+            prop_assert_eq!(stream_seed(root, first), seeds[0]);
+        }
+    }
+
+    /// Campaign accounting: every scheduled query is accounted for —
+    /// processed rows plus skipped sessions equal the outcome total,
+    /// and the outcome total equals what the design scheduled.
+    #[test]
+    fn campaign_tally_accounts_for_every_query(
+        seed in 0u64..1_000,
+        repeats in 1u64..3,
+    ) {
+        use emulator::dataset_a::{DatasetA, KeywordPolicy};
+        use emulator::{Campaign, Design, Scenario};
+        use simcore::time::SimDuration;
+
+        let scenario = Scenario::with_size(seed, 6, 120);
+        let n_clients = scenario.vantages.len();
+        let mut c = Campaign::new(scenario);
+        c.push(
+            "tally",
+            cdnsim::ServiceConfig::google_like(seed),
+            Design::DatasetA(DatasetA {
+                repeats,
+                spacing: SimDuration::from_secs(6),
+                keywords: KeywordPolicy::Fixed(0),
+            }),
+        );
+        let report = c.execute_with_threads(2);
+        let run = report.get("tally").unwrap();
+        let t = run.tally;
+        let scheduled = n_clients * repeats as usize;
+        prop_assert_eq!(t.total(), scheduled, "tally {:?}", t);
+        prop_assert_eq!(run.queries.len() + t.skipped, t.total(), "tally {:?}", t);
+        prop_assert_eq!(t.ok + t.degraded + t.retried + t.timed_out, t.total());
+    }
+}
+
 // ---------- inference properties ----------
 
 proptest! {
