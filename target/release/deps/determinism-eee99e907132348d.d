@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/determinism-eee99e907132348d.d: tests/determinism.rs
+
+/root/repo/target/release/deps/determinism-eee99e907132348d: tests/determinism.rs
+
+tests/determinism.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

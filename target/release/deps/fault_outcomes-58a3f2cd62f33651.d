@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fault_outcomes-58a3f2cd62f33651.d: tests/fault_outcomes.rs
+
+/root/repo/target/release/deps/fault_outcomes-58a3f2cd62f33651: tests/fault_outcomes.rs
+
+tests/fault_outcomes.rs:
