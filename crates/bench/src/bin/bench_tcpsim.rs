@@ -1,0 +1,302 @@
+//! Canonical simulator-throughput benchmark: events/sec of the `tcpsim`
+//! packet hot path, with tracing on and off.
+//!
+//! Every experiment binary in this workspace is a consumer of the
+//! per-segment discrete-event core; this benchmark pins its throughput
+//! so perf regressions show up as a number, not as mysteriously slow
+//! campaigns. Two workloads:
+//!
+//! * `bulk` — a handful of long transfers (many-chunk responses, light
+//!   loss): the window-growth / ACK-clock steady state, dominated by
+//!   data-segment construction (`meta_for_range`) and trace recording.
+//! * `mixed` — thousands of short staggered sessions with loss: the
+//!   handshake / teardown / retransmission paths and per-session trace
+//!   extraction, the shape campaign runners actually produce.
+//!
+//! Each (workload × tracing) cell is run `repeats` times and the best
+//! wall-clock is kept (minimum is the right estimator for a
+//! deterministic computation on a noisy machine). Results go to stdout
+//! as a human summary and to `BENCH_tcpsim.json` in the working
+//! directory; `scripts/ci.sh` runs the `--smoke` mode and compares
+//! against the committed `BENCH_tcpsim.baseline.json`.
+//!
+//! Usage: `bench_tcpsim [--smoke] [--out PATH]`
+
+use std::collections::HashMap;
+use std::time::Instant;
+use tcpsim::{
+    App, ConnId, DeliveredSpan, End, Marker, Net, NodeId, PathParams, PktDir, Sim, TcpOptions,
+};
+
+/// Per-connection bookkeeping of the benchmark application.
+struct ConnState {
+    req_got: u64,
+    resp_got: u64,
+    resp_len: u64,
+}
+
+/// A client/server app: every connection carries one request and one
+/// chunked response (alternating Static/Dynamic spans, so segments
+/// regularly straddle chunk boundaries and carry 2 meta spans — the
+/// common case the inline span representation is sized for).
+struct BenchApp {
+    request: u64,
+    response: u64,
+    chunks: u32,
+    /// Extract each session's trace as soon as it completes, as the
+    /// measurement harness does (bounds memory; exercises `take_session`).
+    drain: bool,
+    conns: HashMap<ConnId, ConnState>,
+    finished: usize,
+    drained_events: u64,
+}
+
+impl BenchApp {
+    fn new(request: u64, response: u64, chunks: u32, drain: bool) -> BenchApp {
+        BenchApp {
+            request,
+            response,
+            chunks,
+            drain,
+            conns: HashMap::new(),
+            finished: 0,
+            drained_events: 0,
+        }
+    }
+}
+
+impl App for BenchApp {
+    fn on_established(&mut self, net: &mut Net, conn: ConnId, end: End) {
+        if end == End::A {
+            let req = self.request;
+            self.conns.insert(
+                conn,
+                ConnState {
+                    req_got: 0,
+                    resp_got: 0,
+                    resp_len: 0,
+                },
+            );
+            net.send(conn, End::A, req, Marker::Request, conn.0 as u64);
+        }
+    }
+
+    fn on_data(&mut self, net: &mut Net, conn: ConnId, end: End, spans: &[DeliveredSpan]) {
+        let bytes: u64 = spans.iter().map(|s| s.len as u64).sum();
+        let st = match self.conns.get_mut(&conn) {
+            Some(s) => s,
+            None => return,
+        };
+        match end {
+            End::B => {
+                st.req_got += bytes;
+                if st.req_got == self.request {
+                    // Respond in alternating static/dynamic chunks.
+                    let n = self.chunks.max(1) as u64;
+                    let base = self.response / n;
+                    let mut sent = 0u64;
+                    for i in 0..n {
+                        let len = if i == n - 1 {
+                            self.response - sent
+                        } else {
+                            base
+                        };
+                        sent += len;
+                        let (marker, content) = if i % 2 == 0 {
+                            (Marker::Static, 1)
+                        } else {
+                            (Marker::Dynamic, 1000 + conn.0 as u64 * n + i)
+                        };
+                        st.resp_len += len;
+                        net.send(conn, End::B, len, marker, content);
+                    }
+                    net.close(conn, End::B);
+                }
+            }
+            End::A => {
+                st.resp_got += bytes;
+                if st.resp_got == self.response {
+                    net.close(conn, End::A);
+                }
+            }
+        }
+    }
+
+    fn on_fin(&mut self, net: &mut Net, conn: ConnId, end: End) {
+        if end == End::A {
+            self.finished += 1;
+            self.conns.remove(&conn);
+            if self.drain {
+                let session = net.session_of(conn);
+                let events = net.trace_mut().take_session(session);
+                self.drained_events += events.len() as u64;
+                // Touch the payload labelling so the compiler cannot
+                // discard the recorded spans.
+                self.drained_events += events
+                    .iter()
+                    .filter(|e| e.dir == PktDir::Rx && e.meta.iter().any(|m| m.len == 0))
+                    .count() as u64;
+            }
+        }
+    }
+}
+
+/// One measured cell.
+struct Cell {
+    events: u64,
+    recorded: u64,
+    wall_s: f64,
+    finished: usize,
+}
+
+impl Cell {
+    fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.wall_s
+    }
+    fn recorded_per_sec(&self) -> f64 {
+        self.recorded as f64 / self.wall_s
+    }
+}
+
+struct Workload {
+    name: &'static str,
+    sessions: u32,
+    response: u64,
+    chunks: u32,
+    rtt_ms: f64,
+    loss: f64,
+}
+
+fn run_workload(w: &Workload, tracing: bool) -> Cell {
+    let app = BenchApp::new(400, w.response, w.chunks, tracing);
+    let mut sim = Sim::new(42, app);
+    sim.net().trace_mut().set_enabled(tracing);
+    for s in 0..w.sessions {
+        let path = PathParams::lossy(w.rtt_ms, w.loss);
+        sim.net().open(
+            NodeId(2 * s),
+            NodeId(2 * s + 1),
+            path,
+            TcpOptions::default(),
+            TcpOptions::default(),
+            s as u64,
+        );
+    }
+    let t0 = Instant::now();
+    sim.run();
+    let wall_s = t0.elapsed().as_secs_f64().max(1e-9);
+    let events = sim.net().events_processed();
+    let recorded = sim.net().trace().recorded();
+    let app = sim.into_app();
+    assert_eq!(
+        app.finished, w.sessions as usize,
+        "{}: every session must complete",
+        w.name
+    );
+    Cell {
+        events,
+        recorded,
+        wall_s,
+        finished: app.finished,
+    }
+}
+
+fn best_of(w: &Workload, tracing: bool, repeats: u32) -> Cell {
+    let mut best: Option<Cell> = None;
+    for _ in 0..repeats {
+        let c = run_workload(w, tracing);
+        if best.as_ref().is_none_or(|b| c.wall_s < b.wall_s) {
+            best = Some(c);
+        }
+    }
+    best.unwrap()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_tcpsim.json".to_string());
+    let (scale, repeats) = if smoke { (1u64, 2u32) } else { (4u64, 3u32) };
+
+    let workloads = [
+        Workload {
+            name: "bulk",
+            sessions: 8,
+            response: 2_000_000 * scale,
+            chunks: 64,
+            rtt_ms: 40.0,
+            loss: 0.002,
+        },
+        Workload {
+            name: "mixed",
+            sessions: (500 * scale) as u32,
+            response: 30_000,
+            chunks: 12,
+            rtt_ms: 80.0,
+            loss: 0.01,
+        },
+    ];
+
+    let mut rows = Vec::new();
+    let mut tot = [(0u64, 0u64, 0f64), (0u64, 0u64, 0f64)]; // [off, on] = (events, recorded, wall)
+    for w in &workloads {
+        for (ti, tracing) in [false, true].into_iter().enumerate() {
+            let c = best_of(w, tracing, repeats);
+            eprintln!(
+                "{:>5} tracing={:<5} events {:>9}  recorded {:>9}  wall {:>8.1} ms  {:>10.0} events/s  {:>10.0} rec pkts/s  ({} sessions)",
+                w.name,
+                tracing,
+                c.events,
+                c.recorded,
+                c.wall_s * 1e3,
+                c.events_per_sec(),
+                c.recorded_per_sec(),
+                c.finished,
+            );
+            tot[ti].0 += c.events;
+            tot[ti].1 += c.recorded;
+            tot[ti].2 += c.wall_s;
+            rows.push(format!(
+                concat!(
+                    "    {{\"workload\": \"{}\", \"tracing\": {}, \"events\": {}, ",
+                    "\"recorded_pkts\": {}, \"wall_ms\": {:.3}, \"events_per_sec\": {:.0}, ",
+                    "\"recorded_pkts_per_sec\": {:.0}}}"
+                ),
+                w.name,
+                tracing,
+                c.events,
+                c.recorded,
+                c.wall_s * 1e3,
+                c.events_per_sec(),
+                c.recorded_per_sec(),
+            ));
+        }
+    }
+
+    let eps_off = tot[0].0 as f64 / tot[0].2;
+    let eps_on = tot[1].0 as f64 / tot[1].2;
+    let rps_on = tot[1].1 as f64 / tot[1].2;
+    eprintln!(
+        "total tracing=off {:.0} events/s | tracing=on {:.0} events/s, {:.0} recorded pkts/s",
+        eps_off, eps_on, rps_on
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"bench_tcpsim\",\n  \"mode\": \"{}\",\n  \"repeats\": {},\n  \
+         \"events_per_sec_tracing_off\": {:.0},\n  \"events_per_sec_tracing_on\": {:.0},\n  \
+         \"recorded_pkts_per_sec\": {:.0},\n  \"cells\": [\n{}\n  ]\n}}\n",
+        if smoke { "smoke" } else { "full" },
+        repeats,
+        eps_off,
+        eps_on,
+        rps_on,
+        rows.join(",\n"),
+    );
+    std::fs::write(&out_path, json).expect("write BENCH_tcpsim.json");
+    println!("wrote {out_path}");
+}

@@ -119,7 +119,7 @@ mod tests {
             len,
             ack: 0,
             push: false,
-            meta,
+            meta: meta.into(),
         }
     }
 

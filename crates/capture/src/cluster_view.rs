@@ -74,7 +74,7 @@ impl TimelineView {
 mod tests {
     use super::*;
     use simcore::time::SimTime;
-    use tcpsim::{ConnId, PktDir, PktKind};
+    use tcpsim::{ConnId, PktDir, PktKind, SpanVec};
 
     fn ev(t_ms: f64, dir: PktDir, kind: PktKind, len: u32) -> PktEvent {
         PktEvent {
@@ -88,7 +88,7 @@ mod tests {
             len,
             ack: 1,
             push: false,
-            meta: vec![],
+            meta: SpanVec::new(),
         }
     }
 

@@ -65,7 +65,8 @@ mod tests {
                 len: 100,
                 marker,
                 content,
-            }],
+            }]
+            .into(),
         }
     }
 

@@ -176,7 +176,7 @@ pub fn parse_line(line: &str) -> Option<ParsedLine> {
 mod tests {
     use super::*;
     use simcore::time::SimTime;
-    use tcpsim::{ConnId, MetaSpan};
+    use tcpsim::{ConnId, MetaSpan, SpanVec};
 
     fn ev(kind: PktKind, push: bool) -> PktEvent {
         PktEvent {
@@ -197,8 +197,9 @@ mod tests {
                     marker: Marker::Static,
                     content: 1,
                 }]
+                .into()
             } else {
-                vec![]
+                SpanVec::new()
             },
         }
     }

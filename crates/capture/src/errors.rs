@@ -53,6 +53,10 @@ pub enum TimelineError {
     /// Retransmitted payload dominates the receive stream; landmark
     /// times would be fiction, not measurement.
     RetransmissionHeavy,
+    /// Packet tracing was disabled while the session ran, so there is
+    /// nothing to extract — an empty timeline here would be a harness
+    /// misconfiguration silently read as "no packets arrived".
+    TracingDisabled,
 }
 
 impl fmt::Display for TimelineError {
@@ -71,6 +75,9 @@ impl fmt::Display for TimelineError {
             }
             TimelineError::RetransmissionHeavy => {
                 write!(f, "retransmissions dominate the receive stream")
+            }
+            TimelineError::TracingDisabled => {
+                write!(f, "packet tracing was disabled; no events were captured")
             }
         }
     }
@@ -102,6 +109,9 @@ mod tests {
             .to_string()
             .contains("SYN-ACK"));
         assert!(TimelineError::Truncated.to_string().contains("truncated"));
+        assert!(TimelineError::TracingDisabled
+            .to_string()
+            .contains("tracing was disabled"));
     }
 
     #[test]

@@ -111,7 +111,7 @@ impl ClientTrace {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tcpsim::{ConnId, MetaSpan};
+    use tcpsim::{ConnId, SpanVec};
 
     fn ev(
         t_ms: u64,
@@ -133,7 +133,7 @@ mod tests {
             len,
             ack,
             push: false,
-            meta: Vec::<MetaSpan>::new(),
+            meta: SpanVec::new(),
         }
     }
 

@@ -159,7 +159,7 @@ mod tests {
             len,
             ack,
             push,
-            meta,
+            meta: meta.into(),
         }
     }
 

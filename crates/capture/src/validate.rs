@@ -115,7 +115,7 @@ mod tests {
             len,
             ack,
             push,
-            meta,
+            meta: meta.into(),
         }
     }
 

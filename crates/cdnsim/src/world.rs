@@ -123,6 +123,10 @@ pub struct CompletedQuery {
     /// All packet events of this query's session (client, FE and BE
     /// observations; filter by node for the client-side view).
     pub trace: Vec<PktEvent>,
+    /// False when packet tracing was off while this query ran: the empty
+    /// `trace` means "not captured", not "no packets" — downstream
+    /// timeline extraction reports a typed error instead of analysing it.
+    pub traced: bool,
     /// How the query ended ([`QueryOutcome::Ok`] on the happy path).
     pub outcome: QueryOutcome,
 }
@@ -992,7 +996,10 @@ impl ServiceWorld {
             net.abort(bc);
             self.conn_info.remove(&bc);
         }
-        let trace = net.trace_mut().take_session(qid);
+        let (trace, traced) = match net.trace_mut().try_take_session(qid) {
+            Some(t) => (t, true),
+            None => (Vec::new(), false),
+        };
         let policy = self
             .cfg
             .client_retry
@@ -1045,6 +1052,7 @@ impl ServiceWorld {
             rtt_fe_be_ms: q.rtt_fe_be_ms,
             dist_fe_be_miles: q.dist_fe_be_miles,
             trace,
+            traced,
             outcome: QueryOutcome::TimedOut,
         });
     }
@@ -1057,7 +1065,10 @@ impl ServiceWorld {
         self.conn_info.remove(&q.client_conn);
         // Orderly close from the client side too.
         net.close(q.client_conn, End::A);
-        let trace = net.trace_mut().take_session(qid);
+        let (trace, traced) = match net.trace_mut().try_take_session(qid) {
+            Some(t) => (t, true),
+            None => (Vec::new(), false),
+        };
         let outcome = if q.degraded {
             QueryOutcome::Degraded
         } else if q.attempt > 0 {
@@ -1086,6 +1097,7 @@ impl ServiceWorld {
             rtt_fe_be_ms: q.rtt_fe_be_ms,
             dist_fe_be_miles: q.dist_fe_be_miles,
             trace,
+            traced,
             outcome,
         });
     }

@@ -53,6 +53,9 @@ pub fn process(
     cq: &CompletedQuery,
     classifier: &Classifier,
 ) -> Result<ProcessedQuery, TimelineError> {
+    if !cq.traced {
+        return Err(TimelineError::TracingDisabled);
+    }
     let client_node = ServiceWorld::client_node(cq.client);
     let tl = Timeline::extract(&cq.trace, client_node, classifier)?;
     Ok(ProcessedQuery {
@@ -244,6 +247,48 @@ mod tests {
         assert_eq!(tally.skipped, 4, "degraded stubs must not be inferable");
         assert!(out.is_empty());
         assert_eq!(tally.usable_fraction(), 0.0);
+    }
+
+    #[test]
+    fn untraced_queries_yield_a_typed_error_not_an_empty_timeline() {
+        // Tracing off is a harness misconfiguration, not a session with
+        // no packets: processing must fail with the dedicated variant
+        // (and the tally must count the query as skipped), never succeed
+        // against a vacuously empty trace.
+        let s = Scenario::small(4);
+        let mut sim = s.google_sim();
+        sim.net().trace_mut().set_enabled(false);
+        sim.with(|w, net| {
+            w.schedule_query(
+                net,
+                SimDuration::from_millis(1),
+                QuerySpec {
+                    client: 0,
+                    keyword: 1,
+                    fixed_fe: None,
+                    instant_followup: false,
+                },
+            );
+        });
+        let mut raw = Vec::new();
+        let (out, tally) = {
+            let mut tally = inference::SessionTally::default();
+            let out = run_collect_with(&mut sim, &Classifier::ByMarker, |cq| {
+                tally.ok += 1;
+                raw.push(cq.clone());
+            });
+            tally.skipped = tally.total() - out.len();
+            (out, tally)
+        };
+        assert!(out.is_empty());
+        assert_eq!(tally.skipped, 1);
+        assert_eq!(raw.len(), 1);
+        assert!(!raw[0].traced);
+        assert!(raw[0].trace.is_empty());
+        assert_eq!(
+            process(&raw[0], &Classifier::ByMarker).unwrap_err(),
+            TimelineError::TracingDisabled
+        );
     }
 
     #[test]

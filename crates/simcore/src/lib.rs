@@ -15,6 +15,8 @@
 //! * [`dist`] — the probability distributions used by the latency, loss,
 //!   load and processing-time models (uniform, exponential, normal,
 //!   log-normal, Pareto, Weibull, Bernoulli, empirical).
+//! * [`SmallVec`] — a hand-rolled inline-first small-vector; the packet
+//!   hot path uses it to carry content spans without heap allocation.
 //!
 //! The crate is `std`-only, dependency-free and single-threaded by design:
 //! reproducibility of packet traces is a core requirement of the
@@ -26,9 +28,11 @@
 pub mod dist;
 pub mod queue;
 pub mod rng;
+pub mod smallvec;
 pub mod time;
 
 pub use dist::{Dist, Sampler};
 pub use queue::EventQueue;
 pub use rng::Rng;
+pub use smallvec::SmallVec;
 pub use time::{SimDuration, SimTime};

@@ -1,31 +1,39 @@
 //! The event queue driving the discrete-event simulation.
 //!
-//! A thin wrapper around `BinaryHeap` that (a) orders events by virtual
-//! time, and (b) breaks ties between simultaneous events by insertion
-//! order. The FIFO tie-break matters: without it, two packets enqueued for
-//! the same instant would pop in an order depending on heap internals,
-//! and simulation runs would not be bit-reproducible across refactorings.
+//! A binary heap that (a) orders events by virtual time, and (b) breaks
+//! ties between simultaneous events by insertion order. The FIFO
+//! tie-break matters: without it, two packets enqueued for the same
+//! instant would pop in an order depending on heap internals, and
+//! simulation runs would not be bit-reproducible across refactorings.
+//!
+//! Payloads live in a slab indexed by the heap entries rather than in
+//! the heap itself: sift operations then move 24-byte `(time, seq, idx)`
+//! records instead of full event payloads (a packet-delivery event
+//! carries a whole segment, ~100 bytes). Freed slab slots are recycled
+//! through a free list, so a steady-state simulation allocates nothing
+//! per event. The slot an event lands in never influences ordering —
+//! only `(time, seq)` does — so recycling cannot perturb trajectories.
 
 use crate::time::{SimDuration, SimTime};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-/// An entry in the queue: the scheduled instant, a monotone sequence
-/// number, and the payload.
-struct Entry<E> {
+/// A heap entry: the scheduled instant, a monotone sequence number, and
+/// the payload's slab slot.
+struct Entry {
     at: SimTime,
     seq: u64,
-    payload: E,
+    idx: u32,
 }
 
-impl<E> PartialEq for Entry<E> {
+impl PartialEq for Entry {
     fn eq(&self, other: &Self) -> bool {
         self.at == other.at && self.seq == other.seq
     }
 }
-impl<E> Eq for Entry<E> {}
+impl Eq for Entry {}
 
-impl<E> Ord for Entry<E> {
+impl Ord for Entry {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reversed: BinaryHeap is a max-heap, we want earliest-first.
         other
@@ -34,7 +42,7 @@ impl<E> Ord for Entry<E> {
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }
-impl<E> PartialOrd for Entry<E> {
+impl PartialOrd for Entry {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
@@ -49,7 +57,9 @@ impl<E> PartialOrd for Entry<E> {
 /// "now" in release builds, which keeps long batch runs alive while still
 /// surfacing the bug under test).
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    heap: BinaryHeap<Entry>,
+    slab: Vec<Option<E>>,
+    free: Vec<u32>,
     now: SimTime,
     next_seq: u64,
     popped: u64,
@@ -66,6 +76,8 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
             now: SimTime::ZERO,
             next_seq: 0,
             popped: 0,
@@ -105,7 +117,17 @@ impl<E> EventQueue<E> {
         let at = if at < self.now { self.now } else { at };
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { at, seq, payload });
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.slab[i as usize] = Some(payload);
+                i
+            }
+            None => {
+                self.slab.push(Some(payload));
+                (self.slab.len() - 1) as u32
+            }
+        };
+        self.heap.push(Entry { at, seq, idx });
     }
 
     /// Schedules `payload` after a relative delay from the current time.
@@ -124,12 +146,18 @@ impl<E> EventQueue<E> {
         debug_assert!(entry.at >= self.now, "event queue time went backwards");
         self.now = entry.at;
         self.popped += 1;
-        Some((entry.at, entry.payload))
+        let payload = self.slab[entry.idx as usize]
+            .take()
+            .expect("heap entry without slab payload");
+        self.free.push(entry.idx);
+        Some((entry.at, payload))
     }
 
     /// Drops all pending events, keeping the clock where it is.
     pub fn clear(&mut self) {
         self.heap.clear();
+        self.slab.clear();
+        self.free.clear();
     }
 }
 
@@ -222,5 +250,27 @@ mod tests {
         assert_eq!(second, 50);
         let (_, third) = q.pop().unwrap();
         assert_eq!(third, 100);
+    }
+
+    #[test]
+    fn slab_slots_are_recycled() {
+        // Heavy schedule/pop churn must not grow the slab beyond the
+        // high-water mark of concurrently pending events.
+        let mut q = EventQueue::new();
+        for round in 0..1_000u64 {
+            for k in 0..4u64 {
+                q.schedule_in(SimDuration::from_millis(k + 1), round * 4 + k);
+            }
+            for _ in 0..4 {
+                q.pop().unwrap();
+            }
+        }
+        assert!(q.is_empty());
+        assert!(
+            q.slab.len() <= 8,
+            "slab grew to {} slots for 4 pending events",
+            q.slab.len()
+        );
+        assert_eq!(q.events_processed(), 4_000);
     }
 }

@@ -9,7 +9,7 @@
 
 use crate::cubic::CubicState;
 use crate::opts::{CongAlgo, TcpOptions};
-use crate::segment::{Marker, MetaSpan};
+use crate::segment::{Marker, MetaSpan, SpanVec};
 use simcore::time::{SimDuration, SimTime};
 use std::collections::BTreeMap;
 
@@ -60,7 +60,7 @@ pub struct OooSeg {
     /// PSH flag.
     pub push: bool,
     /// Content spans.
-    pub meta: Vec<MetaSpan>,
+    pub meta: SpanVec,
     /// True if this parked entry is the peer's FIN.
     pub fin: bool,
 }
@@ -100,7 +100,19 @@ pub struct Endpoint {
 
     // ---- send side ----
     /// Application chunks (cumulative offsets) — the send stream map.
+    /// Chunks wholly below the ACKed frontier are pruned; the first
+    /// entry starts at [`Endpoint::chunks_base`], not necessarily 0.
     pub chunks: Vec<Chunk>,
+    /// Stream offset where `chunks[0]` starts (the end of the last
+    /// pruned chunk). Invariant: `chunks_base <= snd_una`, so every
+    /// range the sender can still (re)transmit is covered.
+    pub chunks_base: u64,
+    /// Cursor into `chunks`: the index where the previous
+    /// [`Endpoint::meta_for_range`] lookup ended. Sends are sequential,
+    /// so the next lookup almost always resumes here (O(1)) instead of
+    /// rescanning the chunk map; out-of-order offsets (retransmissions)
+    /// fall back to a binary search.
+    pub chunk_cursor: usize,
     /// Total bytes appended to the send stream.
     pub stream_len: u64,
     /// Oldest unacknowledged sequence number.
@@ -169,6 +181,8 @@ impl Endpoint {
             opts,
             state: TcpState::Closed,
             chunks: Vec::new(),
+            chunks_base: 0,
+            chunk_cursor: 0,
             stream_len: 0,
             snd_una: 0,
             snd_nxt: 0,
@@ -226,19 +240,49 @@ impl Endpoint {
         });
     }
 
+    /// Stream offset where chunk `i` starts.
+    fn chunk_start(&self, i: usize) -> u64 {
+        if i == 0 {
+            self.chunks_base
+        } else {
+            self.chunks[i - 1].end_off
+        }
+    }
+
     /// The meta spans covering stream range `[from, from+len)`, rebuilt
     /// from the chunk map (also used for retransmissions).
-    pub fn meta_for_range(&self, from: u64, len: u32) -> Vec<MetaSpan> {
+    ///
+    /// Resumes from the cursor left by the previous lookup: sequential
+    /// sends are O(spans) instead of O(chunks), and any out-of-order
+    /// `from` (fast retransmit, RTO resend) repositions by binary
+    /// search. Requires `from >= chunks_base` — guaranteed inside the
+    /// simulator because only ranges at or above `snd_una` are ever
+    /// (re)transmitted and pruning stops at the ACKed frontier.
+    pub fn meta_for_range(&mut self, from: u64, len: u32) -> SpanVec {
+        debug_assert!(
+            from >= self.chunks_base,
+            "meta_for_range below the pruned frontier: {from} < {}",
+            self.chunks_base
+        );
         let to = from + len as u64;
-        let mut out = Vec::new();
-        let mut start = 0u64;
-        for c in &self.chunks {
-            let c_start = start;
-            let c_end = c.end_off;
-            start = c_end;
-            if c_end <= from {
-                continue;
+        let mut out = SpanVec::new();
+        let n = self.chunks.len();
+        // Reposition: the cursor chunk, its successor (a sequential send
+        // that just crossed a chunk boundary), or binary search.
+        let mut i = self.chunk_cursor;
+        let contains =
+            |i: usize| i < n && self.chunk_start(i) <= from && from < self.chunks[i].end_off;
+        if !contains(i) {
+            if contains(i + 1) {
+                i += 1;
+            } else {
+                i = self.chunks.partition_point(|c| c.end_off <= from);
             }
+        }
+        let mut c_start = self.chunk_start(i.min(n));
+        while i < n {
+            let c = &self.chunks[i];
+            let c_end = c.end_off;
             if c_start >= to {
                 break;
             }
@@ -250,7 +294,10 @@ impl Endpoint {
                 marker: c.marker,
                 content: c.content,
             });
+            c_start = c_end;
+            i += 1;
         }
+        self.chunk_cursor = i.saturating_sub(1);
         out
     }
 
@@ -258,7 +305,25 @@ impl Endpoint {
     /// boundary — those segments carry PSH.
     pub fn range_ends_chunk(&self, from: u64, len: u32) -> bool {
         let to = from + len as u64;
-        self.chunks.iter().any(|c| c.end_off == to) && to > from
+        if to == from {
+            return false;
+        }
+        // Chunk ends are strictly increasing: binary-search for `to`.
+        let i = self.chunks.partition_point(|c| c.end_off < to);
+        i < self.chunks.len() && self.chunks[i].end_off == to
+    }
+
+    /// Drops chunks wholly below the ACKed frontier (`snd_una`): their
+    /// bytes can never be retransmitted, so the chunk map stays short on
+    /// long-lived connections that stream many application chunks.
+    fn prune_acked_chunks(&mut self) {
+        let una = self.snd_una;
+        let k = self.chunks.partition_point(|c| c.end_off <= una);
+        if k > 0 {
+            self.chunks_base = self.chunks[k - 1].end_off;
+            self.chunks.drain(..k);
+            self.chunk_cursor = self.chunk_cursor.saturating_sub(k);
+        }
     }
 
     /// Applies slow-start-after-idle (RFC 2861) if enabled: called before
@@ -305,6 +370,7 @@ impl Endpoint {
         if ack > self.snd_una {
             let acked = ack - self.snd_una;
             self.snd_una = ack;
+            self.prune_acked_chunks();
             if let Some((probe_end, sent_at)) = self.rtt_probe {
                 if ack >= probe_end {
                     let sample = now.saturating_since(sent_at);
@@ -402,9 +468,9 @@ impl Endpoint {
         len: u32,
         push: bool,
         fin: bool,
-        meta: Vec<MetaSpan>,
-    ) -> (Vec<MetaSpan>, AckPolicy) {
-        let mut delivered = Vec::new();
+        meta: SpanVec,
+    ) -> (SpanVec, AckPolicy) {
+        let mut delivered = SpanVec::new();
         if fin {
             self.peer_fin_seq = Some(seq);
         }
@@ -673,12 +739,13 @@ mod tests {
     #[test]
     fn in_order_receive_delivers_and_delays_ack() {
         let mut e = ep();
-        let meta = vec![MetaSpan {
+        let meta: SpanVec = vec![MetaSpan {
             offset: 0,
             len: 1460,
             marker: Marker::Static,
             content: 9,
-        }];
+        }]
+        .into();
         let (spans, policy) = e.accept(0, 1460, false, false, meta);
         assert_eq!(spans.len(), 1);
         assert_eq!(e.rcv_nxt, 1460);
@@ -688,13 +755,14 @@ mod tests {
     #[test]
     fn second_segment_acks_immediately() {
         let mut e = ep();
-        let mk = |off: u64| {
+        let mk = |off: u64| -> SpanVec {
             vec![MetaSpan {
                 offset: off,
                 len: 1460,
                 marker: Marker::Static,
                 content: 9,
             }]
+            .into()
         };
         let (_, p1) = e.accept(0, 1460, false, false, mk(0));
         assert_eq!(p1, AckPolicy::Delayed);
@@ -716,7 +784,8 @@ mod tests {
                 len: 400,
                 marker: Marker::Request,
                 content: 1,
-            }],
+            }]
+            .into(),
         );
         assert_eq!(p, AckPolicy::Immediate);
     }
@@ -724,13 +793,14 @@ mod tests {
     #[test]
     fn out_of_order_parks_then_drains() {
         let mut e = ep();
-        let mk = |off: u64, len: u32| {
+        let mk = |off: u64, len: u32| -> SpanVec {
             vec![MetaSpan {
                 offset: off,
                 len,
                 marker: Marker::Dynamic,
                 content: 3,
             }]
+            .into()
         };
         let (spans, p) = e.accept(1460, 1460, false, false, mk(1460, 1460));
         assert!(spans.is_empty());
@@ -746,12 +816,13 @@ mod tests {
     #[test]
     fn duplicate_segments_reack_but_do_not_redeliver() {
         let mut e = ep();
-        let mk = vec![MetaSpan {
+        let mk: SpanVec = vec![MetaSpan {
             offset: 0,
             len: 1460,
             marker: Marker::Static,
             content: 1,
-        }];
+        }]
+        .into();
         let (s1, _) = e.accept(0, 1460, false, false, mk.clone());
         assert_eq!(s1.len(), 1);
         let (s2, p2) = e.accept(0, 1460, false, false, mk);
@@ -763,13 +834,14 @@ mod tests {
     #[test]
     fn overlapping_retransmission_delivers_only_fresh_bytes() {
         let mut e = ep();
-        let mk = |off: u64, len: u32| {
+        let mk = |off: u64, len: u32| -> SpanVec {
             vec![MetaSpan {
                 offset: off,
                 len,
                 marker: Marker::Static,
                 content: 1,
             }]
+            .into()
         };
         e.accept(0, 1460, false, false, mk(0, 1460));
         // Retransmission covering [0, 2920): only [1460, 2920) is fresh.
@@ -783,7 +855,7 @@ mod tests {
     #[test]
     fn fin_consumes_one_sequence_number() {
         let mut e = ep();
-        let (_, p) = e.accept(0, 0, false, true, vec![]);
+        let (_, p) = e.accept(0, 0, false, true, SpanVec::new());
         assert_eq!(p, AckPolicy::Immediate);
         assert_eq!(e.rcv_nxt, 1);
         assert!(e.peer_fin_rcvd);

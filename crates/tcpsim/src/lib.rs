@@ -52,5 +52,5 @@ pub use net::{
     PathParams, Sim,
 };
 pub use opts::{CongAlgo, TcpOptions};
-pub use segment::{Marker, MetaSpan, PktKind, Segment};
+pub use segment::{Marker, MetaSpan, PktKind, Segment, SpanVec};
 pub use trace::{PktDir, PktEvent, TraceLog};

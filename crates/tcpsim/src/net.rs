@@ -10,7 +10,7 @@
 
 use crate::endpoint::{AckPolicy, AckReaction, Endpoint, TcpState};
 use crate::opts::TcpOptions;
-use crate::segment::{Marker, MetaSpan, PktKind, Segment};
+use crate::segment::{Marker, MetaSpan, PktKind, Segment, SpanVec};
 use crate::trace::{PktDir, TraceLog};
 use simcore::dist::{Dist, Sampler};
 use simcore::queue::EventQueue;
@@ -256,7 +256,7 @@ enum Cb {
     Data {
         conn: ConnId,
         end: End,
-        spans: Vec<MetaSpan>,
+        spans: SpanVec,
     },
     Fin {
         conn: ConnId,
@@ -487,7 +487,7 @@ impl Net {
             ack: ep.rcv_nxt,
             push: false,
             wnd: ep.opts.rwnd,
-            meta: Vec::new(),
+            meta: SpanVec::new(),
         }
     }
 
@@ -656,7 +656,7 @@ impl Net {
                     ack: ep.rcv_nxt,
                     push: true,
                     wnd: ep.opts.rwnd,
-                    meta: Vec::new(),
+                    meta: SpanVec::new(),
                 };
                 ep.delack_armed = false;
                 ep.delack_gen += 1;
@@ -689,7 +689,7 @@ impl Net {
                 ack: ep.rcv_nxt,
                 push: true,
                 wnd: ep.opts.rwnd,
-                meta: Vec::new(),
+                meta: SpanVec::new(),
             }
         } else {
             let len = (ep.opts.mss as u64)

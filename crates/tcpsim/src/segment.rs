@@ -13,7 +13,7 @@
 /// The ground-truth markers let tests validate the *inference* pipeline,
 /// which must work them out from timing and cross-query content
 /// comparison alone, exactly as the paper does with tcpdump payloads.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum Marker {
     /// An HTTP request (client → FE, or FE → BE query).
     Request,
@@ -31,7 +31,9 @@ pub enum Marker {
     /// back-end before its fetch deadline and served an error stub in
     /// place of the dynamic portion.
     Error,
-    /// Anything else (background traffic, probes).
+    /// Anything else (background traffic, probes). Also the `Default`,
+    /// so empty [`SpanVec`] inline slots are inert.
+    #[default]
     Other,
 }
 
@@ -45,7 +47,7 @@ pub enum Marker {
 /// get per-query ids. The content-analysis classifier in `capture`
 /// compares these ids across sessions, which is the simulator analogue of
 /// diffing HTTP payloads.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct MetaSpan {
     /// Absolute stream offset of the first byte.
     pub offset: u64,
@@ -56,6 +58,16 @@ pub struct MetaSpan {
     /// Content identity (equal ids ⇔ equal bytes).
     pub content: u64,
 }
+
+/// The span list attached to segments and trace events: inline storage
+/// for two spans, heap spill beyond.
+///
+/// A segment either sits inside one application chunk (1 span) or
+/// straddles one chunk boundary (2 spans); more only happens when an MSS
+/// covers several tiny chunks. Sizing the inline capacity for the common
+/// case makes segment construction, trace recording and delivery
+/// allocation-free — the core of the `bench_tcpsim` hot-path win.
+pub type SpanVec = simcore::smallvec::SmallVec<MetaSpan, 2>;
 
 /// Kind of a TCP packet.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -89,7 +101,7 @@ pub struct Segment {
     /// Receive window advertised by the sender of this segment.
     pub wnd: u64,
     /// Labelled content spans covering the payload (empty unless `Data`).
-    pub meta: Vec<MetaSpan>,
+    pub meta: SpanVec,
 }
 
 /// IP + TCP header overhead assumed for wire-size accounting.
@@ -133,7 +145,8 @@ mod tests {
                 len: 1460,
                 marker: Marker::Static,
                 content: 7,
-            }],
+            }]
+            .into(),
         }
     }
 
@@ -147,7 +160,7 @@ mod tests {
             ack: 10,
             push: false,
             wnd: 65535,
-            meta: vec![],
+            meta: SpanVec::new(),
         };
         assert_eq!(ack.wire_bytes(), 40);
     }
@@ -162,7 +175,7 @@ mod tests {
             ack: 0,
             push: false,
             wnd: 0,
-            meta: vec![],
+            meta: SpanVec::new(),
         };
         assert_eq!(fin.seq_end(), 5001);
         assert!(!fin.has_payload());

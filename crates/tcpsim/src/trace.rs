@@ -9,9 +9,10 @@
 //! and drops the raw packets.
 
 use crate::net::{ConnId, NodeId};
-use crate::segment::{MetaSpan, PktKind, Segment};
+use crate::segment::{PktKind, Segment, SpanVec};
 use simcore::time::SimTime;
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 /// Direction of a packet event relative to the observing node.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -48,14 +49,65 @@ pub struct PktEvent {
     /// PSH flag.
     pub push: bool,
     /// Content spans (payload labelling).
-    pub meta: Vec<MetaSpan>,
+    pub meta: SpanVec,
+}
+
+/// A multiply-shift hasher for the session-id index. Session ids are
+/// small sequential integers; SipHash (the `HashMap` default, keyed for
+/// HashDoS resistance) costs more than the rest of the record path for
+/// such keys. This hasher is deterministic, which also keeps the trace
+/// store free of per-process randomness.
+#[derive(Default)]
+struct SessionHasher(u64);
+
+impl Hasher for SessionHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        // Only u64 keys are ever hashed; this path exists to satisfy the
+        // trait.
+        for &b in bytes {
+            self.write_u64(b as u64);
+        }
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        // splitmix64-style finalizer: full avalanche on 64 bits.
+        let mut z = self.0 ^ n.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        self.0 = z ^ (z >> 31);
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// One session's event buffer in the arena.
+#[derive(Debug)]
+struct Bucket {
+    session: u64,
+    in_use: bool,
+    events: Vec<PktEvent>,
 }
 
 /// A per-session packet trace store.
+///
+/// Buffers are held in an arena (`buckets`) addressed through a
+/// session-id index; `last` caches the bucket of the most recent record
+/// so the common case — consecutive packets of the same session — skips
+/// the index entirely. Buckets freed by [`TraceLog::take_session`] are
+/// recycled with their capacity, so a long campaign that extracts each
+/// query's trace as it completes reaches a steady state where recording
+/// allocates nothing.
 #[derive(Debug, Default)]
 pub struct TraceLog {
     enabled: bool,
-    by_session: HashMap<u64, Vec<PktEvent>>,
+    index: HashMap<u64, usize, BuildHasherDefault<SessionHasher>>,
+    buckets: Vec<Bucket>,
+    free: Vec<usize>,
+    /// Arena slot of the most recently recorded session (cache hint;
+    /// `usize::MAX` when invalid).
+    last: usize,
     recorded: u64,
 }
 
@@ -95,7 +147,12 @@ impl TraceLog {
             return;
         }
         self.recorded += 1;
-        self.by_session.entry(session).or_default().push(PktEvent {
+        let idx = match self.buckets.get_mut(self.last) {
+            Some(b) if b.in_use && b.session == session => self.last,
+            _ => self.bucket_for(session),
+        };
+        self.last = idx;
+        self.buckets[idx].events.push(PktEvent {
             t,
             node,
             conn,
@@ -106,35 +163,95 @@ impl TraceLog {
             len: seg.len,
             ack: seg.ack,
             push: seg.push,
+            // For an un-spilled span list this is a bitwise copy, not an
+            // allocation.
             meta: seg.meta.clone(),
         });
+    }
+
+    /// Index lookup / arena insertion for `session` (the cache-miss path
+    /// of [`TraceLog::record`]).
+    fn bucket_for(&mut self, session: u64) -> usize {
+        if let Some(&idx) = self.index.get(&session) {
+            return idx;
+        }
+        let idx = match self.free.pop() {
+            // Recycled slot: keeps the previous tenant's capacity.
+            Some(idx) => idx,
+            None => {
+                self.buckets.push(Bucket {
+                    session,
+                    in_use: false,
+                    // Pre-size fresh buffers: even a loss-free
+                    // request/response session records a few dozen
+                    // events per observing node, so growing from
+                    // capacity 0 (4, 8, ...) reallocates several times
+                    // per session on the hot path.
+                    events: Vec::with_capacity(32),
+                });
+                self.buckets.len() - 1
+            }
+        };
+        let b = &mut self.buckets[idx];
+        b.session = session;
+        b.in_use = true;
+        b.events.clear();
+        self.index.insert(session, idx);
+        idx
+    }
+
+    /// Detaches `session`'s buffer from the arena, recycling its slot.
+    fn detach(&mut self, session: u64) -> Option<Vec<PktEvent>> {
+        let idx = self.index.remove(&session)?;
+        let b = &mut self.buckets[idx];
+        b.in_use = false;
+        let events = std::mem::take(&mut b.events);
+        self.free.push(idx);
+        if self.last == idx {
+            self.last = usize::MAX;
+        }
+        Some(events)
     }
 
     /// Removes and returns all events of one session (ordered by time,
     /// which is the recording order). Returns an empty vec for unknown
     /// sessions.
     pub fn take_session(&mut self, session: u64) -> Vec<PktEvent> {
-        self.by_session.remove(&session).unwrap_or_default()
+        self.detach(session).unwrap_or_default()
+    }
+
+    /// Like [`TraceLog::take_session`], but distinguishes "tracing is
+    /// off" from "this session recorded no packets": returns `None` when
+    /// no events are buffered for the session **and** recording is
+    /// disabled. Harnesses use this to surface a typed
+    /// tracing-was-disabled error instead of silently analysing an empty
+    /// timeline.
+    pub fn try_take_session(&mut self, session: u64) -> Option<Vec<PktEvent>> {
+        match self.detach(session) {
+            Some(events) => Some(events),
+            None if self.enabled => Some(Vec::new()),
+            None => None,
+        }
     }
 
     /// Read-only view of a session's events so far.
     pub fn peek_session(&self, session: u64) -> &[PktEvent] {
-        self.by_session
+        self.index
             .get(&session)
-            .map(|v| v.as_slice())
+            .map(|&idx| self.buckets[idx].events.as_slice())
             .unwrap_or(&[])
     }
 
     /// Number of sessions currently buffered.
     pub fn buffered_sessions(&self) -> usize {
-        self.by_session.len()
+        self.index.len()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::segment::Marker;
+    use crate::segment::{Marker, MetaSpan};
 
     fn seg() -> Segment {
         Segment {
@@ -149,7 +266,8 @@ mod tests {
                 len: 100,
                 marker: Marker::Request,
                 content: 1,
-            }],
+            }]
+            .into(),
         }
     }
 
@@ -159,6 +277,27 @@ mod tests {
         log.record(SimTime::ZERO, NodeId(1), ConnId(0), 7, PktDir::Tx, &seg());
         assert_eq!(log.recorded(), 0);
         assert!(log.take_session(7).is_empty());
+        assert_eq!(
+            log.try_take_session(7),
+            None,
+            "tracing off and nothing buffered must be distinguishable"
+        );
+    }
+
+    #[test]
+    fn try_take_distinguishes_disabled_from_quiet_session() {
+        let mut log = TraceLog::new();
+        log.set_enabled(true);
+        // Tracing on, session never saw a packet: a legitimate empty
+        // timeline, not an error.
+        assert_eq!(log.try_take_session(3), Some(Vec::new()));
+        log.record(SimTime::ZERO, NodeId(1), ConnId(0), 5, PktDir::Tx, &seg());
+        assert_eq!(log.try_take_session(5).map(|v| v.len()), Some(1));
+        // Events buffered before tracing was switched off still come out.
+        log.record(SimTime::ZERO, NodeId(1), ConnId(0), 6, PktDir::Tx, &seg());
+        log.set_enabled(false);
+        assert_eq!(log.try_take_session(6).map(|v| v.len()), Some(1));
+        assert_eq!(log.try_take_session(6), None);
     }
 
     #[test]
@@ -184,6 +323,50 @@ mod tests {
         assert_eq!(log.buffered_sessions(), 1);
         assert!(log.take_session(7).is_empty());
         assert_eq!(log.recorded(), 3, "taking does not erase the counter");
+    }
+
+    #[test]
+    fn buckets_are_recycled_after_take() {
+        // Campaign pattern: record a session, take it, record the next.
+        // The arena must reuse the freed slot (with its capacity) instead
+        // of growing, and interleaved sessions must not cross-talk
+        // through the last-bucket cache.
+        let mut log = TraceLog::new();
+        log.set_enabled(true);
+        for session in 0..100u64 {
+            let other = session + 1_000;
+            for _ in 0..3 {
+                log.record(
+                    SimTime::ZERO,
+                    NodeId(1),
+                    ConnId(0),
+                    session,
+                    PktDir::Tx,
+                    &seg(),
+                );
+                log.record(
+                    SimTime::ZERO,
+                    NodeId(2),
+                    ConnId(1),
+                    other,
+                    PktDir::Rx,
+                    &seg(),
+                );
+            }
+            let a = log.take_session(session);
+            let b = log.take_session(other);
+            assert_eq!(a.len(), 3);
+            assert_eq!(b.len(), 3);
+            assert!(a.iter().all(|e| e.session == session));
+            assert!(b.iter().all(|e| e.session == other));
+        }
+        assert_eq!(log.buffered_sessions(), 0);
+        assert!(
+            log.buckets.len() <= 4,
+            "arena grew to {} buckets for 2 concurrent sessions",
+            log.buckets.len()
+        );
+        assert_eq!(log.recorded(), 600);
     }
 
     #[test]

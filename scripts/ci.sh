@@ -53,4 +53,22 @@ cat > BENCH_campaign.json <<EOF
 EOF
 echo "    serial ${serial_ms} ms, 4 workers ${parallel_ms} ms, overlap factor ${speedup:-?}x (BENCH_campaign.json)"
 
+echo "==> packet hot-path throughput: bench_tcpsim (smoke mode)"
+./target/release/bench_tcpsim --smoke --out BENCH_tcpsim.json \
+  2> /tmp/ci_bench_tcpsim.log
+python3 - <<'EOF'
+import json, sys
+cur = json.load(open("BENCH_tcpsim.json"))
+base = json.load(open("BENCH_tcpsim.baseline.json"))
+key = "events_per_sec_tracing_on"
+ratio = cur[key] / base[key]
+print(f"    tracing-on {cur[key]:,} ev/s vs baseline {base[key]:,} "
+      f"({ratio:.2f}x), tracing-off {cur['events_per_sec_tracing_off']:,} ev/s")
+# Coarse tripwire: the shared container's run-to-run noise is ~±19%,
+# so only a drop past 30% is treated as a regression.
+if ratio < 0.70:
+    print(f"bench_tcpsim: {key} dropped >30% below baseline", file=sys.stderr)
+    sys.exit(1)
+EOF
+
 echo "CI OK"

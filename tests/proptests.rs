@@ -190,6 +190,90 @@ proptest! {
     }
 }
 
+// ---------- sender chunk-map lookup properties ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// `meta_for_range` with its resume cursor and ACK-driven pruning
+    /// returns exactly the spans a naive rescan of the full chunk map
+    /// would, for any chunk layout and any query pattern — including the
+    /// out-of-order `from` offsets retransmissions produce, and queries
+    /// interleaved with ACK advances that prune the map underneath the
+    /// cursor.
+    #[test]
+    fn meta_for_range_cursor_matches_naive_rescan(
+        chunk_lens in prop::collection::vec(1u64..2500, 1..24),
+        ops in prop::collection::vec(
+            (0.0f64..1.0, 1u32..3000, 0u8..2),
+            1..60,
+        ),
+    ) {
+        use simcore::time::SimTime;
+        use tcpsim::endpoint::Endpoint;
+        use tcpsim::MetaSpan;
+
+        let markers = [Marker::Static, Marker::Dynamic, Marker::Request];
+        let mut ep = Endpoint::new(TcpOptions::default());
+        // The immutable reference layout: (start, end, marker, content).
+        let mut layout = Vec::new();
+        let mut off = 0u64;
+        for (i, &len) in chunk_lens.iter().enumerate() {
+            let marker = markers[i % markers.len()];
+            ep.push_chunk(len, marker, i as u64);
+            layout.push((off, off + len, marker, i as u64));
+            off += len;
+        }
+        let total = off;
+        // Pretend everything has been transmitted so arbitrary ACKs up
+        // to `total` are plausible.
+        ep.snd_nxt = total;
+
+        let naive = |from: u64, len: u32| -> Vec<MetaSpan> {
+            let to = from + len as u64;
+            layout
+                .iter()
+                .filter(|&&(s, e, _, _)| e > from && s < to)
+                .map(|&(s, e, marker, content)| {
+                    let lo = from.max(s);
+                    let hi = to.min(e);
+                    MetaSpan { offset: lo, len: (hi - lo) as u32, marker, content }
+                })
+                .collect()
+        };
+
+        let mut una = 0u64;
+        for (frac, qlen, advance) in ops {
+            let advance = advance == 1;
+            if una >= total {
+                break;
+            }
+            // Queries land anywhere in the un-ACKed window, in any
+            // order — a retransmission is a query far below snd_nxt.
+            let from = una + ((total - una - 1) as f64 * frac) as u64;
+            let len = (qlen as u64).min(total - from).max(1) as u32;
+            let got = ep.meta_for_range(from, len);
+            let want = naive(from, len);
+            prop_assert_eq!(got.as_slice(), want.as_slice(),
+                "from={} len={} una={}", from, len, una);
+            prop_assert_eq!(
+                got.iter().map(|m| m.len as u64).sum::<u64>(),
+                len as u64,
+                "spans must tile the queried range exactly"
+            );
+            if advance && from > una {
+                // Cumulative ACK up to `from`: prunes chunks wholly
+                // below it; later queries stay at or above the frontier.
+                ep.on_ack(from, u64::MAX, SimTime::ZERO, false);
+                prop_assert_eq!(ep.snd_una, from);
+                una = from;
+            }
+        }
+        // Pruning must never discard a chunk the window can still touch.
+        prop_assert!(ep.chunks_base <= una.max(1));
+    }
+}
+
 // ---------- statistics properties ----------
 
 proptest! {
