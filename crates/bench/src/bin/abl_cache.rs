@@ -13,11 +13,20 @@
 //! * the *final* byte (overall delay) changes much less: the cache's
 //!   value is perceived latency of the page head, not total transfer.
 
-use bench::{campaign, check, execute, finish, seed_from_env, Scale};
+use bench::{campaign, check, execute_stream, finish, seed_from_env, Scale};
 use cdnsim::{QuerySpec, ServiceConfig};
 use emulator::output::Tsv;
-use emulator::Design;
+use emulator::{Design, FoldSink, RunDescriptor};
 use simcore::time::SimDuration;
+use stats::QuantileAcc;
+
+/// Per-run reducers over the four columns the ablation compares.
+struct Cols {
+    ts: QuantileAcc,
+    dl: QuantileAcc,
+    ov: QuantileAcc,
+    fetch: QuantileAcc,
+}
 
 /// Clients within 30 ms of their default FE, `repeats` queries each.
 fn small_rtt_design(repeats: u64) -> Design {
@@ -63,18 +72,35 @@ fn main() {
         ServiceConfig::bing_like(seed).without_static_cache(),
         small_rtt_design(repeats),
     );
-    let report = execute(&c);
-    let cached = report.queries("cache-on");
-    let uncached = report.queries("cache-off");
+    let report = execute_stream(&c, &|_: &RunDescriptor| {
+        FoldSink::new(
+            Cols {
+                ts: QuantileAcc::exact(),
+                dl: QuantileAcc::exact(),
+                ov: QuantileAcc::exact(),
+                fetch: QuantileAcc::exact(),
+            },
+            |s: &mut Cols, q| {
+                s.ts.push(q.params.t_static_ms);
+                s.dl.push(q.params.t_delta_ms);
+                s.ov.push(q.params.overall_ms);
+                if let Some(f) = q.true_fetch_ms {
+                    s.fetch.push(f);
+                }
+            },
+        )
+    });
+    let cached = report.output("cache-on");
+    let uncached = report.output("cache-off");
 
-    let med = |v: Vec<f64>| stats::quantile::median(&v).unwrap();
-    let ts_c = med(cached.iter().map(|q| q.params.t_static_ms).collect());
-    let ts_u = med(uncached.iter().map(|q| q.params.t_static_ms).collect());
-    let dl_c = med(cached.iter().map(|q| q.params.t_delta_ms).collect());
-    let dl_u = med(uncached.iter().map(|q| q.params.t_delta_ms).collect());
-    let ov_c = med(cached.iter().map(|q| q.params.overall_ms).collect());
-    let ov_u = med(uncached.iter().map(|q| q.params.overall_ms).collect());
-    let fetch = med(cached.iter().filter_map(|q| q.true_fetch_ms).collect());
+    let med = |acc: &QuantileAcc| acc.median().unwrap();
+    let ts_c = med(&cached.ts);
+    let ts_u = med(&uncached.ts);
+    let dl_c = med(&cached.dl);
+    let dl_u = med(&uncached.dl);
+    let ov_c = med(&cached.ov);
+    let ov_u = med(&uncached.ov);
+    let fetch = med(&cached.fetch);
 
     let stdout = std::io::stdout();
     let mut tsv = Tsv::new(

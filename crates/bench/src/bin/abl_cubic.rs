@@ -13,12 +13,13 @@
 //! * on a 3% lossy wireless path, CUBIC's median overall delay is no
 //!   worse than Reno's.
 
-use bench::{campaign, check, execute, finish, seed_from_env, Scale};
+use bench::{campaign, check, execute_stream, finish, seed_from_env, Scale};
 use cdnsim::{QuerySpec, ServiceConfig};
 use emulator::output::Tsv;
-use emulator::{Design, ProcessedQuery};
+use emulator::{Design, FoldSink, RunDescriptor};
 use nettopo::path::PathProfile;
 use simcore::time::SimDuration;
+use stats::QuantileAcc;
 use tcpsim::CongAlgo;
 
 fn with_cong(mut cfg: ServiceConfig, cong: CongAlgo) -> ServiceConfig {
@@ -82,18 +83,25 @@ fn main() {
         with_cong(ServiceConfig::google_like(seed), CongAlgo::Cubic).with_access_override(lossy),
         wave_design(repeats),
     );
-    let report = execute(&c);
-    let clean_reno = report.queries("clean/reno");
-    let clean_cubic = report.queries("clean/cubic");
-    let lossy_reno = report.queries("lossy3pct/reno");
-    let lossy_cubic = report.queries("lossy3pct/cubic");
+    // Per run: Tdynamic stays exact (the KS test needs the full sample)
+    // alongside an overall-delay accumulator.
+    let report = execute_stream(&c, &|_: &RunDescriptor| {
+        FoldSink::new(
+            (QuantileAcc::exact(), QuantileAcc::exact()),
+            |s: &mut (QuantileAcc, QuantileAcc), q| {
+                s.0.push(q.params.t_dynamic_ms);
+                s.1.push(q.params.overall_ms);
+            },
+        )
+    });
+    let clean_reno = report.output("clean/reno");
+    let clean_cubic = report.output("clean/cubic");
+    let lossy_reno = report.output("lossy3pct/reno");
+    let lossy_cubic = report.output("lossy3pct/cubic");
 
-    let td =
-        |v: &[ProcessedQuery]| -> Vec<f64> { v.iter().map(|q| q.params.t_dynamic_ms).collect() };
+    let td = |v: &(QuantileAcc, QuantileAcc)| -> Vec<f64> { v.0.values().unwrap() };
     let (ks, verdict) = stats::ks::ks_test(&td(clean_reno), &td(clean_cubic)).unwrap();
-    let med_overall = |v: &[ProcessedQuery]| {
-        stats::quantile::median(&v.iter().map(|q| q.params.overall_ms).collect::<Vec<_>>()).unwrap()
-    };
+    let med_overall = |v: &(QuantileAcc, QuantileAcc)| v.1.median().unwrap();
     let mr = med_overall(lossy_reno);
     let mc = med_overall(lossy_cubic);
 
@@ -108,12 +116,12 @@ fn main() {
         ],
     )
     .unwrap();
-    let med_td = |v: &[ProcessedQuery]| stats::quantile::median(&td(v)).unwrap();
+    let med_td = |v: &(QuantileAcc, QuantileAcc)| v.0.median().unwrap();
     for (cond, algo, queries) in [
-        ("clean", "reno", &clean_reno),
-        ("clean", "cubic", &clean_cubic),
-        ("lossy3pct", "reno", &lossy_reno),
-        ("lossy3pct", "cubic", &lossy_cubic),
+        ("clean", "reno", clean_reno),
+        ("clean", "cubic", clean_cubic),
+        ("lossy3pct", "reno", lossy_reno),
+        ("lossy3pct", "cubic", lossy_cubic),
     ] {
         tsv.row(&[
             cond.into(),

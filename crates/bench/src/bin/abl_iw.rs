@@ -16,12 +16,12 @@
 //! This is the design insight behind Google's IW10 campaign viewed
 //! through the paper's model.
 
-use bench::{campaign, check, dataset_b_repeats, execute, finish, seed_from_env, Scale};
+use bench::{campaign, check, dataset_b_repeats, execute_stream, finish, seed_from_env, Scale};
 use cdnsim::ServiceConfig;
 use emulator::dataset_b::DatasetB;
 use emulator::output::Tsv;
-use emulator::Design;
-use inference::{estimate_rtt_threshold, per_group_medians};
+use emulator::{Design, FoldSink, RunDescriptor};
+use inference::{estimate_rtt_threshold, GroupMediansAcc};
 
 struct SweepRow {
     iw: u32,
@@ -45,17 +45,18 @@ fn main() {
             }),
         );
     }
-    let report = execute(&c);
+    let report = execute_stream(&c, &|_: &RunDescriptor| {
+        FoldSink::new(GroupMediansAcc::exact(), |a: &mut GroupMediansAcc, q| {
+            a.push(q.client as u64, &q.params)
+        })
+    });
 
     let stdout = std::io::stdout();
     let mut tsv = Tsv::new(stdout.lock(), &["iw_segs", "tdelta_slope", "threshold_ms"]).unwrap();
 
     let mut rows = Vec::new();
     for iw in [2u32, 4, 10] {
-        let out = report.queries(&format!("iw{iw}"));
-        let samples: Vec<(u64, inference::QueryParams)> =
-            out.iter().map(|q| (q.client as u64, q.params)).collect();
-        let groups = per_group_medians(&samples);
+        let groups = report.output(&format!("iw{iw}")).finish();
         let points: Vec<(f64, f64)> = groups.iter().map(|g| (g.rtt_ms, g.t_delta_ms)).collect();
         let est = estimate_rtt_threshold(&points, 3.0, 25.0);
         let threshold = est.linear_intercept_ms.or(est.binned_first_zero_ms);

@@ -12,24 +12,25 @@
 //! * `Tstatic` degrades most (no nearby cache);
 //! * the improvement is larger for vantages far from the BE.
 
-use bench::{campaign, check, dataset_a_repeats, execute, finish, seed_from_env, Scale};
+use bench::{campaign, check, dataset_a_repeats, execute_stream, finish, seed_from_env, Scale};
 use cdnsim::ServiceConfig;
 use emulator::dataset_a::{DatasetA, KeywordPolicy};
 use emulator::output::Tsv;
-use emulator::{Design, ProcessedQuery};
+use emulator::{Design, FoldSink, RunDescriptor};
 use simcore::time::SimDuration;
+use stats::QuantileAcc;
 use std::collections::BTreeMap;
 
+/// Per-vantage reducers for the three columns the ablation compares:
+/// (overall, Tstatic, RTT).
+type PerClient = BTreeMap<usize, (QuantileAcc, QuantileAcc, QuantileAcc)>;
+
 fn per_client_median(
-    out: &[ProcessedQuery],
-    f: fn(&ProcessedQuery) -> f64,
+    by: &PerClient,
+    f: fn(&(QuantileAcc, QuantileAcc, QuantileAcc)) -> &QuantileAcc,
 ) -> BTreeMap<usize, f64> {
-    let mut by: BTreeMap<usize, Vec<f64>> = BTreeMap::new();
-    for q in out {
-        by.entry(q.client).or_default().push(f(q));
-    }
-    by.into_iter()
-        .map(|(c, v)| (c, stats::quantile::median(&v).unwrap()))
+    by.iter()
+        .map(|(&c, t)| (c, f(t).median().unwrap()))
         .collect()
 }
 
@@ -50,14 +51,27 @@ fn main() {
         ServiceConfig::google_like(seed).without_split_tcp(),
         design,
     );
-    let report = execute(&c);
-    let with_split = report.queries("split");
-    let without = report.queries("no-split");
+    let report = execute_stream(&c, &|_: &RunDescriptor| {
+        FoldSink::new(PerClient::new(), |by: &mut PerClient, q| {
+            let e = by.entry(q.client).or_insert_with(|| {
+                (
+                    QuantileAcc::exact(),
+                    QuantileAcc::exact(),
+                    QuantileAcc::exact(),
+                )
+            });
+            e.0.push(q.params.overall_ms);
+            e.1.push(q.params.t_static_ms);
+            e.2.push(q.params.rtt_ms);
+        })
+    });
+    let with_split = report.output("split");
+    let without = report.output("no-split");
 
-    let ov_with = per_client_median(with_split, |q| q.params.overall_ms);
-    let ov_without = per_client_median(without, |q| q.params.overall_ms);
-    let ts_with = per_client_median(with_split, |q| q.params.t_static_ms);
-    let ts_without = per_client_median(without, |q| q.params.t_static_ms);
+    let ov_with = per_client_median(with_split, |t| &t.0);
+    let ov_without = per_client_median(without, |t| &t.0);
+    let ts_with = per_client_median(with_split, |t| &t.1);
+    let ts_without = per_client_median(without, |t| &t.1);
 
     let stdout = std::io::stdout();
     let mut tsv = Tsv::new(
@@ -105,7 +119,7 @@ fn main() {
     // farthest thirds by client↔BE RTT, and require a clear win in the
     // far third.
     let mut rows: Vec<(f64, f64)> = Vec::new(); // (client→BE rtt, penalty)
-    let rtt_without = per_client_median(without, |q| q.params.rtt_ms);
+    let rtt_without = per_client_median(without, |t| &t.2);
     for (&c, &ov_n) in &ov_without {
         if let (Some(&ov_s), Some(&rtt)) = (ov_with.get(&c), rtt_without.get(&c)) {
             rows.push((rtt, ov_n - ov_s));

@@ -19,11 +19,12 @@
 //!   comparative claims are robust to the bias, its absolute ones are
 //!   not.
 
-use bench::{check, execute, finish, seed_from_env};
+use bench::{check, execute_stream, finish, seed_from_env};
 use cdnsim::ServiceConfig;
 use emulator::dataset_a::{DatasetA, KeywordPolicy};
 use emulator::output::Tsv;
-use emulator::{Campaign, Design, ProcessedQuery, Scenario};
+use emulator::{Campaign, Design, FoldSink, RunDescriptor, Scenario};
+use inference::GroupMediansAcc;
 use nettopo::vantage::{planetlab_like, VantageConfig};
 use searchbe::keywords::KeywordCorpus;
 use simcore::time::SimDuration;
@@ -37,13 +38,8 @@ fn fig6_design() -> Design {
     })
 }
 
-fn rtts(out: &[ProcessedQuery]) -> Ecdf {
-    let samples: Vec<(u64, inference::QueryParams)> =
-        out.iter().map(|q| (q.client as u64, q.params)).collect();
-    let per_node: Vec<f64> = inference::per_group_medians(&samples)
-        .iter()
-        .map(|g| g.rtt_ms)
-        .collect();
+fn rtts(acc: &GroupMediansAcc) -> Ecdf {
+    let per_node: Vec<f64> = acc.finish().iter().map(|g| g.rtt_ms).collect();
     Ecdf::new(&per_node)
 }
 
@@ -87,9 +83,13 @@ fn main() {
             ServiceConfig::google_like(seed),
             fig6_design(),
         );
-        let report = execute(&c);
+        let report = execute_stream(&c, &|_: &RunDescriptor| {
+            FoldSink::new(GroupMediansAcc::exact(), |a: &mut GroupMediansAcc, q| {
+                a.push(q.client as u64, &q.params)
+            })
+        });
         for svc_name in ["bing-like", "google-like"] {
-            let e = rtts(report.queries(svc_name));
+            let e = rtts(report.output(svc_name));
             rows.push((
                 pop_name,
                 svc_name,

@@ -10,10 +10,11 @@
 //! * a hypothetical FE-result-caching deployment is flagged
 //!   `CachingSuspected` (the detector has power, not just a blind spot).
 
-use bench::{campaign, check, execute, finish, seed_from_env, Scale};
+use bench::{campaign, check, execute_stream, finish, seed_from_env, Scale};
 use cdnsim::ServiceConfig;
 use emulator::caching_probe::CachingProbeRun;
 use emulator::output::Tsv;
+use emulator::RunDescriptor;
 use inference::caching::CachingVerdict;
 
 fn main() {
@@ -45,7 +46,8 @@ fn main() {
     for (name, cfg, _) in &configs {
         probe.add_to(&mut c, name, cfg.clone());
     }
-    let report = execute(&c);
+    // Each probe run retains only its (rtt, Tdynamic) pairs.
+    let report = execute_stream(&c, &|_: &RunDescriptor| CachingProbeRun::sink());
 
     let stdout = std::io::stdout();
     let mut tsv = Tsv::new(
@@ -62,7 +64,7 @@ fn main() {
 
     let mut ok = true;
     for (name, _, expected) in configs {
-        match probe.outcome(&report, name) {
+        match probe.outcome_stream(&report, name) {
             Some(out) => {
                 tsv.row(&[
                     name.to_string(),

@@ -16,12 +16,12 @@
 //! * content analysis' `Tdelta` error stays ≈ 0, so every downstream
 //!   inference result in this repository stands on a validated method.
 
-use bench::{campaign, check, execute, finish, seed_from_env, Scale};
+use bench::{campaign, check, execute_stream, finish, seed_from_env, Scale};
 use capture::validate::score_classifier;
 use capture::{find_static_content_ids, Classifier};
 use cdnsim::{QuerySpec, ServiceConfig, ServiceWorld};
 use emulator::output::Tsv;
-use emulator::Design;
+use emulator::{Design, FoldSink, RetainRaw, RunDescriptor};
 use simcore::time::SimDuration;
 use tcpsim::NodeId;
 
@@ -63,13 +63,16 @@ fn main() {
                 }
             });
         }),
-    )
-    .keep_raw = true;
-    let report = execute(&c);
-    let raw = &report.get("classifiers").unwrap().raw;
+    );
+    // Classifier scoring needs the packet traces themselves: opt into
+    // raw retention (traces are moved into the sink, not cloned).
+    let report = execute_stream(&c, &|_: &RunDescriptor| {
+        RetainRaw::new(FoldSink::new((), |_, _| {}))
+    });
+    let raw = &report.output("classifiers").1;
 
-    // Learn the static ids blind.
-    let traces: Vec<Vec<tcpsim::PktEvent>> = raw.iter().map(|c| c.trace.clone()).collect();
+    // Learn the static ids blind, borrowing the traces in place.
+    let traces: Vec<&[tcpsim::PktEvent]> = raw.iter().map(|c| c.trace.as_slice()).collect();
     let clients: Vec<NodeId> = raw
         .iter()
         .map(|c| ServiceWorld::client_node(c.client))
@@ -90,9 +93,7 @@ fn main() {
         }
     }
     let batch = |idx: &[usize]| -> Vec<(&[tcpsim::PktEvent], NodeId)> {
-        idx.iter()
-            .map(|&i| (traces[i].as_slice(), clients[i]))
-            .collect()
+        idx.iter().map(|&i| (traces[i], clients[i])).collect()
     };
     let all_idx: Vec<usize> = (0..raw.len()).collect();
 

@@ -22,12 +22,24 @@
 //!   private WAN — exactly why the authors' regression approach (which
 //!   never needs absolute RTTbe) is the more robust design.
 
-use bench::{campaign, check, execute, finish, scenario, seed_from_env, Scale};
+use bench::{campaign, check, execute_stream, finish, scenario, seed_from_env, Scale};
 use cdnsim::{QuerySpec, ServiceConfig};
 use emulator::output::Tsv;
-use emulator::Design;
+use emulator::{Design, FoldSink, RunDescriptor};
 use inference::{tproc_via_coords, RttSample, Vivaldi};
 use simcore::time::SimDuration;
+
+/// The five per-query scalars this experiment consumes. Vivaldi training
+/// needs every sample (in completion order), so the sink retains one
+/// compact record per query instead of the whole processed record.
+#[derive(Clone, Copy)]
+struct CoordRec {
+    client: usize,
+    fe: usize,
+    rtt_ms: f64,
+    t_dynamic_ms: f64,
+    proc_ms: f64,
+}
 
 fn main() {
     let scale = Scale::from_env();
@@ -70,14 +82,24 @@ fn main() {
             });
         }),
     );
-    let report = execute(&c);
-    let out = report.queries("coords");
+    let report = execute_stream(&c, &|_: &RunDescriptor| {
+        FoldSink::new(Vec::new(), |v: &mut Vec<CoordRec>, q| {
+            v.push(CoordRec {
+                client: q.client,
+                fe: q.fe.expect("fixed-FE design"),
+                rtt_ms: q.params.rtt_ms,
+                t_dynamic_ms: q.params.t_dynamic_ms,
+                proc_ms: q.proc_ms,
+            })
+        })
+    });
+    let out = report.output("coords");
     let mut samples: Vec<RttSample> = out
         .iter()
         .map(|q| RttSample {
             a: q.client,
-            b: fe_node(q.fe.unwrap()),
-            rtt_ms: q.params.rtt_ms.max(0.1),
+            b: fe_node(q.fe),
+            rtt_ms: q.rtt_ms.max(0.1),
         })
         .collect();
     // ---- step 1b: client↔BE pings ----
@@ -122,12 +144,12 @@ fn main() {
         for fe in 0..n_fes {
             let td: Vec<f64> = out
                 .iter()
-                .filter(|q| q.fe == Some(fe) && q.params.rtt_ms < 30.0)
-                .map(|q| q.params.t_dynamic_ms)
+                .filter(|q| q.fe == fe && q.rtt_ms < 30.0)
+                .map(|q| q.t_dynamic_ms)
                 .collect();
             let truths: Vec<f64> = out
                 .iter()
-                .filter(|q| q.fe == Some(fe))
+                .filter(|q| q.fe == fe)
                 .map(|q| q.proc_ms)
                 .collect();
             if td.is_empty() || truths.is_empty() {

@@ -12,11 +12,12 @@
 //! * `Tstatic` grows monotonically (within tolerance) with offered load;
 //! * saturation inflates the *variance* too — queueing is bursty.
 
-use bench::{campaign, check, execute, finish, seed_from_env, Scale};
+use bench::{campaign, check, execute_stream, finish, seed_from_env, Scale};
 use cdnsim::{QuerySpec, ServiceConfig};
 use emulator::output::Tsv;
-use emulator::Design;
+use emulator::{Design, FoldSink, RunDescriptor};
 use simcore::time::SimDuration;
+use stats::QuantileAcc;
 
 /// One load level: `clients_per_wave` clients hit the default FE
 /// together every wave, repeated `waves` times.
@@ -68,7 +69,13 @@ fn main() {
             level_design(level, waves),
         );
     }
-    let report = execute(&c);
+    // Per run, retain only the derived FE-side constant per query:
+    // Tstatic minus the vantage's RTT isolates the FE overhead.
+    let report = execute_stream(&c, &|_: &RunDescriptor| {
+        FoldSink::new(QuantileAcc::exact(), |acc: &mut QuantileAcc, q| {
+            acc.push((q.params.t_static_ms - q.params.rtt_ms).max(0.0))
+        })
+    });
 
     let stdout = std::io::stdout();
     let mut tsv = Tsv::new(
@@ -83,14 +90,9 @@ fn main() {
     let mut medians = Vec::new();
     let mut iqrs = Vec::new();
     for &level in &levels {
-        let out = report.queries(&format!("load{level}"));
-        // Tstatic minus the vantage's RTT isolates the FE-side constant.
-        let overheads: Vec<f64> = out
-            .iter()
-            .map(|q| (q.params.t_static_ms - q.params.rtt_ms).max(0.0))
-            .collect();
-        let m = stats::quantile::median(&overheads).unwrap();
-        let i = stats::quantile::iqr(&overheads).unwrap();
+        let overheads = report.output(&format!("load{level}"));
+        let m = overheads.median().unwrap();
+        let i = overheads.iqr().unwrap();
         eprintln!("load {level:>3} clients/wave: FE constant median {m:>7.2} ms, IQR {i:>6.2} ms");
         tsv.row_f64(&[level as f64, m, i]).unwrap();
         medians.push(m);

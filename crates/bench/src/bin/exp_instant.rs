@@ -11,10 +11,11 @@
 //!   true fetch time for every sub-query;
 //! * follow-up sub-queries have materially smaller true `Tproc`.
 
-use bench::{campaign, check, execute, finish, seed_from_env, Scale};
+use bench::{campaign, check, execute_stream, finish, seed_from_env, Scale};
 use cdnsim::ServiceConfig;
 use emulator::instant::InstantRun;
 use emulator::output::Tsv;
+use emulator::{FoldSink, ProcessedQuery, RunDescriptor};
 use inference::FetchBounds;
 
 fn main() {
@@ -31,8 +32,14 @@ fn main() {
     };
     let mut c = campaign(scale, seed);
     c.push("instant", ServiceConfig::google_like(seed), run.design());
-    let report = execute(&c);
-    let sessions = run.sessions(report.queries("instant"));
+    // Session reconstruction pairs keystrokes within a client, so the
+    // sink keeps the processed records (trace-free, O(keystrokes)).
+    let report = execute_stream(&c, &|_: &RunDescriptor| {
+        FoldSink::new(Vec::new(), |v: &mut Vec<ProcessedQuery>, q| {
+            v.push(q.clone())
+        })
+    });
+    let sessions = run.sessions(report.output("instant"));
 
     let stdout = std::io::stdout();
     let mut tsv = Tsv::new(

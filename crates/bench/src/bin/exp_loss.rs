@@ -16,12 +16,13 @@
 //! * the near-FE advantage grows materially with the loss rate;
 //! * all transfers complete even at 5% loss (TCP recovery works).
 
-use bench::{campaign, check, execute, finish, scenario, seed_from_env, Scale};
+use bench::{campaign, check, execute_stream, finish, scenario, seed_from_env, Scale};
 use cdnsim::{QuerySpec, ServiceConfig};
 use emulator::output::Tsv;
-use emulator::{Design, ProcessedQuery};
+use emulator::{Design, FoldSink, RunDescriptor};
 use nettopo::path::PathProfile;
 use simcore::time::SimDuration;
+use stats::QuantileAcc;
 
 fn fixed_fe_design(client: usize, fe: usize, repeats: u64) -> Design {
     Design::custom(move |sim| {
@@ -44,12 +45,8 @@ fn fixed_fe_design(client: usize, fe: usize, repeats: u64) -> Design {
     })
 }
 
-fn median_overall(out: &[ProcessedQuery]) -> (f64, usize) {
-    let overall: Vec<f64> = out.iter().map(|q| q.params.overall_ms).collect();
-    (
-        stats::quantile::median(&overall).unwrap_or(f64::NAN),
-        out.len(),
-    )
+fn median_overall(acc: &QuantileAcc) -> (f64, usize) {
+    (acc.median().unwrap_or(f64::NAN), acc.count() as usize)
 }
 
 fn main() {
@@ -132,13 +129,17 @@ fn main() {
             }
         }
     }
-    let report = execute(&c);
+    let report = execute_stream(&c, &|_: &RunDescriptor| {
+        FoldSink::new(QuantileAcc::exact(), |acc: &mut QuantileAcc, q| {
+            acc.push(q.params.overall_ms)
+        })
+    });
 
     let mut advantages = Vec::new();
     let mut all_completed = true;
     for &loss in &losses {
-        let (near_ms, n1) = median_overall(report.queries(&format!("loss{loss}/near")));
-        let (far_ms, n2) = median_overall(report.queries(&format!("loss{loss}/far")));
+        let (near_ms, n1) = median_overall(report.output(&format!("loss{loss}/near")));
+        let (far_ms, n2) = median_overall(report.output(&format!("loss{loss}/far")));
         all_completed &= n1 == repeats as usize && n2 == repeats as usize;
         let adv = far_ms - near_ms;
         advantages.push(adv);

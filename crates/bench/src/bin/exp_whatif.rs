@@ -18,13 +18,14 @@
 //!   bing-like — confirming the paper's conclusion that optimizing the
 //!   fetch path, not FE placement, was Bing's real lever.
 
-use bench::{campaign, check, dataset_a_repeats, execute, finish, seed_from_env, Scale};
+use bench::{campaign, check, dataset_a_repeats, execute_stream, finish, seed_from_env, Scale};
 use cdnsim::ServiceConfig;
 use emulator::dataset_a::{DatasetA, KeywordPolicy};
 use emulator::output::Tsv;
-use emulator::report::CampaignSummary;
-use emulator::Design;
+use emulator::report::CampaignSummaryAcc;
+use emulator::{Design, FoldSink, RunDescriptor};
 use simcore::time::SimDuration;
+use stats::QuantileAcc;
 
 fn hybrid_a(seed: u64) -> ServiceConfig {
     // Bing's back-end behind Google's dedicated sparse fleet.
@@ -76,18 +77,23 @@ fn main() {
     for (label, cfg) in &deployments {
         c.push(*label, cfg.clone(), design.clone());
     }
-    let report = execute(&c);
+    // Per run: the online campaign summary plus the FE-attributable
+    // Tstatic constant (Tstatic − RTT) as a quantile accumulator.
+    let report = execute_stream(&c, &|d: &RunDescriptor| {
+        FoldSink::new(
+            (CampaignSummaryAcc::new(&d.label), QuantileAcc::exact()),
+            |s: &mut (CampaignSummaryAcc, QuantileAcc), q| {
+                s.0.push(q);
+                s.1.push((q.params.t_static_ms - q.params.rtt_ms).max(0.0));
+            },
+        )
+    });
 
     let mut rows = Vec::new();
     for (label, _) in deployments {
-        let out = report.queries(label);
-        // FE-attributable Tstatic constant: Tstatic − RTT.
-        let fe_const: Vec<f64> = out
-            .iter()
-            .map(|q| (q.params.t_static_ms - q.params.rtt_ms).max(0.0))
-            .collect();
-        let summary = CampaignSummary::of(label, out).unwrap();
-        rows.push((label, summary, stats::quantile::median(&fe_const).unwrap()));
+        let (summary_acc, fe_const) = report.output(label);
+        let summary = summary_acc.finish().unwrap();
+        rows.push((label, summary, fe_const.median().unwrap()));
     }
 
     let stdout = std::io::stdout();

@@ -10,13 +10,24 @@
 //!   popular);
 //! * `Tstatic` is insensitive to the keyword class.
 
-use bench::{campaign, check, execute, fig3_samples, finish, seed_from_env, Scale};
+use bench::{campaign, check, execute_stream, fig3_samples, finish, seed_from_env, Scale};
 use cdnsim::{QuerySpec, ServiceConfig};
 use emulator::output::Tsv;
-use emulator::Design;
+use emulator::{Design, FoldSink, RunDescriptor};
 use searchbe::keywords::KeywordClass;
 use simcore::time::SimDuration;
 use stats::moving_median;
+
+/// Per-query record the streaming sink retains: just the columns the
+/// figure plots, not the whole processed query.
+#[derive(Clone, Copy)]
+struct Row {
+    keyword: u64,
+    class: KeywordClass,
+    t_start_ms: f64,
+    t_static_ms: f64,
+    t_dynamic_ms: f64,
+}
 
 fn main() {
     let scale = Scale::from_env();
@@ -59,16 +70,26 @@ fn main() {
             });
         }),
     );
-    let report = execute(&c);
-    let out = report.queries("fig3");
+    let report = execute_stream(&c, &|_: &RunDescriptor| {
+        FoldSink::new(Vec::new(), |rows: &mut Vec<Row>, q| {
+            rows.push(Row {
+                keyword: q.keyword,
+                class: q.class,
+                t_start_ms: q.t_start_ms,
+                t_static_ms: q.params.t_static_ms,
+                t_dynamic_ms: q.params.t_dynamic_ms,
+            })
+        })
+    });
+    let out = report.output("fig3");
 
     // Series per keyword, in chronological order.
     let mut per_kw: Vec<(KeywordClass, Vec<f64>, Vec<f64>)> = Vec::new();
     for &kw in &picks {
         let mut qs: Vec<_> = out.iter().filter(|q| q.keyword == kw).collect();
         qs.sort_by(|a, b| a.t_start_ms.partial_cmp(&b.t_start_ms).unwrap());
-        let ts: Vec<f64> = qs.iter().map(|q| q.params.t_static_ms).collect();
-        let td: Vec<f64> = qs.iter().map(|q| q.params.t_dynamic_ms).collect();
+        let ts: Vec<f64> = qs.iter().map(|q| q.t_static_ms).collect();
+        let td: Vec<f64> = qs.iter().map(|q| q.t_dynamic_ms).collect();
         per_kw.push((qs[0].class, moving_median(&ts, 10), moving_median(&td, 10)));
     }
 

@@ -14,12 +14,12 @@
 //! * the largest-RTT client's payload events form a single merged
 //!   cluster.
 
-use bench::{check, execute, finish, seed_from_env};
+use bench::{check, execute_stream, finish, seed_from_env};
 use capture::cluster_view::TimelineView;
 use capture::{Classifier, Timeline};
 use cdnsim::{QuerySpec, ServiceConfig, ServiceWorld};
 use emulator::output::Tsv;
-use emulator::{Campaign, Design, Scenario};
+use emulator::{Campaign, Design, FoldSink, RetainRaw, RunDescriptor, Scenario};
 use simcore::time::SimDuration;
 
 /// The paper's five RTT rows (ms).
@@ -61,36 +61,38 @@ fn main() {
     const TRIES: u64 = 7;
     let mut campaign = Campaign::new(sc);
     let sched_clients = clients.clone();
-    campaign
-        .push(
-            "fig4",
-            ServiceConfig::bing_like(seed),
-            Design::custom(move |sim| {
-                sim.with(|w, net| {
-                    let be = w.be_of_fe(fe);
-                    w.prewarm(net, fe, be, 5);
-                    for (i, &client) in sched_clients.iter().enumerate() {
-                        for t in 0..TRIES {
-                            w.schedule_query(
-                                net,
-                                SimDuration::from_millis(3_000 + i as u64 * 5_000 + t * 30_000),
-                                QuerySpec {
-                                    client,
-                                    keyword: 0,
-                                    fixed_fe: Some(fe),
-                                    instant_followup: false,
-                                },
-                            );
-                        }
+    campaign.push(
+        "fig4",
+        ServiceConfig::bing_like(seed),
+        Design::custom(move |sim| {
+            sim.with(|w, net| {
+                let be = w.be_of_fe(fe);
+                w.prewarm(net, fe, be, 5);
+                for (i, &client) in sched_clients.iter().enumerate() {
+                    for t in 0..TRIES {
+                        w.schedule_query(
+                            net,
+                            SimDuration::from_millis(3_000 + i as u64 * 5_000 + t * 30_000),
+                            QuerySpec {
+                                client,
+                                keyword: 0,
+                                fixed_fe: Some(fe),
+                                instant_followup: false,
+                            },
+                        );
                     }
-                });
-            }),
-        )
-        .keep_raw = true;
-    let report = execute(&campaign);
+                }
+            });
+        }),
+    );
+    // This figure genuinely needs packet traces: opt into raw retention
+    // explicitly (the trace is moved into the sink, never cloned).
+    let report = execute_stream(&campaign, &|_: &RunDescriptor| {
+        RetainRaw::new(FoldSink::new((), |_, _| {}))
+    });
 
     let mut runs: Vec<(usize, TimelineView, Timeline)> = Vec::new();
-    for cq in &report.get("fig4").unwrap().raw {
+    for cq in &report.output("fig4").1 {
         let node = ServiceWorld::client_node(cq.client);
         let view = TimelineView::build(&cq.trace, node);
         let tl = Timeline::extract(&cq.trace, node, &Classifier::ByMarker);

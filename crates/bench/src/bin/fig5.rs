@@ -12,12 +12,12 @@
 //! * the Google-like threshold (paper: 50–100 ms) sits below the
 //!   Bing-like one (paper: 100–200 ms).
 
-use bench::{campaign, check, dataset_b_repeats, execute, finish, seed_from_env, Scale};
+use bench::{campaign, check, dataset_b_repeats, execute_stream, finish, seed_from_env, Scale};
 use cdnsim::ServiceConfig;
 use emulator::dataset_b::DatasetB;
 use emulator::output::Tsv;
-use emulator::{Design, ProcessedQuery};
-use inference::{estimate_rtt_threshold, per_group_medians, GroupMedians};
+use emulator::{Design, FoldSink, RunDescriptor};
+use inference::{estimate_rtt_threshold, GroupMedians, GroupMediansAcc};
 
 /// Dataset B against the FE nearest to the first vantage's default — an
 /// arbitrary but deterministic pick, like the paper's single named
@@ -30,20 +30,24 @@ fn fixed_fe_design(repeats: u64) -> Design {
     })
 }
 
-fn analyse(
-    name: &str,
-    out: &[ProcessedQuery],
-) -> (Vec<GroupMedians>, inference::threshold::RttThreshold) {
-    let samples: Vec<(u64, inference::QueryParams)> =
-        out.iter().map(|q| (q.client as u64, q.params)).collect();
-    let groups = per_group_medians(&samples);
+/// Per-run streaming state: the grouped-median reducer plus the two
+/// scalars the stderr summary reports. Memory is O(vantages), not
+/// O(samples).
+struct Fig5State {
+    acc: GroupMediansAcc,
+    first_fe: Option<usize>,
+    n: usize,
+}
+
+fn analyse(name: &str, s: &Fig5State) -> (Vec<GroupMedians>, inference::threshold::RttThreshold) {
+    let groups = s.acc.finish();
     let points: Vec<(f64, f64)> = groups.iter().map(|g| (g.rtt_ms, g.t_delta_ms)).collect();
     let thr = estimate_rtt_threshold(&points, 3.0, 25.0);
-    let fe = out.first().and_then(|q| q.fe).unwrap_or(0);
+    let fe = s.first_fe.unwrap_or(0);
     eprintln!(
         "{name}: fixed FE {fe}, {} vantages, {} samples",
         groups.len(),
-        out.len()
+        s.n
     );
     (groups, thr)
 }
@@ -78,10 +82,25 @@ fn main() {
         ServiceConfig::google_like(seed),
         fixed_fe_design(repeats),
     );
-    let report = execute(&c);
+    let report = execute_stream(&c, &|_: &RunDescriptor| {
+        FoldSink::new(
+            Fig5State {
+                acc: GroupMediansAcc::exact(),
+                first_fe: None,
+                n: 0,
+            },
+            |s: &mut Fig5State, q| {
+                if s.n == 0 {
+                    s.first_fe = q.fe;
+                }
+                s.n += 1;
+                s.acc.push(q.client as u64, &q.params);
+            },
+        )
+    });
 
-    let (bing, bing_thr) = analyse("bing-like", report.queries("bing-like"));
-    let (google, google_thr) = analyse("google-like", report.queries("google-like"));
+    let (bing, bing_thr) = analyse("bing-like", report.output("bing-like"));
+    let (google, google_thr) = analyse("google-like", report.output("google-like"));
 
     // ---- TSV: one row per (service, vantage) ----
     let stdout = std::io::stdout();

@@ -11,23 +11,19 @@
 //! * ≥ 80 % of vantages within 20 ms of a Bing-like FE;
 //! * the Google-like fraction is materially lower (paper: ~60 %).
 
-use bench::{campaign, check, dataset_a_repeats, execute, finish, seed_from_env, Scale};
+use bench::{campaign, check, dataset_a_repeats, execute_stream, finish, seed_from_env, Scale};
 use cdnsim::ServiceConfig;
 use emulator::dataset_a::{DatasetA, KeywordPolicy};
 use emulator::output::Tsv;
-use emulator::{Design, ProcessedQuery};
+use emulator::{Design, FoldSink, RunDescriptor};
+use inference::GroupMediansAcc;
 use simcore::time::SimDuration;
 use stats::Ecdf;
 
-fn measured_rtts(out: &[ProcessedQuery]) -> Vec<f64> {
+fn measured_rtts(acc: &GroupMediansAcc) -> Vec<f64> {
     // Measured (handshake-estimated) RTTs, one median per vantage —
     // exactly what the paper plots.
-    let samples: Vec<(u64, inference::QueryParams)> =
-        out.iter().map(|q| (q.client as u64, q.params)).collect();
-    inference::per_group_medians(&samples)
-        .iter()
-        .map(|g| g.rtt_ms)
-        .collect()
+    acc.finish().iter().map(|g| g.rtt_ms).collect()
 }
 
 fn main() {
@@ -43,10 +39,14 @@ fn main() {
     let mut c = campaign(scale, seed);
     c.push("bing-like", ServiceConfig::bing_like(seed), design.clone());
     c.push("google-like", ServiceConfig::google_like(seed), design);
-    let report = execute(&c);
+    let report = execute_stream(&c, &|_: &RunDescriptor| {
+        FoldSink::new(GroupMediansAcc::exact(), |a: &mut GroupMediansAcc, q| {
+            a.push(q.client as u64, &q.params)
+        })
+    });
 
-    let bing = measured_rtts(report.queries("bing-like"));
-    let google = measured_rtts(report.queries("google-like"));
+    let bing = measured_rtts(report.output("bing-like"));
+    let google = measured_rtts(report.output("google-like"));
     let bing_cdf = Ecdf::new(&bing);
     let google_cdf = Ecdf::new(&google);
 

@@ -10,32 +10,30 @@
 //! * Bing-like `Tstatic` and `Tdynamic` medians are higher, and
 //! * Bing-like variability (IQR) is larger for both quantities.
 
-use bench::{campaign, check, dataset_a_repeats, execute, finish, seed_from_env, Scale};
+use bench::{campaign, check, dataset_a_repeats, execute_stream, finish, seed_from_env, Scale};
 use cdnsim::ServiceConfig;
 use emulator::dataset_a::{DatasetA, KeywordPolicy};
 use emulator::output::Tsv;
-use emulator::{Design, ProcessedQuery};
-use inference::{per_group_medians, GroupMedians};
+use emulator::{Design, FoldSink, RunDescriptor};
+use inference::{GroupMedians, GroupMediansAcc};
 use simcore::time::SimDuration;
+use stats::QuantileAcc;
 use std::collections::BTreeMap;
 
-fn medians(out: &[ProcessedQuery]) -> Vec<GroupMedians> {
-    let samples: Vec<(u64, inference::QueryParams)> =
-        out.iter().map(|q| (q.client as u64, q.params)).collect();
-    per_group_medians(&samples)
+/// Per-run streaming state: the grouped-median reducer for the scatter
+/// plus per-vantage `Tstatic`/`Tdynamic` quantile accumulators for the
+/// within-vantage IQR checks.
+struct Fig7State {
+    acc: GroupMediansAcc,
+    per_client: BTreeMap<usize, (QuantileAcc, QuantileAcc)>,
 }
 
 /// Median across vantages of the *within-vantage* IQR — the
 /// FE-attributable variability, independent of where the vantage sits.
-fn within_vantage_iqr(out: &[ProcessedQuery], f: fn(&ProcessedQuery) -> f64) -> f64 {
-    let mut by_client: BTreeMap<usize, Vec<f64>> = BTreeMap::new();
-    for q in out {
-        by_client.entry(q.client).or_default().push(f(q));
-    }
-    let iqrs: Vec<f64> = by_client
-        .values()
-        .filter(|v| v.len() >= 4)
-        .map(|v| stats::quantile::iqr(v).unwrap())
+fn within_vantage_iqr<'a>(accs: impl Iterator<Item = &'a QuantileAcc>) -> f64 {
+    let iqrs: Vec<f64> = accs
+        .filter(|a| a.count() >= 4)
+        .map(|a| a.iqr().unwrap())
         .collect();
     stats::quantile::median(&iqrs).unwrap_or(0.0)
 }
@@ -53,12 +51,28 @@ fn main() {
     let mut c = campaign(scale, seed);
     c.push("bing-like", ServiceConfig::bing_like(seed), design.clone());
     c.push("google-like", ServiceConfig::google_like(seed), design);
-    let report = execute(&c);
+    let report = execute_stream(&c, &|_: &RunDescriptor| {
+        FoldSink::new(
+            Fig7State {
+                acc: GroupMediansAcc::exact(),
+                per_client: BTreeMap::new(),
+            },
+            |s: &mut Fig7State, q| {
+                s.acc.push(q.client as u64, &q.params);
+                let e = s
+                    .per_client
+                    .entry(q.client)
+                    .or_insert_with(|| (QuantileAcc::exact(), QuantileAcc::exact()));
+                e.0.push(q.params.t_static_ms);
+                e.1.push(q.params.t_dynamic_ms);
+            },
+        )
+    });
 
-    let bing_raw = report.queries("bing-like");
-    let google_raw = report.queries("google-like");
-    let bing = medians(bing_raw);
-    let google = medians(google_raw);
+    let bing_raw = report.output("bing-like");
+    let google_raw = report.output("google-like");
+    let bing = bing_raw.acc.finish();
+    let google = google_raw.acc.finish();
 
     // ---- TSV: the Fig. 7 scatter, one row per (service, vantage) ----
     let stdout = std::io::stdout();
@@ -114,10 +128,10 @@ fn main() {
     );
     // Variability the FE/BE are responsible for: within-vantage IQRs
     // (RTT is constant per vantage, so geography cancels out).
-    let b_ts_iqr = within_vantage_iqr(bing_raw, |q| q.params.t_static_ms);
-    let g_ts_iqr = within_vantage_iqr(google_raw, |q| q.params.t_static_ms);
-    let b_td_iqr = within_vantage_iqr(bing_raw, |q| q.params.t_dynamic_ms);
-    let g_td_iqr = within_vantage_iqr(google_raw, |q| q.params.t_dynamic_ms);
+    let b_ts_iqr = within_vantage_iqr(bing_raw.per_client.values().map(|e| &e.0));
+    let g_ts_iqr = within_vantage_iqr(google_raw.per_client.values().map(|e| &e.0));
+    let b_td_iqr = within_vantage_iqr(bing_raw.per_client.values().map(|e| &e.1));
+    let g_td_iqr = within_vantage_iqr(google_raw.per_client.values().map(|e| &e.1));
     ok &= check(
         &format!(
             "bing-like Tstatic more variable (within-vantage IQR {b_ts_iqr:.1} vs {g_ts_iqr:.1})"

@@ -10,26 +10,22 @@
 //! * per-vantage variability (whisker span / IQR) is larger for the
 //!   Bing-like service.
 
-use bench::{campaign, check, dataset_a_repeats, execute, finish, seed_from_env, Scale};
+use bench::{campaign, check, dataset_a_repeats, execute_stream, finish, seed_from_env, Scale};
 use cdnsim::ServiceConfig;
 use emulator::dataset_a::{DatasetA, KeywordPolicy};
 use emulator::output::Tsv;
-use emulator::{Design, ProcessedQuery};
+use emulator::{Design, FoldSink, RunDescriptor};
 use simcore::time::SimDuration;
-use stats::BoxSummary;
+use stats::{BoxSummary, QuantileAcc};
 use std::collections::BTreeMap;
 
-fn boxes(out: &[ProcessedQuery]) -> BTreeMap<usize, BoxSummary> {
-    let mut by_client: BTreeMap<usize, Vec<f64>> = BTreeMap::new();
-    for q in out {
-        by_client
-            .entry(q.client)
-            .or_default()
-            .push(q.params.overall_ms);
-    }
+fn boxes(by_client: &BTreeMap<usize, QuantileAcc>) -> BTreeMap<usize, BoxSummary> {
+    // Box plots need the outlier list, so the per-vantage accumulators
+    // run in exact mode; `values()` hands back the samples in arrival
+    // order, exactly as the collect-then-analyze path saw them.
     by_client
-        .into_iter()
-        .filter_map(|(c, v)| BoxSummary::of(&v).map(|b| (c, b)))
+        .iter()
+        .filter_map(|(&c, acc)| BoxSummary::of(&acc.values().unwrap()).map(|b| (c, b)))
         .collect()
 }
 
@@ -46,10 +42,19 @@ fn main() {
     let mut c = campaign(scale, seed);
     c.push("bing-like", ServiceConfig::bing_like(seed), design.clone());
     c.push("google-like", ServiceConfig::google_like(seed), design);
-    let report = execute(&c);
+    let report = execute_stream(&c, &|_: &RunDescriptor| {
+        FoldSink::new(
+            BTreeMap::new(),
+            |m: &mut BTreeMap<usize, QuantileAcc>, q| {
+                m.entry(q.client)
+                    .or_insert_with(QuantileAcc::exact)
+                    .push(q.params.overall_ms)
+            },
+        )
+    });
 
-    let bing = boxes(report.queries("bing-like"));
-    let google = boxes(report.queries("google-like"));
+    let bing = boxes(report.output("bing-like"));
+    let google = boxes(report.output("google-like"));
 
     // ---- TSV: the box plots, one row per (service, vantage) ----
     let stdout = std::io::stdout();

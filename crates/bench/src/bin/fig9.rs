@@ -18,17 +18,27 @@
 //! * slopes are the same order of magnitude across services (paper:
 //!   0.08 vs 0.099 ms/mile).
 
-use bench::{campaign, check, execute, finish, seed_from_env, Scale};
+use bench::{campaign, check, execute_stream, finish, seed_from_env, Scale};
 use cdnsim::{QuerySpec, ServiceConfig};
 use emulator::output::Tsv;
-use emulator::{Design, ProcessedQuery};
+use emulator::{Design, FoldSink, RunDescriptor};
 use inference::factoring::factor_fetch_time;
 use simcore::time::SimDuration;
+use stats::{MeanAcc, QuantileAcc};
+use std::collections::BTreeMap;
 
 struct ServiceFit {
     points: Vec<(f64, f64)>, // (distance_miles, median Tdynamic ms)
     factoring: inference::FetchFactoring,
     true_proc_mean_ms: f64,
+}
+
+/// Per-run streaming state: per-FE `Tdynamic` quantile accumulators
+/// (keyed in ascending FE order by the map) plus the ground-truth
+/// `Tproc` running mean — all [`analyse`] needs.
+struct Fig9State {
+    per_fe: BTreeMap<usize, (f64, QuantileAcc)>, // fe → (FE↔BE miles, Tdynamic)
+    proc: MeanAcc,
 }
 
 /// FEs served by BE site 0 (the paper's chosen data center), within the
@@ -74,33 +84,23 @@ fn fig9_design(radius_miles: f64, repeats: u64) -> Design {
     })
 }
 
-fn analyse(out: &[ProcessedQuery]) -> Option<ServiceFit> {
-    // Reconstruct the qualifying-FE set from the results: every query
-    // carries its FE and the FE↔BE distance ground truth.
-    let mut fes: Vec<usize> = out.iter().filter_map(|q| q.fe).collect();
-    fes.sort_unstable();
-    fes.dedup();
-    if fes.len() < 3 {
-        eprintln!("not enough qualifying FEs ({})", fes.len());
+fn analyse(s: &Fig9State) -> Option<ServiceFit> {
+    // The qualifying-FE set is the reducer's key set: every query
+    // carried its FE and the FE↔BE distance ground truth.
+    if s.per_fe.len() < 3 {
+        eprintln!("not enough qualifying FEs ({})", s.per_fe.len());
         return None;
     }
-    let mut points = Vec::new();
-    let mut proc_samples = Vec::new();
-    for &fe in &fes {
-        let mine: Vec<&ProcessedQuery> = out.iter().filter(|q| q.fe == Some(fe)).collect();
-        let td: Vec<f64> = mine.iter().map(|q| q.params.t_dynamic_ms).collect();
-        if let Some(m) = stats::quantile::median(&td) {
-            points.push((mine[0].dist_fe_be_miles, m));
-        }
-    }
-    for q in out {
-        proc_samples.push(q.proc_ms);
-    }
+    let points: Vec<(f64, f64)> = s
+        .per_fe
+        .values()
+        .filter_map(|(dist, td)| td.median().map(|m| (*dist, m)))
+        .collect();
     let factoring = factor_fetch_time(&points)?;
     Some(ServiceFit {
         points,
         factoring,
-        true_proc_mean_ms: stats::quantile::mean(&proc_samples).unwrap_or(0.0),
+        true_proc_mean_ms: s.proc.mean().unwrap_or(0.0),
     })
 }
 
@@ -127,9 +127,26 @@ fn main() {
         ServiceConfig::google_like(seed),
         fig9_design(700.0, rep_google),
     );
-    let report = execute(&c);
-    let bing = analyse(report.queries("bing-like"));
-    let google = analyse(report.queries("google-like"));
+    let report = execute_stream(&c, &|_: &RunDescriptor| {
+        FoldSink::new(
+            Fig9State {
+                per_fe: BTreeMap::new(),
+                proc: MeanAcc::new(),
+            },
+            |s: &mut Fig9State, q| {
+                if let Some(fe) = q.fe {
+                    s.per_fe
+                        .entry(fe)
+                        .or_insert_with(|| (q.dist_fe_be_miles, QuantileAcc::exact()))
+                        .1
+                        .push(q.params.t_dynamic_ms);
+                }
+                s.proc.push(q.proc_ms);
+            },
+        )
+    });
+    let bing = analyse(report.output("bing-like"));
+    let google = analyse(report.output("google-like"));
     let (bing, google) = match (bing, google) {
         (Some(b), Some(g)) => (b, g),
         _ => {

@@ -27,7 +27,7 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
-use emulator::{Campaign, CampaignReport, Scenario};
+use emulator::{Campaign, CampaignReport, QuerySink, Scenario, SinkFactory, StreamReport};
 
 /// Run scale for the harness binaries.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -99,6 +99,23 @@ pub fn campaign(scale: Scale, seed: u64) -> Campaign {
 /// for the byte-stable TSV).
 pub fn execute(campaign: &Campaign) -> CampaignReport {
     let report = campaign.execute();
+    eprint!("{}", report.stats_table());
+    report
+}
+
+/// Streaming counterpart of [`execute`]: runs the campaign with one
+/// sink per run from `factory`, folding queries as they complete
+/// (memory stays bounded by reducer state), and prints the same stderr
+/// stats table. stdout stays reserved for the byte-stable TSV.
+pub fn execute_stream<F>(
+    campaign: &Campaign,
+    factory: &F,
+) -> StreamReport<<F::Sink as QuerySink>::Output>
+where
+    F: SinkFactory,
+    <F::Sink as QuerySink>::Output: Send,
+{
+    let report = campaign.execute_stream(factory);
     eprint!("{}", report.stats_table());
     report
 }

@@ -17,8 +17,13 @@ use tcpsim::{NodeId, PktDir, PktEvent};
 /// as static, which is precisely why the paper's probe issues distinct
 /// queries). Only packets received at `client_of(session_index)` are
 /// considered. `min_sessions` is the recurrence threshold (≥ 2).
-pub fn find_static_content_ids(
-    sessions: &[Vec<PktEvent>],
+///
+/// Sessions are taken by borrow (`&[PktEvent]` slices work as well as
+/// owned `Vec<PktEvent>`s), so callers holding raw completions — e.g. a
+/// `RetainRaw` campaign sink — can hand their traces over without
+/// cloning a single packet event.
+pub fn find_static_content_ids<S: AsRef<[PktEvent]>>(
+    sessions: &[S],
     client_of: impl Fn(usize) -> NodeId,
     min_sessions: usize,
 ) -> HashSet<u64> {
@@ -26,7 +31,7 @@ pub fn find_static_content_ids(
     let mut seen_in: HashMap<u64, HashSet<usize>> = HashMap::new();
     for (i, events) in sessions.iter().enumerate() {
         let client = client_of(i);
-        for ev in events {
+        for ev in events.as_ref() {
             if ev.node != client || ev.dir != PktDir::Rx {
                 continue;
             }
@@ -123,6 +128,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "threshold")]
     fn threshold_one_rejected() {
-        find_static_content_ids(&[], |_| NodeId(1), 1);
+        find_static_content_ids(&[] as &[Vec<PktEvent>], |_| NodeId(1), 1);
     }
 }

@@ -145,6 +145,16 @@ impl CompletedQuery {
     pub fn overall_ms(&self) -> f64 {
         self.t_done.saturating_since(self.t_start).as_millis_f64()
     }
+
+    /// Estimated heap footprint of this record — dominated by the packet
+    /// trace. The streaming pipeline samples this to report how many
+    /// bytes a sink retains; it is an estimate (inline `meta` spans that
+    /// spilled to the heap are counted at their inline size), not an
+    /// allocator measurement.
+    pub fn retained_bytes(&self) -> usize {
+        std::mem::size_of::<CompletedQuery>()
+            + self.trace.capacity() * std::mem::size_of::<PktEvent>()
+    }
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

@@ -7,7 +7,8 @@
 //! reduction.
 
 use crate::params::QueryParams;
-use stats::quantile::{median, Summary};
+use stats::quantile::Summary;
+use stats::streaming::{QuantileAcc, SummaryAcc};
 use std::collections::BTreeMap;
 
 /// The per-group medians of all measurement quantities.
@@ -70,38 +71,159 @@ impl SessionTally {
         }
         (total - self.skipped.min(total)) as f64 / total as f64
     }
+
+    /// Adds another tally's counts — shard tallies merge in descriptor
+    /// order like every other streaming reducer.
+    pub fn merge(&mut self, other: &SessionTally) {
+        self.ok += other.ok;
+        self.degraded += other.degraded;
+        self.retried += other.retried;
+        self.timed_out += other.timed_out;
+        self.skipped += other.skipped;
+    }
+}
+
+/// Streaming per-group aggregation: the online counterpart of
+/// [`per_group_medians`]. Each group folds its five measurement columns
+/// into quantile accumulators as samples arrive; [`finish`] reduces to
+/// the same [`GroupMedians`] records the batch path produced —
+/// bit-identically in exact mode, because the accumulators sort and
+/// delegate to the very batch helpers the old code called.
+///
+/// [`finish`]: GroupMediansAcc::finish
+#[derive(Clone, Debug)]
+pub struct GroupMediansAcc {
+    groups: BTreeMap<u64, GroupAcc>,
+    cap: Option<usize>,
+}
+
+#[derive(Clone, Debug)]
+struct GroupAcc {
+    rtt: QuantileAcc,
+    t_static: QuantileAcc,
+    t_dynamic: QuantileAcc,
+    t_delta: QuantileAcc,
+    overall: SummaryAcc,
+}
+
+impl GroupAcc {
+    fn new(cap: Option<usize>) -> GroupAcc {
+        let q = || match cap {
+            None => QuantileAcc::exact(),
+            Some(c) => QuantileAcc::with_cap(c),
+        };
+        GroupAcc {
+            rtt: q(),
+            t_static: q(),
+            t_dynamic: q(),
+            t_delta: q(),
+            overall: match cap {
+                None => SummaryAcc::exact(),
+                Some(c) => SummaryAcc::with_cap(c),
+            },
+        }
+    }
+}
+
+impl GroupMediansAcc {
+    /// Exact accumulators (bit-identical to the batch reduction; memory
+    /// grows with samples per group). The figure harnesses use this.
+    pub fn exact() -> GroupMediansAcc {
+        GroupMediansAcc {
+            groups: BTreeMap::new(),
+            cap: None,
+        }
+    }
+
+    /// Capped accumulators that sketch beyond `cap` samples per group
+    /// column — bounded memory for production-scale campaigns.
+    pub fn with_cap(cap: usize) -> GroupMediansAcc {
+        GroupMediansAcc {
+            groups: BTreeMap::new(),
+            cap: Some(cap),
+        }
+    }
+
+    /// Folds one sample into `key`'s group.
+    pub fn push(&mut self, key: u64, p: &QueryParams) {
+        let cap = self.cap;
+        let g = self.groups.entry(key).or_insert_with(|| GroupAcc::new(cap));
+        g.rtt.push(p.rtt_ms);
+        g.t_static.push(p.t_static_ms);
+        g.t_dynamic.push(p.t_dynamic_ms);
+        g.t_delta.push(p.t_delta_ms);
+        g.overall.push(p.overall_ms);
+    }
+
+    /// Merges per-key (concatenation order within each key).
+    pub fn merge(&mut self, other: &GroupMediansAcc) {
+        for (k, g) in &other.groups {
+            match self.groups.get_mut(k) {
+                Some(mine) => {
+                    mine.rtt.merge(&g.rtt);
+                    mine.t_static.merge(&g.t_static);
+                    mine.t_dynamic.merge(&g.t_dynamic);
+                    mine.t_delta.merge(&g.t_delta);
+                    mine.overall.merge(&g.overall);
+                }
+                None => {
+                    self.groups.insert(*k, g.clone());
+                }
+            }
+        }
+    }
+
+    /// Number of distinct groups so far.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// True before the first sample.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// Bytes retained across all group buffers.
+    pub fn retained_bytes(&self) -> usize {
+        self.groups
+            .values()
+            .map(|g| {
+                g.rtt.retained_bytes()
+                    + g.t_static.retained_bytes()
+                    + g.t_dynamic.retained_bytes()
+                    + g.t_delta.retained_bytes()
+                    + g.overall.retained_bytes()
+            })
+            .sum()
+    }
+
+    /// Reduces to per-group medians in ascending key order.
+    pub fn finish(&self) -> Vec<GroupMedians> {
+        self.groups
+            .iter()
+            .map(|(&group, g)| GroupMedians {
+                group,
+                n: g.overall.count() as usize,
+                rtt_ms: g.rtt.median().unwrap(),
+                t_static_ms: g.t_static.median().unwrap(),
+                t_dynamic_ms: g.t_dynamic.median().unwrap(),
+                t_delta_ms: g.t_delta.median().unwrap(),
+                overall_ms: g.overall.summary().map(|s| s.median).unwrap(),
+                overall_summary: g.overall.summary().unwrap(),
+            })
+            .collect()
+    }
 }
 
 /// Groups samples by a key and reduces each group to its medians.
 /// Groups are returned in ascending key order (deterministic output for
 /// the figure harnesses).
 pub fn per_group_medians(samples: &[(u64, QueryParams)]) -> Vec<GroupMedians> {
-    let mut groups: BTreeMap<u64, Vec<&QueryParams>> = BTreeMap::new();
+    let mut acc = GroupMediansAcc::exact();
     for (key, p) in samples {
-        groups.entry(*key).or_default().push(p);
+        acc.push(*key, p);
     }
-    groups
-        .into_iter()
-        .map(|(group, ps)| {
-            let col =
-                |f: fn(&QueryParams) -> f64| -> Vec<f64> { ps.iter().map(|p| f(p)).collect() };
-            let rtt = col(|p| p.rtt_ms);
-            let ts = col(|p| p.t_static_ms);
-            let td = col(|p| p.t_dynamic_ms);
-            let dl = col(|p| p.t_delta_ms);
-            let ov = col(|p| p.overall_ms);
-            GroupMedians {
-                group,
-                n: ps.len(),
-                rtt_ms: median(&rtt).unwrap(),
-                t_static_ms: median(&ts).unwrap(),
-                t_dynamic_ms: median(&td).unwrap(),
-                t_delta_ms: median(&dl).unwrap(),
-                overall_ms: median(&ov).unwrap(),
-                overall_summary: Summary::of(&ov).unwrap(),
-            }
-        })
-        .collect()
+    acc.finish()
 }
 
 #[cfg(test)]

@@ -40,7 +40,7 @@ pub mod model;
 pub mod params;
 pub mod threshold;
 
-pub use aggregate::{per_group_medians, GroupMedians, SessionTally};
+pub use aggregate::{per_group_medians, GroupMedians, GroupMediansAcc, SessionTally};
 pub use bounds::FetchBounds;
 pub use caching::{caching_verdict, CachingVerdict};
 pub use coords::{tproc_via_coords, RttSample, Vivaldi};

@@ -7,9 +7,10 @@
 //! distributions answers whether FEs cache (dynamically generated)
 //! search results.
 
-use crate::campaign::{Campaign, CampaignReport, Design};
+use crate::campaign::{Campaign, CampaignReport, Design, StreamReport};
 use crate::runner::ProcessedQuery;
 use crate::scenarios::Scenario;
+use crate::sink::QuerySink;
 use cdnsim::{QuerySpec, ServiceConfig};
 use inference::caching::{caching_verdict, CachingProbe};
 use simcore::time::SimDuration;
@@ -76,28 +77,67 @@ impl CachingProbeRun {
 
     /// Extracts the comparison for the runs pushed under `prefix`.
     pub fn outcome(&self, report: &CampaignReport, prefix: &str) -> Option<CachingOutcome> {
-        let near = |qs: &[ProcessedQuery]| -> Vec<f64> {
-            let filtered: Vec<f64> = qs
+        let pairs = |qs: &[ProcessedQuery]| -> Vec<(f64, f64)> {
+            qs.iter()
+                .map(|q| (q.params.rtt_ms, q.params.t_dynamic_ms))
+                .collect()
+        };
+        self.outcome_from_pairs(
+            &pairs(report.queries(&format!("{prefix}/same"))),
+            &pairs(report.queries(&format!("{prefix}/distinct"))),
+        )
+    }
+
+    /// [`outcome`](CachingProbeRun::outcome) over a streaming execution
+    /// whose sinks were [`ProbeSink`]s.
+    pub fn outcome_stream(
+        &self,
+        report: &StreamReport<Vec<(f64, f64)>>,
+        prefix: &str,
+    ) -> Option<CachingOutcome> {
+        self.outcome_from_pairs(
+            report.output(&format!("{prefix}/same")),
+            report.output(&format!("{prefix}/distinct")),
+        )
+    }
+
+    /// The comparison itself, over per-run `(rtt_ms, t_dynamic_ms)`
+    /// sample pairs in completion order — all the probe retains per
+    /// query under the streaming pipeline (16 bytes instead of the full
+    /// processed record).
+    pub fn outcome_from_pairs(
+        &self,
+        same: &[(f64, f64)],
+        distinct: &[(f64, f64)],
+    ) -> Option<CachingOutcome> {
+        let near = |ps: &[(f64, f64)]| -> Vec<f64> {
+            let filtered: Vec<f64> = ps
                 .iter()
-                .filter(|q| q.params.rtt_ms <= self.max_rtt_ms)
-                .map(|q| q.params.t_dynamic_ms)
+                .filter(|(rtt, _)| *rtt <= self.max_rtt_ms)
+                .map(|&(_, td)| td)
                 .collect();
             if filtered.len() >= 10 {
                 filtered
             } else {
                 // Too few close vantages: fall back to the full sample
                 // (weaker test, still sound for the NoCaching direction).
-                qs.iter().map(|q| q.params.t_dynamic_ms).collect()
+                ps.iter().map(|&(_, td)| td).collect()
             }
         };
-        let same_ms = near(report.queries(&format!("{prefix}/same")));
-        let distinct_ms = near(report.queries(&format!("{prefix}/distinct")));
+        let same_ms = near(same);
+        let distinct_ms = near(distinct);
         let probe = caching_verdict(&same_ms, &distinct_ms)?;
         Some(CachingOutcome {
             same_query_ms: same_ms,
             distinct_query_ms: distinct_ms,
             probe,
         })
+    }
+
+    /// The streaming sink for a probe run: retains only the
+    /// `(rtt_ms, t_dynamic_ms)` pair per query.
+    pub fn sink() -> ProbeSink {
+        ProbeSink::default()
     }
 
     fn design(&self, same_query: bool) -> Design {
@@ -143,6 +183,29 @@ impl CachingProbeRun {
                 }
             });
         })
+    }
+}
+
+/// Streaming sink collecting each query's `(rtt_ms, t_dynamic_ms)` —
+/// everything [`CachingProbeRun::outcome_from_pairs`] needs.
+#[derive(Clone, Debug, Default)]
+pub struct ProbeSink {
+    pairs: Vec<(f64, f64)>,
+}
+
+impl QuerySink for ProbeSink {
+    type Output = Vec<(f64, f64)>;
+
+    fn on_query(&mut self, pq: &ProcessedQuery) {
+        self.pairs.push((pq.params.rtt_ms, pq.params.t_dynamic_ms));
+    }
+
+    fn retained_bytes(&self) -> usize {
+        self.pairs.capacity() * std::mem::size_of::<(f64, f64)>()
+    }
+
+    fn finish(self) -> Vec<(f64, f64)> {
+        self.pairs
     }
 }
 

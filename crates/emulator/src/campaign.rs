@@ -18,10 +18,11 @@
 
 use crate::dataset_a::DatasetA;
 use crate::dataset_b::DatasetB;
-use crate::runner::{run_collect_with, ProcessedQuery};
+use crate::runner::{run_stream, ProcessedQuery};
 use crate::scenarios::Scenario;
+use crate::sink::{CollectSink, QuerySink, SinkFactory};
 use capture::Classifier;
-use cdnsim::{CompletedQuery, QueryOutcome, ServiceConfig, ServiceWorld};
+use cdnsim::{CompletedQuery, ServiceConfig, ServiceWorld};
 use inference::SessionTally;
 use simcore::rng::stream_seed;
 use std::fmt;
@@ -115,6 +116,9 @@ pub struct RunStats {
     pub queue_ms: f64,
     /// Wall-clock milliseconds of build + schedule + drive.
     pub wall_ms: f64,
+    /// Peak bytes the run's sink retained (sampled per drain chunk) —
+    /// the memory-boundedness signal the campaign benchmark tracks.
+    pub peak_retained_bytes: usize,
 }
 
 /// The merged output of one run.
@@ -131,6 +135,143 @@ pub struct RunResult {
     /// Wall-clock and queue bookkeeping.
     pub stats: RunStats,
 }
+
+/// One run's report from a streaming execution: accounting plus
+/// whatever the run's sink reduced to.
+#[derive(Clone, Debug)]
+pub struct SinkRunReport<R> {
+    /// The descriptor's label.
+    pub label: String,
+    /// Outcome/skip accounting for the run.
+    pub tally: SessionTally,
+    /// Wall-clock, queue and peak-memory bookkeeping.
+    pub stats: RunStats,
+    /// The sink's reduction.
+    pub output: R,
+}
+
+/// The merged output of a streaming campaign execution, in descriptor
+/// order — the stream-and-reduce counterpart of [`CampaignReport`].
+#[derive(Clone, Debug)]
+pub struct StreamReport<R> {
+    /// Per-run reports, in descriptor order (not completion order).
+    pub runs: Vec<SinkRunReport<R>>,
+    /// Worker count used.
+    pub threads: usize,
+    /// Campaign wall-clock, ms.
+    pub wall_ms: f64,
+}
+
+impl<R> StreamReport<R> {
+    /// The report of the labelled run, if present.
+    pub fn get(&self, label: &str) -> Option<&SinkRunReport<R>> {
+        self.runs.iter().find(|r| r.label == label)
+    }
+
+    /// The sink output of the labelled run. Panics on an unknown label
+    /// — descriptor labels are static strings, so a miss is a bug.
+    pub fn output(&self, label: &str) -> &R {
+        &self
+            .get(label)
+            .unwrap_or_else(|| panic!("no campaign run labelled {label:?}"))
+            .output
+    }
+
+    /// The tally of the labelled run (panics on an unknown label).
+    pub fn tally(&self, label: &str) -> &SessionTally {
+        &self
+            .get(label)
+            .unwrap_or_else(|| panic!("no campaign run labelled {label:?}"))
+            .tally
+    }
+
+    /// Largest per-run peak of sink-retained bytes across the campaign.
+    pub fn peak_retained_bytes(&self) -> usize {
+        self.runs
+            .iter()
+            .map(|r| r.stats.peak_retained_bytes)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Sum of per-run wall-clock times — what a serial execution would
+    /// have cost.
+    pub fn serial_ms(&self) -> f64 {
+        self.runs.iter().map(|r| r.stats.wall_ms).sum()
+    }
+
+    /// Serial-equivalent time over actual wall-clock time.
+    pub fn speedup(&self) -> f64 {
+        if self.wall_ms > 0.0 {
+            self.serial_ms() / self.wall_ms
+        } else {
+            1.0
+        }
+    }
+
+    /// Renders per-run wall-clock + queue stats plus the campaign
+    /// speedup line, for stderr (see [`CampaignReport::stats_table`]).
+    pub fn stats_table(&self) -> String {
+        let rows: Vec<StatsRow> = self
+            .runs
+            .iter()
+            .map(|r| StatsRow {
+                label: &r.label,
+                queries: r.tally.total() - r.tally.skipped.min(r.tally.total()),
+                skipped: r.tally.skipped,
+                stats: &r.stats,
+            })
+            .collect();
+        render_stats_table(
+            &rows,
+            self.threads,
+            self.wall_ms,
+            self.serial_ms(),
+            self.speedup(),
+        )
+    }
+}
+
+struct StatsRow<'a> {
+    label: &'a str,
+    queries: usize,
+    skipped: usize,
+    stats: &'a RunStats,
+}
+
+fn render_stats_table(
+    rows: &[StatsRow<'_>],
+    threads: usize,
+    wall_ms: f64,
+    serial_ms: f64,
+    speedup: f64,
+) -> String {
+    let mut out = format!(
+        "{:<28} {:>8} {:>8} {:>10} {:>10} {:>7}\n",
+        "run", "queries", "skipped", "queue_ms", "wall_ms", "worker"
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<28} {:>8} {:>8} {:>10.0} {:>10.0} {:>7}\n",
+            r.label, r.queries, r.skipped, r.stats.queue_ms, r.stats.wall_ms, r.stats.worker,
+        ));
+    }
+    out.push_str(&format!(
+        "campaign: {} runs on {} thread(s), wall {:.0} ms, serial-equivalent {:.0} ms, speedup {:.2}x\n",
+        rows.len(),
+        threads,
+        wall_ms,
+        serial_ms,
+        speedup,
+    ));
+    out
+}
+
+/// Column header of the canonical campaign TSV, shared by
+/// [`CampaignReport::to_tsv`] and consumers reassembling the same
+/// document from streamed [`crate::TsvRows`] output.
+pub const TSV_HEADER: &str = "run\tqid\tclient\tfe\tbe\tkeyword\tclass\tt_start_ms\trtt_ms\t\
+                              t_static_ms\tt_dynamic_ms\tt_delta_ms\toverall_ms\toutcome\n";
 
 /// The merged results of a campaign, in descriptor order.
 #[derive(Clone, Debug)]
@@ -177,30 +318,23 @@ impl CampaignReport {
     /// speedup line, for stderr. Never part of stdout TSV: timings vary
     /// run to run while the TSV must stay byte-identical.
     pub fn stats_table(&self) -> String {
-        let mut out = format!(
-            "{:<28} {:>8} {:>8} {:>10} {:>10} {:>7}\n",
-            "run", "queries", "skipped", "queue_ms", "wall_ms", "worker"
-        );
-        for r in &self.runs {
-            out.push_str(&format!(
-                "{:<28} {:>8} {:>8} {:>10.0} {:>10.0} {:>7}\n",
-                r.label,
-                r.queries.len(),
-                r.tally.skipped,
-                r.stats.queue_ms,
-                r.stats.wall_ms,
-                r.stats.worker,
-            ));
-        }
-        out.push_str(&format!(
-            "campaign: {} runs on {} thread(s), wall {:.0} ms, serial-equivalent {:.0} ms, speedup {:.2}x\n",
-            self.runs.len(),
+        let rows: Vec<StatsRow> = self
+            .runs
+            .iter()
+            .map(|r| StatsRow {
+                label: &r.label,
+                queries: r.queries.len(),
+                skipped: r.tally.skipped,
+                stats: &r.stats,
+            })
+            .collect();
+        render_stats_table(
+            &rows,
             self.threads,
             self.wall_ms,
             self.serial_ms(),
             self.speedup(),
-        ));
-        out
+        )
     }
 
     /// Canonical TSV serialisation of the merged campaign — the golden
@@ -208,10 +342,7 @@ impl CampaignReport {
     /// per run, in descriptor order. Everything here is virtual-time or
     /// outcome data: byte-identical across worker counts and machines.
     pub fn to_tsv(&self) -> String {
-        let mut out = String::from(
-            "run\tqid\tclient\tfe\tbe\tkeyword\tclass\tt_start_ms\trtt_ms\t\
-             t_static_ms\tt_dynamic_ms\tt_delta_ms\toverall_ms\toutcome\n",
-        );
+        let mut out = String::from(TSV_HEADER);
         for r in &self.runs {
             let t = &r.tally;
             out.push_str(&format!(
@@ -309,27 +440,80 @@ impl Campaign {
     }
 
     /// Executes with the worker count from `FECDN_THREADS`.
+    ///
+    /// Compatibility path: runs the streaming pipeline with a
+    /// [`CollectSink`] per run, so results still arrive as full
+    /// `Vec<ProcessedQuery>` buffers (and raw traces when a descriptor
+    /// set `keep_raw`). Harnesses that reduce online should prefer
+    /// [`Campaign::execute_stream`].
     pub fn execute(&self) -> CampaignReport {
         self.execute_with_threads(threads_from_env())
     }
 
-    /// Executes across `threads` workers (clamped to the run count;
-    /// `<= 1` runs serially on the calling thread with no pool at all).
-    /// Results are merged in descriptor order regardless of which worker
-    /// finished when.
+    /// [`Campaign::execute`] with an explicit worker count.
     pub fn execute_with_threads(&self, threads: usize) -> CampaignReport {
+        let report = self.execute_stream_with_threads(
+            &|d: &RunDescriptor| CollectSink::with_raw(d.keep_raw),
+            threads,
+        );
+        let threads = report.threads;
+        let wall_ms = report.wall_ms;
+        CampaignReport {
+            runs: report
+                .runs
+                .into_iter()
+                .map(|r| RunResult {
+                    label: r.label,
+                    queries: r.output.queries,
+                    raw: r.output.raw,
+                    tally: r.tally,
+                    stats: r.stats,
+                })
+                .collect(),
+            threads,
+            wall_ms,
+        }
+    }
+
+    /// Streams the campaign with the worker count from `FECDN_THREADS`:
+    /// one sink per run (built by `factory` on the worker thread),
+    /// folded as queries complete, reduced on quiescence, reports merged
+    /// in descriptor order. Memory is O(reducer state), not
+    /// O(total queries).
+    pub fn execute_stream<F>(&self, factory: &F) -> StreamReport<<F::Sink as QuerySink>::Output>
+    where
+        F: SinkFactory,
+        <F::Sink as QuerySink>::Output: Send,
+    {
+        self.execute_stream_with_threads(factory, threads_from_env())
+    }
+
+    /// [`Campaign::execute_stream`] across `threads` workers (clamped to
+    /// the run count; `<= 1` runs serially on the calling thread with no
+    /// pool at all). Reports are merged in descriptor order regardless
+    /// of which worker finished when, so output stays byte-identical at
+    /// any thread count.
+    pub fn execute_stream_with_threads<F>(
+        &self,
+        factory: &F,
+        threads: usize,
+    ) -> StreamReport<<F::Sink as QuerySink>::Output>
+    where
+        F: SinkFactory,
+        <F::Sink as QuerySink>::Output: Send,
+    {
         let t0 = Instant::now();
         let n = self.runs.len();
         let threads = threads.max(1).min(n.max(1));
         let runs = if threads <= 1 {
             self.runs
                 .iter()
-                .map(|d| self.execute_one(d, 0, t0))
+                .map(|d| self.execute_one(factory, d, 0, t0))
                 .collect()
         } else {
             let next = AtomicUsize::new(0);
-            let mut slots: Vec<Option<RunResult>> = (0..n).map(|_| None).collect();
-            let finished: Vec<(usize, RunResult)> = std::thread::scope(|scope| {
+            let mut slots: Vec<Option<SinkRunReport<_>>> = (0..n).map(|_| None).collect();
+            let finished: Vec<(usize, SinkRunReport<_>)> = std::thread::scope(|scope| {
                 let handles: Vec<_> = (0..threads)
                     .map(|worker| {
                         let next = &next;
@@ -340,7 +524,10 @@ impl Campaign {
                                 if i >= n {
                                     break;
                                 }
-                                mine.push((i, self.execute_one(&self.runs[i], worker, t0)));
+                                mine.push((
+                                    i,
+                                    self.execute_one(factory, &self.runs[i], worker, t0),
+                                ));
                             }
                             mine
                         })
@@ -359,43 +546,37 @@ impl Campaign {
                 .map(|s| s.expect("every run index was dispatched exactly once"))
                 .collect()
         };
-        CampaignReport {
+        StreamReport {
             runs,
             threads,
             wall_ms: t0.elapsed().as_secs_f64() * 1e3,
         }
     }
 
-    /// Builds, schedules and drives one shard to quiescence.
-    fn execute_one(&self, d: &RunDescriptor, worker: usize, campaign_start: Instant) -> RunResult {
+    /// Builds, schedules and drives one shard to quiescence, folding
+    /// completions into a fresh sink from `factory`.
+    fn execute_one<F: SinkFactory>(
+        &self,
+        factory: &F,
+        d: &RunDescriptor,
+        worker: usize,
+        campaign_start: Instant,
+    ) -> SinkRunReport<<F::Sink as QuerySink>::Output> {
         let queue_ms = campaign_start.elapsed().as_secs_f64() * 1e3;
         let started = Instant::now();
         let mut sim = self.scenario.spec(d.cfg.clone(), d.seed).build();
         d.design.schedule(&mut sim);
-        let mut tally = SessionTally::default();
-        let mut raw = Vec::new();
-        let queries = run_collect_with(&mut sim, &d.classifier, |cq| {
-            match cq.outcome {
-                QueryOutcome::Ok => tally.ok += 1,
-                QueryOutcome::Degraded => tally.degraded += 1,
-                QueryOutcome::Retried(_) => tally.retried += 1,
-                QueryOutcome::TimedOut => tally.timed_out += 1,
-            }
-            if d.keep_raw {
-                raw.push(cq.clone());
-            }
-        });
-        tally.skipped = tally.total() - queries.len();
-        RunResult {
+        let run = run_stream(&mut sim, &d.classifier, factory.make(d));
+        SinkRunReport {
             label: d.label.clone(),
-            queries,
-            raw,
-            tally,
+            tally: run.tally,
             stats: RunStats {
                 worker,
                 queue_ms,
                 wall_ms: started.elapsed().as_secs_f64() * 1e3,
+                peak_retained_bytes: run.peak_retained_bytes,
             },
+            output: run.output,
         }
     }
 }

@@ -26,6 +26,12 @@
 //! (`FECDN_THREADS`) and merged back in descriptor order so output is
 //! byte-identical regardless of thread count.
 //!
+//! Results flow through [`sink`]s: each run folds its completions into
+//! a [`QuerySink`](sink::QuerySink) as they drain (stream-and-reduce),
+//! so campaign memory is bounded by reducer state rather than query
+//! count, and raw packet traces are retained only when a sink opts in
+//! ([`sink::RetainRaw`]).
+//!
 //! [`ProcessedQuery`]: runner::ProcessedQuery
 //! [`instant_run`]: instant::InstantRun::run
 
@@ -41,7 +47,12 @@ pub mod output;
 pub mod report;
 pub mod runner;
 pub mod scenarios;
+pub mod sink;
 
-pub use campaign::{Campaign, CampaignReport, Design, RunDescriptor, RunResult};
+pub use campaign::{
+    Campaign, CampaignReport, Design, RunDescriptor, RunResult, SinkRunReport, StreamReport,
+    TSV_HEADER,
+};
 pub use runner::{run_collect, ProcessedQuery};
 pub use scenarios::Scenario;
+pub use sink::{CollectSink, FoldSink, QuerySink, RetainRaw, SinkFactory, TsvRows};

@@ -6,7 +6,9 @@
 //! GitHub-flavoured markdown.
 
 use crate::runner::ProcessedQuery;
+use crate::sink::QuerySink;
 use stats::quantile::Summary;
+use stats::streaming::SummaryAcc;
 
 /// The summary statistics of one campaign (one service / configuration).
 #[derive(Clone, Debug)]
@@ -32,25 +34,101 @@ pub struct CampaignSummary {
 impl CampaignSummary {
     /// Summarises a campaign. Returns `None` for empty input.
     pub fn of(label: impl Into<String>, queries: &[ProcessedQuery]) -> Option<CampaignSummary> {
-        if queries.is_empty() {
+        let mut acc = CampaignSummaryAcc::new(label);
+        for q in queries {
+            acc.push(q);
+        }
+        acc.finish()
+    }
+}
+
+/// Streaming builder of a [`CampaignSummary`]: folds queries one at a
+/// time into exact [`SummaryAcc`]s, so campaigns summarise without a
+/// `Vec<ProcessedQuery>` buffer. Exact accumulators sort at finish and
+/// call the same [`Summary::of`] path as the batch constructor — the
+/// resulting summary is bit-identical to
+/// [`CampaignSummary::of`] on the same query sequence.
+#[derive(Clone, Debug)]
+pub struct CampaignSummaryAcc {
+    label: String,
+    n: usize,
+    rtt: SummaryAcc,
+    t_static: SummaryAcc,
+    t_dynamic: SummaryAcc,
+    t_delta: SummaryAcc,
+    overall: SummaryAcc,
+    proc: SummaryAcc,
+}
+
+impl CampaignSummaryAcc {
+    /// An empty accumulator for a campaign labelled `label`.
+    pub fn new(label: impl Into<String>) -> CampaignSummaryAcc {
+        CampaignSummaryAcc {
+            label: label.into(),
+            n: 0,
+            rtt: SummaryAcc::exact(),
+            t_static: SummaryAcc::exact(),
+            t_dynamic: SummaryAcc::exact(),
+            t_delta: SummaryAcc::exact(),
+            overall: SummaryAcc::exact(),
+            proc: SummaryAcc::exact(),
+        }
+    }
+
+    /// Folds in one query.
+    pub fn push(&mut self, q: &ProcessedQuery) {
+        self.n += 1;
+        self.rtt.push(q.params.rtt_ms);
+        self.t_static.push(q.params.t_static_ms);
+        self.t_dynamic.push(q.params.t_dynamic_ms);
+        self.t_delta.push(q.params.t_delta_ms);
+        self.overall.push(q.params.overall_ms);
+        if q.proc_ms > 0.0 {
+            self.proc.push(q.proc_ms);
+        }
+    }
+
+    /// Reduces to the summary; `None` when no query was folded.
+    pub fn finish(&self) -> Option<CampaignSummary> {
+        if self.n == 0 {
             return None;
         }
-        let col = |f: fn(&ProcessedQuery) -> f64| -> Vec<f64> { queries.iter().map(f).collect() };
-        let procs: Vec<f64> = queries
-            .iter()
-            .filter(|q| q.proc_ms > 0.0)
-            .map(|q| q.proc_ms)
-            .collect();
         Some(CampaignSummary {
-            label: label.into(),
-            n: queries.len(),
-            rtt: Summary::of(&col(|q| q.params.rtt_ms))?,
-            t_static: Summary::of(&col(|q| q.params.t_static_ms))?,
-            t_dynamic: Summary::of(&col(|q| q.params.t_dynamic_ms))?,
-            t_delta: Summary::of(&col(|q| q.params.t_delta_ms))?,
-            overall: Summary::of(&col(|q| q.params.overall_ms))?,
-            true_proc: Summary::of(&procs),
+            label: self.label.clone(),
+            n: self.n,
+            rtt: self.rtt.summary()?,
+            t_static: self.t_static.summary()?,
+            t_dynamic: self.t_dynamic.summary()?,
+            t_delta: self.t_delta.summary()?,
+            overall: self.overall.summary()?,
+            true_proc: self.proc.summary(),
         })
+    }
+
+    /// Bytes retained across the six column buffers.
+    pub fn retained(&self) -> usize {
+        self.rtt.retained_bytes()
+            + self.t_static.retained_bytes()
+            + self.t_dynamic.retained_bytes()
+            + self.t_delta.retained_bytes()
+            + self.overall.retained_bytes()
+            + self.proc.retained_bytes()
+    }
+}
+
+impl QuerySink for CampaignSummaryAcc {
+    type Output = Option<CampaignSummary>;
+
+    fn on_query(&mut self, pq: &ProcessedQuery) {
+        self.push(pq);
+    }
+
+    fn retained_bytes(&self) -> usize {
+        self.retained()
+    }
+
+    fn finish(self) -> Option<CampaignSummary> {
+        CampaignSummaryAcc::finish(&self)
     }
 }
 

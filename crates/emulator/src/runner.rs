@@ -1,5 +1,6 @@
 //! Simulation driving and per-query processing.
 
+use crate::sink::{observe_outcome, QuerySink};
 use capture::{Classifier, Timeline, TimelineError};
 use cdnsim::{CompletedQuery, QueryOutcome, ServiceWorld};
 use inference::{QueryParams, SessionTally};
@@ -94,15 +95,14 @@ pub fn run_collect_tally(
     sim: &mut Sim<ServiceWorld>,
     classifier: &Classifier,
 ) -> (Vec<ProcessedQuery>, SessionTally) {
-    let mut tally = SessionTally::default();
-    let out = run_collect_with(sim, classifier, |cq| match cq.outcome {
-        QueryOutcome::Ok => tally.ok += 1,
-        QueryOutcome::Degraded => tally.degraded += 1,
-        QueryOutcome::Retried(_) => tally.retried += 1,
-        QueryOutcome::TimedOut => tally.timed_out += 1,
-    });
-    tally.skipped = tally.total() - out.len();
-    (out, tally)
+    let run = run_stream(
+        sim,
+        classifier,
+        crate::sink::FoldSink::new(Vec::new(), |v: &mut Vec<ProcessedQuery>, pq| {
+            v.push(pq.clone())
+        }),
+    );
+    (run.output, run.tally)
 }
 
 /// [`run_collect`] with a callback that sees every raw completion before
@@ -111,25 +111,91 @@ pub fn run_collect_tally(
 pub fn run_collect_with(
     sim: &mut Sim<ServiceWorld>,
     classifier: &Classifier,
-    mut on_raw: impl FnMut(&CompletedQuery),
+    on_raw: impl FnMut(&CompletedQuery),
 ) -> Vec<ProcessedQuery> {
+    struct Legacy<F> {
+        out: Vec<ProcessedQuery>,
+        on_raw: F,
+    }
+    impl<F: FnMut(&CompletedQuery)> QuerySink for Legacy<F> {
+        type Output = Vec<ProcessedQuery>;
+        fn wants_raw(&self) -> bool {
+            true
+        }
+        fn on_query(&mut self, pq: &ProcessedQuery) {
+            self.out.push(pq.clone());
+        }
+        fn on_raw(&mut self, cq: CompletedQuery) {
+            (self.on_raw)(&cq);
+        }
+        fn finish(self) -> Vec<ProcessedQuery> {
+            self.out
+        }
+    }
+    run_stream(
+        sim,
+        classifier,
+        Legacy {
+            out: Vec::new(),
+            on_raw,
+        },
+    )
+    .output
+}
+
+/// What [`run_stream`] produces next to the sink's own output.
+#[derive(Clone, Debug)]
+pub struct StreamRun<R> {
+    /// The sink's reduction.
+    pub output: R,
+    /// Outcome and skip accounting for the run.
+    pub tally: SessionTally,
+    /// Largest [`QuerySink::retained_bytes`] observed across drain
+    /// chunks — the memory the sink actually held onto at its peak.
+    pub peak_retained_bytes: usize,
+}
+
+/// The streaming counterpart of [`run_collect`]: drives the simulation
+/// to quiescence in time chunks and folds every completion into `sink`
+/// the moment it drains — no `Vec<ProcessedQuery>` buffer, no trace
+/// clone. Raw completions are moved into the sink only when it
+/// [`wants_raw`](QuerySink::wants_raw); otherwise each trace is dropped
+/// as soon as its timeline is extracted.
+pub fn run_stream<S: QuerySink>(
+    sim: &mut Sim<ServiceWorld>,
+    classifier: &Classifier,
+    mut sink: S,
+) -> StreamRun<S::Output> {
     let chunk = simcore::time::SimDuration::from_secs(60);
-    let mut out = Vec::new();
+    let mut tally = SessionTally::default();
+    let mut processed = 0usize;
+    let mut peak = 0usize;
     loop {
         let now = sim.net().now();
         sim.run_until(now + chunk);
         let done = sim.with(|w, _| w.drain_completed());
-        for cq in &done {
-            on_raw(cq);
-            if let Ok(pq) = process(cq, classifier) {
-                out.push(pq);
+        for cq in done {
+            observe_outcome(&mut tally, cq.outcome);
+            let pq = process(&cq, classifier).ok();
+            if sink.wants_raw() {
+                sink.on_raw(cq);
+            }
+            if let Some(pq) = pq {
+                sink.on_query(&pq);
+                processed += 1;
             }
         }
+        peak = peak.max(sink.retained_bytes());
         if sim.net().pending_events() == 0 {
             break;
         }
     }
-    out
+    tally.skipped = tally.total() - processed;
+    StreamRun {
+        output: sink.finish(),
+        tally,
+        peak_retained_bytes: peak,
+    }
 }
 
 /// Like [`run_collect`] but only runs until `deadline`, for

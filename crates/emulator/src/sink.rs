@@ -1,0 +1,310 @@
+//! Streaming result sinks: the fold side of the campaign pipeline.
+//!
+//! A [`QuerySink`] consumes each [`ProcessedQuery`] the moment the
+//! runner extracts it, instead of the legacy collect-then-analyze path
+//! that buffered a `Vec<ProcessedQuery>` (plus cloned packet traces) per
+//! run. `finish()` reduces the sink to its run-level output; the
+//! campaign merges run outputs in **descriptor order**, which is the
+//! whole determinism contract: per-run completion order is already
+//! deterministic (sharding never splits a world), so any sink that folds
+//! deterministically yields byte-identical campaign output at any
+//! thread count.
+//!
+//! Raw [`CompletedQuery`] records — with their packet traces, the
+//! dominant memory cost — are only retained when a sink opts in via
+//! [`QuerySink::wants_raw`]; they are handed over **by value**, so
+//! opting in moves the trace instead of cloning it and opting out never
+//! materializes a copy at all. Wrap any sink in [`RetainRaw`] when a
+//! harness genuinely needs traces (Fig. 4's packet-cluster views,
+//! alternative-classifier scoring).
+
+use crate::campaign::RunDescriptor;
+use crate::runner::ProcessedQuery;
+use cdnsim::{CompletedQuery, QueryOutcome};
+use inference::SessionTally;
+
+/// Folds one ground-truth outcome into a tally (the single definition
+/// of the outcome→counter mapping; the runner and campaign previously
+/// each had their own copy of this match).
+pub fn observe_outcome(tally: &mut SessionTally, outcome: QueryOutcome) {
+    match outcome {
+        QueryOutcome::Ok => tally.ok += 1,
+        QueryOutcome::Degraded => tally.degraded += 1,
+        QueryOutcome::Retried(_) => tally.retried += 1,
+        QueryOutcome::TimedOut => tally.timed_out += 1,
+    }
+}
+
+/// A per-run streaming reducer over processed queries.
+///
+/// The runner calls, per completed query: [`on_raw`] (only when
+/// [`wants_raw`] is true, with the owned record) after [`on_query`]'s
+/// input was extracted but before it is delivered — i.e. a sink
+/// observes `on_raw` then `on_query` for each query, in completion
+/// order. [`finish`] runs on the worker thread once the run is
+/// quiescent.
+///
+/// [`on_raw`]: QuerySink::on_raw
+/// [`on_query`]: QuerySink::on_query
+/// [`wants_raw`]: QuerySink::wants_raw
+/// [`finish`]: QuerySink::finish
+pub trait QuerySink {
+    /// The run-level reduction this sink produces.
+    type Output;
+
+    /// Opt-in to raw completion handoff. Default off: the runner then
+    /// drops each trace as soon as the timeline is extracted and no
+    /// clone is ever made.
+    fn wants_raw(&self) -> bool {
+        false
+    }
+
+    /// Folds one processed query (timeline successfully extracted).
+    fn on_query(&mut self, pq: &ProcessedQuery);
+
+    /// Receives the owned raw completion — packet trace included — when
+    /// [`wants_raw`](QuerySink::wants_raw) returned true. Called for
+    /// every completion, including ones whose timeline extraction
+    /// failed (so classifier scorers see the failures too).
+    fn on_raw(&mut self, _cq: CompletedQuery) {}
+
+    /// Estimated bytes this sink currently retains. The runner samples
+    /// it per drain chunk to report each run's peak; reducers should
+    /// sum their buffers, `O(1)`-state sinks can keep the default.
+    fn retained_bytes(&self) -> usize {
+        0
+    }
+
+    /// Reduces to the run-level output.
+    fn finish(self) -> Self::Output;
+}
+
+/// Builds one sink per run descriptor. Implemented for any
+/// `Fn(&RunDescriptor) -> S` closure — campaigns call it on worker
+/// threads, hence `Sync`.
+pub trait SinkFactory: Sync {
+    /// The sink type built per run.
+    type Sink: QuerySink + Send;
+
+    /// Builds the sink for run `d`.
+    fn make(&self, d: &RunDescriptor) -> Self::Sink;
+}
+
+impl<S, F> SinkFactory for F
+where
+    F: Fn(&RunDescriptor) -> S + Sync,
+    S: QuerySink + Send,
+{
+    type Sink = S;
+
+    fn make(&self, d: &RunDescriptor) -> S {
+        self(d)
+    }
+}
+
+/// The legacy behaviour as a sink: buffers every processed query (and,
+/// when built with `keep_raw`, every raw completion). Exists so the
+/// compatibility [`Campaign::execute`](crate::Campaign::execute) path
+/// and harnesses that genuinely need full query lists (e.g. per-session
+/// grouping over a handful of queries) ride the same pipeline.
+#[derive(Debug, Default)]
+pub struct CollectSink {
+    queries: Vec<ProcessedQuery>,
+    raw: Option<Vec<CompletedQuery>>,
+}
+
+/// What a [`CollectSink`] reduces to.
+#[derive(Debug, Default)]
+pub struct Collected {
+    /// Processed queries in completion order.
+    pub queries: Vec<ProcessedQuery>,
+    /// Raw completions (empty unless raw retention was requested).
+    pub raw: Vec<CompletedQuery>,
+}
+
+impl CollectSink {
+    /// A sink buffering processed queries only.
+    pub fn new() -> CollectSink {
+        CollectSink {
+            queries: Vec::new(),
+            raw: None,
+        }
+    }
+
+    /// A sink that additionally retains raw completions when asked.
+    pub fn with_raw(keep_raw: bool) -> CollectSink {
+        CollectSink {
+            queries: Vec::new(),
+            raw: keep_raw.then(Vec::new),
+        }
+    }
+}
+
+impl QuerySink for CollectSink {
+    type Output = Collected;
+
+    fn wants_raw(&self) -> bool {
+        self.raw.is_some()
+    }
+
+    fn on_query(&mut self, pq: &ProcessedQuery) {
+        self.queries.push(pq.clone());
+    }
+
+    fn on_raw(&mut self, cq: CompletedQuery) {
+        if let Some(raw) = &mut self.raw {
+            raw.push(cq);
+        }
+    }
+
+    fn retained_bytes(&self) -> usize {
+        let raw: usize = self
+            .raw
+            .iter()
+            .flatten()
+            .map(|cq| cq.retained_bytes())
+            .sum();
+        self.queries.capacity() * std::mem::size_of::<ProcessedQuery>() + raw
+    }
+
+    fn finish(self) -> Collected {
+        Collected {
+            queries: self.queries,
+            raw: self.raw.unwrap_or_default(),
+        }
+    }
+}
+
+/// Wraps any sink and additionally retains every raw completion. The
+/// explicit opt-in for harnesses that need packet traces.
+#[derive(Debug)]
+pub struct RetainRaw<S> {
+    inner: S,
+    raw: Vec<CompletedQuery>,
+}
+
+impl<S> RetainRaw<S> {
+    /// Wraps `inner`.
+    pub fn new(inner: S) -> RetainRaw<S> {
+        RetainRaw {
+            inner,
+            raw: Vec::new(),
+        }
+    }
+}
+
+impl<S: QuerySink> QuerySink for RetainRaw<S> {
+    type Output = (S::Output, Vec<CompletedQuery>);
+
+    fn wants_raw(&self) -> bool {
+        true
+    }
+
+    fn on_query(&mut self, pq: &ProcessedQuery) {
+        self.inner.on_query(pq);
+    }
+
+    fn on_raw(&mut self, cq: CompletedQuery) {
+        self.raw.push(cq);
+    }
+
+    fn retained_bytes(&self) -> usize {
+        self.inner.retained_bytes() + self.raw.iter().map(|cq| cq.retained_bytes()).sum::<usize>()
+    }
+
+    fn finish(self) -> (S::Output, Vec<CompletedQuery>) {
+        (self.inner.finish(), self.raw)
+    }
+}
+
+/// A sink from a state value and a fold closure — the one-liner way to
+/// build custom reducers in figure harnesses:
+///
+/// ```
+/// # use emulator::sink::{FoldSink, QuerySink};
+/// let mut sink = FoldSink::new(0u64, |n, _pq| *n += 1);
+/// # let _ = &mut sink;
+/// ```
+#[derive(Debug)]
+pub struct FoldSink<T, F> {
+    state: T,
+    fold: F,
+}
+
+impl<T, F: FnMut(&mut T, &ProcessedQuery)> FoldSink<T, F> {
+    /// A sink folding `fold` over `state`.
+    pub fn new(state: T, fold: F) -> FoldSink<T, F> {
+        FoldSink { state, fold }
+    }
+}
+
+impl<T, F: FnMut(&mut T, &ProcessedQuery)> QuerySink for FoldSink<T, F> {
+    type Output = T;
+
+    fn on_query(&mut self, pq: &ProcessedQuery) {
+        (self.fold)(&mut self.state, pq);
+    }
+
+    fn finish(self) -> T {
+        self.state
+    }
+}
+
+/// Streams the canonical campaign TSV rows (the exact per-query format
+/// of [`CampaignReport::to_tsv`](crate::CampaignReport::to_tsv), label
+/// column included) into a string as queries complete. The determinism
+/// suite uses it to check that a streaming campaign reproduces the
+/// golden trace byte-for-byte without ever buffering a query.
+#[derive(Debug)]
+pub struct TsvRows {
+    label: String,
+    rows: String,
+}
+
+impl TsvRows {
+    /// A row sink for the run labelled `label`.
+    pub fn new(label: impl Into<String>) -> TsvRows {
+        TsvRows {
+            label: label.into(),
+            rows: String::new(),
+        }
+    }
+
+    /// Formats one query as its canonical TSV row.
+    pub fn format_row(label: &str, q: &ProcessedQuery) -> String {
+        let fe = q.fe.map_or(-1, |f| f as i64);
+        format!(
+            "{}\t{}\t{}\t{}\t{}\t{}\t{:?}\t{:.3}\t{:.3}\t{:.3}\t{:.3}\t{:.3}\t{:.3}\t{:?}\n",
+            label,
+            q.qid,
+            q.client,
+            fe,
+            q.be,
+            q.keyword,
+            q.class,
+            q.t_start_ms,
+            q.params.rtt_ms,
+            q.params.t_static_ms,
+            q.params.t_dynamic_ms,
+            q.params.t_delta_ms,
+            q.params.overall_ms,
+            q.outcome,
+        )
+    }
+}
+
+impl QuerySink for TsvRows {
+    type Output = String;
+
+    fn on_query(&mut self, pq: &ProcessedQuery) {
+        self.rows.push_str(&Self::format_row(&self.label, pq));
+    }
+
+    fn retained_bytes(&self) -> usize {
+        self.rows.capacity()
+    }
+
+    fn finish(self) -> String {
+        self.rows
+    }
+}

@@ -73,6 +73,22 @@ impl Histogram {
             .collect()
     }
 
+    /// Merges another histogram's counts into this one. Panics when the
+    /// two histograms were built over different ranges or bin counts —
+    /// merging incompatible binnings silently would corrupt reports.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(
+            self.lo == other.lo && self.hi == other.hi && self.counts.len() == other.counts.len(),
+            "Histogram::merge: incompatible binning"
+        );
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.below += other.below;
+        self.above += other.above;
+        self.total += other.total;
+    }
+
     /// The index of the fullest bin, or `None` if all bins are empty.
     pub fn mode_bin(&self) -> Option<usize> {
         let (idx, &max) = self.counts.iter().enumerate().max_by_key(|&(_, c)| *c)?;

@@ -14,7 +14,10 @@
 //!   packet-event clusters of Fig. 4;
 //! * [`ks`] — two-sample Kolmogorov–Smirnov distance for the
 //!   "do FE servers cache results?" experiment of Sec. 3;
-//! * [`hist`] — fixed-width histograms used by reports.
+//! * [`hist`] — fixed-width histograms used by reports;
+//! * [`streaming`] — mergeable online reducers (Welford moments,
+//!   exact-when-small/sketch-when-huge quantiles, group-by-key medians)
+//!   backing the bounded-memory campaign result pipeline.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -27,6 +30,7 @@ pub mod ks;
 pub mod moving;
 pub mod quantile;
 pub mod regress;
+pub mod streaming;
 
 pub use boxplot::BoxSummary;
 pub use cluster::gap_clusters;
@@ -36,3 +40,4 @@ pub use ks::ks_distance;
 pub use moving::moving_median;
 pub use quantile::{mean, median, quantile, Summary};
 pub use regress::{ols, pearson, theil_sen, Fit};
+pub use streaming::{GroupedMedians, MeanAcc, QuantileAcc, SummaryAcc, Welford};

@@ -22,36 +22,44 @@ FECDN_THREADS=1 cargo test -q --offline --test determinism
 FECDN_THREADS=4 cargo test -q --offline --test determinism
 FECDN_THREADS=4 cargo test -q --offline --test fault_outcomes
 
-echo "==> campaign smoke: exp_whatif serial vs 4 workers"
-now_ms() { echo $(( $(date +%s%N) / 1000000 )); }
-t0=$(now_ms)
+echo "==> campaign smoke: exp_whatif serial vs 4 workers (streaming result path)"
 FECDN_THREADS=1 ./target/release/exp_whatif > /tmp/ci_whatif_t1.tsv 2> /tmp/ci_whatif_t1.log
-t1=$(now_ms)
 FECDN_THREADS=4 ./target/release/exp_whatif > /tmp/ci_whatif_t4.tsv 2> /tmp/ci_whatif_t4.log
-t2=$(now_ms)
-serial_ms=$(( t1 - t0 ))
-parallel_ms=$(( t2 - t1 ))
 cmp /tmp/ci_whatif_t1.tsv /tmp/ci_whatif_t4.tsv || {
   echo "exp_whatif stdout differs between thread counts" >&2; exit 1;
 }
-# The runner's own overlap factor (sum of shard walls / campaign wall)
-# from the 4-worker run: the wall-clock speedup an unloaded multi-core
-# host sees; on a saturated or single-core host end-to-end wall stays
-# flat while this factor shows the shards interleaving.
-speedup=$(sed -n 's/.*speedup \([0-9.]*\)x.*/\1/p' /tmp/ci_whatif_t4.log)
-cat > BENCH_campaign.json <<EOF
-{
-  "binary": "exp_whatif",
-  "runs_in_campaign": 4,
-  "threads": 4,
-  "wall_serial_ms": ${serial_ms},
-  "wall_threads4_ms": ${parallel_ms},
-  "speedup": ${speedup:-1.0},
-  "speedup_metric": "sum of per-shard wall clocks / campaign wall clock, as reported by the 4-worker run",
-  "stdout_identical_across_thread_counts": true
-}
+echo "    exp_whatif stdout identical at FECDN_THREADS=1 and 4"
+
+echo "==> campaign memory: bench_campaign (collect vs stream, plus 10x-query smoke)"
+# The binary itself runs the streaming sink at 10x the query count and
+# fails if peak retained bytes grow: reintroducing unbounded buffering
+# anywhere on the streaming path (runner, merge, sink) trips it here.
+./target/release/bench_campaign --smoke --out BENCH_campaign.json \
+  2> /tmp/ci_bench_campaign.log
+python3 - <<'EOF'
+import json, sys
+cur = json.load(open("BENCH_campaign.json"))
+base = json.load(open("BENCH_campaign.baseline.json"))
+red, growth = cur["retained_reduction_factor"], cur["stream_10x_growth_factor"]
+peak, base_peak = cur["peak_retained_stream_bytes"], base["peak_retained_stream_bytes"]
+print(f"    retained: collect {cur['peak_retained_collect_bytes']:,} B vs "
+      f"stream {peak:,} B ({red:.1f}x less), 10x-query growth {growth:.2f}x")
+# Acceptance floor for the streaming result path: >= 5x less retained
+# than collect-everything, near-flat memory at 10x the query count, and
+# no creep past 1.5x the committed baseline's streaming footprint.
+# Retained bytes are deterministic (capacity of bounded reducers), so
+# unlike the wall-clock benches no noise margin is needed.
+fail = []
+if red < 5.0:
+    fail.append(f"retained-bytes reduction {red:.2f}x < 5x")
+if growth > 1.5:
+    fail.append(f"10x-query growth {growth:.2f}x > 1.5x: unbounded buffering?")
+if peak > 1.5 * base_peak:
+    fail.append(f"stream peak {peak} B > 1.5x baseline {base_peak} B")
+for msg in fail:
+    print(f"bench_campaign: {msg}", file=sys.stderr)
+sys.exit(1 if fail else 0)
 EOF
-echo "    serial ${serial_ms} ms, 4 workers ${parallel_ms} ms, overlap factor ${speedup:-?}x (BENCH_campaign.json)"
 
 echo "==> packet hot-path throughput: bench_tcpsim (smoke mode)"
 ./target/release/bench_tcpsim --smoke --out BENCH_tcpsim.json \

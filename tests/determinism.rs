@@ -18,8 +18,10 @@
 use cdnsim::ServiceConfig;
 use emulator::dataset_a::{DatasetA, KeywordPolicy};
 use emulator::dataset_b::DatasetB;
-use emulator::{Campaign, Design, Scenario};
+use emulator::{Campaign, Design, FoldSink, ProcessedQuery, RunDescriptor, Scenario, TsvRows};
+use emulator::{StreamReport, TSV_HEADER};
 use simcore::time::SimDuration;
+use stats::{QuantileAcc, Welford};
 use std::path::PathBuf;
 
 /// A small campaign touching every design family: both stock dataset
@@ -96,6 +98,85 @@ fn campaign_output_is_thread_invariant() {
     for (x, y) in a.iter().zip(b.iter()) {
         assert_eq!(x.trace.len(), y.trace.len());
         assert_eq!(x.client, y.client);
+    }
+}
+
+/// Reassembles the legacy `CampaignReport::to_tsv` document from a
+/// streaming execution's per-run row strings.
+fn stream_tsv(report: &StreamReport<String>) -> String {
+    let mut out = String::from(TSV_HEADER);
+    for r in &report.runs {
+        let t = &r.tally;
+        out.push_str(&format!(
+            "# run={} ok={} degraded={} retried={} timed_out={} skipped={}\n",
+            r.label, t.ok, t.degraded, t.retried, t.timed_out, t.skipped
+        ));
+        out.push_str(&r.output);
+    }
+    out
+}
+
+#[test]
+fn streaming_sink_is_thread_invariant_and_matches_collect_path() {
+    let c = representative_campaign(42);
+    let rows = |d: &RunDescriptor| TsvRows::new(&d.label);
+    let stream1 = c.execute_stream_with_threads(&rows, 1);
+    let stream4 = c.execute_stream_with_threads(&rows, 4);
+
+    // The streamed TSV is byte-identical at any worker count AND to the
+    // collect-then-format legacy path (which the golden traces pin).
+    let legacy = c.execute_with_threads(4).to_tsv();
+    assert_eq!(
+        stream_tsv(&stream1),
+        legacy,
+        "streamed TSV at 1 worker must match the legacy collect path"
+    );
+    assert_eq!(
+        stream_tsv(&stream4),
+        legacy,
+        "streamed TSV at 4 workers must match the legacy collect path"
+    );
+
+    // Reducer state is bit-identical across thread counts too: each run
+    // folds single-threaded in its own shard, so online accumulators
+    // see the same values in the same order regardless of scheduling.
+    let reducers = |_: &RunDescriptor| {
+        FoldSink::new(
+            (Welford::new(), QuantileAcc::exact()),
+            |s: &mut (Welford, QuantileAcc), q: &ProcessedQuery| {
+                s.0.push(q.params.overall_ms);
+                s.1.push(q.params.overall_ms);
+            },
+        )
+    };
+    let r1 = c.execute_stream_with_threads(&reducers, 1);
+    let r4 = c.execute_stream_with_threads(&reducers, 4);
+    assert_eq!(r1.runs.len(), r4.runs.len());
+    for (a, b) in r1.runs.iter().zip(r4.runs.iter()) {
+        assert_eq!(a.label, b.label, "merge must preserve descriptor order");
+        let ((wa, qa), (wb, qb)) = (&a.output, &b.output);
+        assert_eq!(wa.count(), wb.count());
+        assert_eq!(
+            wa.mean().map(f64::to_bits),
+            wb.mean().map(f64::to_bits),
+            "run {}: Welford mean must be bit-identical",
+            a.label
+        );
+        assert_eq!(
+            wa.variance().map(f64::to_bits),
+            wb.variance().map(f64::to_bits),
+            "run {}: Welford variance must be bit-identical",
+            a.label
+        );
+        let (va, vb) = (qa.values().unwrap(), qb.values().unwrap());
+        assert_eq!(va.len(), vb.len());
+        assert!(
+            va.iter()
+                .zip(vb.iter())
+                .all(|(x, y)| x.to_bits() == y.to_bits()),
+            "run {}: exact quantile sample must be bit-identical",
+            a.label
+        );
     }
 }
 

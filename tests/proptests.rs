@@ -392,6 +392,166 @@ proptest! {
     }
 }
 
+// ---------- streaming reducer properties ----------
+//
+// The streaming result pipeline (DESIGN.md §8) rests on the claim that
+// the online reducers in `stats::streaming` agree with the batch
+// `stats::quantile` functions, for any input and for any sharding of
+// that input merged back in descriptor order. These properties pin it.
+
+/// Splits `xs` into contiguous shards at arbitrary cut points (the way
+/// the campaign runner partitions work), folds each shard into its own
+/// accumulator via `push`, then merges left-to-right (descriptor order)
+/// via `merge`.
+fn fold_sharded<A>(
+    xs: &[f64],
+    cuts: &[usize],
+    mut make: impl FnMut() -> A,
+    mut push: impl FnMut(&mut A, f64),
+    mut merge: impl FnMut(&mut A, &A),
+) -> A {
+    let mut bounds: Vec<usize> = cuts.iter().map(|&c| c % (xs.len() + 1)).collect();
+    bounds.push(0);
+    bounds.push(xs.len());
+    bounds.sort_unstable();
+    let mut merged = make();
+    for w in bounds.windows(2) {
+        let mut shard = make();
+        for &x in &xs[w[0]..w[1]] {
+            push(&mut shard, x);
+        }
+        merge(&mut merged, &shard);
+    }
+    merged
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Welford agrees with the two-pass batch mean/variance for any
+    /// input and any shard split (Chan's combine is order-robust up to
+    /// floating-point noise, which the tolerance absorbs).
+    #[test]
+    fn welford_matches_batch_under_sharding(
+        xs in prop::collection::vec(-1e4f64..1e4, 1..200),
+        cuts in prop::collection::vec(0usize..200, 0..6),
+    ) {
+        use stats::Welford;
+        let w = fold_sharded(
+            &xs,
+            &cuts,
+            Welford::new,
+            |a, x| a.push(x),
+            |a, b| a.merge(b),
+        );
+        prop_assert_eq!(w.count(), xs.len() as u64);
+        let m = stats::quantile::mean(&xs).unwrap();
+        let v = stats::quantile::variance(&xs).unwrap();
+        // Relative-plus-absolute tolerance: catastrophic cancellation in
+        // the *batch* two-pass variance is the larger error source.
+        let scale = xs.iter().fold(1.0f64, |s, x| s.max(x.abs()));
+        prop_assert!((w.mean().unwrap() - m).abs() <= 1e-9 * scale + 1e-9);
+        prop_assert!((w.variance().unwrap() - v).abs() <= 1e-7 * scale * scale + 1e-9);
+        prop_assert_eq!(w.min().unwrap(), xs.iter().cloned().fold(f64::MAX, f64::min));
+        prop_assert_eq!(w.max().unwrap(), xs.iter().cloned().fold(f64::MIN, f64::max));
+    }
+
+    /// An exact quantile accumulator sharded arbitrarily and merged in
+    /// order reproduces the batch quantile *exactly* (same multiset,
+    /// same `quantile_sorted` interpolation — bit-identical result),
+    /// and its retained sample is the input in arrival order.
+    #[test]
+    fn exact_quantiles_match_batch_under_sharding(
+        xs in prop::collection::vec(-1e4f64..1e4, 1..200),
+        cuts in prop::collection::vec(0usize..200, 0..6),
+        q in 0.0f64..1.0,
+    ) {
+        use stats::QuantileAcc;
+        let acc = fold_sharded(
+            &xs,
+            &cuts,
+            QuantileAcc::exact,
+            |a, x| a.push(x),
+            |a, b| a.merge(b),
+        );
+        prop_assert!(acc.is_exact());
+        prop_assert_eq!(acc.count(), xs.len() as u64);
+        // In-order merge of contiguous shards reconstructs arrival order.
+        prop_assert_eq!(acc.values().unwrap(), xs.clone());
+        let got = acc.quantile(q).unwrap();
+        let want = quantile(&xs, q).unwrap();
+        prop_assert_eq!(got.to_bits(), want.to_bits(),
+            "exact accumulator must be bit-identical to batch: {got} vs {want}");
+        prop_assert_eq!(
+            acc.median().unwrap().to_bits(),
+            median(&xs).unwrap().to_bits()
+        );
+    }
+
+    /// A capped (sketch-mode) accumulator still yields quantiles inside
+    /// the data range and monotone in q — the contract figures rely on
+    /// when they opt out of exactness.
+    #[test]
+    fn capped_quantiles_bounded_and_monotone(
+        xs in prop::collection::vec(-1e4f64..1e4, 1..400),
+        cuts in prop::collection::vec(0usize..400, 0..6),
+        q1 in 0.0f64..1.0,
+        q2 in 0.0f64..1.0,
+    ) {
+        use stats::QuantileAcc;
+        let acc = fold_sharded(
+            &xs,
+            &cuts,
+            || QuantileAcc::with_cap(32),
+            |a, x| a.push(x),
+            |a, b| a.merge(b),
+        );
+        prop_assert_eq!(acc.count(), xs.len() as u64);
+        let (lo_q, hi_q) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let a = acc.quantile(lo_q).unwrap();
+        let b = acc.quantile(hi_q).unwrap();
+        prop_assert!(a <= b + 1e-9);
+        let lo = xs.iter().cloned().fold(f64::MAX, f64::min);
+        let hi = xs.iter().cloned().fold(f64::MIN, f64::max);
+        prop_assert!(a >= lo - 1e-9 && b <= hi + 1e-9);
+    }
+
+    /// Group-by-key medians, sharded and merged in order, equal the
+    /// per-group batch medians bit-for-bit in exact mode.
+    #[test]
+    fn grouped_medians_match_batch_under_sharding(
+        pairs in prop::collection::vec((0u64..8, -1e3f64..1e3), 1..150),
+        cuts in prop::collection::vec(0usize..150, 0..6),
+    ) {
+        use stats::GroupedMedians;
+        use std::collections::BTreeMap;
+        // Shard the pair stream the same way fold_sharded shards values.
+        let keys: Vec<u64> = pairs.iter().map(|p| p.0).collect();
+        let vals: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        let mut i = 0;
+        let acc = fold_sharded(
+            &vals,
+            &cuts,
+            GroupedMedians::exact,
+            |a, x| {
+                a.push(keys[i], x);
+                i += 1;
+            },
+            |a, b| a.merge(b),
+        );
+        let mut by_key: BTreeMap<u64, Vec<f64>> = BTreeMap::new();
+        for &(k, v) in &pairs {
+            by_key.entry(k).or_default().push(v);
+        }
+        prop_assert_eq!(acc.len(), by_key.len());
+        for (k, vs) in &by_key {
+            let got = acc.get(*k).unwrap().median().unwrap();
+            let want = median(vs).unwrap();
+            prop_assert_eq!(got.to_bits(), want.to_bits(), "key {}: {} vs {}", k, got, want);
+        }
+    }
+}
+
 // ---------- campaign seed-derivation and accounting properties ----------
 
 proptest! {
