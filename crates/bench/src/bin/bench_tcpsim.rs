@@ -158,6 +158,7 @@ impl Cell {
     }
 }
 
+#[derive(Clone, Copy)]
 struct Workload {
     name: &'static str,
     sessions: u32,
@@ -167,10 +168,13 @@ struct Workload {
     loss: f64,
 }
 
-fn run_workload(w: &Workload, tracing: bool) -> Cell {
+fn run_workload(w: &Workload, tracing: bool, telemetry: bool) -> Cell {
     let app = BenchApp::new(400, w.response, w.chunks, tracing);
     let mut sim = Sim::new(42, app);
     sim.net().trace_mut().set_enabled(tracing);
+    // Explicit per-cell telemetry gate: cells must not depend on the
+    // ambient FECDN_METRICS value.
+    sim.net().metrics_mut().set_enabled(telemetry);
     for s in 0..w.sessions {
         let path = PathParams::lossy(w.rtt_ms, w.loss);
         sim.net().open(
@@ -201,15 +205,59 @@ fn run_workload(w: &Workload, tracing: bool) -> Cell {
     }
 }
 
-fn best_of(w: &Workload, tracing: bool, repeats: u32) -> Cell {
+fn best_of(w: &Workload, tracing: bool, telemetry: bool, repeats: u32) -> Cell {
     let mut best: Option<Cell> = None;
     for _ in 0..repeats {
-        let c = run_workload(w, tracing);
+        let c = run_workload(w, tracing, telemetry);
         if best.as_ref().is_none_or(|b| c.wall_s < b.wall_s) {
             best = Some(c);
         }
     }
     best.unwrap()
+}
+
+/// Paired telemetry-overhead measurement on one workload: interleaved
+/// off/on runs with alternating order (so machine drift and warm-up hit
+/// both arms alike), overhead estimated as the *median of per-pair
+/// wall-clock ratios* — the estimator PR3 established for close-rate
+/// comparisons on a shared noisy host, where min-of-N of each arm
+/// separately still swings by ±15%. Returns `(eps_off, eps_on,
+/// overhead_pct)`; panics if telemetry changed the simulated trajectory
+/// — the registry is observe-only by contract.
+fn telemetry_overhead(w: &Workload, tracing: bool, pairs: u32) -> (f64, f64, f64) {
+    let mut ratios = Vec::new();
+    let mut best_off = f64::INFINITY;
+    let mut best_on = f64::INFINITY;
+    let mut events = 0u64;
+    for i in 0..pairs {
+        // Alternate which arm runs first within the pair.
+        let (off, on) = if i % 2 == 0 {
+            let off = run_workload(w, tracing, false);
+            let on = run_workload(w, tracing, true);
+            (off, on)
+        } else {
+            let on = run_workload(w, tracing, true);
+            let off = run_workload(w, tracing, false);
+            (off, on)
+        };
+        assert_eq!(
+            off.events, on.events,
+            "{}: telemetry must not change the event trajectory",
+            w.name
+        );
+        events = off.events;
+        ratios.push(on.wall_s / off.wall_s);
+        best_off = best_off.min(off.wall_s);
+        best_on = best_on.min(on.wall_s);
+    }
+    ratios.sort_by(f64::total_cmp);
+    let median_ratio = ratios[ratios.len() / 2];
+    let overhead_pct = 100.0 * (median_ratio - 1.0);
+    (
+        events as f64 / best_off,
+        events as f64 / best_on,
+        overhead_pct,
+    )
 }
 
 fn main() {
@@ -246,7 +294,7 @@ fn main() {
     let mut tot = [(0u64, 0u64, 0f64), (0u64, 0u64, 0f64)]; // [off, on] = (events, recorded, wall)
     for w in &workloads {
         for (ti, tracing) in [false, true].into_iter().enumerate() {
-            let c = best_of(w, tracing, repeats);
+            let c = best_of(w, tracing, true, repeats);
             eprintln!(
                 "{:>5} tracing={:<5} events {:>9}  recorded {:>9}  wall {:>8.1} ms  {:>10.0} events/s  {:>10.0} rec pkts/s  ({} sessions)",
                 w.name,
@@ -286,15 +334,43 @@ fn main() {
         eps_off, eps_on, rps_on
     );
 
+    // Telemetry overhead on the retransmission-heavy workload (the one
+    // that actually exercises the counters), tracing on — the <5%
+    // overhead budget ci.sh enforces. More pairs than the throughput
+    // cells have repeats: the overhead is a *difference* of two close
+    // rates, so the estimator needs more draws to shake off shared-host
+    // scheduling noise.
+    // Cells ~4× the throughput workload (long enough to amortize
+    // per-run setup, short enough that the two arms of a pair run close
+    // together in time and share the host's drift), and many pairs: the
+    // median of ~15 paired ratios is what actually converges on this
+    // class of shared machine.
+    let tel_workload = Workload {
+        name: "mixed-telemetry",
+        sessions: workloads[1].sessions * 4,
+        ..workloads[1]
+    };
+    let (tel_eps_off, tel_eps_on, overhead_pct) =
+        telemetry_overhead(&tel_workload, true, repeats.max(15));
+    eprintln!(
+        "telemetry mixed/tracing=on: off {:.0} events/s | on {:.0} events/s | overhead {:+.2}%",
+        tel_eps_off, tel_eps_on, overhead_pct
+    );
+
     let json = format!(
         "{{\n  \"bench\": \"bench_tcpsim\",\n  \"mode\": \"{}\",\n  \"repeats\": {},\n  \
          \"events_per_sec_tracing_off\": {:.0},\n  \"events_per_sec_tracing_on\": {:.0},\n  \
-         \"recorded_pkts_per_sec\": {:.0},\n  \"cells\": [\n{}\n  ]\n}}\n",
+         \"recorded_pkts_per_sec\": {:.0},\n  \
+         \"events_per_sec_telemetry_off\": {:.0},\n  \"events_per_sec_telemetry_on\": {:.0},\n  \
+         \"telemetry_overhead_pct\": {:.3},\n  \"cells\": [\n{}\n  ]\n}}\n",
         if smoke { "smoke" } else { "full" },
         repeats,
         eps_off,
         eps_on,
         rps_on,
+        tel_eps_off,
+        tel_eps_on,
+        overhead_pct,
         rows.join(",\n"),
     );
     std::fs::write(&out_path, json).expect("write BENCH_tcpsim.json");

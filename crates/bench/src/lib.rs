@@ -94,19 +94,39 @@ pub fn campaign(scale: Scale, seed: u64) -> Campaign {
     Campaign::new(scenario(scale, seed))
 }
 
+/// Writes the merged metrics registry as JSON to the path named by
+/// `FECDN_METRICS_JSON`, when set — the `BENCH_metrics.json` artifact
+/// CI's schema check validates. Write failures are reported on stderr
+/// but never fail the run: telemetry must not break a figure build.
+fn write_metrics_json(merged: &emulator::MetricsRegistry) {
+    if let Ok(path) = std::env::var("FECDN_METRICS_JSON") {
+        if path.is_empty() {
+            return;
+        }
+        if let Err(e) = std::fs::write(&path, merged.to_json()) {
+            eprintln!("warning: could not write metrics JSON to {path}: {e}");
+        }
+    }
+}
+
 /// Executes a campaign with the `FECDN_THREADS` worker count and prints
-/// the per-run wall-clock/queue stats to stderr (stdout stays reserved
-/// for the byte-stable TSV).
+/// the per-run wall-clock/queue stats plus the metrics.tsv telemetry
+/// document to stderr, buffered and emitted in one write so per-run
+/// lines appear in descriptor order (stdout stays reserved for the
+/// byte-stable TSV). With `FECDN_METRICS_JSON=<path>` set, also writes
+/// the merged registry as JSON.
 pub fn execute(campaign: &Campaign) -> CampaignReport {
     let report = campaign.execute();
-    eprint!("{}", report.stats_table());
+    eprint!("{}", report.stderr_report());
+    write_metrics_json(&report.merged_metrics());
     report
 }
 
 /// Streaming counterpart of [`execute`]: runs the campaign with one
 /// sink per run from `factory`, folding queries as they complete
 /// (memory stays bounded by reducer state), and prints the same stderr
-/// stats table. stdout stays reserved for the byte-stable TSV.
+/// stats-plus-metrics report. stdout stays reserved for the byte-stable
+/// TSV.
 pub fn execute_stream<F>(
     campaign: &Campaign,
     factory: &F,
@@ -116,7 +136,8 @@ where
     <F::Sink as QuerySink>::Output: Send,
 {
     let report = campaign.execute_stream(factory);
-    eprint!("{}", report.stats_table());
+    eprint!("{}", report.stderr_report());
+    write_metrics_json(&report.merged_metrics());
     report
 }
 

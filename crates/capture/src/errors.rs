@@ -83,6 +83,27 @@ impl fmt::Display for TimelineError {
     }
 }
 
+impl TimelineError {
+    /// The stable telemetry counter name for this skip reason, as it
+    /// appears in `metrics.tsv` (`capture.err.*` namespace). Names are
+    /// part of the metrics document format: renaming one is a breaking
+    /// change for downstream tooling.
+    pub fn metric_name(&self) -> &'static str {
+        match self {
+            TimelineError::Session(SessionError::NoClientSyn) => {
+                "capture.err.session_no_client_syn"
+            }
+            TimelineError::Session(SessionError::NoHandshake) => "capture.err.session_no_handshake",
+            TimelineError::NoRequest => "capture.err.no_request",
+            TimelineError::Truncated => "capture.err.truncated",
+            TimelineError::NoStatic => "capture.err.no_static",
+            TimelineError::NoDynamic => "capture.err.no_dynamic",
+            TimelineError::RetransmissionHeavy => "capture.err.retransmission_heavy",
+            TimelineError::TracingDisabled => "capture.err.tracing_disabled",
+        }
+    }
+}
+
 impl std::error::Error for TimelineError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
@@ -112,6 +133,23 @@ mod tests {
         assert!(TimelineError::TracingDisabled
             .to_string()
             .contains("tracing was disabled"));
+    }
+
+    #[test]
+    fn metric_names_are_unique_and_namespaced() {
+        let all = [
+            TimelineError::Session(SessionError::NoClientSyn),
+            TimelineError::Session(SessionError::NoHandshake),
+            TimelineError::NoRequest,
+            TimelineError::Truncated,
+            TimelineError::NoStatic,
+            TimelineError::NoDynamic,
+            TimelineError::RetransmissionHeavy,
+            TimelineError::TracingDisabled,
+        ];
+        let names: std::collections::BTreeSet<&str> = all.iter().map(|e| e.metric_name()).collect();
+        assert_eq!(names.len(), all.len());
+        assert!(names.iter().all(|n| n.starts_with("capture.err.")));
     }
 
     #[test]

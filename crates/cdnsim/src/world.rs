@@ -36,6 +36,7 @@ use nettopo::vantage::{AccessKind, Vantage};
 use searchbe::datacenter::BeDataCenter;
 use searchbe::keywords::{KeywordClass, KeywordCorpus};
 use simcore::rng::Rng;
+use simcore::telemetry::MetricsRegistry;
 use simcore::time::{SimDuration, SimTime};
 use std::collections::HashMap;
 use tcpsim::{
@@ -233,6 +234,9 @@ pub struct ServiceWorld {
     dns_cache: HashMap<usize, (usize, SimTime)>,
     fe_rank: HashMap<usize, Vec<usize>>,
     be_rank: HashMap<usize, Vec<usize>>,
+    // Observe-only service-layer telemetry (cache hits, failovers, DNS
+    // re-maps). Draws no randomness and schedules nothing.
+    metrics: MetricsRegistry,
 }
 
 impl ServiceWorld {
@@ -302,7 +306,24 @@ impl ServiceWorld {
             dns_cache: HashMap::new(),
             fe_rank: HashMap::new(),
             be_rank: HashMap::new(),
+            metrics: MetricsRegistry::from_env(),
         }
+    }
+
+    /// The service-layer telemetry registry.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Mutable access to the service-layer telemetry registry.
+    pub fn metrics_mut(&mut self) -> &mut MetricsRegistry {
+        &mut self.metrics
+    }
+
+    /// Harvests the service-layer telemetry, leaving an empty registry
+    /// with the same gate.
+    pub fn take_metrics(&mut self) -> MetricsRegistry {
+        self.metrics.take()
     }
 
     /// Node id of a client.
@@ -386,11 +407,19 @@ impl ServiceWorld {
                 return fe;
             }
         }
+        let prev = self
+            .dns_cache
+            .get(&client)
+            .map(|&(f, _)| f)
+            .unwrap_or_else(|| self.dns.fe_of(client));
         let fe = self
             .ranked_fes(client)
             .into_iter()
             .find(|&f| !self.cfg.faults.fe_down(f, now))
             .unwrap_or_else(|| self.dns.fe_of(client));
+        if fe != prev {
+            self.metrics.inc("cdnsim.dns_remaps");
+        }
         self.dns_cache.insert(client, (fe, now));
         fe
     }
@@ -402,10 +431,15 @@ impl ServiceWorld {
         if !self.cfg.faults.has_be_outages() || !self.cfg.faults.be_down(primary, now) {
             return primary;
         }
-        self.ranked_bes(fe)
+        let chosen = self
+            .ranked_bes(fe)
             .into_iter()
             .find(|&b| !self.cfg.faults.be_down(b, now))
-            .unwrap_or(primary)
+            .unwrap_or(primary);
+        if chosen != primary {
+            self.metrics.inc("cdnsim.be_failovers");
+        }
+        chosen
     }
 
     /// Number of FEs in the fleet.
@@ -786,6 +820,7 @@ impl ServiceWorld {
         };
         // (a) Burst the cached static portion.
         if self.cfg.cache_static {
+            self.metrics.inc("cdnsim.fe_static_cache_hits");
             net.send(
                 client_conn,
                 End::B,
@@ -796,6 +831,7 @@ impl ServiceWorld {
         }
         // Hypothetical FE result cache.
         if let Some(plan) = self.fes[fe].cached_result(kw_id).cloned() {
+            self.metrics.inc("cdnsim.fe_result_cache_hits");
             if !self.cfg.cache_static {
                 plan.send_static(net, client_conn, End::B);
             }
@@ -805,6 +841,9 @@ impl ServiceWorld {
             q.plan = Some(plan);
             q.proc_ms = 0.0;
             return;
+        }
+        if self.cfg.fe_caches_results {
+            self.metrics.inc("cdnsim.fe_result_cache_misses");
         }
         // (b) Forward the query over a persistent BE connection.
         let be_conn = self.checkout_be_conn(net, fe, be, qid);
@@ -927,6 +966,7 @@ impl ServiceWorld {
         };
         let rtt = self.fe_be_rtt_ms(fe, next_be);
         let dist = self.fe_be_distance_miles(fe, next_be);
+        self.metrics.inc("cdnsim.fetch_failovers");
         {
             let q = self.queries.get_mut(&qid).unwrap();
             q.be = next_be;
@@ -959,6 +999,7 @@ impl ServiceWorld {
     /// portion. The client still gets the cached static bytes (already
     /// burst at serve time when caching is on).
     fn degrade_query(&mut self, net: &mut Net, qid: u64) {
+        self.metrics.inc("cdnsim.degraded_serves");
         let client_conn = {
             let q = self.queries.get_mut(&qid).unwrap();
             q.degraded = true;

@@ -25,6 +25,7 @@ use capture::Classifier;
 use cdnsim::{CompletedQuery, ServiceConfig, ServiceWorld};
 use inference::SessionTally;
 use simcore::rng::stream_seed;
+use simcore::telemetry::{MetricsRegistry, METRICS_TSV_HEADER};
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -105,6 +106,11 @@ pub struct RunDescriptor {
     /// Retain raw completions (with packet traces) in the result. Off by
     /// default: traces dominate memory on long campaigns.
     pub keep_raw: bool,
+    /// Per-run telemetry override: `Some(on)` forces the run's
+    /// registries on or off regardless of `FECDN_METRICS`; `None`
+    /// (default) leaves the environment gate in force. Tests use this to
+    /// stay independent of process-global environment state.
+    pub metrics: Option<bool>,
 }
 
 /// Execution bookkeeping of one run, surfaced so speedups are measurable.
@@ -134,6 +140,8 @@ pub struct RunResult {
     pub tally: SessionTally,
     /// Wall-clock and queue bookkeeping.
     pub stats: RunStats,
+    /// The run's telemetry registry (see [`crate::StreamRun::metrics`]).
+    pub metrics: MetricsRegistry,
 }
 
 /// One run's report from a streaming execution: accounting plus
@@ -146,6 +154,8 @@ pub struct SinkRunReport<R> {
     pub tally: SessionTally,
     /// Wall-clock, queue and peak-memory bookkeeping.
     pub stats: RunStats,
+    /// The run's telemetry registry (see [`crate::StreamRun::metrics`]).
+    pub metrics: MetricsRegistry,
     /// The sink's reduction.
     pub output: R,
 }
@@ -230,6 +240,40 @@ impl<R> StreamReport<R> {
             self.speedup(),
         )
     }
+
+    /// The deterministic per-run metrics document (`metrics.tsv`
+    /// format), rows in descriptor order — byte-identical at any worker
+    /// count.
+    pub fn metrics_tsv(&self) -> String {
+        render_metrics_doc(
+            self.runs.iter().map(|r| (r.label.as_str(), &r.metrics)),
+            false,
+        )
+    }
+
+    /// [`StreamReport::metrics_tsv`] including wall-clock rows — stderr
+    /// diagnostics only, never byte-compared.
+    pub fn metrics_tsv_all(&self) -> String {
+        render_metrics_doc(
+            self.runs.iter().map(|r| (r.label.as_str(), &r.metrics)),
+            true,
+        )
+    }
+
+    /// All per-run registries merged in descriptor order.
+    pub fn merged_metrics(&self) -> MetricsRegistry {
+        merge_metrics(self.runs.iter().map(|r| &r.metrics))
+    }
+
+    /// The complete stderr report: the wall-clock stats table followed
+    /// by the full metrics document, all buffered here and emitted by
+    /// the caller in one write — per-run lines can never interleave
+    /// across runs, whatever the worker contention looked like.
+    pub fn stderr_report(&self) -> String {
+        let mut out = self.stats_table();
+        out.push_str(&self.metrics_tsv_all());
+        out
+    }
 }
 
 struct StatsRow<'a> {
@@ -265,6 +309,29 @@ fn render_stats_table(
         speedup,
     ));
     out
+}
+
+/// Renders the per-run metrics document: the shared header plus each
+/// run's rows (prefixed with its label), in the order given — which both
+/// report types fix to descriptor order.
+fn render_metrics_doc<'a>(
+    runs: impl Iterator<Item = (&'a str, &'a MetricsRegistry)>,
+    include_wall: bool,
+) -> String {
+    let mut out = String::from(METRICS_TSV_HEADER);
+    for (label, m) in runs {
+        m.render_rows(label, include_wall, &mut out);
+    }
+    out
+}
+
+/// Merges registries left to right (callers pass descriptor order).
+fn merge_metrics<'a>(runs: impl Iterator<Item = &'a MetricsRegistry>) -> MetricsRegistry {
+    let mut merged = MetricsRegistry::new();
+    for m in runs {
+        merged.merge(m);
+    }
+    merged
 }
 
 /// Column header of the canonical campaign TSV, shared by
@@ -335,6 +402,37 @@ impl CampaignReport {
             self.serial_ms(),
             self.speedup(),
         )
+    }
+
+    /// The deterministic per-run metrics document (`metrics.tsv`
+    /// format), rows in descriptor order.
+    pub fn metrics_tsv(&self) -> String {
+        render_metrics_doc(
+            self.runs.iter().map(|r| (r.label.as_str(), &r.metrics)),
+            false,
+        )
+    }
+
+    /// [`CampaignReport::metrics_tsv`] including wall-clock rows.
+    pub fn metrics_tsv_all(&self) -> String {
+        render_metrics_doc(
+            self.runs.iter().map(|r| (r.label.as_str(), &r.metrics)),
+            true,
+        )
+    }
+
+    /// All per-run registries merged in descriptor order.
+    pub fn merged_metrics(&self) -> MetricsRegistry {
+        merge_metrics(self.runs.iter().map(|r| &r.metrics))
+    }
+
+    /// The complete stderr report: stats table plus metrics document,
+    /// buffered into one string so per-run lines are emitted in
+    /// descriptor order in a single write.
+    pub fn stderr_report(&self) -> String {
+        let mut out = self.stats_table();
+        out.push_str(&self.metrics_tsv_all());
+        out
     }
 
     /// Canonical TSV serialisation of the merged campaign — the golden
@@ -435,6 +533,7 @@ impl Campaign {
             seed,
             classifier: Classifier::ByMarker,
             keep_raw: false,
+            metrics: None,
         });
         self.runs.last_mut().expect("just pushed")
     }
@@ -468,6 +567,7 @@ impl Campaign {
                     raw: r.output.raw,
                     tally: r.tally,
                     stats: r.stats,
+                    metrics: r.metrics,
                 })
                 .collect(),
             threads,
@@ -565,8 +665,22 @@ impl Campaign {
         let queue_ms = campaign_start.elapsed().as_secs_f64() * 1e3;
         let started = Instant::now();
         let mut sim = self.scenario.spec(d.cfg.clone(), d.seed).build();
+        // Per-descriptor telemetry override, applied before any event is
+        // processed so the registries see the whole run or none of it.
+        if let Some(on) = d.metrics {
+            sim.net().metrics_mut().set_enabled(on);
+            sim.with(|w, _| w.metrics_mut().set_enabled(on));
+        }
         d.design.schedule(&mut sim);
         let run = run_stream(&mut sim, &d.classifier, factory.make(d));
+        let mut metrics = run.metrics;
+        if metrics.is_enabled() {
+            metrics.set_wall_gauge("emulator.queue_wait_ms", queue_ms);
+            metrics.set_wall_gauge(
+                "emulator.run_wall_ms",
+                started.elapsed().as_secs_f64() * 1e3,
+            );
+        }
         SinkRunReport {
             label: d.label.clone(),
             tally: run.tally,
@@ -576,6 +690,7 @@ impl Campaign {
                 wall_ms: started.elapsed().as_secs_f64() * 1e3,
                 peak_retained_bytes: run.peak_retained_bytes,
             },
+            metrics,
             output: run.output,
         }
     }

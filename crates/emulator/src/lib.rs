@@ -32,6 +32,13 @@
 //! count, and raw packet traces are retained only when a sink opts in
 //! ([`sink::RetainRaw`]).
 //!
+//! Every run also carries a [`simcore::telemetry::MetricsRegistry`]:
+//! the runner harvests the transport- and service-layer registries at
+//! quiescence, adds its own classification counters, and campaigns
+//! merge per-run registries in descriptor order — the rendered
+//! `metrics.tsv` obeys the same byte-determinism contract as the query
+//! TSV.
+//!
 //! [`ProcessedQuery`]: runner::ProcessedQuery
 //! [`instant_run`]: instant::InstantRun::run
 
@@ -53,6 +60,7 @@ pub use campaign::{
     Campaign, CampaignReport, Design, RunDescriptor, RunResult, SinkRunReport, StreamReport,
     TSV_HEADER,
 };
-pub use runner::{run_collect, ProcessedQuery};
+pub use runner::{run_collect, ProcessedQuery, StreamRun};
 pub use scenarios::Scenario;
+pub use simcore::telemetry::{MetricsRegistry, METRICS_TSV_HEADER};
 pub use sink::{CollectSink, FoldSink, QuerySink, RetainRaw, SinkFactory, TsvRows};

@@ -5,6 +5,8 @@ use capture::{Classifier, Timeline, TimelineError};
 use cdnsim::{CompletedQuery, QueryOutcome, ServiceWorld};
 use inference::{QueryParams, SessionTally};
 use searchbe::keywords::KeywordClass;
+use simcore::span;
+use simcore::telemetry::MetricsRegistry;
 use simcore::time::SimTime;
 use tcpsim::Sim;
 
@@ -153,6 +155,11 @@ pub struct StreamRun<R> {
     /// Largest [`QuerySink::retained_bytes`] observed across drain
     /// chunks — the memory the sink actually held onto at its peak.
     pub peak_retained_bytes: usize,
+    /// The run's telemetry: the transport (`tcpsim.*`) and service
+    /// (`cdnsim.*`) registries harvested at quiescence, merged with the
+    /// runner's own classification counters (`capture.*`) and gauges
+    /// (`emulator.*`).
+    pub metrics: MetricsRegistry,
 }
 
 /// The streaming counterpart of [`run_collect`]: drives the simulation
@@ -170,31 +177,57 @@ pub fn run_stream<S: QuerySink>(
     let mut tally = SessionTally::default();
     let mut processed = 0usize;
     let mut peak = 0usize;
-    loop {
-        let now = sim.net().now();
-        sim.run_until(now + chunk);
-        let done = sim.with(|w, _| w.drain_completed());
-        for cq in done {
-            observe_outcome(&mut tally, cq.outcome);
-            let pq = process(&cq, classifier).ok();
-            if sink.wants_raw() {
-                sink.on_raw(cq);
+    // The runner's own registry inherits the gate of the simulator it
+    // drives, so a per-run override set on the Net covers the whole
+    // metrics document.
+    let mut metrics = MetricsRegistry::with_enabled(sim.net().metrics().is_enabled());
+    span!(
+        metrics,
+        "runner.drive_wall_ms",
+        loop {
+            let now = sim.net().now();
+            sim.run_until(now + chunk);
+            let done = sim.with(|w, _| w.drain_completed());
+            for cq in done {
+                observe_outcome(&mut tally, cq.outcome);
+                let pq = match process(&cq, classifier) {
+                    Ok(pq) => {
+                        metrics.inc("capture.timeline_ok");
+                        Some(pq)
+                    }
+                    Err(e) => {
+                        metrics.inc(e.metric_name());
+                        None
+                    }
+                };
+                if sink.wants_raw() {
+                    sink.on_raw(cq);
+                }
+                if let Some(pq) = pq {
+                    sink.on_query(&pq);
+                    processed += 1;
+                }
             }
-            if let Some(pq) = pq {
-                sink.on_query(&pq);
-                processed += 1;
+            peak = peak.max(sink.retained_bytes());
+            if sim.net().pending_events() == 0 {
+                break;
             }
         }
-        peak = peak.max(sink.retained_bytes());
-        if sim.net().pending_events() == 0 {
-            break;
-        }
-    }
+    );
     tally.skipped = tally.total() - processed;
+    // Harvest the component registries at quiescence. Sink memory is a
+    // deterministic gauge: buffer growth depends only on the simulated
+    // completion stream.
+    metrics.set_gauge("emulator.sink_retained_bytes", peak as f64);
+    let net_metrics = sim.net().take_metrics();
+    metrics.merge(&net_metrics);
+    let world_metrics = sim.with(|w, _| w.take_metrics());
+    metrics.merge(&world_metrics);
     StreamRun {
         output: sink.finish(),
         tally,
         peak_retained_bytes: peak,
+        metrics,
     }
 }
 

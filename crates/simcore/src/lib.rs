@@ -17,10 +17,15 @@
 //!   log-normal, Pareto, Weibull, Bernoulli, empirical).
 //! * [`SmallVec`] — a hand-rolled inline-first small-vector; the packet
 //!   hot path uses it to carry content spans without heap allocation.
+//! * [`telemetry`] — deterministic counters/gauges/histograms and
+//!   virtual/wall-time spans ([`MetricsRegistry`]), gated at runtime by
+//!   `FECDN_METRICS` and at compile time by the `telemetry-off` feature.
 //!
-//! The crate is `std`-only, dependency-free and single-threaded by design:
-//! reproducibility of packet traces is a core requirement of the
-//! measurement-reproduction study this workspace implements.
+//! The crate is `std`-only and single-threaded by design (its only
+//! dependency is the workspace's own `stats` crate, which backs the
+//! telemetry histograms): reproducibility of packet traces is a core
+//! requirement of the measurement-reproduction study this workspace
+//! implements.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -29,10 +34,12 @@ pub mod dist;
 pub mod queue;
 pub mod rng;
 pub mod smallvec;
+pub mod telemetry;
 pub mod time;
 
 pub use dist::{Dist, Sampler};
 pub use queue::EventQueue;
 pub use rng::Rng;
 pub use smallvec::SmallVec;
+pub use telemetry::{MetricsRegistry, METRICS_TSV_HEADER};
 pub use time::{SimDuration, SimTime};

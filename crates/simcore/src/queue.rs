@@ -105,6 +105,14 @@ impl<E> EventQueue<E> {
         self.popped
     }
 
+    /// Number of payload slots the slab has ever allocated. Because freed
+    /// slots are recycled before the slab grows, this is exactly the
+    /// high-water mark of concurrently pending events — the
+    /// `tcpsim.slab_high_water` telemetry gauge.
+    pub fn slab_slots(&self) -> usize {
+        self.slab.len()
+    }
+
     /// Schedules `payload` at the absolute instant `at`.
     ///
     /// Debug-panics if `at` is in the past; clamps to `now` in release.

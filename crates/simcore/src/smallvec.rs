@@ -90,6 +90,25 @@ impl<T: Copy + Default, const N: usize> SmallVec<T, N> {
         }
     }
 
+    /// Removes and returns the last element, or `None` when empty. The
+    /// representation is kept: a spilled vector stays spilled even when
+    /// popped back under the inline capacity (mirroring [`clear`]).
+    ///
+    /// [`clear`]: SmallVec::clear
+    pub fn pop(&mut self) -> Option<T> {
+        match &mut self.repr {
+            Repr::Inline { len, buf } => {
+                if *len == 0 {
+                    None
+                } else {
+                    *len -= 1;
+                    Some(buf[*len as usize])
+                }
+            }
+            Repr::Heap(v) => v.pop(),
+        }
+    }
+
     /// Removes all elements (keeps the current representation).
     pub fn clear(&mut self) {
         match &mut self.repr {
@@ -329,5 +348,109 @@ mod tests {
         assert_eq!(v.len(), 3);
         let w: Sv = (0..5).collect();
         assert_eq!(w.as_slice(), &[0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn push_pop_across_the_spill_boundary() {
+        // Walk len 0→3→0 across the N=2 boundary and back: contents
+        // stay LIFO-correct through the spill, and the representation
+        // is sticky (spilling is one-way, popping never re-inlines).
+        let mut v = Sv::new();
+        assert_eq!(v.pop(), None, "pop on empty inline is None");
+        v.push(1);
+        v.push(2);
+        assert!(!v.spilled());
+        v.push(3);
+        assert!(v.spilled(), "crossing len 2→3 spills");
+        assert_eq!(
+            v.pop(),
+            Some(3),
+            "crossing len 3→2 pops the spilled element"
+        );
+        assert!(v.spilled(), "popping back under N keeps the heap repr");
+        assert_eq!(v.as_slice(), &[1, 2]);
+        v.push(3);
+        assert!(v.spilled());
+        assert_eq!(v.as_slice(), &[1, 2, 3]);
+        assert_eq!(v.pop(), Some(3));
+        assert_eq!(v.pop(), Some(2));
+        assert_eq!(v.pop(), Some(1));
+        assert_eq!(v.pop(), None, "pop on empty heap repr is None");
+        assert!(v.is_empty());
+        assert!(v.spilled());
+
+        // The same walk entirely inside the inline capacity never
+        // allocates a heap repr.
+        let mut w = Sv::new();
+        w.push(8);
+        w.push(9);
+        assert_eq!(w.pop(), Some(9));
+        assert_eq!(w.pop(), Some(8));
+        assert_eq!(w.pop(), None);
+        assert!(!w.spilled(), "inline-only push/pop must stay inline");
+    }
+
+    #[test]
+    fn clone_then_mutate_does_not_alias() {
+        // Inline clones are bitwise copies and heap clones deep-copy
+        // the Vec; mutating either side must never show through on the
+        // other, in any mutation direction.
+        let original: Sv = vec![1, 2].into();
+        let mut copy = original.clone();
+        copy[0] = 99;
+        copy.push(3);
+        assert_eq!(original.as_slice(), &[1, 2], "inline clone aliased");
+        assert_eq!(copy.as_slice(), &[99, 2, 3]);
+
+        let mut spilled: Sv = vec![4, 5, 6].into();
+        assert!(spilled.spilled());
+        let frozen = spilled.clone();
+        spilled[1] = 0;
+        spilled.pop();
+        assert_eq!(frozen.as_slice(), &[4, 5, 6], "heap clone aliased");
+        assert_eq!(spilled.as_slice(), &[4, 0]);
+
+        // Mutating the original after cloning leaves the clone alone too.
+        let mut base = Sv::new();
+        base.push(7);
+        let snap = base.clone();
+        base.push(8);
+        base.push(9); // spills base, not snap
+        assert!(base.spilled());
+        assert!(!snap.spilled());
+        assert_eq!(snap.as_slice(), &[7]);
+    }
+
+    #[test]
+    fn eq_across_inline_and_spilled_representations() {
+        // Equality is contents-only in all four repr pairings.
+        let inline_a: Sv = vec![1, 2].into();
+        let inline_b: Sv = vec![1, 2].into();
+        let mut heap_a: Sv = vec![1, 2, 3].into();
+        heap_a.pop();
+        let mut heap_b: Sv = vec![9, 9, 9].into();
+        heap_b.clear();
+        heap_b.extend([1, 2]);
+        assert!(heap_a.spilled() && heap_b.spilled());
+
+        assert_eq!(inline_a, inline_b); // inline == inline
+        assert_eq!(inline_a, heap_a); // inline == heap
+        assert_eq!(heap_a, inline_a); // heap == inline
+        assert_eq!(heap_a, heap_b); // heap == heap
+
+        // ...and inequality is detected regardless of representation.
+        let other_inline: Sv = vec![1, 9].into();
+        assert_ne!(inline_a, other_inline);
+        assert_ne!(heap_a, other_inline);
+        let mut longer = heap_b.clone();
+        longer.push(3);
+        assert_ne!(heap_a, longer);
+        // Empty inline == empty (cleared) heap.
+        let empty_heap = {
+            let mut v: Sv = vec![1, 2, 3].into();
+            v.clear();
+            v
+        };
+        assert_eq!(Sv::new(), empty_heap);
     }
 }

@@ -765,4 +765,221 @@ mod tests {
         (0..100).for_each(|i| sk.push(i as f64));
         assert!(sk.ecdf().is_none());
     }
+
+    // ---------- merge edge cases (telemetry relies on these) ----------
+
+    #[test]
+    fn merge_with_empty_is_identity_in_either_direction() {
+        let xs = ramp(120);
+
+        let mut w = Welford::new();
+        xs.iter().for_each(|&x| w.push(x));
+        let mut w_right = w;
+        w_right.merge(&Welford::new());
+        let mut w_left = Welford::new();
+        w_left.merge(&w);
+        for got in [&w_right, &w_left] {
+            assert_eq!(got.count(), w.count());
+            assert_eq!(got.mean().unwrap().to_bits(), w.mean().unwrap().to_bits());
+            assert_eq!(
+                got.variance().unwrap().to_bits(),
+                w.variance().unwrap().to_bits()
+            );
+            assert_eq!(got.min().unwrap().to_bits(), w.min().unwrap().to_bits());
+            assert_eq!(got.max().unwrap().to_bits(), w.max().unwrap().to_bits());
+        }
+
+        let mut m = MeanAcc::new();
+        xs.iter().for_each(|&x| m.push(x));
+        let mut m_right = m;
+        m_right.merge(&MeanAcc::new());
+        let mut m_left = MeanAcc::new();
+        m_left.merge(&m);
+        assert_eq!(m_right.count(), m.count());
+        assert_eq!(m_left.count(), m.count());
+        assert_eq!(
+            m_right.mean().unwrap().to_bits(),
+            m.mean().unwrap().to_bits()
+        );
+        assert_eq!(
+            m_left.mean().unwrap().to_bits(),
+            m.mean().unwrap().to_bits()
+        );
+
+        let mut q = QuantileAcc::exact();
+        xs.iter().for_each(|&x| q.push(x));
+        let mut q_right = q.clone();
+        q_right.merge(&QuantileAcc::exact());
+        let mut q_left = QuantileAcc::exact();
+        q_left.merge(&q);
+        for got in [&q_right, &q_left] {
+            assert_eq!(got.count(), q.count());
+            assert!(got.is_exact());
+            assert_eq!(got.values(), q.values());
+        }
+
+        let mut s = SummaryAcc::exact();
+        xs.iter().for_each(|&x| s.push(x));
+        let mut s_right = SummaryAcc::exact();
+        xs.iter().for_each(|&x| s_right.push(x));
+        s_right.merge(&SummaryAcc::exact());
+        let mut s_left = SummaryAcc::exact();
+        s_left.merge(&s);
+        assert_eq!(s_right.summary(), s.summary());
+        assert_eq!(s_left.summary(), s.summary());
+
+        // Empty ∪ empty stays empty (no spurious zero-count summary).
+        let mut e = SummaryAcc::exact();
+        e.merge(&SummaryAcc::exact());
+        assert_eq!(e.count(), 0);
+        assert!(e.summary().is_none());
+    }
+
+    #[test]
+    fn quantile_acc_at_exact_to_sketch_cap_boundary() {
+        // cap = 8: exactness must survive exactly up to (cap - 1)
+        // buffered entries and flip on the push that reaches the cap.
+        let mut q = QuantileAcc::with_cap(8);
+        for i in 0..7 {
+            q.push(i as f64);
+            assert!(q.is_exact(), "exactness lost before the cap (i={i})");
+        }
+        assert_eq!(q.values().unwrap().len(), 7);
+        q.push(7.0);
+        assert!(!q.is_exact(), "push reaching the cap must compact");
+        assert_eq!(q.count(), 8, "compaction must not lose the count");
+        assert!(q.values().is_none());
+        // The sketch still answers with in-range, ordered quantiles.
+        let (p25, p50, p95) = (
+            q.quantile(0.25).unwrap(),
+            q.quantile(0.5).unwrap(),
+            q.quantile(0.95).unwrap(),
+        );
+        assert!((0.0..=7.0).contains(&p25));
+        assert!(p25 <= p50 && p50 <= p95);
+
+        // The merge path crosses the same boundary: 4 + 4 entries into
+        // a cap-8 accumulator compacts, 4 + 3 stays exact.
+        let mut four_a = QuantileAcc::with_cap(8);
+        let mut four_b = QuantileAcc::with_cap(8);
+        (0..4).for_each(|i| four_a.push(i as f64));
+        (4..8).for_each(|i| four_b.push(i as f64));
+        four_a.merge(&four_b);
+        assert!(!four_a.is_exact());
+        assert_eq!(four_a.count(), 8);
+
+        let mut three = QuantileAcc::with_cap(8);
+        (0..3).for_each(|i| three.push(i as f64));
+        let mut four_c = QuantileAcc::with_cap(8);
+        (0..4).for_each(|i| four_c.push(i as f64));
+        four_c.merge(&three);
+        assert!(four_c.is_exact(), "7 entries under an 8 cap stays exact");
+        assert_eq!(four_c.values().unwrap().len(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "cap too small")]
+    fn quantile_acc_rejects_caps_below_eight() {
+        let _ = QuantileAcc::with_cap(7);
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Merging three shards is associative: ((a∪b)∪c) and (a∪(b∪c))
+        /// agree with each other and with single-stream accumulation —
+        /// bitwise for the exact quantile buffer (concatenation order
+        /// is identical), exactly for counts, and within float-merge
+        /// tolerance for Welford/MeanAcc moments (their merges are not
+        /// bitwise associative).
+        #[test]
+        fn three_way_split_merge_is_associative(
+            xs in prop::collection::vec(0.0f64..1.0e6, 0..150),
+            cut_a in 0u64..151,
+            cut_b in 0u64..151,
+        ) {
+            let (mut i, mut j) = (
+                (cut_a as usize).min(xs.len()),
+                (cut_b as usize).min(xs.len()),
+            );
+            if i > j {
+                std::mem::swap(&mut i, &mut j);
+            }
+            let parts = [&xs[..i], &xs[i..j], &xs[j..]];
+
+            // Exact quantile buffers: bitwise associative.
+            let fill_q = |part: &[f64]| {
+                let mut q = QuantileAcc::exact();
+                part.iter().for_each(|&x| q.push(x));
+                q
+            };
+            let [qb, qc] = [fill_q(parts[1]), fill_q(parts[2])];
+            let mut left = fill_q(parts[0]);
+            left.merge(&qb);
+            left.merge(&qc);
+            let mut bc = fill_q(parts[1]);
+            bc.merge(&qc);
+            let mut right = fill_q(parts[0]);
+            right.merge(&bc);
+            let single = fill_q(&xs);
+            prop_assert_eq!(left.count(), single.count());
+            prop_assert_eq!(right.count(), single.count());
+            let want = single.values();
+            prop_assert_eq!(left.values(), want.clone());
+            prop_assert_eq!(right.values(), want);
+
+            // Moment accumulators: counts exact, moments near-equal.
+            let fill_w = |part: &[f64]| {
+                let mut w = Welford::new();
+                part.iter().for_each(|&x| w.push(x));
+                w
+            };
+            let mut wl = fill_w(parts[0]);
+            wl.merge(&fill_w(parts[1]));
+            wl.merge(&fill_w(parts[2]));
+            let mut wbc = fill_w(parts[1]);
+            wbc.merge(&fill_w(parts[2]));
+            let mut wr = fill_w(parts[0]);
+            wr.merge(&wbc);
+            let ws = fill_w(&xs);
+            prop_assert_eq!(wl.count(), ws.count());
+            prop_assert_eq!(wr.count(), ws.count());
+            if !xs.is_empty() {
+                let m = ws.mean().unwrap();
+                let tol = 1e-9 * m.abs().max(1.0);
+                prop_assert!((wl.mean().unwrap() - m).abs() <= tol);
+                prop_assert!((wr.mean().unwrap() - m).abs() <= tol);
+                let v = ws.variance().unwrap();
+                let vtol = 1e-6 * v.abs().max(1.0);
+                prop_assert!((wl.variance().unwrap() - v).abs() <= vtol);
+                prop_assert!((wr.variance().unwrap() - v).abs() <= vtol);
+                // min/max are order-free: bitwise equal.
+                prop_assert_eq!(
+                    wl.min().unwrap().to_bits(),
+                    ws.min().unwrap().to_bits()
+                );
+                prop_assert_eq!(
+                    wr.max().unwrap().to_bits(),
+                    ws.max().unwrap().to_bits()
+                );
+            }
+
+            let fill_m = |part: &[f64]| {
+                let mut m = MeanAcc::new();
+                part.iter().for_each(|&x| m.push(x));
+                m
+            };
+            let mut ml = fill_m(parts[0]);
+            ml.merge(&fill_m(parts[1]));
+            ml.merge(&fill_m(parts[2]));
+            let ms = fill_m(&xs);
+            prop_assert_eq!(ml.count(), ms.count());
+            if !xs.is_empty() {
+                let m = ms.mean().unwrap();
+                prop_assert!((ml.mean().unwrap() - m).abs() <= 1e-9 * m.abs().max(1.0));
+            }
+        }
+    }
 }

@@ -15,6 +15,7 @@ use crate::trace::{PktDir, TraceLog};
 use simcore::dist::{Dist, Sampler};
 use simcore::queue::EventQueue;
 use simcore::rng::Rng;
+use simcore::telemetry::MetricsRegistry;
 use simcore::time::{SimDuration, SimTime};
 use std::collections::VecDeque;
 
@@ -297,6 +298,10 @@ pub struct Net {
     fault_rng: Rng,
     seed: u64,
     max_events: u64,
+    // Observe-only telemetry: records retransmit/cwnd-reset counts and
+    // handshake RTTs but draws no randomness and schedules nothing, so
+    // it cannot perturb the simulated trajectory.
+    metrics: MetricsRegistry,
 }
 
 impl Net {
@@ -311,6 +316,7 @@ impl Net {
             fault_rng: Rng::from_seed_and_name(seed, "tcpsim/fault"),
             seed,
             max_events: 2_000_000_000,
+            metrics: MetricsRegistry::from_env(),
         }
     }
 
@@ -332,6 +338,32 @@ impl Net {
     /// Mutable access to the packet trace store (enable/take sessions).
     pub fn trace_mut(&mut self) -> &mut TraceLog {
         &mut self.trace
+    }
+
+    /// The transport-layer telemetry registry.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Mutable access to the telemetry registry (toggle the runtime
+    /// gate, record app-level metrics into the same document).
+    pub fn metrics_mut(&mut self) -> &mut MetricsRegistry {
+        &mut self.metrics
+    }
+
+    /// Harvests the telemetry registry, stamping the end-of-run gauges
+    /// (event-queue slab high-water mark, events processed, trace
+    /// records) first. Leaves an empty registry with the same gate.
+    pub fn take_metrics(&mut self) -> MetricsRegistry {
+        if self.metrics.is_enabled() {
+            self.metrics
+                .set_gauge("tcpsim.slab_high_water_slots", self.q.slab_slots() as f64);
+            self.metrics
+                .set_gauge("tcpsim.events_processed", self.q.events_processed() as f64);
+            self.metrics
+                .set_gauge("tcpsim.trace_recorded_pkts", self.trace.recorded() as f64);
+        }
+        self.metrics.take()
     }
 
     /// Caps the number of processed events (runaway guard).
@@ -709,6 +741,7 @@ impl Net {
         };
         ep.rtt_probe = None; // Karn: no sample across retransmission
         ep.stats.retransmitted_segs += 1;
+        self.metrics.inc("tcpsim.retransmit_segs");
         self.transmit(cid, end, seg);
         self.arm_rto(cid, end);
     }
@@ -756,6 +789,7 @@ impl Net {
         if end == End::A && !c.handshake_retx {
             let sample = self.q.now().saturating_since(c.syn_time);
             c.ep[end.idx()].rtt_sample(sample);
+            self.metrics.observe_virt("tcpsim.handshake_rtt_ms", sample);
         }
         self.cbs.push_back(Cb::Established { conn: cid, end });
     }
@@ -818,6 +852,9 @@ impl Net {
                 };
                 match reaction {
                     AckReaction::FastRetransmit | AckReaction::PartialRetransmit => {
+                        if reaction == AckReaction::FastRetransmit {
+                            self.metrics.inc("tcpsim.fast_retransmits");
+                        }
                         self.retransmit_una(cid, to);
                     }
                     _ => {}
@@ -916,6 +953,9 @@ impl Net {
                     return;
                 }
                 self.conns[cid.0 as usize].ep[end.idx()].on_rto_fire();
+                // RTO fire collapses the congestion window back to
+                // slow-start — the paper's "cold cwnd" penalty.
+                self.metrics.inc("tcpsim.cwnd_resets");
                 self.retransmit_una(cid, end);
             }
             TcpState::Closed => {}

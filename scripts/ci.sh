@@ -22,13 +22,25 @@ FECDN_THREADS=1 cargo test -q --offline --test determinism
 FECDN_THREADS=4 cargo test -q --offline --test determinism
 FECDN_THREADS=4 cargo test -q --offline --test fault_outcomes
 
+echo "==> telemetry conformance suite at FECDN_THREADS=1 and 4"
+FECDN_THREADS=1 cargo test -q --offline --test telemetry
+FECDN_THREADS=4 cargo test -q --offline --test telemetry
+
+echo "==> telemetry compiled out: same goldens, same conformance suite"
+cargo test -q --offline --features telemetry-off --test telemetry --test determinism
+
 echo "==> campaign smoke: exp_whatif serial vs 4 workers (streaming result path)"
 FECDN_THREADS=1 ./target/release/exp_whatif > /tmp/ci_whatif_t1.tsv 2> /tmp/ci_whatif_t1.log
-FECDN_THREADS=4 ./target/release/exp_whatif > /tmp/ci_whatif_t4.tsv 2> /tmp/ci_whatif_t4.log
+FECDN_THREADS=4 FECDN_METRICS_JSON=BENCH_metrics.json \
+  ./target/release/exp_whatif > /tmp/ci_whatif_t4.tsv 2> /tmp/ci_whatif_t4.log
 cmp /tmp/ci_whatif_t1.tsv /tmp/ci_whatif_t4.tsv || {
   echo "exp_whatif stdout differs between thread counts" >&2; exit 1;
 }
 echo "    exp_whatif stdout identical at FECDN_THREADS=1 and 4"
+grep -q "^run	metric	kind" /tmp/ci_whatif_t4.log || {
+  echo "exp_whatif stderr is missing the metrics.tsv document" >&2; exit 1;
+}
+echo "    exp_whatif stderr carries the metrics.tsv document"
 
 echo "==> campaign memory: bench_campaign (collect vs stream, plus 10x-query smoke)"
 # The binary itself runs the streaming sink at 10x the query count and
@@ -72,11 +84,85 @@ key = "events_per_sec_tracing_on"
 ratio = cur[key] / base[key]
 print(f"    tracing-on {cur[key]:,} ev/s vs baseline {base[key]:,} "
       f"({ratio:.2f}x), tracing-off {cur['events_per_sec_tracing_off']:,} ev/s")
+fail = []
 # Coarse tripwire: the shared container's run-to-run noise is ~±19%,
 # so only a drop past 30% is treated as a regression.
 if ratio < 0.70:
-    print(f"bench_tcpsim: {key} dropped >30% below baseline", file=sys.stderr)
-    sys.exit(1)
+    fail.append(f"{key} dropped >30% below baseline")
+# Telemetry overhead tripwire: the paired-median estimator converges to
+# ~±4% on this host, so a reading at or past 5% means the record path
+# grew real work (ISSUE budget: <2% measured, <5% enforced).
+overhead = cur["telemetry_overhead_pct"]
+print(f"    telemetry overhead {overhead:+.2f}% "
+      f"(off {cur['events_per_sec_telemetry_off']:,} ev/s, "
+      f"on {cur['events_per_sec_telemetry_on']:,} ev/s)")
+if overhead >= 5.0:
+    fail.append(f"telemetry overhead {overhead:.2f}% >= 5%")
+for msg in fail:
+    print(f"bench_tcpsim: {msg}", file=sys.stderr)
+sys.exit(1 if fail else 0)
+EOF
+
+echo "==> bench artifact schema check (BENCH_*.json and baselines)"
+python3 - <<'EOF'
+import json, sys
+
+NUM, STR, LST, OBJ = (int, float), str, list, dict
+SCHEMAS = {
+    "BENCH_tcpsim": {
+        "bench": STR, "mode": STR, "repeats": NUM,
+        "events_per_sec_tracing_off": NUM, "events_per_sec_tracing_on": NUM,
+        "recorded_pkts_per_sec": NUM,
+        "events_per_sec_telemetry_off": NUM, "events_per_sec_telemetry_on": NUM,
+        "telemetry_overhead_pct": NUM, "cells": LST,
+    },
+    "BENCH_campaign": {
+        "binary": STR, "threads": NUM, "queries_base": NUM, "queries_10x": NUM,
+        "wall_collect_ms": NUM, "wall_stream_ms": NUM, "wall_stream_10x_ms": NUM,
+        "peak_retained_collect_bytes": NUM, "peak_retained_stream_bytes": NUM,
+        "peak_retained_stream_10x_bytes": NUM,
+        "retained_reduction_factor": NUM, "stream_10x_growth_factor": NUM,
+    },
+}
+fail = []
+for stem, schema in SCHEMAS.items():
+    for path in (f"{stem}.json", f"{stem}.baseline.json"):
+        try:
+            doc = json.load(open(path))
+        except Exception as e:
+            fail.append(f"{path}: unreadable ({e})")
+            continue
+        for k, ty in schema.items():
+            if k not in doc:
+                fail.append(f"{path}: missing required key {k!r}")
+            elif not isinstance(doc[k], ty) or isinstance(doc[k], bool):
+                fail.append(f"{path}: key {k!r} has type "
+                            f"{type(doc[k]).__name__}, want {ty}")
+
+# The merged telemetry artifact (written by the exp_whatif smoke above):
+# a flat object of metrics, each an object with a known kind and numeric
+# fields only.
+try:
+    doc = json.load(open("BENCH_metrics.json"))
+    if not isinstance(doc, dict):
+        fail.append("BENCH_metrics.json: top level is not an object")
+    else:
+        for name, m in doc.items():
+            if not isinstance(m, dict) or m.get("kind") not in ("counter", "gauge", "hist"):
+                fail.append(f"BENCH_metrics.json: {name!r} has bad kind")
+                continue
+            for k, v in m.items():
+                if k != "kind" and (isinstance(v, bool) or not isinstance(v, (int, float))):
+                    fail.append(f"BENCH_metrics.json: {name}.{k} is not numeric")
+except Exception as e:
+    fail.append(f"BENCH_metrics.json: unreadable ({e})")
+
+for msg in fail:
+    print(f"schema: {msg}", file=sys.stderr)
+if not fail:
+    n = len(SCHEMAS) * 2 + 1
+    print(f"    {n} artifacts conform")
+sys.exit(1 if fail else 0)
 EOF
 
 echo "CI OK"

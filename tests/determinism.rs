@@ -15,69 +15,12 @@
 //!    that caused it. Refresh intentionally with
 //!    `scripts/update_golden.sh`.
 
-use cdnsim::ServiceConfig;
-use emulator::dataset_a::{DatasetA, KeywordPolicy};
-use emulator::dataset_b::DatasetB;
-use emulator::{Campaign, Design, FoldSink, ProcessedQuery, RunDescriptor, Scenario, TsvRows};
-use emulator::{StreamReport, TSV_HEADER};
-use simcore::time::SimDuration;
-use stats::{QuantileAcc, Welford};
-use std::path::PathBuf;
+mod common;
 
-/// A small campaign touching every design family: both stock dataset
-/// designs, both service archetypes, a custom closure design, and one
-/// run with raw-capture enabled.
-fn representative_campaign(seed: u64) -> Campaign {
-    let mut c = Campaign::new(Scenario::small(seed));
-    c.push(
-        "a/bing",
-        ServiceConfig::bing_like(seed),
-        Design::DatasetA(DatasetA {
-            repeats: 2,
-            spacing: SimDuration::from_secs(8),
-            keywords: KeywordPolicy::Fixed(0),
-        }),
-    );
-    c.push(
-        "a/google",
-        ServiceConfig::google_like(seed),
-        Design::DatasetA(DatasetA {
-            repeats: 2,
-            spacing: SimDuration::from_secs(8),
-            keywords: KeywordPolicy::RoundRobin(5),
-        }),
-    );
-    c.push(
-        "b/fixed-fe",
-        ServiceConfig::google_like(seed),
-        Design::DatasetB(DatasetB::against(0).with_repeats(3)),
-    );
-    let run = c.push(
-        "custom/close-pair",
-        ServiceConfig::bing_like(seed),
-        Design::custom(|sim| {
-            sim.with(|w, net| {
-                let fe = w.default_fe(0);
-                let be = w.be_of_fe(fe);
-                w.prewarm(net, fe, be, 2);
-                for r in 0..4u64 {
-                    w.schedule_query(
-                        net,
-                        SimDuration::from_millis(1_000 + r * 7_000),
-                        cdnsim::QuerySpec {
-                            client: 0,
-                            keyword: r,
-                            fixed_fe: Some(fe),
-                            instant_followup: false,
-                        },
-                    );
-                }
-            });
-        }),
-    );
-    run.keep_raw = true;
-    c
-}
+use common::{compare_golden, representative_campaign};
+use emulator::{FoldSink, ProcessedQuery, RunDescriptor, TsvRows};
+use emulator::{StreamReport, TSV_HEADER};
+use stats::{QuantileAcc, Welford};
 
 #[test]
 fn campaign_output_is_thread_invariant() {
@@ -191,46 +134,11 @@ fn campaign_output_is_oversubscription_invariant() {
     );
 }
 
-fn golden_path(name: &str) -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("tests/golden")
-        .join(name)
-}
-
 fn check_golden(seed: u64, name: &str) {
     let got = representative_campaign(seed)
         .execute_with_threads(4)
         .to_tsv();
-    let path = golden_path(name);
-    if std::env::var("UPDATE_GOLDEN").is_ok() {
-        std::fs::write(&path, &got).unwrap();
-        eprintln!("rewrote {}", path.display());
-        return;
-    }
-    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
-        panic!(
-            "missing golden {} ({e}); run scripts/update_golden.sh",
-            path.display()
-        )
-    });
-    if got != want {
-        // A full assert_eq! dump of two multi-KB TSVs is unreadable;
-        // point at the first divergent line instead.
-        for (i, (g, w)) in got.lines().zip(want.lines()).enumerate() {
-            assert_eq!(
-                g,
-                w,
-                "golden {} diverges at line {} (intentional change? run scripts/update_golden.sh)",
-                name,
-                i + 1
-            );
-        }
-        panic!(
-            "golden {name} length changed: {} vs {} lines; run scripts/update_golden.sh if intentional",
-            got.lines().count(),
-            want.lines().count()
-        );
-    }
+    compare_golden(&got, name, "telemetry default");
 }
 
 #[test]
