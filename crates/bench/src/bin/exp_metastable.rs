@@ -1,0 +1,357 @@
+//! Metastable failure — retry-storm hysteresis and the budget that
+//! breaks it.
+//!
+//! A front-end whose service time degrades with concurrency plus clients
+//! that retry on timeout form a bistable system: below the knee the FE is
+//! fast and retries never happen; past it, timeouts breed retries, the
+//! amplified arrival rate keeps the FE saturated, and the bad state
+//! *outlives the trigger that caused it*. That hysteresis loop is the
+//! canonical metastable failure (Bronson et al., HotOS'21); the paper's
+//! FE measurements are exactly the load regime where it arms.
+//!
+//! Design: 12 clients pinned to one FE issue a query every 2 s for 60 s
+//! of virtual time — comfortably below the FE's knee in steady state. A
+//! 10 s brownout window (the trigger) multiplies FE service time so far
+//! past the client deadline that every arrival in the window times out
+//! and retries. Two arms, identical except for the overload policy:
+//!
+//! * `naive`    — deadline + 4 retries, no budget: the storm sustains
+//!   itself after the brownout lifts and post-trigger goodput collapses;
+//! * `budgeted` — the same retry policy behind a per-client retry-token
+//!   budget: retries are suppressed once the bucket drains, the FE
+//!   drains with them, and post-trigger goodput recovers.
+//!
+//! Phases bucket queries by their *scheduled* arrival time (encoded in
+//! the keyword), so "post" means offered after the trigger ended — the
+//! hysteresis question is what happens to those.
+//!
+//! Asserted:
+//! * both arms serve ≥ 95% before the trigger (the healthy state);
+//! * the naive arm's post-trigger goodput stays below half its
+//!   pre-trigger level — the bad state persists without the trigger;
+//! * the budgeted arm recovers to ≥ 90% of its pre-trigger goodput
+//!   (the CI tripwire ratio, also written to `BENCH_overload.json`);
+//! * the budgeted arm beats the naive arm after the trigger;
+//! * `cdnsim.retry_budget_exhausted` fired (the budget did the work);
+//! * accounting conserves in both arms;
+//! * a rerun of the naive arm reproduces every outcome exactly.
+//!
+//! Emits `BENCH_overload.json`-shaped JSON to `--out PATH` (default
+//! stdout TSV only).
+
+use bench::{campaign, check, execute, finish, seed_from_env, Scale};
+use cdnsim::{
+    CompletedQuery, FeLoadProfile, LoadModel, QuerySpec, RetryBudget, RetryPolicy, ServiceConfig,
+};
+use emulator::output::Tsv;
+use emulator::Design;
+use nettopo::FaultPlan;
+use simcore::dist::Dist;
+use simcore::time::{SimDuration, SimTime};
+
+const CLIENTS: usize = 12;
+const WAVES: u64 = 30;
+const WAVE_SPACING_MS: u64 = 2_000;
+const TRIGGER_START_MS: u64 = 15_000;
+const TRIGGER_END_MS: u64 = 25_000;
+const BASE_SERVICE_MS: f64 = 5.0;
+const DEADLINE_MS: u64 = 800;
+/// Per-slot stagger spreading each wave's 12 arrivals uniformly across
+/// the 2 s spacing — a steady offered stream rather than bursts, so the
+/// saturated state has no quiet gaps to drain through.
+const SLOT_STAGGER_MS: u64 = WAVE_SPACING_MS / CLIENTS as u64;
+
+/// Scheduled arrival of wave `r` from the client occupying `slot`.
+fn sched_ms(slot: usize, wave: u64) -> u64 {
+    1_000 + wave * WAVE_SPACING_MS + slot as u64 * SLOT_STAGGER_MS
+}
+
+fn phase_of(sched: u64) -> &'static str {
+    if sched < TRIGGER_START_MS {
+        "pre"
+    } else if sched < TRIGGER_END_MS {
+        "trigger"
+    } else {
+        "post"
+    }
+}
+
+/// The steady offered load: every chosen client queries every 2 s,
+/// keyword = wave index so the scheduled time survives into the
+/// completion record.
+fn steady_design(fe: usize, clients: Vec<usize>) -> Design {
+    Design::custom(move |sim| {
+        sim.with(|w, net| {
+            let be = w.be_of_fe(fe);
+            w.prewarm(net, fe, be, 2);
+            for wave in 0..WAVES {
+                for (slot, &client) in clients.iter().enumerate() {
+                    w.schedule_query(
+                        net,
+                        SimDuration::from_millis(sched_ms(slot, wave)),
+                        QuerySpec {
+                            client,
+                            keyword: wave,
+                            fixed_fe: Some(fe),
+                            instant_followup: false,
+                        },
+                    );
+                }
+            }
+        });
+    })
+}
+
+/// Both arms share everything but the budget: constant base service (so
+/// the queueing multiplier is the only overhead source), a load model
+/// whose saturated service time exceeds the client deadline (the
+/// bistability condition), aggressive browser-style retries, and the
+/// brownout trigger.
+fn arm_config(seed: u64, fe: usize) -> ServiceConfig {
+    let mut cfg = ServiceConfig::google_like(seed)
+        .with_faults(FaultPlan::default().fe_brownout(
+            fe,
+            SimTime::from_millis(TRIGGER_START_MS),
+            SimTime::from_millis(TRIGGER_END_MS),
+            250.0,
+        ))
+        .with_load_model(LoadModel {
+            // The bistability window: saturated service (5 ms x 200)
+            // blows the 800 ms deadline, the base offered load times its
+            // saturated hold time stays under the knee (recovery is
+            // reachable), and the retry-amplified load stays far over it
+            // (the bad state self-sustains).
+            fe_capacity: 6,
+            be_capacity: 64,
+            max_slowdown: 200.0,
+        })
+        .with_client_retry(RetryPolicy {
+            deadline: SimDuration::from_millis(DEADLINE_MS),
+            max_retries: 4,
+            base_backoff: SimDuration::from_millis(100),
+            jitter: 0.3,
+        });
+    cfg.fe_load = FeLoadProfile {
+        service_ms: Dist::Constant(BASE_SERVICE_MS),
+        load_amplitude: 0.0,
+        load_volatility: 0.0,
+    };
+    cfg
+}
+
+/// Served fraction of the queries scheduled in `phase`; `slot_of` maps a
+/// client id back to its schedule slot.
+fn goodput(raw: &[CompletedQuery], slot_of: &[usize; 64], phase: &str) -> f64 {
+    let in_phase: Vec<&CompletedQuery> = raw
+        .iter()
+        .filter(|cq| phase_of(sched_ms(slot_of[cq.client], cq.keyword)) == phase)
+        .collect();
+    let served = in_phase.iter().filter(|cq| cq.outcome.served()).count();
+    served as f64 / in_phase.len().max(1) as f64
+}
+
+fn main() {
+    let mut out_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out_path = Some(args.next().expect("--out needs a path")),
+            other => {
+                eprintln!("unknown argument {other:?} (expected --out PATH)");
+                std::process::exit(2);
+            }
+        }
+    }
+    let seed = seed_from_env();
+
+    // Probe the scenario once for the best-connected FE — the one whose
+    // 12th-nearest vantage has the smallest RTT — and pin the experiment
+    // to it with those 12 clients. Anchoring on an arbitrary client's
+    // default FE is seed-fragile: a sparse region can leave even the
+    // nearest dozen clients far enough that RTT alone blows the deadline
+    // on a healthy FE and muddies the goodput signal.
+    let sc = bench::scenario(Scale::Quick, seed);
+    let n_vantages = sc.vantage_count();
+    let mut probe = sc.build_sim(ServiceConfig::google_like(seed));
+    let (fe, clients) = probe.with(|w, _| {
+        let nearest = |fe: usize| -> Vec<usize> {
+            let mut by_rtt: Vec<usize> = (0..n_vantages).collect();
+            by_rtt.sort_by(|&a, &b| {
+                w.client_fe_rtt_ms(a, fe)
+                    .total_cmp(&w.client_fe_rtt_ms(b, fe))
+            });
+            by_rtt.truncate(CLIENTS);
+            by_rtt
+        };
+        // Strict < keeps the choice deterministic on ties (lowest index).
+        let mut best = (0usize, f64::INFINITY);
+        for fe in 0..w.fe_count() {
+            let worst_of_nearest = w.client_fe_rtt_ms(*nearest(fe).last().unwrap(), fe);
+            if worst_of_nearest < best.1 {
+                best = (fe, worst_of_nearest);
+            }
+        }
+        (best.0, nearest(best.0))
+    });
+    drop(probe);
+    let mut slot_of = [0usize; 64];
+    for (slot, &client) in clients.iter().enumerate() {
+        slot_of[client] = slot;
+    }
+    eprintln!(
+        "{CLIENTS} nearest clients on FE {fe}, brownout {}–{} s, deadline {DEADLINE_MS} ms",
+        TRIGGER_START_MS / 1_000,
+        TRIGGER_END_MS / 1_000
+    );
+
+    let mut c = campaign(Scale::Quick, seed);
+    let naive_seed = {
+        let d = c.push(
+            "naive",
+            arm_config(seed, fe),
+            steady_design(fe, clients.clone()),
+        );
+        d.keep_raw = true;
+        d.seed
+    };
+    // Same derived seed: the rerun must reproduce the naive arm exactly
+    // even when the two land on different worker threads.
+    let rerun = c.push(
+        "naive-rerun",
+        arm_config(seed, fe),
+        steady_design(fe, clients.clone()),
+    );
+    rerun.keep_raw = true;
+    rerun.seed = naive_seed;
+    c.push(
+        "budgeted",
+        arm_config(seed, fe).with_retry_budget(RetryBudget {
+            max_tokens: 2.0,
+            refill_per_sec: 0.05,
+        }),
+        steady_design(fe, clients.clone()),
+    )
+    .keep_raw = true;
+
+    let report = execute(&c);
+    let scheduled = (CLIENTS as u64 * WAVES) as usize;
+
+    let stdout = std::io::stdout();
+    let mut tsv = Tsv::new(
+        stdout.lock(),
+        &["arm", "phase", "offered", "served", "goodput"],
+    )
+    .unwrap();
+    for arm in ["naive", "budgeted"] {
+        let raw = &report.get(arm).unwrap().raw;
+        for phase in ["pre", "trigger", "post"] {
+            let offered = raw
+                .iter()
+                .filter(|cq| phase_of(sched_ms(slot_of[cq.client], cq.keyword)) == phase)
+                .count();
+            let served = raw
+                .iter()
+                .filter(|cq| {
+                    phase_of(sched_ms(slot_of[cq.client], cq.keyword)) == phase
+                        && cq.outcome.served()
+                })
+                .count();
+            tsv.row(&[
+                arm.to_string(),
+                phase.to_string(),
+                format!("{offered}"),
+                format!("{served}"),
+                format!("{:.4}", goodput(raw, &slot_of, phase)),
+            ])
+            .unwrap();
+        }
+    }
+
+    let naive = &report.get("naive").unwrap().raw;
+    let budgeted = &report.get("budgeted").unwrap().raw;
+    let (n_pre, n_trig, n_post) = (
+        goodput(naive, &slot_of, "pre"),
+        goodput(naive, &slot_of, "trigger"),
+        goodput(naive, &slot_of, "post"),
+    );
+    let (b_pre, b_trig, b_post) = (
+        goodput(budgeted, &slot_of, "pre"),
+        goodput(budgeted, &slot_of, "trigger"),
+        goodput(budgeted, &slot_of, "post"),
+    );
+    let n_recovery = n_post / n_pre.max(f64::MIN_POSITIVE);
+    let b_recovery = b_post / b_pre.max(f64::MIN_POSITIVE);
+    eprintln!(
+        "goodput naive:    pre {n_pre:.2}, trigger {n_trig:.2}, post {n_post:.2} \
+         (recovery {n_recovery:.2})"
+    );
+    eprintln!(
+        "goodput budgeted: pre {b_pre:.2}, trigger {b_trig:.2}, post {b_post:.2} \
+         (recovery {b_recovery:.2})"
+    );
+
+    let json = format!(
+        "{{\n  \"binary\": \"exp_metastable\",\n  \"trigger_start_ms\": {TRIGGER_START_MS},\n  \
+         \"trigger_end_ms\": {TRIGGER_END_MS},\n  \"queries_per_arm\": {scheduled},\n  \
+         \"pre_goodput_naive\": {n_pre:.4},\n  \"trigger_goodput_naive\": {n_trig:.4},\n  \
+         \"post_goodput_naive\": {n_post:.4},\n  \"pre_goodput_budgeted\": {b_pre:.4},\n  \
+         \"trigger_goodput_budgeted\": {b_trig:.4},\n  \"post_goodput_budgeted\": {b_post:.4},\n  \
+         \"recovery_ratio_naive\": {n_recovery:.4},\n  \"recovery_ratio_budgeted\": {b_recovery:.4}\n}}\n"
+    );
+    match &out_path {
+        Some(p) => std::fs::write(p, &json).expect("write --out"),
+        None => eprint!("{json}"),
+    }
+
+    let naive_tally = report.get("naive").unwrap().tally;
+    let budgeted_tally = report.get("budgeted").unwrap().tally;
+    let mut ok = true;
+    ok &= check(
+        &format!("healthy state before the trigger (naive {n_pre:.2}, budgeted {b_pre:.2})"),
+        n_pre >= 0.95 && b_pre >= 0.95,
+    );
+    ok &= check(
+        &format!("trigger saturates both arms (naive {n_trig:.2}, budgeted {b_trig:.2})"),
+        n_trig < n_pre && b_trig < b_pre,
+    );
+    ok &= check(
+        &format!(
+            "naive arm is metastable: post-trigger goodput stuck below half of \
+             pre ({n_post:.2} vs {n_pre:.2})"
+        ),
+        n_recovery < 0.5,
+    );
+    ok &= check(
+        &format!("budgeted arm recovers to >= 90% of pre-trigger goodput ({b_recovery:.2})"),
+        b_recovery >= 0.9,
+    );
+    ok &= check(
+        &format!("retry budget beats naive retries post-trigger ({b_post:.2} vs {n_post:.2})"),
+        b_post > n_post,
+    );
+    let exhausted = report
+        .merged_metrics()
+        .counter("cdnsim.retry_budget_exhausted");
+    ok &= check(
+        &format!("the budget actually engaged (retry_budget_exhausted = {exhausted:?})"),
+        exhausted.unwrap_or(0) > 0,
+    );
+    ok &= check(
+        &format!(
+            "accounting conserves in both arms ({} and {} of {scheduled})",
+            naive_tally.total(),
+            budgeted_tally.total()
+        ),
+        naive_tally.total() == scheduled && budgeted_tally.total() == scheduled,
+    );
+    let rerun_raw = &report.get("naive-rerun").unwrap().raw;
+    ok &= check(
+        "rerun reproduces the naive arm exactly",
+        naive.len() == rerun_raw.len()
+            && naive
+                .iter()
+                .zip(rerun_raw.iter())
+                .all(|(a, b)| a.outcome == b.outcome && a.t_done == b.t_done && a.qid == b.qid),
+    );
+    finish(ok);
+}

@@ -50,6 +50,10 @@ pub enum TimelineError {
     /// No dynamic-content packet was identified — e.g. a degraded
     /// response whose dynamic portion was replaced by an error stub.
     NoDynamic,
+    /// The response consisted entirely of an error/rejection stub (a
+    /// shed query's fast rejection): there is no content timeline to
+    /// measure, only the refusal.
+    ErrorStubOnly,
     /// Retransmitted payload dominates the receive stream; landmark
     /// times would be fiction, not measurement.
     RetransmissionHeavy,
@@ -72,6 +76,9 @@ impl fmt::Display for TimelineError {
             }
             TimelineError::NoDynamic => {
                 write!(f, "no dynamic-content packet found")
+            }
+            TimelineError::ErrorStubOnly => {
+                write!(f, "response was only an error/rejection stub")
             }
             TimelineError::RetransmissionHeavy => {
                 write!(f, "retransmissions dominate the receive stream")
@@ -98,6 +105,7 @@ impl TimelineError {
             TimelineError::Truncated => "capture.err.truncated",
             TimelineError::NoStatic => "capture.err.no_static",
             TimelineError::NoDynamic => "capture.err.no_dynamic",
+            TimelineError::ErrorStubOnly => "capture.err.error_stub_only",
             TimelineError::RetransmissionHeavy => "capture.err.retransmission_heavy",
             TimelineError::TracingDisabled => "capture.err.tracing_disabled",
         }
@@ -144,6 +152,7 @@ mod tests {
             TimelineError::Truncated,
             TimelineError::NoStatic,
             TimelineError::NoDynamic,
+            TimelineError::ErrorStubOnly,
             TimelineError::RetransmissionHeavy,
             TimelineError::TracingDisabled,
         ];

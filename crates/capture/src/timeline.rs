@@ -5,6 +5,7 @@ use crate::classify::Classifier;
 use crate::errors::{SessionError, TimelineError};
 use crate::session::ClientTrace;
 use simcore::time::SimTime;
+use tcpsim::Marker;
 use tcpsim::NodeId;
 use tcpsim::PktEvent;
 
@@ -90,6 +91,18 @@ impl Timeline {
             .count();
         if dup > trace.rx_data.len() / 2 {
             return Err(TimelineError::RetransmissionHeavy);
+        }
+        // A response consisting solely of error-stub bytes (a shed
+        // query's fast rejection) has no content boundary to measure
+        // under any classifier — name the reason instead of reporting a
+        // missing boundary.
+        if !trace.rx_data.is_empty()
+            && trace
+                .rx_data
+                .iter()
+                .all(|e| !e.meta.is_empty() && e.meta.iter().all(|m| m.marker == Marker::Error))
+        {
+            return Err(TimelineError::ErrorStubOnly);
         }
         let mut t3: Option<SimTime> = None;
         let mut t4: Option<SimTime> = None;
@@ -355,6 +368,43 @@ mod tests {
             Timeline::extract(&evs, NodeId(9), &Classifier::ByMarker).unwrap_err(),
             TimelineError::Session(SessionError::NoClientSyn)
         );
+    }
+
+    #[test]
+    fn error_stub_only_session_is_rejected_as_such() {
+        // A shed query's fast rejection: the only payload back is the
+        // error stub. Every classifier should name the refusal rather
+        // than complain about a missing content boundary.
+        let evs = vec![
+            ev(0, PktDir::Tx, PktKind::Syn, 0, 0, 0, false, vec![]),
+            ev(50, PktDir::Rx, PktKind::SynAck, 0, 0, 0, false, vec![]),
+            ev(
+                50,
+                PktDir::Tx,
+                PktKind::Data,
+                0,
+                400,
+                0,
+                true,
+                vec![span(0, 400, Marker::Request, 900)],
+            ),
+            ev(
+                100,
+                PktDir::Rx,
+                PktKind::Data,
+                0,
+                200,
+                400,
+                true,
+                vec![span(0, 200, Marker::Error, 999)],
+            ),
+        ];
+        for c in [Classifier::ByMarker, Classifier::ByPush] {
+            assert_eq!(
+                Timeline::extract(&evs, NodeId(1), &c).unwrap_err(),
+                TimelineError::ErrorStubOnly
+            );
+        }
     }
 
     #[test]

@@ -35,6 +35,9 @@ pub mod world;
 
 pub use dns::{DnsMap, DnsPolicy, DnsResolver};
 pub use fe::FeServer;
-pub use service::{FeLoadProfile, RetryPolicy, ServiceConfig};
+pub use service::{
+    AdmissionControl, BreakerPolicy, FeLoadProfile, HedgePolicy, LoadModel, OverloadPolicy,
+    RetryBudget, RetryPolicy, ServiceConfig,
+};
 pub use spec::WorldSpec;
 pub use world::{CompletedQuery, QueryOutcome, QuerySpec, ServiceWorld};

@@ -42,6 +42,157 @@ impl Default for RetryPolicy {
     }
 }
 
+/// Deterministic concurrency-dependent service-time model for FE and BE
+/// sites — the M/M/1-style queueing-delay curve the paper's load
+/// observations imply (`Tstatic` responds to FE load, `Tproc` to BE
+/// load).
+///
+/// The multiplier for a site holding `n` in-flight requests is
+/// `1 / (1 - q/capacity)` with `q = n - 1` queued behind the newest one,
+/// clamped to `max_slowdown`; a lone request sees exactly 1.0, so the
+/// model is inert at low load and the existing goldens (single queries
+/// in flight) are untouched even when it is enabled. No randomness: the
+/// curve is a pure function of the in-flight count, so trajectories stay
+/// byte-deterministic at any shard split.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LoadModel {
+    /// Per-FE concurrency knee: in-flight requests beyond which the FE
+    /// service-time multiplier saturates at `max_slowdown`.
+    pub fe_capacity: u32,
+    /// Per-BE concurrency knee for `Tproc` scaling.
+    pub be_capacity: u32,
+    /// Ceiling on the queueing multiplier (keeps a saturated site's
+    /// service time finite and the simulation terminating).
+    pub max_slowdown: f64,
+}
+
+impl LoadModel {
+    /// The queueing multiplier for a site with `inflight` concurrent
+    /// requests (including the one being priced) and knee `capacity`.
+    pub fn slowdown(&self, inflight: u32, capacity: u32) -> f64 {
+        let cap = capacity.max(1) as f64;
+        let queued = inflight.saturating_sub(1) as f64;
+        if queued >= cap {
+            self.max_slowdown
+        } else {
+            (1.0 / (1.0 - queued / cap)).min(self.max_slowdown)
+        }
+    }
+
+    /// FE-side multiplier for `inflight` concurrent requests, with the
+    /// knee scaled by `capacity_factor` (capacity-dip fault windows).
+    pub fn fe_slowdown(&self, inflight: u32, capacity_factor: f64) -> f64 {
+        let cap = ((self.fe_capacity as f64 * capacity_factor) as u32).max(1);
+        self.slowdown(inflight, cap)
+    }
+
+    /// BE-side multiplier for `inflight` concurrent fetches.
+    pub fn be_slowdown(&self, inflight: u32) -> f64 {
+        self.slowdown(inflight, self.be_capacity)
+    }
+}
+
+impl Default for LoadModel {
+    /// A mid-size site: knee at 16 in-flight requests per FE, 64 per BE,
+    /// slowdown capped at 20x.
+    fn default() -> LoadModel {
+        LoadModel {
+            fe_capacity: 16,
+            be_capacity: 64,
+            max_slowdown: 20.0,
+        }
+    }
+}
+
+/// Admission control at the FE: above the watermark new requests are
+/// shed immediately with a typed `Shed` outcome instead of queueing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AdmissionControl {
+    /// In-flight requests per FE above which new arrivals are shed.
+    pub watermark: u32,
+}
+
+/// Per-client retry budget: a token bucket spent on every retry attempt.
+/// When empty, the retry is suppressed and the query fails with its
+/// final-attempt cause — the mechanism that breaks retry-storm
+/// hysteresis in `exp_metastable`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RetryBudget {
+    /// Bucket capacity (tokens; one retry costs one token).
+    pub max_tokens: f64,
+    /// Refill rate in tokens per virtual second.
+    pub refill_per_sec: f64,
+}
+
+impl Default for RetryBudget {
+    /// A tight budget: 3 tokens refilling at 0.1/s — enough for fault
+    /// blips, starved by a sustained storm.
+    fn default() -> RetryBudget {
+        RetryBudget {
+            max_tokens: 3.0,
+            refill_per_sec: 0.1,
+        }
+    }
+}
+
+/// Hedged FE→BE fetches: if the primary fetch has not completed after
+/// `after`, a duplicate is sent to the next-nearest live BE; the first
+/// response wins and the loser is cancelled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HedgePolicy {
+    /// Delay after the fetch starts before the hedge fires (pick ~p95 of
+    /// the healthy fetch-time distribution).
+    pub after: SimDuration,
+}
+
+/// Per-FE circuit breaker over BE fetch failures: `failure_threshold`
+/// consecutive fetch failures open the breaker; while open, fetches
+/// fast-fail to the degraded response; after `cooldown` of virtual time
+/// one trial fetch (half-open) decides between closing and re-opening.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BreakerPolicy {
+    /// Consecutive fetch failures that open the breaker.
+    pub failure_threshold: u32,
+    /// Virtual-time cooldown before a half-open trial fetch.
+    pub cooldown: SimDuration,
+}
+
+impl Default for BreakerPolicy {
+    /// 5 consecutive failures, 10 s cooldown.
+    fn default() -> BreakerPolicy {
+        BreakerPolicy {
+            failure_threshold: 5,
+            cooldown: SimDuration::from_secs(10),
+        }
+    }
+}
+
+/// The composable overload-protection policy set. Every member defaults
+/// to `None`/off: a default `OverloadPolicy` is inert and leaves
+/// simulation trajectories byte-identical to a build without the
+/// subsystem.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct OverloadPolicy {
+    /// FE admission control (load shedding above a watermark).
+    pub admission: Option<AdmissionControl>,
+    /// Per-client retry budgets (requires `client_retry` to matter).
+    pub retry_budget: Option<RetryBudget>,
+    /// Hedged FE→BE fetches.
+    pub hedge: Option<HedgePolicy>,
+    /// Per-FE circuit breaker on BE fetch failures.
+    pub breaker: Option<BreakerPolicy>,
+}
+
+impl OverloadPolicy {
+    /// True when every protection mechanism is disabled.
+    pub fn is_inert(&self) -> bool {
+        self.admission.is_none()
+            && self.retry_budget.is_none()
+            && self.hedge.is_none()
+            && self.breaker.is_none()
+    }
+}
+
 /// Front-end load/service-time profile.
 #[derive(Clone, Debug)]
 pub struct FeLoadProfile {
@@ -138,6 +289,11 @@ pub struct ServiceConfig {
     /// re-resolving (only consulted when the fault plan contains FE
     /// outages — failover away from a dead FE is not instantaneous).
     pub dns_ttl: SimDuration,
+    /// Concurrency-dependent service-time model; `None` (the default)
+    /// keeps FEs and BEs load-oblivious, byte-identical to older builds.
+    pub load_model: Option<LoadModel>,
+    /// Overload-protection policies; all off by default.
+    pub overload: OverloadPolicy,
 }
 
 impl ServiceConfig {
@@ -169,6 +325,8 @@ impl ServiceConfig {
             client_retry: None,
             fe_fetch_deadline: None,
             dns_ttl: SimDuration::from_secs(60),
+            load_model: None,
+            overload: OverloadPolicy::default(),
         }
     }
 
@@ -200,6 +358,8 @@ impl ServiceConfig {
             client_retry: None,
             fe_fetch_deadline: None,
             dns_ttl: SimDuration::from_secs(60),
+            load_model: None,
+            overload: OverloadPolicy::default(),
         }
     }
 
@@ -271,6 +431,39 @@ impl ServiceConfig {
         self.dns_ttl = ttl;
         self
     }
+
+    /// Enables the concurrency-dependent service-time model.
+    pub fn with_load_model(mut self, model: LoadModel) -> ServiceConfig {
+        self.load_model = Some(model);
+        self
+    }
+
+    /// Enables FE admission control with the given in-flight watermark.
+    pub fn with_admission_control(mut self, watermark: u32) -> ServiceConfig {
+        assert!(watermark > 0, "a zero watermark would shed everything");
+        self.overload.admission = Some(AdmissionControl { watermark });
+        self
+    }
+
+    /// Enables per-client retry budgets.
+    pub fn with_retry_budget(mut self, budget: RetryBudget) -> ServiceConfig {
+        assert!(budget.max_tokens >= 0.0 && budget.refill_per_sec >= 0.0);
+        self.overload.retry_budget = Some(budget);
+        self
+    }
+
+    /// Enables hedged FE→BE fetches after the given delay.
+    pub fn with_hedged_fetches(mut self, after: SimDuration) -> ServiceConfig {
+        self.overload.hedge = Some(HedgePolicy { after });
+        self
+    }
+
+    /// Enables the per-FE circuit breaker on BE fetch failures.
+    pub fn with_circuit_breaker(mut self, policy: BreakerPolicy) -> ServiceConfig {
+        assert!(policy.failure_threshold > 0);
+        self.overload.breaker = Some(policy);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -312,6 +505,11 @@ mod tests {
         assert!(b.faults.is_empty());
         assert!(b.client_retry.is_none());
         assert!(b.fe_fetch_deadline.is_none());
+        assert!(b.load_model.is_none());
+        assert!(b.overload.is_inert());
+        let g = ServiceConfig::google_like(1);
+        assert!(g.load_model.is_none());
+        assert!(g.overload.is_inert());
         let c = b
             .with_faults(FaultPlan::new().be_outage(
                 0,
@@ -326,6 +524,55 @@ mod tests {
         assert_eq!(c.client_retry.as_ref().unwrap().max_retries, 2);
         assert_eq!(c.fe_fetch_deadline, Some(SimDuration::from_millis(800)));
         assert_eq!(c.dns_ttl, SimDuration::from_secs(5));
+    }
+
+    #[test]
+    fn load_model_slowdown_curve() {
+        let m = LoadModel {
+            fe_capacity: 4,
+            be_capacity: 8,
+            max_slowdown: 10.0,
+        };
+        // A lone request is never slowed.
+        assert_eq!(m.slowdown(1, 4), 1.0);
+        assert_eq!(m.slowdown(0, 4), 1.0);
+        // M/M/1 knee: 1/(1 - q/cap) for q queued behind the newest.
+        assert!((m.slowdown(2, 4) - 4.0 / 3.0).abs() < 1e-12);
+        assert!((m.slowdown(3, 4) - 2.0).abs() < 1e-12);
+        assert!((m.slowdown(4, 4) - 4.0).abs() < 1e-12);
+        // At and past the knee the multiplier saturates at the ceiling.
+        assert_eq!(m.slowdown(5, 4), 10.0);
+        assert_eq!(m.slowdown(100, 4), 10.0);
+        // Monotone in the in-flight count.
+        let mut prev = 0.0;
+        for n in 0..32 {
+            let s = m.slowdown(n, 8);
+            assert!(s >= prev, "n={n}: {s} < {prev}");
+            prev = s;
+        }
+        // Capacity dips scale the FE knee: the same in-flight count is
+        // pricier with half the capacity.
+        assert!(m.fe_slowdown(3, 0.5) > m.fe_slowdown(3, 1.0));
+        assert_eq!(m.be_slowdown(1), 1.0);
+    }
+
+    #[test]
+    fn overload_builders_set_policies() {
+        let c = ServiceConfig::google_like(1)
+            .with_load_model(LoadModel::default())
+            .with_admission_control(32)
+            .with_retry_budget(RetryBudget::default())
+            .with_hedged_fetches(SimDuration::from_millis(250))
+            .with_circuit_breaker(BreakerPolicy::default());
+        assert_eq!(c.load_model.unwrap().fe_capacity, 16);
+        assert_eq!(c.overload.admission.unwrap().watermark, 32);
+        assert_eq!(c.overload.retry_budget.unwrap().max_tokens, 3.0);
+        assert_eq!(
+            c.overload.hedge.unwrap().after,
+            SimDuration::from_millis(250)
+        );
+        assert_eq!(c.overload.breaker.unwrap().failure_threshold, 5);
+        assert!(!c.overload.is_inert());
     }
 
     #[test]

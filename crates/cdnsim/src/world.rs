@@ -56,8 +56,16 @@ const WARMUP_RESP_BYTES: u64 = 160_000;
 pub const DEGRADED_STUB_BYTES: u64 = 600;
 /// Content identity of the degraded-service error stub.
 pub const DEGRADED_CONTENT_ID: u64 = 999_999_999_999;
+/// Size of the rejection stub an FE returns when admission control sheds
+/// the request (smaller than the degraded stub: nothing was attempted).
+pub const SHED_STUB_BYTES: u64 = 200;
+/// Content identity of the load-shed rejection stub.
+pub const SHED_CONTENT_ID: u64 = 999_999_999_998;
 
 /// How a query's lifecycle ended, from the client's point of view.
+/// Terminal failure variants carry the total attempt count (first try
+/// included) so budget-exhausted retries are unambiguous next to the
+/// plain `Retried(n)` success case.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum QueryOutcome {
     /// Served normally on the first attempt.
@@ -67,10 +75,26 @@ pub enum QueryOutcome {
     Degraded,
     /// Served after `n` client retries (attempt `n` succeeded).
     Retried(u32),
-    /// Never served: every attempt blew its deadline and the retry
-    /// budget is exhausted. The record carries the truncated trace of
-    /// the final attempt.
-    TimedOut,
+    /// Never served: every attempt blew its deadline, and the retry
+    /// count or budget is exhausted. The record carries the truncated
+    /// trace of the final attempt.
+    TimedOut {
+        /// Attempts made in total (>= 1).
+        attempts: u32,
+    },
+    /// Rejected by FE admission control: the final attempt was answered
+    /// with the load-shed stub and no further retries were available.
+    Shed {
+        /// Attempts made in total (>= 1).
+        attempts: u32,
+    },
+}
+
+impl QueryOutcome {
+    /// True when the client received a usable (non-stub) response.
+    pub fn served(&self) -> bool {
+        matches!(self, QueryOutcome::Ok | QueryOutcome::Retried(_))
+    }
 }
 
 /// A query to execute.
@@ -162,6 +186,7 @@ impl CompletedQuery {
 enum Leg {
     Client,
     Be,
+    Hedge,
     Warmup { fe: usize, be: usize },
 }
 
@@ -180,7 +205,34 @@ enum Action {
     BeDirectReply { qid: u64 },
     ClientDeadline { qid: u64 },
     FetchDeadline { qid: u64, attempt: u32 },
+    HedgeFire { qid: u64, attempt: u32 },
+    HedgeReply { qid: u64, attempt: u32 },
     FaultStart { window: usize },
+}
+
+/// Per-FE circuit-breaker state over BE fetch failures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum BreakerPhase {
+    Closed,
+    Open,
+    HalfOpen,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct BreakerState {
+    phase: BreakerPhase,
+    fails: u32,
+    opened_at: SimTime,
+}
+
+impl BreakerState {
+    fn new() -> BreakerState {
+        BreakerState {
+            phase: BreakerPhase::Closed,
+            fails: 0,
+            opened_at: SimTime::ZERO,
+        }
+    }
 }
 
 struct QueryState {
@@ -211,6 +263,22 @@ struct QueryState {
     request_handled: bool,
     be_handled: bool,
     resp_handled: bool,
+    // Overload machinery. `shed` marks an admission-control rejection;
+    // `fe_counted`/`be_counted` record which in-flight counters this
+    // query holds (take-semantics make double-decrement impossible).
+    shed: bool,
+    fe_counted: bool,
+    be_counted: Option<usize>,
+    // Hedged-fetch leg: its own connection, progress trackers and plan,
+    // so primary and hedge responses never mix state.
+    hedge_conn: Option<ConnId>,
+    hedge_be: Option<usize>,
+    hedge_counted: Option<usize>,
+    hedge_plan: Option<ResponsePlan>,
+    hedge_proc_ms: f64,
+    hedge_srv_progress: RecvProgress,
+    hedge_resp_progress: RecvProgress,
+    hedge_be_handled: bool,
 }
 
 /// The world: clients, FEs, BEs, pools, in-flight queries.
@@ -234,6 +302,15 @@ pub struct ServiceWorld {
     dns_cache: HashMap<usize, (usize, SimTime)>,
     fe_rank: HashMap<usize, Vec<usize>>,
     be_rank: HashMap<usize, Vec<usize>>,
+    // Concurrency bookkeeping for the load model and admission control.
+    // Maintained unconditionally (no RNG, no scheduling), consulted only
+    // when a load model or overload policy is enabled.
+    fe_inflight: Vec<u32>,
+    be_inflight: Vec<u32>,
+    // Per-client retry-token buckets (lazy refill at spend time).
+    retry_tokens: HashMap<usize, (f64, SimTime)>,
+    // Per-FE circuit breakers over BE fetch failures.
+    breakers: Vec<BreakerState>,
     // Observe-only service-layer telemetry (cache hits, failovers, DNS
     // re-maps). Draws no randomness and schedules nothing.
     metrics: MetricsRegistry,
@@ -287,6 +364,8 @@ impl ServiceWorld {
         // streams are independent) but drawn from only when a retry
         // actually backs off, so fault-free runs stay byte-identical.
         let retry_rng = Rng::from_seed_and_name(cfg.seed, "cdnsim/retry");
+        let n_fes = fes.len();
+        let n_bes = bes.len();
         ServiceWorld {
             cfg,
             clients,
@@ -306,8 +385,29 @@ impl ServiceWorld {
             dns_cache: HashMap::new(),
             fe_rank: HashMap::new(),
             be_rank: HashMap::new(),
+            fe_inflight: vec![0; n_fes],
+            be_inflight: vec![0; n_bes],
+            retry_tokens: HashMap::new(),
+            breakers: vec![BreakerState::new(); n_fes],
             metrics: MetricsRegistry::from_env(),
         }
+    }
+
+    /// True when any overload machinery may observably act: gates the
+    /// high-water gauges (and nothing else) so metrics documents stay
+    /// byte-identical when the subsystem is disabled.
+    fn overload_active(&self) -> bool {
+        self.cfg.load_model.is_some() || !self.cfg.overload.is_inert()
+    }
+
+    /// Current in-flight request count of an FE (testing/experiments).
+    pub fn fe_inflight(&self, fe: usize) -> u32 {
+        self.fe_inflight[fe]
+    }
+
+    /// Current in-flight fetch count of a BE site (testing/experiments).
+    pub fn be_inflight(&self, be: usize) -> u32 {
+        self.be_inflight[be]
     }
 
     /// The service-layer telemetry registry.
@@ -558,9 +658,10 @@ impl ServiceWorld {
                         params.bad_loss,
                     ));
                 }
-                // Brownouts act on FE service times, consulted at serve
-                // time; nothing to install up front.
+                // Brownouts and capacity dips act on FE service times,
+                // consulted at serve time; nothing to install up front.
                 FaultKind::FeBrownout { .. } => {}
+                FaultKind::FeCapacityDip { .. } => {}
             }
         }
     }
@@ -593,9 +694,19 @@ impl ServiceWorld {
         let stalled: Vec<ConnId> = self
             .queries
             .values()
-            .filter_map(|q| match (q.fe, q.be_conn) {
-                (Some(f), Some(c)) if hit(f, q.be) && !q.resp_handled => Some(c),
-                _ => None,
+            .flat_map(|q| {
+                let mut v = Vec::new();
+                if let (Some(f), Some(c)) = (q.fe, q.be_conn) {
+                    if hit(f, q.be) && !q.resp_handled {
+                        v.push(c);
+                    }
+                }
+                if let (Some(f), Some(c), Some(hb)) = (q.fe, q.hedge_conn, q.hedge_be) {
+                    if hit(f, hb) && !q.resp_handled {
+                        v.push(c);
+                    }
+                }
+                v
             })
             .collect();
         for c in stalled {
@@ -663,7 +774,14 @@ impl ServiceWorld {
         )
     }
 
-    fn checkout_be_conn(&mut self, net: &mut Net, fe: usize, be: usize, qid: u64) -> ConnId {
+    fn checkout_be_conn_as(
+        &mut self,
+        net: &mut Net,
+        fe: usize,
+        be: usize,
+        qid: u64,
+        leg: Leg,
+    ) -> ConnId {
         // Skip pooled connections a fault has aborted since check-in.
         let conn = self.free_pool.get_mut(&(fe, be)).and_then(|v| {
             while let Some(c) = v.pop() {
@@ -680,8 +798,12 @@ impl ServiceWorld {
             }
             None => self.open_be_conn(net, fe, be, qid),
         };
-        self.conn_info.insert(conn, ConnInfo { qid, leg: Leg::Be });
+        self.conn_info.insert(conn, ConnInfo { qid, leg });
         conn
+    }
+
+    fn checkout_be_conn(&mut self, net: &mut Net, fe: usize, be: usize, qid: u64) -> ConnId {
+        self.checkout_be_conn_as(net, fe, be, qid, Leg::Be)
     }
 
     fn return_be_conn(&mut self, conn: ConnId, fe: usize, be: usize) {
@@ -772,11 +894,157 @@ impl ServiceWorld {
                 request_handled: false,
                 be_handled: false,
                 resp_handled: false,
+                shed: false,
+                fe_counted: false,
+                be_counted: None,
+                hedge_conn: None,
+                hedge_be: None,
+                hedge_counted: None,
+                hedge_plan: None,
+                hedge_proc_ms: 0.0,
+                hedge_srv_progress: RecvProgress::new(),
+                hedge_resp_progress: RecvProgress::new(),
+                hedge_be_handled: false,
             },
         );
         if let Some(deadline) = self.cfg.client_retry.as_ref().map(|p| p.deadline) {
             self.push_action(net, deadline, Action::ClientDeadline { qid });
         }
+    }
+
+    /// Spends one retry token from `client`'s bucket (lazy refill).
+    /// Always true when no budget is configured; when the bucket is dry
+    /// the retry is suppressed and the exhaustion counter ticks.
+    fn try_spend_retry_token(&mut self, client: usize, now: SimTime) -> bool {
+        let budget = match self.cfg.overload.retry_budget {
+            Some(b) => b,
+            None => return true,
+        };
+        let entry = self
+            .retry_tokens
+            .entry(client)
+            .or_insert((budget.max_tokens, now));
+        let dt_secs = now.saturating_since(entry.1).as_millis_f64() / 1_000.0;
+        entry.0 = (entry.0 + dt_secs * budget.refill_per_sec).min(budget.max_tokens);
+        entry.1 = now;
+        if entry.0 >= 1.0 {
+            entry.0 -= 1.0;
+            true
+        } else {
+            self.metrics.inc("cdnsim.retry_budget_exhausted");
+            false
+        }
+    }
+
+    /// Whether FE `fe`'s circuit breaker admits a BE fetch at `now`.
+    /// Closed: yes. Open: only once the cooldown has elapsed, which
+    /// flips to half-open and admits exactly one trial fetch. Half-open:
+    /// no (a trial is already outstanding).
+    fn breaker_admits(&mut self, fe: usize, now: SimTime) -> bool {
+        let policy = match self.cfg.overload.breaker {
+            Some(p) => p,
+            None => return true,
+        };
+        let b = &mut self.breakers[fe];
+        match b.phase {
+            BreakerPhase::Closed => true,
+            BreakerPhase::Open => {
+                if now.saturating_since(b.opened_at) >= policy.cooldown {
+                    b.phase = BreakerPhase::HalfOpen;
+                    true
+                } else {
+                    false
+                }
+            }
+            BreakerPhase::HalfOpen => false,
+        }
+    }
+
+    /// Records a BE fetch failure at FE `fe` (a fetch deadline fired).
+    /// Opens the breaker at the failure threshold, or immediately when a
+    /// half-open trial fails.
+    fn breaker_record_failure(&mut self, fe: usize, now: SimTime) {
+        let policy = match self.cfg.overload.breaker {
+            Some(p) => p,
+            None => return,
+        };
+        let b = &mut self.breakers[fe];
+        b.fails += 1;
+        let trip = b.phase == BreakerPhase::HalfOpen || b.fails >= policy.failure_threshold;
+        if trip && b.phase != BreakerPhase::Open {
+            b.phase = BreakerPhase::Open;
+            b.opened_at = now;
+            b.fails = 0;
+            self.metrics.inc("cdnsim.breaker_opens");
+        } else if trip {
+            b.opened_at = now;
+            b.fails = 0;
+        }
+    }
+
+    /// Records a successful BE fetch at FE `fe`: closes the breaker and
+    /// clears the failure streak.
+    fn breaker_record_success(&mut self, fe: usize) {
+        if self.cfg.overload.breaker.is_none() {
+            return;
+        }
+        let b = &mut self.breakers[fe];
+        b.phase = BreakerPhase::Closed;
+        b.fails = 0;
+    }
+
+    /// Cancels an outstanding hedge leg (loser of the race, or cleanup
+    /// on failover/deadline): aborts its connection and releases its
+    /// BE in-flight slot.
+    fn cancel_hedge(&mut self, net: &mut Net, qid: u64) {
+        let (conn, counted) = match self.queries.get_mut(&qid) {
+            Some(q) => (q.hedge_conn.take(), q.hedge_counted.take()),
+            None => return,
+        };
+        if let Some(c) = conn {
+            net.abort(c);
+            self.conn_info.remove(&c);
+        }
+        if let Some(b) = counted {
+            self.be_inflight[b] = self.be_inflight[b].saturating_sub(1);
+        }
+        if let Some(q) = self.queries.get_mut(&qid) {
+            q.hedge_be = None;
+            q.hedge_plan = None;
+            q.hedge_be_handled = false;
+            q.hedge_srv_progress = RecvProgress::new();
+            q.hedge_resp_progress = RecvProgress::new();
+        }
+    }
+
+    /// Admission-control rejection: answer immediately with the shed
+    /// stub in place of the whole response. The client's FIN handling
+    /// decides between a retry and a terminal `Shed` outcome.
+    fn shed_query(&mut self, net: &mut Net, qid: u64) {
+        self.metrics.inc("cdnsim.shed_queries");
+        let client_conn = {
+            let q = self.queries.get_mut(&qid).unwrap();
+            q.shed = true;
+            q.client_conn
+        };
+        net.send(
+            client_conn,
+            End::B,
+            SHED_STUB_BYTES,
+            Marker::Error,
+            SHED_CONTENT_ID,
+        );
+        net.close(client_conn, End::B);
+        let static_content = self.cfg.composer.static_content;
+        let q = self.queries.get_mut(&qid).unwrap();
+        // Nothing real was served; record a placeholder static portion
+        // (ResponsePlan requires non-empty portions).
+        q.plan = Some(ResponsePlan::new(
+            1,
+            static_content,
+            SHED_STUB_BYTES,
+            SHED_CONTENT_ID,
+        ));
     }
 
     fn handle_request_arrived(&mut self, net: &mut Net, qid: u64) {
@@ -792,11 +1060,36 @@ impl ServiceWorld {
         };
         if split {
             let fe = fe.expect("split mode has an FE");
+            // Admission control: above the watermark the request is
+            // answered with the shed stub before consuming any FE
+            // capacity.
+            if let Some(adm) = self.cfg.overload.admission {
+                if self.fe_inflight[fe] >= adm.watermark {
+                    self.shed_query(net, qid);
+                    return;
+                }
+            }
+            self.fe_inflight[fe] += 1;
+            self.queries.get_mut(&qid).unwrap().fe_counted = true;
+            if self.overload_active() {
+                self.metrics
+                    .set_gauge("cdnsim.fe_inflight_hiwater", self.fe_inflight[fe] as f64);
+            }
             let mut overhead = self.fes[fe].request_overhead_at(net.now());
             // Brownout windows stretch FE processing.
             let slow = self.cfg.faults.fe_slowdown(fe, net.now());
             if slow > 1.0 {
                 overhead = SimDuration::from_millis_f64(overhead.as_millis_f64() * slow);
+            }
+            // Concurrency-dependent queueing delay (the load model's
+            // M/M/1-style curve), with capacity-dip fault windows
+            // scaling the knee.
+            if let Some(model) = self.cfg.load_model {
+                let factor = self.cfg.faults.fe_capacity_factor(fe, net.now());
+                let qslow = model.fe_slowdown(self.fe_inflight[fe], factor);
+                if qslow > 1.0 {
+                    overhead = SimDuration::from_millis_f64(overhead.as_millis_f64() * qslow);
+                }
             }
             self.queries.get_mut(&qid).unwrap().fe_overhead_ms = overhead.as_millis_f64();
             self.push_action(net, overhead, Action::FeServe { qid });
@@ -815,7 +1108,13 @@ impl ServiceWorld {
 
     fn act_fe_serve(&mut self, net: &mut Net, qid: u64) {
         let (fe, be, client_conn, kw_id) = {
-            let q = &self.queries[&qid];
+            // Stale timer: the client's deadline can fire before a
+            // load-stretched FE service interval elapses, abandoning
+            // the query while this action is still pending.
+            let q = match self.queries.get(&qid) {
+                Some(q) => q,
+                None => return,
+            };
             (q.fe.unwrap(), q.be, q.client_conn, q.keyword)
         };
         // (a) Burst the cached static portion.
@@ -845,17 +1144,33 @@ impl ServiceWorld {
         if self.cfg.fe_caches_results {
             self.metrics.inc("cdnsim.fe_result_cache_misses");
         }
+        // Circuit breaker: while open, fetches fast-fail straight to the
+        // degraded response instead of hammering a struggling back-end.
+        if !self.breaker_admits(fe, net.now()) {
+            self.metrics.inc("cdnsim.breaker_fastfails");
+            self.degrade_query(net, qid);
+            return;
+        }
         // (b) Forward the query over a persistent BE connection.
         let be_conn = self.checkout_be_conn(net, fe, be, qid);
+        self.be_inflight[be] += 1;
+        if self.overload_active() {
+            self.metrics
+                .set_gauge("cdnsim.be_inflight_hiwater", self.be_inflight[be] as f64);
+        }
         {
             let q = self.queries.get_mut(&qid).unwrap();
             q.be_conn = Some(be_conn);
+            q.be_counted = Some(be);
             q.fetch_start = Some(net.now());
         }
         let req = self.queries[&qid].req.clone();
         req.send_as_be_query(net, be_conn, End::A);
         if let Some(d) = self.cfg.fe_fetch_deadline {
             self.push_action(net, d, Action::FetchDeadline { qid, attempt: 0 });
+        }
+        if let Some(h) = self.cfg.overload.hedge {
+            self.push_action(net, h.after, Action::HedgeFire { qid, attempt: 0 });
         }
     }
 
@@ -894,7 +1209,12 @@ impl ServiceWorld {
 
     fn act_be_direct_reply(&mut self, net: &mut Net, qid: u64) {
         let (conn, plan) = {
-            let q = &self.queries[&qid];
+            // Stale timer: the client deadline may have abandoned the
+            // query while the BE was still processing it.
+            let q = match self.queries.get(&qid) {
+                Some(q) => q,
+                None => return,
+            };
             (q.client_conn, q.plan.clone().expect("direct reply plan"))
         };
         plan.send_static(net, conn, End::B);
@@ -903,7 +1223,7 @@ impl ServiceWorld {
     }
 
     fn handle_be_response_complete(&mut self, net: &mut Net, qid: u64) {
-        let (fe, be, be_conn, client_conn, plan, kw_id) = {
+        let (fe, be, be_conn, client_conn, plan, kw_id, counted) = {
             let q = self.queries.get_mut(&qid).unwrap();
             q.fetch_done = Some(net.now());
             (
@@ -913,8 +1233,15 @@ impl ServiceWorld {
                 q.client_conn,
                 q.plan.clone().unwrap(),
                 q.keyword,
+                q.be_counted.take(),
             )
         };
+        if let Some(b) = counted {
+            self.be_inflight[b] = self.be_inflight[b].saturating_sub(1);
+        }
+        // The primary won the race: cancel any outstanding hedge.
+        self.cancel_hedge(net, qid);
+        self.breaker_record_success(fe);
         self.return_be_conn(be_conn, fe, be);
         if !self.cfg.cache_static {
             plan.send_static(net, client_conn, End::B);
@@ -950,6 +1277,13 @@ impl ServiceWorld {
             net.abort(conn);
             self.conn_info.remove(&conn);
         }
+        // The fetch attempt failed: release its BE slot, cancel its
+        // hedge leg, and feed the FE's circuit breaker.
+        if let Some(b) = self.queries.get_mut(&qid).and_then(|q| q.be_counted.take()) {
+            self.be_inflight[b] = self.be_inflight[b].saturating_sub(1);
+        }
+        self.cancel_hedge(net, qid);
+        self.breaker_record_failure(fe, net.now());
         let now = net.now();
         let next_be = self
             .ranked_bes(fe)
@@ -979,7 +1313,18 @@ impl ServiceWorld {
             q.dist_fe_be_miles = dist;
         }
         let conn = self.checkout_be_conn(net, fe, next_be, qid);
-        self.queries.get_mut(&qid).unwrap().be_conn = Some(conn);
+        self.be_inflight[next_be] += 1;
+        if self.overload_active() {
+            self.metrics.set_gauge(
+                "cdnsim.be_inflight_hiwater",
+                self.be_inflight[next_be] as f64,
+            );
+        }
+        {
+            let q = self.queries.get_mut(&qid).unwrap();
+            q.be_conn = Some(conn);
+            q.be_counted = Some(next_be);
+        }
         let req = self.queries[&qid].req.clone();
         req.send_as_be_query(net, conn, End::A);
         if let Some(d) = self.cfg.fe_fetch_deadline {
@@ -991,6 +1336,166 @@ impl ServiceWorld {
                     attempt: attempt + 1,
                 },
             );
+        }
+        if let Some(h) = self.cfg.overload.hedge {
+            self.push_action(
+                net,
+                h.after,
+                Action::HedgeFire {
+                    qid,
+                    attempt: attempt + 1,
+                },
+            );
+        }
+    }
+
+    /// Hedge timer fired with the primary fetch still outstanding:
+    /// duplicate the query to the next-nearest live BE site. First
+    /// response wins; the loser is cancelled.
+    fn act_hedge_fire(&mut self, net: &mut Net, qid: u64, attempt: u32) {
+        let (fe, cur_be) = {
+            let q = match self.queries.get(&qid) {
+                Some(q) => q,
+                None => return,
+            };
+            // Completed, degraded, failed over, or already hedged: the
+            // timer is stale (hedges are per fetch attempt).
+            if q.resp_handled
+                || q.degraded
+                || q.shed
+                || q.fetch_attempts != attempt
+                || q.hedge_conn.is_some()
+                || q.be_conn.is_none()
+            {
+                return;
+            }
+            let fe = match q.fe {
+                Some(f) => f,
+                None => return,
+            };
+            (fe, q.be)
+        };
+        let now = net.now();
+        let hedge_be = match self
+            .ranked_bes(fe)
+            .into_iter()
+            .find(|&b| b != cur_be && !self.cfg.faults.be_down(b, now))
+        {
+            Some(b) => b,
+            None => return, // nowhere to hedge to
+        };
+        self.metrics.inc("cdnsim.hedges_launched");
+        let conn = self.checkout_be_conn_as(net, fe, hedge_be, qid, Leg::Hedge);
+        self.be_inflight[hedge_be] += 1;
+        if self.overload_active() {
+            self.metrics.set_gauge(
+                "cdnsim.be_inflight_hiwater",
+                self.be_inflight[hedge_be] as f64,
+            );
+        }
+        {
+            let q = self.queries.get_mut(&qid).unwrap();
+            q.hedge_conn = Some(conn);
+            q.hedge_be = Some(hedge_be);
+            q.hedge_counted = Some(hedge_be);
+        }
+        let req = self.queries[&qid].req.clone();
+        req.send_as_be_query(net, conn, End::A);
+    }
+
+    /// The hedge BE finished processing: stream its response to the FE
+    /// (mirror of [`Self::act_be_reply`] for the hedge leg).
+    fn act_hedge_reply(&mut self, net: &mut Net, qid: u64, attempt: u32) {
+        let (conn, plan, send_static_too) = {
+            let q = match self.queries.get(&qid) {
+                Some(q) => q,
+                None => return,
+            };
+            if q.fetch_attempts != attempt || q.degraded || q.resp_handled {
+                return;
+            }
+            let conn = match q.hedge_conn {
+                Some(c) => c,
+                None => return,
+            };
+            let plan = match q.hedge_plan.clone() {
+                Some(p) => p,
+                None => return,
+            };
+            (conn, plan, !self.cfg.cache_static)
+        };
+        if send_static_too {
+            net.send(
+                conn,
+                End::B,
+                plan.static_bytes,
+                Marker::BeResponse,
+                plan.static_content,
+            );
+        }
+        plan.send_as_be_response(net, conn, End::B);
+    }
+
+    /// The hedge response arrived at the FE before the primary: the
+    /// hedge wins. Adopt its result as the query's ground truth, cancel
+    /// the primary fetch, and serve the client.
+    fn hedge_response_complete(&mut self, net: &mut Net, qid: u64) {
+        let (
+            fe,
+            hedge_be,
+            hedge_conn,
+            client_conn,
+            plan,
+            kw_id,
+            counted,
+            primary_conn,
+            primary_counted,
+        ) = {
+            let q = self.queries.get_mut(&qid).unwrap();
+            q.fetch_done = Some(net.now());
+            (
+                q.fe.unwrap(),
+                q.hedge_be.take().unwrap(),
+                q.hedge_conn.take().unwrap(),
+                q.client_conn,
+                q.hedge_plan.take().unwrap(),
+                q.keyword,
+                q.hedge_counted.take(),
+                q.be_conn.take(),
+                q.be_counted.take(),
+            )
+        };
+        self.metrics.inc("cdnsim.hedge_wins");
+        if let Some(b) = counted {
+            self.be_inflight[b] = self.be_inflight[b].saturating_sub(1);
+        }
+        // Cancel the losing primary leg.
+        if let Some(c) = primary_conn {
+            net.abort(c);
+            self.conn_info.remove(&c);
+        }
+        if let Some(b) = primary_counted {
+            self.be_inflight[b] = self.be_inflight[b].saturating_sub(1);
+        }
+        self.breaker_record_success(fe);
+        self.return_be_conn(hedge_conn, fe, hedge_be);
+        let rtt = self.fe_be_rtt_ms(fe, hedge_be);
+        let dist = self.fe_be_distance_miles(fe, hedge_be);
+        {
+            let q = self.queries.get_mut(&qid).unwrap();
+            q.be = hedge_be;
+            q.proc_ms = q.hedge_proc_ms;
+            q.plan = Some(plan.clone());
+            q.rtt_fe_be_ms = rtt;
+            q.dist_fe_be_miles = dist;
+        }
+        if !self.cfg.cache_static {
+            plan.send_static(net, client_conn, End::B);
+        }
+        plan.send_dynamic(net, client_conn, End::B);
+        net.close(client_conn, End::B);
+        if self.cfg.fe_caches_results {
+            self.fes[fe].store_result(kw_id, plan);
         }
     }
 
@@ -1047,6 +1552,19 @@ impl ServiceWorld {
             net.abort(bc);
             self.conn_info.remove(&bc);
         }
+        if let Some(hc) = q.hedge_conn {
+            net.abort(hc);
+            self.conn_info.remove(&hc);
+        }
+        // Release every in-flight slot the abandoned attempt held.
+        if q.fe_counted {
+            if let Some(fe) = q.fe {
+                self.fe_inflight[fe] = self.fe_inflight[fe].saturating_sub(1);
+            }
+        }
+        for b in [q.be_counted, q.hedge_counted].into_iter().flatten() {
+            self.be_inflight[b] = self.be_inflight[b].saturating_sub(1);
+        }
         let (trace, traced) = match net.trace_mut().try_take_session(qid) {
             Some(t) => (t, true),
             None => (Vec::new(), false),
@@ -1056,14 +1574,11 @@ impl ServiceWorld {
             .client_retry
             .clone()
             .expect("deadline only armed when a retry policy is set");
-        if q.attempt < policy.max_retries {
+        if q.attempt < policy.max_retries && self.try_spend_retry_token(q.client, net.now()) {
             // Exponential backoff with jitter, from the dedicated retry
-            // stream (drawn only here, so fault-free runs never touch
-            // it).
-            let u = self.retry_rng.next_f64();
-            let factor = (1u64 << q.attempt.min(16)) as f64 * (1.0 + policy.jitter * u);
-            let backoff =
-                SimDuration::from_millis_f64(policy.base_backoff.as_millis_f64() * factor);
+            // stream (drawn only here and on shed retries, so fault-free
+            // runs never touch it).
+            let backoff = self.retry_backoff(&policy, q.attempt);
             let spec = QuerySpec {
                 client: q.client,
                 keyword: q.keyword,
@@ -1080,9 +1595,9 @@ impl ServiceWorld {
             );
             return;
         }
-        // Retry budget exhausted: surface the failure with the truncated
-        // trace of the final attempt so the measurement pipeline can
-        // exercise its skip-and-count path.
+        // Retry count or budget exhausted: surface the failure with the
+        // truncated trace of the final attempt so the measurement
+        // pipeline can exercise its skip-and-count path.
         self.completed.push(CompletedQuery {
             qid,
             client: q.client,
@@ -1104,8 +1619,18 @@ impl ServiceWorld {
             dist_fe_be_miles: q.dist_fe_be_miles,
             trace,
             traced,
-            outcome: QueryOutcome::TimedOut,
+            outcome: QueryOutcome::TimedOut {
+                attempts: q.attempt + 1,
+            },
         });
+    }
+
+    /// Exponential backoff with deterministic jitter for retry attempt
+    /// `attempt + 1`, drawn from the dedicated `cdnsim/retry` stream.
+    fn retry_backoff(&mut self, policy: &crate::service::RetryPolicy, attempt: u32) -> SimDuration {
+        let u = self.retry_rng.next_f64();
+        let factor = (1u64 << attempt.min(16)) as f64 * (1.0 + policy.jitter * u);
+        SimDuration::from_millis_f64(policy.base_backoff.as_millis_f64() * factor)
     }
 
     fn finish_query(&mut self, net: &mut Net, qid: u64) {
@@ -1116,11 +1641,57 @@ impl ServiceWorld {
         self.conn_info.remove(&q.client_conn);
         // Orderly close from the client side too.
         net.close(q.client_conn, End::A);
+        // Release any in-flight slots still held (shed queries never
+        // took one; served queries released the BE slot at response
+        // completion).
+        if q.fe_counted {
+            if let Some(fe) = q.fe {
+                self.fe_inflight[fe] = self.fe_inflight[fe].saturating_sub(1);
+            }
+        }
+        for b in [q.be_counted, q.hedge_counted].into_iter().flatten() {
+            self.be_inflight[b] = self.be_inflight[b].saturating_sub(1);
+        }
+        if let Some(hc) = q.hedge_conn {
+            net.abort(hc);
+            self.conn_info.remove(&hc);
+        }
         let (trace, traced) = match net.trace_mut().try_take_session(qid) {
             Some(t) => (t, true),
             None => (Vec::new(), false),
         };
-        let outcome = if q.degraded {
+        // A shed response is a fast rejection: the client retries it
+        // like a deadline miss (same backoff machinery, same budget)
+        // when attempts remain.
+        if q.shed {
+            if let Some(policy) = self.cfg.client_retry.clone() {
+                if q.attempt < policy.max_retries && self.try_spend_retry_token(q.client, net.now())
+                {
+                    drop(trace);
+                    let backoff = self.retry_backoff(&policy, q.attempt);
+                    let spec = QuerySpec {
+                        client: q.client,
+                        keyword: q.keyword,
+                        fixed_fe: q.fixed_fe,
+                        instant_followup: q.instant_followup,
+                    };
+                    self.push_action(
+                        net,
+                        backoff,
+                        Action::StartRetry {
+                            spec,
+                            attempt: q.attempt + 1,
+                        },
+                    );
+                    return;
+                }
+            }
+        }
+        let outcome = if q.shed {
+            QueryOutcome::Shed {
+                attempts: q.attempt + 1,
+            }
+        } else if q.degraded {
             QueryOutcome::Degraded
         } else if q.attempt > 0 {
             QueryOutcome::Retried(q.attempt)
@@ -1253,7 +1824,16 @@ impl App for ServiceWorld {
                             let kw = self.corpus.get(kw_id).clone();
                             let region = Some(self.clients[self.queries[&qid].client].region);
                             let result = self.bes[be].1.handle_query(&kw, followup, region);
-                            let proc = result.proc_time;
+                            let mut proc = result.proc_time;
+                            // BE concurrency slowdown: processing time
+                            // stretches with the queue at this BE site.
+                            if let Some(model) = self.cfg.load_model {
+                                let slow = model.be_slowdown(self.be_inflight[be]);
+                                if slow > 1.0 {
+                                    proc =
+                                        SimDuration::from_millis_f64(proc.as_millis_f64() * slow);
+                                }
+                            }
                             {
                                 let q = self.queries.get_mut(&qid).unwrap();
                                 q.proc_ms = proc.as_millis_f64();
@@ -1296,6 +1876,87 @@ impl App for ServiceWorld {
                     }
                 }
             }
+            Leg::Hedge => {
+                let qid = info.qid;
+                match end {
+                    End::B => {
+                        // Hedge BE receiving the duplicated query.
+                        let ready = {
+                            let q = match self.queries.get_mut(&qid) {
+                                Some(q) => q,
+                                None => return,
+                            };
+                            q.hedge_srv_progress.absorb(spans);
+                            let done = q.hedge_srv_progress.complete(Marker::BeQuery, q.req.bytes);
+                            if done && !q.hedge_be_handled {
+                                q.hedge_be_handled = true;
+                                true
+                            } else {
+                                false
+                            }
+                        };
+                        if ready {
+                            let (be, kw_id, followup) = {
+                                let q = &self.queries[&qid];
+                                match q.hedge_be {
+                                    Some(b) => (b, q.keyword, q.instant_followup),
+                                    None => return,
+                                }
+                            };
+                            let kw = self.corpus.get(kw_id).clone();
+                            let region = Some(self.clients[self.queries[&qid].client].region);
+                            let result = self.bes[be].1.handle_query(&kw, followup, region);
+                            let mut proc = result.proc_time;
+                            if let Some(model) = self.cfg.load_model {
+                                let slow = model.be_slowdown(self.be_inflight[be]);
+                                if slow > 1.0 {
+                                    proc =
+                                        SimDuration::from_millis_f64(proc.as_millis_f64() * slow);
+                                }
+                            }
+                            {
+                                let q = self.queries.get_mut(&qid).unwrap();
+                                q.hedge_proc_ms = proc.as_millis_f64();
+                                q.hedge_plan = Some(result.plan);
+                            }
+                            let attempt = self.queries[&qid].fetch_attempts;
+                            self.push_action(net, proc, Action::HedgeReply { qid, attempt });
+                        }
+                    }
+                    End::A => {
+                        // FE receiving the hedge BE response; first
+                        // complete response (primary or hedge) wins.
+                        let ready = {
+                            let q = match self.queries.get_mut(&qid) {
+                                Some(q) => q,
+                                None => return,
+                            };
+                            q.hedge_resp_progress.absorb(spans);
+                            let expected = match &q.hedge_plan {
+                                Some(p) => {
+                                    p.dynamic_bytes
+                                        + if self.cfg.cache_static {
+                                            0
+                                        } else {
+                                            p.static_bytes
+                                        }
+                                }
+                                None => u64::MAX,
+                            };
+                            let done = q.hedge_resp_progress.complete(Marker::BeResponse, expected);
+                            if done && !q.resp_handled {
+                                q.resp_handled = true;
+                                true
+                            } else {
+                                false
+                            }
+                        };
+                        if ready {
+                            self.hedge_response_complete(net, qid);
+                        }
+                    }
+                }
+            }
         }
     }
 
@@ -1319,6 +1980,8 @@ impl App for ServiceWorld {
             Action::BeDirectReply { qid } => self.act_be_direct_reply(net, qid),
             Action::ClientDeadline { qid } => self.act_client_deadline(net, qid),
             Action::FetchDeadline { qid, attempt } => self.act_fetch_deadline(net, qid, attempt),
+            Action::HedgeFire { qid, attempt } => self.act_hedge_fire(net, qid, attempt),
+            Action::HedgeReply { qid, attempt } => self.act_hedge_reply(net, qid, attempt),
             Action::FaultStart { window } => self.act_fault_start(net, window),
         }
     }
@@ -1781,7 +2444,7 @@ mod tests {
         sim.run();
         let done = sim.with(|w, _| w.drain_completed());
         assert_eq!(done.len(), 1);
-        assert_eq!(done[0].outcome, QueryOutcome::TimedOut);
+        assert_eq!(done[0].outcome, QueryOutcome::TimedOut { attempts: 2 });
         assert_eq!(sim.with(|w, _| w.in_flight()), 0);
     }
 
@@ -1860,5 +2523,304 @@ mod tests {
         let done = sim.with(|w, _| w.drain_completed());
         assert_eq!(done.len(), 20);
         assert_eq!(sim.with(|w, _| w.in_flight()), 0);
+    }
+
+    /// Schedules `n` clients at t = 1 ms, all pinned to client 0's
+    /// default FE, and runs to completion.
+    fn run_burst(cfg: ServiceConfig, n: usize) -> (Vec<CompletedQuery>, Sim<ServiceWorld>) {
+        let mut sim = small_world(cfg);
+        let fe = sim.with(|w, _| w.default_fe(0));
+        for c in 0..n {
+            sim.with(|w, net| {
+                w.schedule_query(
+                    net,
+                    SimDuration::from_millis(1),
+                    QuerySpec {
+                        client: c,
+                        keyword: c as u64,
+                        fixed_fe: Some(fe),
+                        instant_followup: false,
+                    },
+                );
+            });
+        }
+        sim.run();
+        let done = sim.with(|w, _| w.drain_completed());
+        (done, sim)
+    }
+
+    #[test]
+    fn admission_watermark_sheds_excess_load() {
+        // Watermark 1 on a burst of 8 simultaneous queries at one FE:
+        // whoever arrives while another query is in flight is answered
+        // with the shed stub immediately (no retry policy configured).
+        let cfg = ServiceConfig::google_like(21).with_admission_control(1);
+        let (done, mut sim) = run_burst(cfg, 8);
+        assert_eq!(done.len(), 8);
+        let shed: Vec<_> = done
+            .iter()
+            .filter(|cq| matches!(cq.outcome, QueryOutcome::Shed { .. }))
+            .collect();
+        assert!(!shed.is_empty(), "burst of 8 over watermark 1 must shed");
+        for cq in &shed {
+            assert_eq!(cq.outcome, QueryOutcome::Shed { attempts: 1 });
+            assert_eq!(cq.plan.dynamic_bytes, SHED_STUB_BYTES);
+            assert!(!cq.outcome.served());
+        }
+        assert!(done.iter().any(|cq| cq.outcome == QueryOutcome::Ok));
+        let shed_metric = sim.with(|w, _| w.metrics().counter("cdnsim.shed_queries"));
+        assert_eq!(shed_metric, Some(shed.len() as u64));
+        // Every slot was released.
+        assert_eq!(sim.with(|w, _| w.in_flight()), 0);
+        let fe = sim.with(|w, _| w.default_fe(0));
+        assert_eq!(sim.with(|w, _| w.fe_inflight(fe)), 0);
+    }
+
+    #[test]
+    fn shed_queries_retry_under_policy_and_stop_on_empty_budget() {
+        // With a retry policy, shed queries come back after backoff and
+        // eventually land under the watermark.
+        let retry = crate::service::RetryPolicy {
+            deadline: SimDuration::from_millis(30_000),
+            max_retries: 5,
+            base_backoff: SimDuration::from_millis(300),
+            jitter: 0.3,
+        };
+        let cfg = ServiceConfig::google_like(22)
+            .with_admission_control(1)
+            .with_client_retry(retry.clone());
+        let (done, _) = run_burst(cfg, 6);
+        assert_eq!(done.len(), 6);
+        assert!(
+            done.iter().all(|cq| cq.outcome.served()),
+            "retries must drain the shed burst: {:?}",
+            done.iter().map(|cq| cq.outcome).collect::<Vec<_>>()
+        );
+        assert!(done
+            .iter()
+            .any(|cq| matches!(cq.outcome, QueryOutcome::Retried(_))));
+
+        // Same burst with a zero retry budget: the shed replies are
+        // terminal even though the retry policy would allow 5 attempts.
+        let cfg = ServiceConfig::google_like(22)
+            .with_admission_control(1)
+            .with_client_retry(retry)
+            .with_retry_budget(crate::service::RetryBudget {
+                max_tokens: 0.0,
+                refill_per_sec: 0.0,
+            });
+        let (done, mut sim) = run_burst(cfg, 6);
+        assert_eq!(done.len(), 6);
+        for cq in &done {
+            assert!(
+                matches!(
+                    cq.outcome,
+                    QueryOutcome::Ok | QueryOutcome::Shed { attempts: 1 }
+                ),
+                "zero budget forbids retries: {:?}",
+                cq.outcome
+            );
+        }
+        let exhausted = sim.with(|w, _| w.metrics().counter("cdnsim.retry_budget_exhausted"));
+        assert!(exhausted.unwrap_or(0) > 0);
+    }
+
+    #[test]
+    fn retry_budget_caps_deadline_retries() {
+        // The fe_outage_outlasting_retry_budget_times_out scenario, but
+        // the budget (1 token, no refill) runs out before the retry
+        // policy (3 retries) does: exactly 2 attempts are made.
+        let mut plan = nettopo::FaultPlan::default();
+        for fe in 0..512 {
+            plan = plan.fe_outage(fe, SimTime::ZERO, SimTime::from_millis(120_000));
+        }
+        let cfg = ServiceConfig::google_like(23)
+            .with_faults(plan)
+            .with_client_retry(crate::service::RetryPolicy {
+                deadline: SimDuration::from_millis(1_000),
+                max_retries: 3,
+                base_backoff: SimDuration::from_millis(200),
+                jitter: 0.3,
+            })
+            .with_retry_budget(crate::service::RetryBudget {
+                max_tokens: 1.0,
+                refill_per_sec: 0.0,
+            });
+        let mut sim = small_world(cfg);
+        sim.with(|w, net| {
+            w.install_faults(net);
+            w.schedule_query(
+                net,
+                SimDuration::from_millis(1),
+                QuerySpec {
+                    client: 0,
+                    keyword: 3,
+                    fixed_fe: None,
+                    instant_followup: false,
+                },
+            );
+        });
+        sim.run();
+        let done = sim.with(|w, _| w.drain_completed());
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].outcome, QueryOutcome::TimedOut { attempts: 2 });
+        assert_eq!(
+            sim.with(|w, _| w.metrics().counter("cdnsim.retry_budget_exhausted")),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn hedged_fetch_wins_when_primary_be_stalls() {
+        // The default BE goes dark at 2 ms — after the query (started at
+        // 1 ms) was routed to it, so routing cannot steer away. The
+        // primary fetch stalls forever; the hedge fires 5 ms in and
+        // serves from the next-nearest live site. First response wins.
+        let mut probe = small_world(ServiceConfig::google_like(24));
+        let fe = probe.with(|w, _| w.default_fe(0));
+        let be = probe.with(|w, _| w.be_of_fe(fe));
+        let cfg = ServiceConfig::google_like(24)
+            .with_faults(nettopo::FaultPlan::default().be_outage(
+                be,
+                SimTime::from_millis(2),
+                SimTime::from_millis(60_000),
+            ))
+            .with_hedged_fetches(SimDuration::from_millis(5));
+        let mut sim = small_world(cfg);
+        sim.with(|w, net| {
+            w.install_faults(net);
+            w.schedule_query(
+                net,
+                SimDuration::from_millis(1),
+                QuerySpec {
+                    client: 0,
+                    keyword: 3,
+                    fixed_fe: Some(fe),
+                    instant_followup: false,
+                },
+            );
+        });
+        sim.run();
+        let done = sim.with(|w, _| w.drain_completed());
+        assert_eq!(done.len(), 1);
+        let cq = &done[0];
+        assert_eq!(cq.outcome, QueryOutcome::Ok);
+        assert_ne!(cq.be, be, "the hedge BE must have served the response");
+        assert!(cq.proc_ms > 0.0);
+        assert_eq!(
+            sim.with(|w, _| w.metrics().counter("cdnsim.hedge_wins")),
+            Some(1)
+        );
+        assert_eq!(sim.with(|w, _| w.in_flight()), 0);
+        let n_bes = sim.with(|w, _| w.cfg.be_sites.len());
+        for b in 0..n_bes {
+            assert_eq!(sim.with(|w, _| w.be_inflight(b)), 0, "BE {b} slot leaked");
+        }
+    }
+
+    #[test]
+    fn breaker_opens_then_fast_fails_later_fetches() {
+        // Every BE dark, 500 ms fetch deadline, breaker trips after one
+        // failure with a long cooldown. Query 1 pays the deadline and
+        // degrades; query 2 (1 s later) fast-fails straight to the
+        // degraded response without ever starting a fetch.
+        let mut plan = nettopo::FaultPlan::default();
+        for be in 0..64 {
+            plan = plan.be_outage(be, SimTime::ZERO, SimTime::from_millis(60_000));
+        }
+        let cfg = ServiceConfig::google_like(25)
+            .with_faults(plan)
+            .with_fe_fetch_deadline(SimDuration::from_millis(500))
+            .with_circuit_breaker(crate::service::BreakerPolicy {
+                failure_threshold: 1,
+                cooldown: SimDuration::from_millis(30_000),
+            });
+        let mut sim = small_world(cfg);
+        let fe = sim.with(|w, _| w.default_fe(0));
+        sim.with(|w, net| {
+            w.install_faults(net);
+            for (client, at) in [(0usize, 1u64), (1, 1_000)] {
+                w.schedule_query(
+                    net,
+                    SimDuration::from_millis(at),
+                    QuerySpec {
+                        client,
+                        keyword: client as u64,
+                        fixed_fe: Some(fe),
+                        instant_followup: false,
+                    },
+                );
+            }
+        });
+        sim.run();
+        let mut done = sim.with(|w, _| w.drain_completed());
+        done.sort_by_key(|cq| cq.client);
+        assert_eq!(done.len(), 2);
+        assert!(done.iter().all(|cq| cq.outcome == QueryOutcome::Degraded));
+        assert!(done[0].fetch_start.is_some(), "query 1 attempted a fetch");
+        assert!(done[1].fetch_start.is_none(), "query 2 must fast-fail");
+        assert_eq!(
+            sim.with(|w, _| w.metrics().counter("cdnsim.breaker_opens")),
+            Some(1)
+        );
+        assert_eq!(
+            sim.with(|w, _| w.metrics().counter("cdnsim.breaker_fastfails")),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn load_model_stretches_fe_overhead_under_concurrency() {
+        let model = crate::service::LoadModel {
+            fe_capacity: 2,
+            be_capacity: 64,
+            max_slowdown: 20.0,
+        };
+        // Alone, the load model is inert: a lone query sees slowdown 1.
+        let plain = run_one_query(ServiceConfig::google_like(26));
+        let modeled = run_one_query(ServiceConfig::google_like(26).with_load_model(model));
+        assert_eq!(plain.fe_overhead_ms, modeled.fe_overhead_ms);
+        assert_eq!(plain.t_done, modeled.t_done);
+
+        // Under a concurrent burst the modeled FE queues: its worst
+        // per-query overhead must exceed the load-oblivious one.
+        let (base, _) = run_burst(ServiceConfig::google_like(26), 8);
+        let (loaded, _) = run_burst(ServiceConfig::google_like(26).with_load_model(model), 8);
+        let worst = |v: &[CompletedQuery]| {
+            v.iter()
+                .map(|cq| cq.fe_overhead_ms)
+                .fold(0.0f64, |a, b| a.max(b))
+        };
+        assert!(
+            worst(&loaded) > worst(&base) * 1.5,
+            "loaded {} vs base {}",
+            worst(&loaded),
+            worst(&base)
+        );
+    }
+
+    #[test]
+    fn inert_overload_policies_do_not_change_a_run() {
+        // Policies that never trigger (huge watermark, hedge delay
+        // longer than the run, closed breaker, untouched budget) must
+        // leave the packet trace and timings byte-identical.
+        let plain = run_one_query(ServiceConfig::google_like(27));
+        let guarded = run_one_query(
+            ServiceConfig::google_like(27)
+                .with_admission_control(10_000)
+                .with_retry_budget(crate::service::RetryBudget::default())
+                .with_hedged_fetches(SimDuration::from_millis(3_600_000))
+                .with_circuit_breaker(crate::service::BreakerPolicy::default()),
+        );
+        assert_eq!(plain.outcome, guarded.outcome);
+        assert_eq!(plain.t_done, guarded.t_done);
+        assert_eq!(plain.proc_ms, guarded.proc_ms);
+        assert_eq!(plain.fe_overhead_ms, guarded.fe_overhead_ms);
+        assert_eq!(plain.trace.len(), guarded.trace.len());
+        for (a, b) in plain.trace.iter().zip(guarded.trace.iter()) {
+            assert_eq!(a.t, b.t);
+            assert_eq!(a.kind, b.kind);
+            assert_eq!(a.len, b.len);
+        }
     }
 }

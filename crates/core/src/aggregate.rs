@@ -51,6 +51,9 @@ pub struct SessionTally {
     pub retried: usize,
     /// Queries that exhausted their retry budget.
     pub timed_out: usize,
+    /// Queries rejected by FE admission control (load shedding) on
+    /// their final attempt.
+    pub shed: usize,
     /// Sessions excluded from inference because timeline extraction
     /// failed (truncated, no handshake, retransmission-heavy, …).
     pub skipped: usize,
@@ -59,7 +62,7 @@ pub struct SessionTally {
 impl SessionTally {
     /// Total sessions observed (excluded ones included).
     pub fn total(&self) -> usize {
-        self.ok + self.degraded + self.retried + self.timed_out
+        self.ok + self.degraded + self.retried + self.timed_out + self.shed
     }
 
     /// Fraction of observed sessions that made it into the inference
@@ -79,6 +82,7 @@ impl SessionTally {
         self.degraded += other.degraded;
         self.retried += other.retried;
         self.timed_out += other.timed_out;
+        self.shed += other.shed;
         self.skipped += other.skipped;
     }
 }
@@ -291,10 +295,11 @@ mod tests {
     #[test]
     fn tally_totals_and_usable_fraction() {
         let t = SessionTally {
-            ok: 6,
+            ok: 5,
             degraded: 1,
             retried: 2,
             timed_out: 1,
+            shed: 1,
             skipped: 2,
         };
         assert_eq!(t.total(), 10);

@@ -443,9 +443,16 @@ impl CampaignReport {
         let mut out = String::from(TSV_HEADER);
         for r in &self.runs {
             let t = &r.tally;
+            // `shed` only appears when non-zero so pre-overload goldens
+            // stay byte-identical.
+            let shed = if t.shed > 0 {
+                format!(" shed={}", t.shed)
+            } else {
+                String::new()
+            };
             out.push_str(&format!(
-                "# run={} ok={} degraded={} retried={} timed_out={} skipped={}\n",
-                r.label, t.ok, t.degraded, t.retried, t.timed_out, t.skipped
+                "# run={} ok={} degraded={} retried={} timed_out={}{} skipped={}\n",
+                r.label, t.ok, t.degraded, t.retried, t.timed_out, shed, t.skipped
             ));
             for q in &r.queries {
                 let fe = q.fe.map_or(-1, |f| f as i64);

@@ -186,7 +186,18 @@ pub fn run_stream<S: QuerySink>(
         "runner.drive_wall_ms",
         loop {
             let now = sim.net().now();
-            sim.run_until(now + chunk);
+            // Chunked stepping with a skip: `run_until` leaves `now` at
+            // the last processed event, so if the earliest pending
+            // event lies beyond the chunk (a hedge timer or fault
+            // window that outlived every query), fixed-size chunks
+            // would never reach it and this loop would spin forever.
+            let mut deadline = now + chunk;
+            if let Some(t) = sim.net().next_event_time() {
+                if t > deadline {
+                    deadline = t;
+                }
+            }
+            sim.run_until(deadline);
             let done = sim.with(|w, _| w.drain_completed());
             for cq in done {
                 observe_outcome(&mut tally, cq.outcome);

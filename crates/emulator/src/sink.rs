@@ -31,7 +31,8 @@ pub fn observe_outcome(tally: &mut SessionTally, outcome: QueryOutcome) {
         QueryOutcome::Ok => tally.ok += 1,
         QueryOutcome::Degraded => tally.degraded += 1,
         QueryOutcome::Retried(_) => tally.retried += 1,
-        QueryOutcome::TimedOut => tally.timed_out += 1,
+        QueryOutcome::TimedOut { .. } => tally.timed_out += 1,
+        QueryOutcome::Shed { .. } => tally.shed += 1,
     }
 }
 

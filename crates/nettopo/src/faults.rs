@@ -42,6 +42,22 @@ impl BurstLossParams {
             bad_loss: 0.5,
         }
     }
+
+    /// Advances the Gilbert–Elliott chain one packet and reports whether
+    /// that packet is dropped. `bad` is the chain state (false = good);
+    /// the RNG draw order (exit-or-enter first, then the in-bad loss
+    /// coin) matches the packet-level implementation in `tcpsim`, so the
+    /// reference semantics are testable here without a simulator.
+    pub fn advance(&self, bad: &mut bool, rng: &mut simcore::rng::Rng) -> bool {
+        if *bad {
+            if rng.chance(self.p_exit) {
+                *bad = false;
+            }
+        } else if rng.chance(self.p_enter) {
+            *bad = true;
+        }
+        *bad && rng.chance(self.bad_loss)
+    }
 }
 
 /// What fails during a [`FaultWindow`].
@@ -97,6 +113,17 @@ pub enum FaultKind {
         be: usize,
         /// Episode parameters.
         params: BurstLossParams,
+    },
+    /// A front-end loses serving capacity without slowing individual
+    /// requests: the concurrency knee of the service's load model is
+    /// scaled by `factor` (in (0, 1]) while the window is active — e.g.
+    /// half the worker pool crashes. Only meaningful when the service
+    /// config enables a load model; inert otherwise.
+    FeCapacityDip {
+        /// Scenario index of the front-end.
+        fe: usize,
+        /// Multiplier on the FE's load-model capacity (0 < factor <= 1).
+        factor: f64,
     },
 }
 
@@ -220,6 +247,37 @@ impl FaultPlan {
             .any(|w| matches!(w.kind, FaultKind::BeOutage { be: b } if b == be) && w.active_at(t))
     }
 
+    /// Schedules a capacity dip of front-end `fe`: its load-model
+    /// concurrency knee is scaled by `factor` over `[start, end)`.
+    pub fn fe_capacity_dip(
+        self,
+        fe: usize,
+        start: SimTime,
+        end: SimTime,
+        factor: f64,
+    ) -> FaultPlan {
+        assert!(
+            factor > 0.0 && factor <= 1.0,
+            "a capacity dip removes capacity: factor must be in (0, 1]"
+        );
+        self.push(FaultKind::FeCapacityDip { fe, factor }, start, end)
+    }
+
+    /// Combined load-model capacity factor of front-end `fe` at `t`: the
+    /// product of all active capacity-dip windows (1.0 when healthy).
+    pub fn fe_capacity_factor(&self, fe: usize, t: SimTime) -> f64 {
+        self.windows
+            .iter()
+            .filter_map(|w| match w.kind {
+                FaultKind::FeCapacityDip { fe: f, factor } if f == fe && w.active_at(t) => {
+                    Some(factor)
+                }
+                _ => None,
+            })
+            .product::<f64>()
+            .min(1.0)
+    }
+
     /// Combined processing slowdown of front-end `fe` at `t`: the product
     /// of all active brownout windows (1.0 when healthy).
     pub fn fe_slowdown(&self, fe: usize, t: SimTime) -> f64 {
@@ -315,5 +373,141 @@ mod tests {
     #[should_panic(expected = "must not end before")]
     fn reversed_window_panics() {
         let _ = FaultPlan::new().fe_outage(0, t(10), t(5));
+    }
+
+    #[test]
+    fn capacity_dips_compose_and_default_healthy() {
+        let plan = FaultPlan::new()
+            .fe_capacity_dip(2, t(10), t(20), 0.5)
+            .fe_capacity_dip(2, t(15), t(25), 0.5);
+        assert_eq!(plan.fe_capacity_factor(2, t(5)), 1.0);
+        assert_eq!(plan.fe_capacity_factor(2, t(12)), 0.5);
+        assert_eq!(plan.fe_capacity_factor(2, t(17)), 0.25);
+        assert_eq!(plan.fe_capacity_factor(2, t(22)), 0.5);
+        assert_eq!(plan.fe_capacity_factor(2, t(30)), 1.0);
+        // A different FE is unaffected; a dip is not an outage/brownout.
+        assert_eq!(plan.fe_capacity_factor(0, t(12)), 1.0);
+        assert!(!plan.fe_down(2, t(12)));
+        assert_eq!(plan.fe_slowdown(2, t(12)), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "factor must be in")]
+    fn capacity_dip_rejects_gain() {
+        let _ = FaultPlan::new().fe_capacity_dip(0, t(0), t(1), 1.5);
+    }
+
+    // ---- Gilbert–Elliott edge coverage ------------------------------
+    //
+    // The chain itself runs packet-by-packet inside tcpsim; these tests
+    // pin the *reference semantics* of `BurstLossParams::advance` at its
+    // degenerate corners, where an off-by-one in the draw order would be
+    // invisible to the integration tests.
+
+    use simcore::rng::Rng;
+
+    /// Drives `advance` for `n` packets and returns the drop pattern.
+    fn drive(params: BurstLossParams, seed: u64, n: usize) -> Vec<bool> {
+        let mut rng = Rng::from_seed_and_name(seed, "nettopo/ge-test");
+        let mut bad = false;
+        (0..n).map(|_| params.advance(&mut bad, &mut rng)).collect()
+    }
+
+    #[test]
+    fn ge_never_enters_bad_state_at_p_enter_zero() {
+        let p = BurstLossParams {
+            p_enter: 0.0,
+            p_exit: 0.5,
+            bad_loss: 1.0,
+        };
+        assert!(drive(p, 1, 10_000).iter().all(|&d| !d));
+    }
+
+    #[test]
+    fn ge_absorbs_into_bad_state_at_p_enter_one_p_exit_zero() {
+        // Enters bad on the first packet and never leaves; with
+        // bad_loss = 1 every packet from the first onward is dropped.
+        let p = BurstLossParams {
+            p_enter: 1.0,
+            p_exit: 0.0,
+            bad_loss: 1.0,
+        };
+        assert!(drive(p, 2, 10_000).iter().all(|&d| d));
+        // bad_loss = 0: permanently bad yet lossless — the state machine
+        // and the loss coin are independent draws.
+        let p0 = BurstLossParams { bad_loss: 0.0, ..p };
+        assert!(drive(p0, 3, 10_000).iter().all(|&d| !d));
+    }
+
+    #[test]
+    fn ge_exit_packet_is_never_dropped_at_p_exit_one() {
+        // p_exit = 1 means the chain leaves bad on the very packet after
+        // entering: no packet can ever be observed in the bad state, so
+        // nothing drops even with bad_loss = 1.
+        let p = BurstLossParams {
+            p_enter: 1.0,
+            p_exit: 1.0,
+            bad_loss: 1.0,
+        };
+        let drops = drive(p, 4, 10_000);
+        // Odd packets enter bad (and drop), even packets exit first.
+        let dropped = drops.iter().filter(|&&d| d).count();
+        assert_eq!(dropped, 5_000, "enter/exit must alternate exactly");
+    }
+
+    #[test]
+    fn ge_mean_burst_length_tracks_inverse_p_exit() {
+        // With bad_loss = 1 every bad-state packet drops, so maximal
+        // runs of consecutive drops are exactly the bad-state bursts.
+        // Burst length is geometric with mean 1/p_exit.
+        let p = BurstLossParams {
+            p_enter: 0.05,
+            p_exit: 0.25,
+            bad_loss: 1.0,
+        };
+        let drops = drive(p, 5, 200_000);
+        let mut bursts = Vec::new();
+        let mut run = 0usize;
+        for &d in &drops {
+            if d {
+                run += 1;
+            } else if run > 0 {
+                bursts.push(run);
+                run = 0;
+            }
+        }
+        if run > 0 {
+            bursts.push(run);
+        }
+        assert!(bursts.len() > 1_000, "need many bursts for a stable mean");
+        let mean = bursts.iter().sum::<usize>() as f64 / bursts.len() as f64;
+        assert!(
+            (mean - 4.0).abs() < 0.3,
+            "mean burst length {mean} vs 1/p_exit = 4"
+        );
+    }
+
+    #[test]
+    fn ge_is_deterministic_and_chunking_invariant() {
+        // Same seed, same params → identical drop pattern; and driving
+        // the chain in arbitrary chunks (as sharded campaign workers do
+        // with their per-world fault streams) changes nothing, because
+        // the state lives entirely in (bad, rng).
+        let p = BurstLossParams::moderate();
+        let a = drive(p, 42, 5_000);
+        let b = drive(p, 42, 5_000);
+        assert_eq!(a, b);
+        let mut rng = Rng::from_seed_and_name(42, "nettopo/ge-test");
+        let mut bad = false;
+        let mut chunked = Vec::new();
+        for chunk in [1usize, 7, 500, 1492, 3000] {
+            for _ in 0..chunk {
+                chunked.push(p.advance(&mut bad, &mut rng));
+            }
+        }
+        assert_eq!(chunked, a);
+        // Distinct seeds decorrelate the episodes.
+        let c = drive(p, 43, 5_000);
+        assert_ne!(a, c);
     }
 }

@@ -382,6 +382,15 @@ impl Net {
         self.q.len()
     }
 
+    /// Virtual time of the earliest pending event, if any. Drivers that
+    /// step the simulation in fixed-size time chunks need this to skip
+    /// ahead when the next event lies beyond the current chunk —
+    /// otherwise a lone far-future timer (a hedge or fault window that
+    /// outlived its query) would stall the chunk loop forever.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.q.peek_time()
+    }
+
     /// Opens a connection from node `a` to node `b` over `path`; the SYN
     /// leaves immediately. `session` tags all trace events of this
     /// connection (the query id in the measurement harness).

@@ -22,6 +22,10 @@ FECDN_THREADS=1 cargo test -q --offline --test determinism
 FECDN_THREADS=4 cargo test -q --offline --test determinism
 FECDN_THREADS=4 cargo test -q --offline --test fault_outcomes
 
+echo "==> overload conformance: golden invariance (policies disabled/inert) + chaos, at FECDN_THREADS=1 and 4"
+FECDN_THREADS=1 cargo test -q --offline --test overload
+FECDN_THREADS=4 cargo test -q --offline --test overload
+
 echo "==> telemetry conformance suite at FECDN_THREADS=1 and 4"
 FECDN_THREADS=1 cargo test -q --offline --test telemetry
 FECDN_THREADS=4 cargo test -q --offline --test telemetry
@@ -41,6 +45,30 @@ grep -q "^run	metric	kind" /tmp/ci_whatif_t4.log || {
   echo "exp_whatif stderr is missing the metrics.tsv document" >&2; exit 1;
 }
 echo "    exp_whatif stderr carries the metrics.tsv document"
+
+echo "==> overload smoke: exp_overload shapes + exp_metastable hysteresis tripwire"
+# exp_overload's own shape checks (load-model overhead curve, admission
+# shedding, determinism) gate via its exit status.
+./target/release/exp_overload > /tmp/ci_exp_overload.tsv 2> /tmp/ci_exp_overload.log
+FECDN_THREADS=4 ./target/release/exp_metastable --out BENCH_overload.json \
+  > /tmp/ci_exp_metastable.tsv 2> /tmp/ci_exp_metastable.log
+python3 - <<'EOF'
+import json, sys
+cur = json.load(open("BENCH_overload.json"))
+naive, budgeted = cur["recovery_ratio_naive"], cur["recovery_ratio_budgeted"]
+print(f"    post/pre goodput: naive {naive:.2f} (stuck), budgeted {budgeted:.2f} (recovered)")
+fail = []
+# The metastable-failure tripwire: with budgeted retries the post-step
+# goodput must recover to >= 90% of the pre-step level, while naive
+# retries must demonstrate the hysteresis (stuck below half).
+if budgeted < 0.9:
+    fail.append(f"budgeted recovery {budgeted:.2f} < 0.90: retry budget no longer breaks the storm")
+if naive >= 0.5:
+    fail.append(f"naive recovery {naive:.2f} >= 0.50: the metastable regime vanished")
+for msg in fail:
+    print(f"exp_metastable: {msg}", file=sys.stderr)
+sys.exit(1 if fail else 0)
+EOF
 
 echo "==> campaign memory: bench_campaign (collect vs stream, plus 10x-query smoke)"
 # The binary itself runs the streaming sink at 10x the query count and
@@ -122,6 +150,15 @@ SCHEMAS = {
         "peak_retained_collect_bytes": NUM, "peak_retained_stream_bytes": NUM,
         "peak_retained_stream_10x_bytes": NUM,
         "retained_reduction_factor": NUM, "stream_10x_growth_factor": NUM,
+    },
+    "BENCH_overload": {
+        "binary": STR, "trigger_start_ms": NUM, "trigger_end_ms": NUM,
+        "queries_per_arm": NUM,
+        "pre_goodput_naive": NUM, "trigger_goodput_naive": NUM,
+        "post_goodput_naive": NUM,
+        "pre_goodput_budgeted": NUM, "trigger_goodput_budgeted": NUM,
+        "post_goodput_budgeted": NUM,
+        "recovery_ratio_naive": NUM, "recovery_ratio_budgeted": NUM,
     },
 }
 fail = []

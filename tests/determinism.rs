@@ -50,9 +50,15 @@ fn stream_tsv(report: &StreamReport<String>) -> String {
     let mut out = String::from(TSV_HEADER);
     for r in &report.runs {
         let t = &r.tally;
+        // Mirrors `CampaignReport::to_tsv`: `shed` only when non-zero.
+        let shed = if t.shed > 0 {
+            format!(" shed={}", t.shed)
+        } else {
+            String::new()
+        };
         out.push_str(&format!(
-            "# run={} ok={} degraded={} retried={} timed_out={} skipped={}\n",
-            r.label, t.ok, t.degraded, t.retried, t.timed_out, t.skipped
+            "# run={} ok={} degraded={} retried={} timed_out={}{} skipped={}\n",
+            r.label, t.ok, t.degraded, t.retried, t.timed_out, shed, t.skipped
         ));
         out.push_str(&r.output);
     }

@@ -143,7 +143,7 @@ fn fault_campaign_tallies_are_exact() {
     assert!(timed_out
         .raw
         .iter()
-        .all(|cq| cq.outcome == QueryOutcome::TimedOut));
+        .all(|cq| cq.outcome == QueryOutcome::TimedOut { attempts: 2 }));
     // Timed-out sessions have no complete timeline; the accounting
     // identity (processed + skipped = total) must still close.
     assert_eq!(timed_out.queries.len() + t.skipped, t.total());
