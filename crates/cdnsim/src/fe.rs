@@ -8,12 +8,39 @@
 //! mechanism concrete: each request pays a sampled service time scaled by
 //! a persistent load process whose amplitude depends on tenancy.
 
+use crate::cache::{Cache, CacheConfig, InsertOutcome, ObjectCache};
 use nettopo::placement::FeSite;
 use searchbe::proctime::LoadProcess;
 use simcore::dist::{Dist, Sampler};
 use simcore::rng::Rng;
 use simcore::time::{SimDuration, SimTime};
-use std::collections::HashMap;
+
+/// Cache provisioning for one FE server: the static-content cache plus
+/// the hypothetical per-keyword result cache. The default is the
+/// realistic configuration — results caching disabled, both caches
+/// unbounded — which is behaviourally identical to the pre-cache-model
+/// FE (an always-hitting static cache and no result cache).
+#[derive(Clone, Debug, Default)]
+pub struct FeCaches {
+    /// Whether the FE caches whole query results (disabled in the real
+    /// services; enabled only to validate the caching detector).
+    pub results_enabled: bool,
+    /// Provisioning of the result cache.
+    pub result_cache: CacheConfig,
+    /// Provisioning of the static-content cache.
+    pub static_cache: CacheConfig,
+}
+
+impl FeCaches {
+    /// Result caching enabled over an unbounded store — the PR 2
+    /// `fe_caches_results` behaviour.
+    pub fn results_unbounded() -> FeCaches {
+        FeCaches {
+            results_enabled: true,
+            ..FeCaches::default()
+        }
+    }
+}
 
 /// A front-end server instance.
 ///
@@ -33,9 +60,16 @@ pub struct FeServer {
     requests_served: u64,
     /// Per-slot busy-until times (FIFO to the earliest-free slot).
     slots: Vec<SimTime>,
-    /// Hypothetical per-keyword result cache (disabled in the real
-    /// services; enabled only to validate the caching detector).
-    result_cache: Option<HashMap<u64, httpsim::ResponsePlan>>,
+    /// Whether results caching is on (the realistic answer is no).
+    caches_results: bool,
+    /// Hypothetical per-keyword result cache, now bounded and policy-
+    /// driven (disabled in the real services; enabled only to validate
+    /// the caching detector and for the popularity experiments).
+    result_cache: ObjectCache<httpsim::ResponsePlan>,
+    /// Static-content cache, keyed by content id. Unbounded and
+    /// prewarmed in the realistic configuration (the paper's FEs always
+    /// serve static parts from cache); bounding it models edge churn.
+    static_cache: ObjectCache<u64>,
 }
 
 impl FeServer {
@@ -48,7 +82,7 @@ impl FeServer {
         service_ms: Dist,
         load_amplitude: f64,
         load_volatility: f64,
-        caches_results: bool,
+        caches: FeCaches,
     ) -> FeServer {
         let rng = Rng::from_seed_and_name(seed, &format!("cdnsim/fe/{}", site.id));
         FeServer {
@@ -58,11 +92,9 @@ impl FeServer {
             rng,
             requests_served: 0,
             slots: vec![SimTime::ZERO; 8],
-            result_cache: if caches_results {
-                Some(HashMap::new())
-            } else {
-                None
-            },
+            caches_results: caches.results_enabled,
+            result_cache: ObjectCache::new(caches.result_cache),
+            static_cache: ObjectCache::new(caches.static_cache),
         }
     }
 
@@ -104,18 +136,65 @@ impl FeServer {
         SimDuration::from_millis_f64(ms)
     }
 
-    /// Looks up a hypothetically cached result for `keyword`. Always
-    /// `None` in the realistic configuration.
-    pub fn cached_result(&self, keyword: u64) -> Option<&httpsim::ResponsePlan> {
-        self.result_cache.as_ref().and_then(|c| c.get(&keyword))
+    /// Whether this FE caches whole query results.
+    pub fn caches_results(&self) -> bool {
+        self.caches_results
     }
 
-    /// Stores a result in the hypothetical cache (no-op when caching is
-    /// disabled).
-    pub fn store_result(&mut self, keyword: u64, plan: httpsim::ResponsePlan) {
-        if let Some(c) = self.result_cache.as_mut() {
-            c.insert(keyword, plan);
+    /// Looks up a hypothetically cached result for `keyword` at `now`,
+    /// counting a hit or miss against the result cache. Always `None`
+    /// in the realistic (caching-disabled) configuration, without
+    /// touching statistics.
+    pub fn lookup_result(&mut self, keyword: u64, now: SimTime) -> Option<httpsim::ResponsePlan> {
+        if !self.caches_results {
+            return None;
         }
+        self.result_cache.get(keyword, now).cloned()
+    }
+
+    /// Stores a result in the hypothetical cache, evicting per policy
+    /// (no-op when caching is disabled). The object's size is the plan's
+    /// total response bytes.
+    pub fn store_result(
+        &mut self,
+        keyword: u64,
+        plan: httpsim::ResponsePlan,
+        now: SimTime,
+    ) -> InsertOutcome {
+        if !self.caches_results {
+            return InsertOutcome::default();
+        }
+        let size = plan.total_bytes();
+        self.result_cache.insert(keyword, plan, size, now)
+    }
+
+    /// Prewarms the static cache with `content` (`bytes` long) at
+    /// virtual time zero, as the build step does for the realistic
+    /// always-cached configuration.
+    pub fn seed_static(&mut self, content: u64, bytes: u64) {
+        self.static_cache
+            .insert(content, content, bytes, SimTime::ZERO);
+    }
+
+    /// Checks whether `content` is resident in the static cache at
+    /// `now`, counting a hit or miss.
+    pub fn static_cached(&mut self, content: u64, now: SimTime) -> bool {
+        self.static_cache.get(content, now).is_some()
+    }
+
+    /// Refills the static cache after a miss-path fetch completed.
+    pub fn fill_static(&mut self, content: u64, bytes: u64, now: SimTime) -> InsertOutcome {
+        self.static_cache.insert(content, content, bytes, now)
+    }
+
+    /// The result cache (for telemetry).
+    pub fn result_cache(&self) -> &ObjectCache<httpsim::ResponsePlan> {
+        &self.result_cache
+    }
+
+    /// The static cache (for telemetry).
+    pub fn static_cache(&self) -> &ObjectCache<u64> {
+        &self.static_cache
     }
 
     /// Requests served so far.
@@ -151,7 +230,7 @@ mod tests {
             Dist::lognormal_median_spread(4.0, 1.25),
             0.2,
             0.05,
-            false,
+            FeCaches::default(),
         )
     }
 
@@ -162,7 +241,7 @@ mod tests {
             Dist::lognormal_median_spread(14.0, 1.7),
             1.2,
             0.08,
-            false,
+            FeCaches::default(),
         )
     }
 
@@ -199,17 +278,65 @@ mod tests {
     #[test]
     fn result_cache_disabled_by_default() {
         let mut fe = dedicated();
-        fe.store_result(7, httpsim::ResponsePlan::new(9000, 1, 20000, 1000));
-        assert!(fe.cached_result(7).is_none());
+        assert!(!fe.caches_results());
+        let out = fe.store_result(
+            7,
+            httpsim::ResponsePlan::new(9000, 1, 20000, 1000),
+            SimTime::ZERO,
+        );
+        assert!(!out.inserted);
+        assert!(fe.lookup_result(7, SimTime::ZERO).is_none());
+        // Disabled caching never touches the statistics.
+        assert_eq!(fe.result_cache().stats().lookups, 0);
     }
 
     #[test]
     fn result_cache_when_enabled() {
-        let mut fe = FeServer::new(1, site(true), Dist::Constant(5.0), 0.0, 0.0, true);
-        assert!(fe.cached_result(7).is_none());
+        let mut fe = FeServer::new(
+            1,
+            site(true),
+            Dist::Constant(5.0),
+            0.0,
+            0.0,
+            FeCaches::results_unbounded(),
+        );
+        assert!(fe.lookup_result(7, SimTime::ZERO).is_none());
         let plan = httpsim::ResponsePlan::new(9000, 1, 20000, 1000);
-        fe.store_result(7, plan.clone());
-        assert_eq!(fe.cached_result(7), Some(&plan));
+        let t = SimTime::from_millis(5);
+        assert!(fe.store_result(7, plan.clone(), t).inserted);
+        assert_eq!(fe.lookup_result(7, t), Some(plan));
+        let s = fe.result_cache().stats();
+        assert_eq!((s.lookups, s.hits, s.misses), (2, 1, 1));
+    }
+
+    #[test]
+    fn bounded_result_cache_evicts_per_policy() {
+        use crate::cache::CacheConfig;
+        let caches = FeCaches {
+            results_enabled: true,
+            // Room for two 29 kB plans; the third insert evicts the LRU.
+            result_cache: CacheConfig::lru(60_000).with_max_entries(2),
+            static_cache: CacheConfig::default(),
+        };
+        let mut fe = FeServer::new(1, site(true), Dist::Constant(5.0), 0.0, 0.0, caches);
+        let plan = httpsim::ResponsePlan::new(9000, 1, 20000, 1000);
+        for k in 0..3u64 {
+            fe.store_result(k, plan.clone(), SimTime::from_millis(k));
+        }
+        assert!(fe.lookup_result(0, SimTime::from_millis(10)).is_none());
+        assert!(fe.lookup_result(2, SimTime::from_millis(10)).is_some());
+        assert_eq!(fe.result_cache().stats().evictions, 1);
+    }
+
+    #[test]
+    fn static_cache_hits_after_seeding() {
+        let mut fe = dedicated();
+        let t = SimTime::from_millis(3);
+        assert!(!fe.static_cached(9000, t));
+        fe.seed_static(9000, 20_000);
+        assert!(fe.static_cached(9000, t));
+        let s = fe.static_cache().stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
     }
 
     #[test]
@@ -230,7 +357,7 @@ mod tests {
             Dist::Constant(10.0), // 10 ms deterministic service
             0.0,
             0.0,
-            false,
+            FeCaches::default(),
         );
         fe.set_workers(2);
         let t = SimTime::from_millis(100);
@@ -249,7 +376,14 @@ mod tests {
     #[test]
     fn spaced_arrivals_do_not_queue() {
         use simcore::time::SimTime;
-        let mut fe = FeServer::new(1, site(false), Dist::Constant(5.0), 0.0, 0.0, false);
+        let mut fe = FeServer::new(
+            1,
+            site(false),
+            Dist::Constant(5.0),
+            0.0,
+            0.0,
+            FeCaches::default(),
+        );
         for i in 0..20u64 {
             let t = SimTime::from_millis(i * 100);
             assert_eq!(fe.request_overhead_at(t).as_millis_f64(), 5.0);

@@ -3,6 +3,9 @@
 //! This crate wires the substrates together into the two services the
 //! paper measures:
 //!
+//! * [`cache`] — the first-class FE cache model: LRU/LFU/TTL eviction
+//!   behind one trait with per-object sizes, byte-capacity accounting,
+//!   and hit/miss/eviction statistics;
 //! * [`fe`] — the front-end server model: per-request service time with a
 //!   tenancy-dependent load process (Akamai FEs are shared with many
 //!   customers; Google FEs are dedicated), the static-content cache, and
@@ -27,14 +30,16 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod cache;
 pub mod dns;
 pub mod fe;
 pub mod service;
 pub mod spec;
 pub mod world;
 
+pub use cache::{Cache, CacheConfig, CachePolicy, CacheStats, InsertOutcome, ObjectCache};
 pub use dns::{DnsMap, DnsPolicy, DnsResolver};
-pub use fe::FeServer;
+pub use fe::{FeCaches, FeServer};
 pub use service::{
     AdmissionControl, BreakerPolicy, FeLoadProfile, HedgePolicy, LoadModel, OverloadPolicy,
     RetryBudget, RetryPolicy, ServiceConfig,

@@ -1,6 +1,7 @@
 //! Whole-service configuration: everything that distinguishes the two
 //! measured deployments, plus the ablation switches.
 
+use crate::cache::CacheConfig;
 use nettopo::faults::FaultPlan;
 use nettopo::path::PathProfile;
 use nettopo::placement::{dense_edge, sparse_pop, FeSite};
@@ -268,6 +269,14 @@ pub struct ServiceConfig {
     /// Hypothetical FE result caching (false for both real services —
     /// the Sec. 3 experiments exist to demonstrate exactly that).
     pub fe_caches_results: bool,
+    /// Provisioning of the FE result cache (policy + capacity). The
+    /// default is unbounded — the PR 2 `with_fe_result_cache` behaviour;
+    /// `with_result_cache` bounds it for the popularity experiments.
+    pub fe_result_cache: CacheConfig,
+    /// Provisioning of the FE static-content cache. Unbounded by
+    /// default: the prewarmed static object always hits, exactly the
+    /// pre-cache-model behaviour.
+    pub fe_static_cache: CacheConfig,
     /// When set, every client's access path uses this profile instead of
     /// its `AccessKind`-derived one — the Sec. 6 loss-sweep knob.
     pub access_override: Option<PathProfile>,
@@ -319,6 +328,8 @@ impl ServiceConfig {
             cache_static: true,
             split_tcp: true,
             fe_caches_results: false,
+            fe_result_cache: CacheConfig::unbounded(),
+            fe_static_cache: CacheConfig::unbounded(),
             access_override: None,
             fe_workers: 8,
             faults: FaultPlan::new(),
@@ -352,6 +363,8 @@ impl ServiceConfig {
             cache_static: true,
             split_tcp: true,
             fe_caches_results: false,
+            fe_result_cache: CacheConfig::unbounded(),
+            fe_static_cache: CacheConfig::unbounded(),
             access_override: None,
             fe_workers: 8,
             faults: FaultPlan::new(),
@@ -384,6 +397,24 @@ impl ServiceConfig {
     pub fn with_fe_result_cache(mut self) -> ServiceConfig {
         self.fe_caches_results = true;
         self.name = format!("{}+fecache", self.name);
+        self
+    }
+
+    /// Enables FE result caching under the given provisioning (policy +
+    /// capacity) — the popularity experiments' sweep knob.
+    pub fn with_result_cache(mut self, cache: CacheConfig) -> ServiceConfig {
+        self.fe_result_cache = cache;
+        if !self.fe_caches_results {
+            self.fe_caches_results = true;
+            self.name = format!("{}+fecache", self.name);
+        }
+        self
+    }
+
+    /// Bounds the FE static-content cache (unbounded and always-hitting
+    /// by default).
+    pub fn with_static_cache(mut self, cache: CacheConfig) -> ServiceConfig {
+        self.fe_static_cache = cache;
         self
     }
 
@@ -494,6 +525,17 @@ mod tests {
         assert!(!c2.split_tcp);
         let c3 = ServiceConfig::bing_like(1).with_fe_result_cache();
         assert!(c3.fe_caches_results);
+        assert!(c3.fe_result_cache.is_unbounded());
+        let c5 = ServiceConfig::bing_like(1).with_result_cache(CacheConfig::lru(1 << 20));
+        assert!(c5.fe_caches_results);
+        assert!(!c5.fe_result_cache.is_unbounded());
+        assert!(c5.name.ends_with("+fecache"));
+        // Enabling twice does not double the name suffix.
+        let c6 = c5.with_result_cache(CacheConfig::lfu(1 << 20));
+        assert!(c6.name.ends_with("+fecache") && !c6.name.contains("+fecache+fecache"));
+        let c7 = ServiceConfig::bing_like(1).with_static_cache(CacheConfig::lru(64 << 10));
+        assert!(!c7.fe_caches_results);
+        assert!(!c7.fe_static_cache.is_unbounded());
         let c4 = ServiceConfig::bing_like(1).with_fe_initial_window(10);
         assert_eq!(c4.fe_client_tcp.initial_window_segs, 10);
     }

@@ -263,6 +263,12 @@ struct QueryState {
     request_handled: bool,
     be_handled: bool,
     resp_handled: bool,
+    // Whether the FE served the static portion from its cache at serve
+    // time. With the default unbounded prewarmed cache this equals
+    // `cfg.cache_static`; a bounded static cache can miss, in which case
+    // the static bytes ride the BE response exactly as in the no-cache
+    // ablation.
+    static_from_cache: bool,
     // Overload machinery. `shed` marks an admission-control rejection;
     // `fe_counted`/`be_counted` record which in-flight counters this
     // query holds (take-semantics make double-decrement impossible).
@@ -343,9 +349,16 @@ impl ServiceWorld {
                     cfg.fe_load.service_ms.clone(),
                     cfg.fe_load.load_amplitude,
                     cfg.fe_load.load_volatility,
-                    cfg.fe_caches_results,
+                    crate::fe::FeCaches {
+                        results_enabled: cfg.fe_caches_results,
+                        result_cache: cfg.fe_result_cache.clone(),
+                        static_cache: cfg.fe_static_cache.clone(),
+                    },
                 );
                 fe.set_workers(cfg.fe_workers);
+                // Prewarm: the paper's FEs always hold the static object
+                // (an unbounded static cache therefore always hits).
+                fe.seed_static(cfg.composer.static_content, cfg.composer.static_bytes);
                 fe
             })
             .collect();
@@ -894,6 +907,7 @@ impl ServiceWorld {
                 request_handled: false,
                 be_handled: false,
                 resp_handled: false,
+                static_from_cache: false,
                 shed: false,
                 fe_counted: false,
                 be_counted: None,
@@ -1117,31 +1131,43 @@ impl ServiceWorld {
             };
             (q.fe.unwrap(), q.be, q.client_conn, q.keyword)
         };
-        // (a) Burst the cached static portion.
+        // (a) Burst the static portion when it is resident in the FE's
+        // static cache. With the default unbounded prewarmed cache this
+        // always hits; a bounded cache can miss, in which case the
+        // static bytes ride the BE response and the cache is refilled
+        // when that response completes.
+        let mut static_hit = false;
         if self.cfg.cache_static {
-            self.metrics.inc("cdnsim.fe_static_cache_hits");
-            net.send(
-                client_conn,
-                End::B,
-                self.cfg.composer.static_bytes,
-                Marker::Static,
-                self.cfg.composer.static_content,
-            );
-        }
-        // Hypothetical FE result cache.
-        if let Some(plan) = self.fes[fe].cached_result(kw_id).cloned() {
-            self.metrics.inc("cdnsim.fe_result_cache_hits");
-            if !self.cfg.cache_static {
-                plan.send_static(net, client_conn, End::B);
+            let content = self.cfg.composer.static_content;
+            if self.fes[fe].static_cached(content, net.now()) {
+                static_hit = true;
+                self.metrics.inc("cdnsim.fe_static_cache_hits");
+                net.send(
+                    client_conn,
+                    End::B,
+                    self.cfg.composer.static_bytes,
+                    Marker::Static,
+                    content,
+                );
+            } else {
+                self.metrics.inc("cdnsim.fe_static_cache_misses");
             }
-            plan.send_dynamic(net, client_conn, End::B);
-            net.close(client_conn, End::B);
-            let q = self.queries.get_mut(&qid).unwrap();
-            q.plan = Some(plan);
-            q.proc_ms = 0.0;
-            return;
         }
-        if self.cfg.fe_caches_results {
+        self.queries.get_mut(&qid).unwrap().static_from_cache = static_hit;
+        // Hypothetical FE result cache.
+        if self.fes[fe].caches_results() {
+            if let Some(plan) = self.fes[fe].lookup_result(kw_id, net.now()) {
+                self.metrics.inc("cdnsim.fe_result_cache_hits");
+                if !static_hit {
+                    plan.send_static(net, client_conn, End::B);
+                }
+                plan.send_dynamic(net, client_conn, End::B);
+                net.close(client_conn, End::B);
+                let q = self.queries.get_mut(&qid).unwrap();
+                q.plan = Some(plan);
+                q.proc_ms = 0.0;
+                return;
+            }
             self.metrics.inc("cdnsim.fe_result_cache_misses");
         }
         // Circuit breaker: while open, fetches fast-fail straight to the
@@ -1193,7 +1219,7 @@ impl ServiceWorld {
                 Some(p) => p,
                 None => return,
             };
-            (be_conn, plan, !self.cfg.cache_static)
+            (be_conn, plan, !q.static_from_cache)
         };
         if send_static_too {
             net.send(
@@ -1223,7 +1249,7 @@ impl ServiceWorld {
     }
 
     fn handle_be_response_complete(&mut self, net: &mut Net, qid: u64) {
-        let (fe, be, be_conn, client_conn, plan, kw_id, counted) = {
+        let (fe, be, be_conn, client_conn, plan, kw_id, counted, static_from_cache) = {
             let q = self.queries.get_mut(&qid).unwrap();
             q.fetch_done = Some(net.now());
             (
@@ -1234,6 +1260,7 @@ impl ServiceWorld {
                 q.plan.clone().unwrap(),
                 q.keyword,
                 q.be_counted.take(),
+                q.static_from_cache,
             )
         };
         if let Some(b) = counted {
@@ -1243,13 +1270,23 @@ impl ServiceWorld {
         self.cancel_hedge(net, qid);
         self.breaker_record_success(fe);
         self.return_be_conn(be_conn, fe, be);
-        if !self.cfg.cache_static {
+        if !static_from_cache {
             plan.send_static(net, client_conn, End::B);
         }
         plan.send_dynamic(net, client_conn, End::B);
         net.close(client_conn, End::B);
-        if self.cfg.fe_caches_results {
-            self.fes[fe].store_result(kw_id, plan);
+        // Refill the static cache after a miss-path fetch (only reachable
+        // with a bounded static cache).
+        if self.cfg.cache_static && !static_from_cache {
+            self.fes[fe].fill_static(plan.static_content, plan.static_bytes, net.now());
+            self.metrics.inc("cdnsim.fe_static_cache_fills");
+        }
+        if self.fes[fe].caches_results() {
+            let out = self.fes[fe].store_result(kw_id, plan, net.now());
+            if out.evicted > 0 {
+                self.metrics
+                    .add("cdnsim.fe_result_cache_evictions", out.evicted);
+            }
         }
     }
 
@@ -1422,7 +1459,7 @@ impl ServiceWorld {
                 Some(p) => p,
                 None => return,
             };
-            (conn, plan, !self.cfg.cache_static)
+            (conn, plan, !q.static_from_cache)
         };
         if send_static_too {
             net.send(
@@ -1450,6 +1487,7 @@ impl ServiceWorld {
             counted,
             primary_conn,
             primary_counted,
+            static_from_cache,
         ) = {
             let q = self.queries.get_mut(&qid).unwrap();
             q.fetch_done = Some(net.now());
@@ -1463,6 +1501,7 @@ impl ServiceWorld {
                 q.hedge_counted.take(),
                 q.be_conn.take(),
                 q.be_counted.take(),
+                q.static_from_cache,
             )
         };
         self.metrics.inc("cdnsim.hedge_wins");
@@ -1489,13 +1528,21 @@ impl ServiceWorld {
             q.rtt_fe_be_ms = rtt;
             q.dist_fe_be_miles = dist;
         }
-        if !self.cfg.cache_static {
+        if !static_from_cache {
             plan.send_static(net, client_conn, End::B);
         }
         plan.send_dynamic(net, client_conn, End::B);
         net.close(client_conn, End::B);
-        if self.cfg.fe_caches_results {
-            self.fes[fe].store_result(kw_id, plan);
+        if self.cfg.cache_static && !static_from_cache {
+            self.fes[fe].fill_static(plan.static_content, plan.static_bytes, net.now());
+            self.metrics.inc("cdnsim.fe_static_cache_fills");
+        }
+        if self.fes[fe].caches_results() {
+            let out = self.fes[fe].store_result(kw_id, plan, net.now());
+            if out.evicted > 0 {
+                self.metrics
+                    .add("cdnsim.fe_result_cache_evictions", out.evicted);
+            }
         }
     }
 
@@ -1519,12 +1566,13 @@ impl ServiceWorld {
             DEGRADED_CONTENT_ID,
         );
         net.close(client_conn, End::B);
-        let static_bytes = if self.cfg.cache_static {
+        let static_bytes = if self.queries[&qid].static_from_cache {
             self.cfg.composer.static_bytes
         } else {
-            // Static rides the BE response in the no-cache ablation, so
-            // nothing reached the client; record a 1-byte placeholder
-            // (ResponsePlan requires non-empty portions).
+            // Static rides the BE response in the no-cache ablation (or
+            // missed a bounded static cache), so nothing reached the
+            // client; record a 1-byte placeholder (ResponsePlan requires
+            // non-empty portions).
             1
         };
         let static_content = self.cfg.composer.static_content;
@@ -1854,7 +1902,7 @@ impl App for ServiceWorld {
                             let expected = match &q.plan {
                                 Some(p) => {
                                     p.dynamic_bytes
-                                        + if self.cfg.cache_static {
+                                        + if q.static_from_cache {
                                             0
                                         } else {
                                             p.static_bytes
@@ -1935,7 +1983,7 @@ impl App for ServiceWorld {
                             let expected = match &q.hedge_plan {
                                 Some(p) => {
                                     p.dynamic_bytes
-                                        + if self.cfg.cache_static {
+                                        + if q.static_from_cache {
                                             0
                                         } else {
                                             p.static_bytes

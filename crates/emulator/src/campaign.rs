@@ -18,8 +18,9 @@
 
 use crate::dataset_a::DatasetA;
 use crate::dataset_b::DatasetB;
-use crate::runner::{run_stream, ProcessedQuery};
+use crate::runner::{run_stream, run_stream_fed, ProcessedQuery};
 use crate::scenarios::Scenario;
+use crate::sessions::{SessionFeeder, SessionWorkload};
 use crate::sink::{CollectSink, QuerySink, SinkFactory};
 use capture::Classifier;
 use cdnsim::{CompletedQuery, ServiceConfig, ServiceWorld};
@@ -61,6 +62,11 @@ pub enum Design {
     /// in-world planning (picking an FE, probing geometry) happens here,
     /// not outside, so the descriptor stays self-contained.
     Custom(ScheduleFn),
+    /// A generative session-slab workload: sessions are materialised
+    /// lazily by a [`SessionFeeder`] as the run drains, so the run's
+    /// footprint is O(live sessions), not O(total queries). Nothing is
+    /// scheduled up front.
+    Sessions(SessionWorkload),
 }
 
 impl Design {
@@ -69,12 +75,15 @@ impl Design {
         Design::Custom(Arc::new(f))
     }
 
-    /// Schedules this design into a world.
+    /// Schedules this design into a world. Session-slab designs
+    /// schedule nothing here — their feeder materialises sessions
+    /// chunk by chunk inside the runner.
     pub fn schedule(&self, sim: &mut Sim<ServiceWorld>) {
         match self {
             Design::DatasetA(d) => d.schedule(sim),
             Design::DatasetB(d) => d.schedule(sim),
             Design::Custom(f) => f(sim),
+            Design::Sessions(_) => {}
         }
     }
 }
@@ -85,6 +94,7 @@ impl fmt::Debug for Design {
             Design::DatasetA(d) => f.debug_tuple("DatasetA").field(d).finish(),
             Design::DatasetB(d) => f.debug_tuple("DatasetB").field(d).finish(),
             Design::Custom(_) => f.write_str("Custom(..)"),
+            Design::Sessions(w) => f.debug_tuple("Sessions").field(w).finish(),
         }
     }
 }
@@ -125,6 +135,9 @@ pub struct RunStats {
     /// Peak bytes the run's sink retained (sampled per drain chunk) —
     /// the memory-boundedness signal the campaign benchmark tracks.
     pub peak_retained_bytes: usize,
+    /// High-water mark of the pending-event count (only non-zero for
+    /// session-slab designs) — the O(live sessions) footprint proxy.
+    pub peak_pending_events: usize,
 }
 
 /// The merged output of one run.
@@ -678,8 +691,18 @@ impl Campaign {
             sim.net().metrics_mut().set_enabled(on);
             sim.with(|w, _| w.metrics_mut().set_enabled(on));
         }
-        d.design.schedule(&mut sim);
-        let run = run_stream(&mut sim, &d.classifier, factory.make(d));
+        let run = match &d.design {
+            Design::Sessions(w) => {
+                let (n_clients, catalog) =
+                    sim.with(|world, _| (world.clients().len(), world.corpus().len()));
+                let mut feeder = SessionFeeder::new(w.clone(), d.seed, n_clients, catalog);
+                run_stream_fed(&mut sim, &d.classifier, factory.make(d), Some(&mut feeder))
+            }
+            _ => {
+                d.design.schedule(&mut sim);
+                run_stream(&mut sim, &d.classifier, factory.make(d))
+            }
+        };
         let mut metrics = run.metrics;
         if metrics.is_enabled() {
             metrics.set_wall_gauge("emulator.queue_wait_ms", queue_ms);
@@ -696,6 +719,7 @@ impl Campaign {
                 queue_ms,
                 wall_ms: started.elapsed().as_secs_f64() * 1e3,
                 peak_retained_bytes: run.peak_retained_bytes,
+                peak_pending_events: run.peak_pending_events,
             },
             metrics,
             output: run.output,

@@ -54,13 +54,15 @@ pub mod output;
 pub mod report;
 pub mod runner;
 pub mod scenarios;
+pub mod sessions;
 pub mod sink;
 
 pub use campaign::{
     Campaign, CampaignReport, Design, RunDescriptor, RunResult, SinkRunReport, StreamReport,
     TSV_HEADER,
 };
-pub use runner::{run_collect, ProcessedQuery, StreamRun};
+pub use runner::{run_collect, run_stream_fed, ProcessedQuery, StreamRun};
 pub use scenarios::Scenario;
+pub use sessions::{SessionFeeder, SessionPlan, SessionWorkload};
 pub use simcore::telemetry::{MetricsRegistry, METRICS_TSV_HEADER};
 pub use sink::{CollectSink, FoldSink, QuerySink, RetainRaw, SinkFactory, TsvRows};

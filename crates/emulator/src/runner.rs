@@ -1,5 +1,6 @@
 //! Simulation driving and per-query processing.
 
+use crate::sessions::SessionFeeder;
 use crate::sink::{observe_outcome, QuerySink};
 use capture::{Classifier, Timeline, TimelineError};
 use cdnsim::{CompletedQuery, QueryOutcome, ServiceWorld};
@@ -155,6 +156,10 @@ pub struct StreamRun<R> {
     /// Largest [`QuerySink::retained_bytes`] observed across drain
     /// chunks — the memory the sink actually held onto at its peak.
     pub peak_retained_bytes: usize,
+    /// High-water mark of the simulator's pending-event count — the
+    /// session-slab memory proxy: with a [`SessionFeeder`] this tracks
+    /// O(live sessions), not O(total queries).
+    pub peak_pending_events: usize,
     /// The run's telemetry: the transport (`tcpsim.*`) and service
     /// (`cdnsim.*`) registries harvested at quiescence, merged with the
     /// runner's own classification counters (`capture.*`) and gauges
@@ -171,12 +176,28 @@ pub struct StreamRun<R> {
 pub fn run_stream<S: QuerySink>(
     sim: &mut Sim<ServiceWorld>,
     classifier: &Classifier,
+    sink: S,
+) -> StreamRun<S::Output> {
+    run_stream_fed(sim, classifier, sink, None)
+}
+
+/// [`run_stream`] with an optional [`SessionFeeder`]: sessions are
+/// materialised one time chunk ahead of the simulation clock, so the
+/// event queue holds only live sessions — the footprint of a
+/// 10^6-session campaign is that of its busiest chunk, not of the whole
+/// schedule. Without a feeder this is exactly [`run_stream`].
+pub fn run_stream_fed<S: QuerySink>(
+    sim: &mut Sim<ServiceWorld>,
+    classifier: &Classifier,
     mut sink: S,
+    mut feeder: Option<&mut SessionFeeder>,
 ) -> StreamRun<S::Output> {
     let chunk = simcore::time::SimDuration::from_secs(60);
+    let fed = feeder.is_some();
     let mut tally = SessionTally::default();
     let mut processed = 0usize;
     let mut peak = 0usize;
+    let mut peak_pending = 0usize;
     // The runner's own registry inherits the gate of the simulator it
     // drives, so a per-run override set on the Net covers the whole
     // metrics document.
@@ -188,14 +209,29 @@ pub fn run_stream<S: QuerySink>(
             let now = sim.net().now();
             // Chunked stepping with a skip: `run_until` leaves `now` at
             // the last processed event, so if the earliest pending
-            // event lies beyond the chunk (a hedge timer or fault
-            // window that outlived every query), fixed-size chunks
+            // event lies beyond the chunk (a hedge timer, fault window,
+            // or a session arriving after a lull), fixed-size chunks
             // would never reach it and this loop would spin forever.
             let mut deadline = now + chunk;
-            if let Some(t) = sim.net().next_event_time() {
+            let mut next_signal = sim.net().next_event_time();
+            if let Some(f) = feeder.as_deref_mut() {
+                next_signal = match (next_signal, f.next_start()) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                };
+            }
+            if let Some(t) = next_signal {
                 if t > deadline {
                     deadline = t;
                 }
+            }
+            // Materialise this chunk's sessions before driving it. The
+            // feeder's draw order depends only on session order, never
+            // on chunk boundaries, so the schedule is byte-identical at
+            // any thread count or chunk size.
+            if let Some(f) = feeder.as_deref_mut() {
+                f.feed(sim, deadline);
+                peak_pending = peak_pending.max(sim.net().pending_events());
             }
             sim.run_until(deadline);
             let done = sim.with(|w, _| w.drain_completed());
@@ -220,7 +256,7 @@ pub fn run_stream<S: QuerySink>(
                 }
             }
             peak = peak.max(sink.retained_bytes());
-            if sim.net().pending_events() == 0 {
+            if sim.net().pending_events() == 0 && feeder.as_deref().is_none_or(|f| f.exhausted()) {
                 break;
             }
         }
@@ -230,6 +266,11 @@ pub fn run_stream<S: QuerySink>(
     // deterministic gauge: buffer growth depends only on the simulated
     // completion stream.
     metrics.set_gauge("emulator.sink_retained_bytes", peak as f64);
+    if fed {
+        // Only meaningful (and only emitted) in fed mode, so unfed
+        // metrics documents are unchanged.
+        metrics.set_gauge("emulator.pending_events_hiwater", peak_pending as f64);
+    }
     let net_metrics = sim.net().take_metrics();
     metrics.merge(&net_metrics);
     let world_metrics = sim.with(|w, _| w.take_metrics());
@@ -238,6 +279,7 @@ pub fn run_stream<S: QuerySink>(
         output: sink.finish(),
         tally,
         peak_retained_bytes: peak,
+        peak_pending_events: peak_pending,
         metrics,
     }
 }

@@ -8,6 +8,7 @@
 //! sampling interface.
 
 use crate::rng::Rng;
+use crate::time::{SimDuration, SimTime};
 
 /// Common interface: draw one `f64` sample.
 pub trait Sampler {
@@ -235,6 +236,239 @@ impl Zipf {
     }
 }
 
+/// A flash-crowd window: while `start <= now < start + duration`, each
+/// draw is redirected to the window's flash item with probability
+/// `weight` (the item itself is chosen once per window from the
+/// process's own churn stream).
+#[derive(Clone, Debug, PartialEq)]
+pub struct FlashCrowd {
+    /// Window start (inclusive).
+    pub start: SimTime,
+    /// Window length.
+    pub duration: SimDuration,
+    /// Probability a draw inside the window goes to the flash item.
+    pub weight: f64,
+}
+
+impl FlashCrowd {
+    /// True while the window is in force at `now`.
+    pub fn active_at(&self, now: SimTime) -> bool {
+        self.weight > 0.0 && now >= self.start && now.since(self.start) < self.duration
+    }
+}
+
+/// Dynamic-popularity workload model: a Zipf law whose rank→item mapping
+/// drifts under shot-noise churn, with an optional diurnal arrival-rate
+/// wave and flash-crowd windows.
+///
+/// The churn follows the shot-noise model of cache-analysis literature:
+/// content renewal events arrive as a Poisson process at `churn_per_sec`;
+/// each shot promotes a uniformly drawn catalog item into a
+/// Zipf-distributed popularity rank (displacing the item currently
+/// there), so the popular set slowly rotates while the marginal rank
+/// distribution stays exactly Zipf. With `churn_per_sec == 0` and no
+/// flash windows the model is **inert**: a [`PopularityProcess`] draws
+/// nothing from its churn stream and reproduces plain
+/// [`Zipf::sample_rank`] draws exactly.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PopularityModel {
+    /// Zipf exponent of the marginal rank distribution.
+    pub exponent: f64,
+    /// Shot-noise churn rate (popularity-renewal shots per virtual
+    /// second). 0 disables churn entirely.
+    pub churn_per_sec: f64,
+    /// Diurnal arrival-rate wave amplitude `A` in
+    /// `rate(t) = 1 + A·sin(2πt/T)`; 0 keeps the rate flat. Consulted by
+    /// workload generators via [`PopularityModel::rate_factor`], never by
+    /// the draw path.
+    pub diurnal_amplitude: f64,
+    /// Diurnal wave period `T`.
+    pub diurnal_period: SimDuration,
+    /// Flash-crowd windows (each overrides draws with one hot item at
+    /// its `weight` while active).
+    pub flash: Vec<FlashCrowd>,
+}
+
+impl PopularityModel {
+    /// A static Zipf law: no churn, no diurnal wave, no flash crowds —
+    /// the inert configuration.
+    pub fn static_zipf(exponent: f64) -> PopularityModel {
+        PopularityModel {
+            exponent,
+            churn_per_sec: 0.0,
+            diurnal_amplitude: 0.0,
+            diurnal_period: SimDuration::from_secs(86_400),
+            flash: Vec::new(),
+        }
+    }
+
+    /// Enables shot-noise churn at `per_sec` renewal shots per second.
+    pub fn with_churn(mut self, per_sec: f64) -> PopularityModel {
+        assert!(per_sec >= 0.0, "negative churn rate");
+        self.churn_per_sec = per_sec;
+        self
+    }
+
+    /// Enables the diurnal arrival-rate wave.
+    pub fn with_diurnal(mut self, amplitude: f64, period: SimDuration) -> PopularityModel {
+        assert!(
+            (0.0..1.0).contains(&amplitude),
+            "diurnal amplitude must be in [0, 1) so the rate stays positive"
+        );
+        assert!(!period.is_zero(), "diurnal period must be positive");
+        self.diurnal_amplitude = amplitude;
+        self.diurnal_period = period;
+        self
+    }
+
+    /// Adds a flash-crowd window.
+    pub fn with_flash_crowd(
+        mut self,
+        start: SimTime,
+        duration: SimDuration,
+        weight: f64,
+    ) -> PopularityModel {
+        assert!((0.0..=1.0).contains(&weight), "flash weight out of range");
+        self.flash.push(FlashCrowd {
+            start,
+            duration,
+            weight,
+        });
+        self
+    }
+
+    /// True when the draw path is inert (no churn, no flash windows): a
+    /// process over this model reproduces plain Zipf draws byte-for-byte
+    /// and never touches its churn stream.
+    pub fn is_static(&self) -> bool {
+        self.churn_per_sec == 0.0 && self.flash.iter().all(|f| f.weight == 0.0)
+    }
+
+    /// The arrival-rate multiplier `1 + A·sin(2πt/T)` at `now` (exactly
+    /// 1.0 when the amplitude is 0).
+    pub fn rate_factor(&self, now: SimTime) -> f64 {
+        if self.diurnal_amplitude == 0.0 {
+            return 1.0;
+        }
+        let phase = now.as_secs_f64() / self.diurnal_period.as_secs_f64();
+        1.0 + self.diurnal_amplitude * (2.0 * std::f64::consts::PI * phase).sin()
+    }
+}
+
+/// The evolving state of a [`PopularityModel`] over a catalog of `n`
+/// items: a [`Zipf`] rank law composed with a churning rank→item
+/// permutation.
+///
+/// Churn shots are drawn from the process's **own** RNG stream (passed
+/// at construction, conventionally a named child stream), never from the
+/// caller's draw stream — so arming churn perturbs only the mapping, and
+/// a zero-churn process consumes the caller's stream exactly like a bare
+/// `Zipf`. Advancing is lazy: shots up to `now` are applied on the next
+/// [`sample`](PopularityProcess::sample) or
+/// [`advance`](PopularityProcess::advance) call.
+#[derive(Clone, Debug)]
+pub struct PopularityProcess {
+    model: PopularityModel,
+    zipf: Zipf,
+    /// rank → item id (identity until the first shot).
+    slots: Vec<u64>,
+    /// item id → rank (inverse of `slots`).
+    rank_of: Vec<usize>,
+    churn: Rng,
+    next_shot: Option<SimTime>,
+    /// Per-window flash item, chosen lazily from the churn stream.
+    flash_items: Vec<Option<u64>>,
+}
+
+impl PopularityProcess {
+    /// Builds the process over `n` catalog items. `churn_rng` must be a
+    /// stream owned by this process (e.g.
+    /// `Rng::from_seed_and_name(seed, "emulator/popularity")`); it is
+    /// only drawn from when the model has churn or an active flash
+    /// window needs its item picked.
+    pub fn new(n: usize, model: PopularityModel, mut churn_rng: Rng) -> PopularityProcess {
+        let zipf = Zipf::new(n, model.exponent);
+        let next_shot = if model.churn_per_sec > 0.0 {
+            Some(SimTime::ZERO + exp_gap(&mut churn_rng, model.churn_per_sec))
+        } else {
+            None
+        };
+        let flash_items = vec![None; model.flash.len()];
+        PopularityProcess {
+            model,
+            zipf,
+            slots: (0..n as u64).collect(),
+            rank_of: (0..n).collect(),
+            churn: churn_rng,
+            next_shot,
+            flash_items,
+        }
+    }
+
+    /// The model this process evolves.
+    pub fn model(&self) -> &PopularityModel {
+        &self.model
+    }
+
+    /// Catalog size.
+    pub fn catalog(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The item currently occupying popularity rank `rank` (0 = most
+    /// popular).
+    pub fn item_at_rank(&self, rank: usize) -> u64 {
+        self.slots[rank]
+    }
+
+    /// Applies every churn shot at or before `now`. A shot at time `t`
+    /// affects all draws at `t` and later.
+    pub fn advance(&mut self, now: SimTime) {
+        while let Some(t) = self.next_shot {
+            if t > now {
+                break;
+            }
+            // One shot: promote a uniformly drawn item into a
+            // Zipf-drawn rank, swapping with the incumbent so the
+            // mapping stays a permutation.
+            let item = self.churn.next_below(self.slots.len() as u64);
+            let rank = self.zipf.sample_rank(&mut self.churn);
+            let old_rank = self.rank_of[item as usize];
+            let displaced = self.slots[rank];
+            self.slots.swap(rank, old_rank);
+            self.rank_of[item as usize] = rank;
+            self.rank_of[displaced as usize] = old_rank;
+            self.next_shot = t.checked_add(exp_gap(&mut self.churn, self.model.churn_per_sec));
+        }
+    }
+
+    /// Draws one item id at virtual time `now` using the caller's
+    /// `draw_rng`. Exactly one `Zipf` rank draw from `draw_rng` in the
+    /// common case; inside an active flash window one extra Bernoulli
+    /// draw decides whether the flash item overrides.
+    pub fn sample(&mut self, now: SimTime, draw_rng: &mut Rng) -> u64 {
+        self.advance(now);
+        for (i, w) in self.model.flash.iter().enumerate() {
+            if w.active_at(now) {
+                if self.flash_items[i].is_none() {
+                    self.flash_items[i] = Some(self.churn.next_below(self.slots.len() as u64));
+                }
+                if draw_rng.chance(w.weight) {
+                    return self.flash_items[i].expect("just filled");
+                }
+                break;
+            }
+        }
+        self.slots[self.zipf.sample_rank(draw_rng)]
+    }
+}
+
+/// One exponential inter-shot gap for rate `per_sec` (> 0).
+fn exp_gap(rng: &mut Rng, per_sec: f64) -> SimDuration {
+    let secs = -(1.0 / per_sec) * rng.next_f64_open().ln();
+    SimDuration::from_secs_f64(secs).max(SimDuration::from_nanos(1))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -406,5 +640,120 @@ mod tests {
         for &c in &counts {
             assert!((8_500..11_500).contains(&c), "count {c}");
         }
+    }
+
+    #[test]
+    fn static_popularity_process_matches_plain_zipf() {
+        // The inert contract: churn 0 + no flash must reproduce bare
+        // Zipf draws from the caller's stream exactly, and never touch
+        // the churn stream (compared via the untouched clone).
+        let model = PopularityModel::static_zipf(0.9);
+        assert!(model.is_static());
+        let mut p = PopularityProcess::new(500, model, Rng::from_seed(777));
+        let untouched = Rng::from_seed(777);
+        let z = Zipf::new(500, 0.9);
+        let mut a = rng();
+        let mut b = rng();
+        for i in 0..5_000u64 {
+            let t = SimTime::from_millis(i * 13);
+            assert_eq!(p.sample(t, &mut a), z.sample_rank(&mut b) as u64);
+        }
+        // No churn draws: the process's stream state is untouched.
+        assert_eq!(p.churn.clone().next_u64(), untouched.clone().next_u64());
+    }
+
+    #[test]
+    fn churn_rotates_the_popular_set_deterministically() {
+        let model = PopularityModel::static_zipf(0.9).with_churn(5.0);
+        assert!(!model.is_static());
+        let mk = || PopularityProcess::new(300, model.clone(), Rng::from_seed_and_name(9, "pop"));
+        let mut p = mk();
+        let mut q = mk();
+        p.advance(SimTime::from_secs(200));
+        q.advance(SimTime::from_secs(200));
+        // ~1000 shots: the identity mapping cannot have survived.
+        let moved = (0..300).filter(|&r| p.item_at_rank(r) != r as u64).count();
+        assert!(moved > 100, "only {moved} ranks moved after 1000 shots");
+        // Same stream, same shots: byte-deterministic evolution, and
+        // incremental advance equals one big advance.
+        let mut inc = mk();
+        for s in 0..200u64 {
+            inc.advance(SimTime::from_secs(s + 1));
+        }
+        for r in 0..300 {
+            assert_eq!(p.item_at_rank(r), q.item_at_rank(r));
+            assert_eq!(p.item_at_rank(r), inc.item_at_rank(r));
+        }
+        // The mapping stays a permutation.
+        let mut seen: Vec<u64> = (0..300).map(|r| p.item_at_rank(r)).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..300u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn churned_marginal_stays_zipf_shaped() {
+        // Churn rotates *which* item is popular, not how popular the
+        // top rank is: rank-0 draws keep their Zipf frequency.
+        let model = PopularityModel::static_zipf(1.0).with_churn(2.0);
+        let mut p = PopularityProcess::new(100, model, Rng::from_seed_and_name(3, "pop"));
+        let mut r = rng();
+        let mut top = 0u32;
+        let n = 100_000u64;
+        for i in 0..n {
+            let t = SimTime::from_millis(i * 10);
+            let item = p.sample(t, &mut r);
+            if p.item_at_rank(0) == item {
+                top += 1;
+            }
+        }
+        let f0 = top as f64 / n as f64;
+        assert!((f0 - 0.1928).abs() < 0.015, "rank-0 frequency {f0}");
+    }
+
+    #[test]
+    fn diurnal_rate_factor_waves_around_one() {
+        let flat = PopularityModel::static_zipf(0.9);
+        assert_eq!(flat.rate_factor(SimTime::from_secs(12_345)), 1.0);
+        let m = flat.with_diurnal(0.5, SimDuration::from_secs(1_000));
+        assert!((m.rate_factor(SimTime::ZERO) - 1.0).abs() < 1e-12);
+        assert!((m.rate_factor(SimTime::from_secs(250)) - 1.5).abs() < 1e-9);
+        assert!((m.rate_factor(SimTime::from_secs(750)) - 0.5).abs() < 1e-9);
+        // Never non-positive for amplitude < 1.
+        for s in 0..2_000u64 {
+            assert!(m.rate_factor(SimTime::from_secs(s)) > 0.0);
+        }
+    }
+
+    #[test]
+    fn flash_crowd_dominates_inside_its_window_only() {
+        let model = PopularityModel::static_zipf(0.9).with_flash_crowd(
+            SimTime::from_secs(100),
+            SimDuration::from_secs(50),
+            0.9,
+        );
+        let mut p = PopularityProcess::new(1_000, model, Rng::from_seed_and_name(4, "pop"));
+        let mut r = rng();
+        // Inside the window: the flash item takes ~90% of draws.
+        let mut counts = std::collections::HashMap::new();
+        for i in 0..5_000u64 {
+            let t = SimTime::from_millis(100_000 + i * 10);
+            *counts.entry(p.sample(t, &mut r)).or_insert(0u32) += 1;
+        }
+        let (&hot, &hot_n) = counts.iter().max_by_key(|(_, &n)| n).unwrap();
+        assert!(hot_n > 4_200, "flash item drew {hot_n}/5000");
+        // Outside the window: back to plain Zipf (the hot item reverts
+        // to its catalog popularity, far below 50%).
+        let mut hot_after = 0u32;
+        for i in 0..5_000u64 {
+            let t = SimTime::from_millis(200_000 + i * 10);
+            if p.sample(t, &mut r) == hot {
+                hot_after += 1;
+            }
+        }
+        assert!(hot_after < 2_500, "flash item still hot: {hot_after}");
+        // Exact boundary: the window is [start, start+duration).
+        let w = &p.model().flash[0];
+        assert!(w.active_at(SimTime::from_secs(100)));
+        assert!(!w.active_at(SimTime::from_secs(150)));
     }
 }

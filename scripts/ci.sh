@@ -26,6 +26,14 @@ echo "==> overload conformance: golden invariance (policies disabled/inert) + ch
 FECDN_THREADS=1 cargo test -q --offline --test overload
 FECDN_THREADS=4 cargo test -q --offline --test overload
 
+echo "==> cache-model conformance: policy semantics + installed-but-inert golden, at FECDN_THREADS=1 and 4"
+FECDN_THREADS=1 cargo test -q --offline --test cache_model
+FECDN_THREADS=4 cargo test -q --offline --test cache_model
+
+echo "==> workload determinism: churned-Zipf session campaigns, at FECDN_THREADS=1 and 4"
+FECDN_THREADS=1 cargo test -q --offline --test workload
+FECDN_THREADS=4 cargo test -q --offline --test workload
+
 echo "==> telemetry conformance suite at FECDN_THREADS=1 and 4"
 FECDN_THREADS=1 cargo test -q --offline --test telemetry
 FECDN_THREADS=4 cargo test -q --offline --test telemetry
@@ -67,6 +75,42 @@ if naive >= 0.5:
     fail.append(f"naive recovery {naive:.2f} >= 0.50: the metastable regime vanished")
 for msg in fail:
     print(f"exp_metastable: {msg}", file=sys.stderr)
+sys.exit(1 if fail else 0)
+EOF
+
+echo "==> popularity smoke: exp_popularity policy crossover + 10^5-session slab memory contract"
+# The binary internally re-runs its end-to-end arms at FECDN_THREADS=1
+# and 4 and byte-compares the TSVs, so one invocation covers the thread
+# matrix; its exit status gates the crossover shape and the memory
+# contract. The memory phase here is the CI-sized smoke (10^4 -> 10^5
+# sessions); FECDN_SCALE=paper runs the full 10^5 -> 10^6 contract.
+./target/release/exp_popularity --out BENCH_popularity.json \
+  > /tmp/ci_exp_popularity.tsv 2> /tmp/ci_exp_popularity.log
+python3 - <<'EOF'
+import json, sys
+cur = json.load(open("BENCH_popularity.json"))
+lru, lfu, ttl = cur["hit_lru"], cur["hit_lfu"], cur["hit_ttl"]
+growth = cur["retained_growth_factor"]
+print(f"    static Zipf: lfu {lfu[0]:.3f} vs lru {lru[0]:.3f}; "
+      f"fastest churn: lru {lru[-1]:.3f} / ttl {ttl[-1]:.3f} vs lfu {lfu[-1]:.3f}")
+print(f"    slab memory: {cur['sessions_base']:,} -> {cur['sessions_10x']:,} sessions, "
+      f"retained growth {growth:.2f}x, pending growth {cur['pending_growth_factor']:.2f}x")
+fail = []
+# The paper-shaped crossover: frequency wins under a static law, loses
+# under fast churn to both recency and freshness.
+if not lfu[0] > lru[0]:
+    fail.append(f"static Zipf: LFU {lfu[0]:.3f} no longer beats LRU {lru[0]:.3f}")
+if not (lru[-1] > lfu[-1] and ttl[-1] > lfu[-1]):
+    fail.append(f"fast churn: LFU {lfu[-1]:.3f} not beaten by LRU {lru[-1]:.3f} and TTL {ttl[-1]:.3f}")
+if cur["crossover_churn"] is None:
+    fail.append("no crossover churn rate found")
+# Peak-memory tripwire: 10x the sessions, <= 1.5x the footprint.
+if growth > 1.5:
+    fail.append(f"retained growth {growth:.2f}x > 1.5x at 10x sessions")
+if cur["pending_growth_factor"] > 1.5:
+    fail.append(f"pending-event growth {cur['pending_growth_factor']:.2f}x > 1.5x at 10x sessions")
+for msg in fail:
+    print(f"exp_popularity: {msg}", file=sys.stderr)
 sys.exit(1 if fail else 0)
 EOF
 
@@ -159,6 +203,18 @@ SCHEMAS = {
         "pre_goodput_budgeted": NUM, "trigger_goodput_budgeted": NUM,
         "post_goodput_budgeted": NUM,
         "recovery_ratio_naive": NUM, "recovery_ratio_budgeted": NUM,
+    },
+    "BENCH_popularity": {
+        "binary": STR, "catalog": NUM, "trace_lookups": NUM,
+        "capacity_bytes": NUM, "churn_levels": LST,
+        "hit_lru": LST, "hit_lfu": LST, "hit_ttl": LST,
+        "crossover_churn": NUM,
+        "e2e_sessions": NUM, "e2e_lru_hits": NUM, "e2e_lru_evictions": NUM,
+        "sessions_base": NUM, "sessions_10x": NUM,
+        "peak_retained_base_bytes": NUM, "peak_retained_10x_bytes": NUM,
+        "retained_growth_factor": NUM,
+        "peak_pending_base": NUM, "peak_pending_10x": NUM,
+        "pending_growth_factor": NUM,
     },
 }
 fail = []
